@@ -1,0 +1,58 @@
+"""Extension bench: the coverage / bid-satisfaction trade-off.
+
+Not part of the paper (its conclusion lists bid-aware assignment as future
+work).  The bench sweeps the trade-off parameter ``lambda`` of the
+bid-aware SDGA and reports how much topic coverage is traded for how much
+bid satisfaction, verifying that
+
+* ``lambda = 0`` reproduces plain SDGA exactly,
+* bid satisfaction is non-decreasing in ``lambda``, and
+* the combined objective is always at least plain SDGA's.
+"""
+
+from __future__ import annotations
+
+from _shared import bench_seed, emit, experiment_config
+from repro.cra.sdga import StageDeepeningGreedySolver
+from repro.experiments.cra_quality import build_dataset_problem
+from repro.experiments.reporting import ExperimentTable
+from repro.extensions.bidding import BidAwareObjective, BidAwareSDGASolver, BidMatrix, bid_satisfaction
+
+_TRADEOFFS = (0.0, 0.25, 0.5, 1.0, 2.0)
+
+
+def _run_sweep():
+    problem = build_dataset_problem("DB08", group_size=3, config=experiment_config())
+    bids = BidMatrix.random(problem, bid_probability=0.3, seed=bench_seed())
+    plain = StageDeepeningGreedySolver().solve(problem)
+    rows = [("plain SDGA", plain.score, bid_satisfaction(plain.assignment, bids), plain.score)]
+    for tradeoff in _TRADEOFFS:
+        objective = BidAwareObjective(bids=bids, tradeoff=tradeoff)
+        result = BidAwareSDGASolver(objective).solve(problem)
+        rows.append(
+            (
+                tradeoff,
+                result.score,
+                result.stats["bid_satisfaction"],
+                result.stats["combined_objective"],
+            )
+        )
+    return plain, rows
+
+
+def test_extension_bid_tradeoff(benchmark):
+    plain, rows = benchmark.pedantic(_run_sweep, rounds=1, iterations=1)
+    table = ExperimentTable(
+        title="Extension: bid-aware SDGA trade-off sweep (DB08, delta_p=3)",
+        columns=["lambda", "coverage score", "bid satisfaction", "combined objective"],
+    )
+    for row in rows:
+        table.add_row(*row)
+    emit(table, "extension_bid_tradeoff.csv")
+
+    by_lambda = {row[0]: row for row in rows}
+    assert abs(by_lambda[0.0][1] - plain.score) < 1e-9
+    satisfactions = [by_lambda[value][2] for value in _TRADEOFFS]
+    assert all(later >= earlier - 1e-9 for earlier, later in zip(satisfactions, satisfactions[1:]))
+    coverages = [by_lambda[value][1] for value in _TRADEOFFS]
+    assert all(value <= plain.score + 1e-9 for value in coverages)

@@ -1,0 +1,49 @@
+"""Figure 11: superiority ratio of SDGA-SRA over the competitors.
+
+For every competitor the bench reports the fraction of papers whose reviewer
+group under SDGA-SRA covers the paper at least as well (split into strict
+wins and ties, mirroring the stacked bars of the figure).  The asserted
+shape is the paper's: SDGA-SRA is at least as good on the overwhelming
+majority of papers versus SM / ILP / Greedy.
+"""
+
+from __future__ import annotations
+
+from _shared import bench_group_sizes, emit, quality_run
+from repro.experiments.reporting import ExperimentTable
+
+_COMPETITORS = ("SM", "ILP", "BRGG", "Greedy")
+
+
+def _collect(dataset: str):
+    rows = []
+    for group_size in bench_group_sizes():
+        result = quality_run(dataset, group_size)
+        rows.append((group_size, result.superiority_of("SDGA-SRA")))
+    return rows
+
+
+def _emit_dataset(dataset: str, rows, filename: str):
+    table = ExperimentTable(
+        title=f"Figure 11: superiority ratio of SDGA-SRA — {dataset}",
+        columns=["delta_p", "versus", "superiority", "strict wins", "ties"],
+    )
+    for group_size, breakdown in rows:
+        for competitor in _COMPETITORS:
+            entry = breakdown[competitor]
+            table.add_row(group_size, competitor, entry["superiority"],
+                          entry["strict"], entry["ties"])
+    emit(table, filename)
+    for _, breakdown in rows:
+        for competitor in ("SM", "ILP", "Greedy"):
+            assert breakdown[competitor]["superiority"] >= 0.5
+
+
+def test_fig11a_superiority_databases(benchmark):
+    rows = benchmark.pedantic(_collect, args=("DB08",), rounds=1, iterations=1)
+    _emit_dataset("DB08", rows, "fig11a_superiority_db08.csv")
+
+
+def test_fig11b_superiority_data_mining(benchmark):
+    rows = benchmark.pedantic(_collect, args=("DM08",), rounds=1, iterations=1)
+    _emit_dataset("DM08", rows, "fig11b_superiority_dm08.csv")

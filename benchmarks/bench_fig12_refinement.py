@@ -1,0 +1,45 @@
+"""Figure 12: stochastic refinement vs local search over a time budget.
+
+Both refiners start from the same SDGA assignment; the bench reports the
+optimality ratio reached within increasing wall-clock budgets.  The asserted
+shape is the paper's: the stochastic refinement improves over plain SDGA,
+while local search quickly gets stuck at (or very near) its starting point
+and never overtakes the stochastic refinement.
+"""
+
+from __future__ import annotations
+
+import os
+
+from _shared import emit, experiment_config
+from repro.experiments.refinement import run_refinement_comparison
+
+
+def _budgets() -> tuple[float, ...]:
+    raw = os.environ.get("REPRO_BENCH_REFINE_BUDGETS", "1,2,4,8")
+    return tuple(float(part) for part in raw.split(","))
+
+
+def test_fig12_refinement_quality_vs_time(benchmark):
+    table = benchmark.pedantic(
+        run_refinement_comparison,
+        kwargs=dict(
+            dataset="DB08",
+            group_size=3,
+            time_budgets=_budgets(),
+            config=experiment_config(),
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    emit(table, "fig12_refinement_vs_time.csv")
+
+    sra = table.column("SDGA-SRA ratio")
+    local_search = table.column("SDGA-LS ratio")
+    base = table.column("SDGA ratio")
+    # Refinement never hurts, and with the largest budget the stochastic
+    # refinement is at least as good as local search (which plateaus).
+    assert all(value >= base[0] - 1e-9 for value in sra)
+    assert all(value >= base[0] - 1e-9 for value in local_search)
+    assert sra[-1] >= local_search[-1] - 1e-6
+    assert sra[-1] >= sra[0] - 1e-9

@@ -1,0 +1,42 @@
+"""Figure 15: the effect of k on top-k BBA.
+
+The paper reports that BBA returns the best 1000 reviewer groups within
+about two seconds.  The bench sweeps k on a (scaled) candidate pool and
+reports the response time and the score of the k-th best group.
+"""
+
+from __future__ import annotations
+
+import os
+
+from _shared import bench_seed, emit
+from repro.experiments.jra_scalability import JRAScalabilityConfig, run_topk_experiment
+
+_CONFIG = JRAScalabilityConfig(num_trials=1, num_topics=30, seed=bench_seed())
+
+
+def _pool_size() -> int:
+    return int(os.environ.get("REPRO_BENCH_JRA_POOL", "60"))
+
+
+def test_fig15_topk_response_time(benchmark):
+    table = benchmark.pedantic(
+        run_topk_experiment,
+        kwargs=dict(
+            k_values=(1, 100, 250, 500, 1000),
+            num_candidates=_pool_size(),
+            group_size=3,
+            config=_CONFIG,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    emit(table, "fig15_topk.csv")
+    best = table.column("best score")
+    kth = table.column("k-th score")
+    times = table.column("BBA time (s)")
+    # The best group does not depend on k; the k-th best score decreases.
+    assert max(best) - min(best) < 1e-9
+    assert all(later <= earlier + 1e-12 for earlier, later in zip(kth, kth[1:]))
+    # Larger k costs more (weaker pruning), but stays in interactive range.
+    assert times[-1] >= times[0] * 0.5

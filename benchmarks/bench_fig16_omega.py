@@ -1,0 +1,33 @@
+"""Figure 16: the effect of the convergence threshold omega on SRA.
+
+Larger omega lets the stochastic refinement run longer and reach slightly
+better quality at a steep cost in refinement time; the paper picks
+omega = 10 as the sweet spot.  The bench regenerates the quality/time
+trade-off curve.
+"""
+
+from __future__ import annotations
+
+from _shared import emit, experiment_config
+from repro.experiments.refinement import run_omega_sensitivity
+
+
+def test_fig16_omega_sensitivity(benchmark):
+    table = benchmark.pedantic(
+        run_omega_sensitivity,
+        kwargs=dict(
+            dataset="DB08",
+            group_size=3,
+            omegas=(2, 5, 10, 20),
+            config=experiment_config(),
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    emit(table, "fig16_omega.csv")
+
+    ratios = table.column("optimality ratio")
+    rounds = table.column("rounds")
+    # More patience never reduces the best quality found, and it costs rounds.
+    assert ratios[-1] >= ratios[0] - 1e-9
+    assert rounds[-1] >= rounds[0]

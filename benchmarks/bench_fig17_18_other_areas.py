@@ -1,0 +1,55 @@
+"""Figures 17 and 18: quality experiments on Theory 2008 and the 2009 datasets.
+
+The paper repeats the Figure 10/11 analysis on the remaining area/year
+combinations and observes "no difference to the results" of DB/DM 2008.
+The bench regenerates the optimality-ratio and superiority views for
+TH08, DB09, DM09 and TH09 (delta_p = 3 by default) and asserts the same
+shape: SDGA-SRA on top everywhere.
+"""
+
+from __future__ import annotations
+
+from _shared import emit, quality_run
+from repro.experiments.reporting import ExperimentTable
+from repro.experiments.runner import DEFAULT_CRA_METHODS
+
+_DATASETS = ("TH08", "DB09", "DM09", "TH09")
+
+
+def _collect():
+    rows = []
+    for dataset in _DATASETS:
+        result = quality_run(dataset, 3)
+        rows.append(
+            (dataset, result.optimality_ratios(), result.superiority_of("SDGA-SRA"))
+        )
+    return rows
+
+
+def test_fig17_18_other_areas_and_years(benchmark):
+    rows = benchmark.pedantic(_collect, rounds=1, iterations=1)
+
+    ratio_table = ExperimentTable(
+        title="Figures 17/18: optimality ratio on the remaining datasets (delta_p=3)",
+        columns=["dataset", *DEFAULT_CRA_METHODS],
+    )
+    superiority_table = ExperimentTable(
+        title="Figures 17/18: superiority of SDGA-SRA on the remaining datasets",
+        columns=["dataset", "vs SM", "vs ILP", "vs BRGG", "vs Greedy"],
+    )
+    for dataset, ratios, superiority in rows:
+        ratio_table.add_row(dataset, *[ratios[m] for m in DEFAULT_CRA_METHODS])
+        superiority_table.add_row(
+            dataset,
+            superiority["SM"]["superiority"],
+            superiority["ILP"]["superiority"],
+            superiority["BRGG"]["superiority"],
+            superiority["Greedy"]["superiority"],
+        )
+    emit(ratio_table, "fig17_18_optimality_other_datasets.csv")
+    emit(superiority_table, "fig17_18_superiority_other_datasets.csv")
+
+    for _, ratios, superiority in rows:
+        assert ratios["SDGA-SRA"] >= max(ratios.values()) - 1e-9
+        assert superiority["SM"]["superiority"] >= 0.5
+        assert superiority["Greedy"]["superiority"] >= 0.5

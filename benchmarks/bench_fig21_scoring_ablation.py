@@ -1,0 +1,45 @@
+"""Figure 21: alternative objectives and h-index-scaled expertise.
+
+Re-runs the Databases quality experiment with the reviewer-coverage,
+paper-coverage and dot-product objectives (Figure 21 a-c) and with
+reviewer vectors rescaled by their h-indices (Figure 21 d).  The paper's
+observation — the overall trends are unchanged and SDGA-SRA stays on top —
+is asserted for every variant.
+"""
+
+from __future__ import annotations
+
+from _shared import emit, experiment_config
+from repro.experiments.reporting import ExperimentTable
+from repro.experiments.runner import DEFAULT_CRA_METHODS
+from repro.experiments.scoring_ablation import run_h_index_scaling, run_scoring_ablation
+
+_SCORINGS = ("reviewer_coverage", "paper_coverage", "dot_product")
+
+
+def _collect():
+    config = experiment_config()
+    rows = []
+    for scoring in _SCORINGS:
+        result = run_scoring_ablation(scoring, dataset="DB08", group_size=3,
+                                      config=config)
+        rows.append((scoring, result.optimality_ratios()))
+    h_index = run_h_index_scaling(dataset="DB08", group_size=3, config=config)
+    rows.append(("h_index_scaled", h_index.optimality_ratios()))
+    return rows
+
+
+def test_fig21_alternative_objectives_and_h_index(benchmark):
+    rows = benchmark.pedantic(_collect, rounds=1, iterations=1)
+    table = ExperimentTable(
+        title="Figure 21: optimality ratio under alternative objectives (DB08, delta_p=3)",
+        columns=["objective", *DEFAULT_CRA_METHODS],
+    )
+    for objective, ratios in rows:
+        table.add_row(objective, *[ratios[m] for m in DEFAULT_CRA_METHODS])
+    emit(table, "fig21_scoring_ablation.csv")
+
+    for _, ratios in rows:
+        assert ratios["SDGA-SRA"] >= ratios["SM"] - 1e-9
+        assert ratios["SDGA-SRA"] >= ratios["BRGG"] - 1e-9
+        assert ratios["SDGA-SRA"] >= ratios["SDGA"] - 1e-9

@@ -1,0 +1,66 @@
+"""Table 2: the RAP formulation taxonomy and the constructive reductions.
+
+Regenerates the comparison table of Section 2.3 and times the two
+constructive reductions (SGRAP topic sets -> binary-vector WGRAP, and the
+block expansion that linearises the group objective for ARAP/RRAP).
+"""
+
+from __future__ import annotations
+
+from _shared import emit
+from repro.core.reductions import (
+    expand_problem_for_pairwise_objective,
+    formulation_table,
+    sgrap_problem_from_topic_sets,
+)
+from repro.data.synthetic import make_problem
+from repro.experiments.reporting import ExperimentTable
+
+
+def test_table2_formulation_taxonomy(benchmark):
+    rows = benchmark(formulation_table)
+    table = ExperimentTable(
+        title="Table 2: comparison of RAP formulations",
+        columns=["formulation", "group size constraint", "group-based objective",
+                 "objective weighting"],
+    )
+    for entry in rows:
+        table.add_row(
+            entry.name,
+            "yes" if entry.group_size_constraint else "no",
+            "yes" if entry.group_based_objective else "no",
+            entry.objective_weighting,
+        )
+    emit(table, "table2_formulations.csv")
+
+
+def test_table2_sgrap_reduction(benchmark):
+    paper_topic_sets = {f"p{i}": {i % 10, (i + 3) % 10} for i in range(30)}
+    reviewer_topic_sets = {f"r{i}": {i % 10, (i + 1) % 10, (i + 5) % 10} for i in range(15)}
+
+    problem = benchmark(
+        sgrap_problem_from_topic_sets,
+        paper_topic_sets,
+        reviewer_topic_sets,
+        10,
+        3,
+    )
+    table = ExperimentTable(
+        title="Table 2 (reduction): SGRAP instance expressed as WGRAP",
+        columns=["papers", "reviewers", "topics", "group size"],
+    )
+    table.add_row(problem.num_papers, problem.num_reviewers, problem.num_topics,
+                  problem.group_size)
+    emit(table, "table2_sgrap_reduction.csv")
+
+
+def test_table2_pairwise_expansion(benchmark):
+    problem = make_problem(num_papers=8, num_reviewers=6, num_topics=10, seed=1)
+    expanded = benchmark(expand_problem_for_pairwise_objective, problem)
+    table = ExperimentTable(
+        title="Table 2 (reduction): block expansion to a per-pair objective",
+        columns=["original topics", "expanded topics", "papers", "reviewers"],
+    )
+    table.add_row(problem.num_topics, expanded.num_topics, expanded.num_papers,
+                  expanded.num_reviewers)
+    emit(table, "table2_pairwise_expansion.csv")

@@ -1,0 +1,27 @@
+"""Tables 5-6: the alternative scoring functions on the toy example.
+
+Regenerates the two-reviewer toy example of Appendix B and asserts the
+paper's point: weighted coverage is the only scoring function that prefers
+the well-matched reviewer r2 over the narrowly-expert reviewer r1.
+"""
+
+from __future__ import annotations
+
+from _shared import emit
+from repro.experiments.scoring_ablation import scoring_toy_example
+
+
+def test_table6_scoring_function_toy_example(benchmark):
+    table = benchmark(scoring_toy_example)
+    emit(table, "table6_scoring_toy_example.csv")
+
+    preferences = {row[0]: row[3] for row in table.rows}
+    assert preferences["weighted_coverage"] == "r2"
+    assert preferences["reviewer_coverage"] == "r1"
+    assert preferences["paper_coverage"] == "r1"
+    assert preferences["dot_product"] == "r1"
+
+    scores = {row[0]: (row[1], row[2]) for row in table.rows}
+    assert abs(scores["weighted_coverage"][0] - 0.7) < 1e-9
+    assert abs(scores["weighted_coverage"][1] - 0.9) < 1e-9
+    assert abs(scores["dot_product"][0] - 0.58) < 1e-9

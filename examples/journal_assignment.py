@@ -1,0 +1,50 @@
+"""Journal Reviewer Assignment: pick the best group for a single submission.
+
+Reproduces the Section 3 workflow: a journal editor has one submission and a
+pool of candidate reviewers, and wants the group of ``delta_p`` reviewers
+whose combined expertise best covers the paper's topics.  The example runs
+the exact Branch-and-Bound Algorithm (BBA), cross-checks it against brute
+force, and prints a top-5 shortlist of alternative groups.
+
+Run with::
+
+    python examples/journal_assignment.py
+"""
+
+from __future__ import annotations
+
+from repro.data.workloads import make_jra_pool, make_jra_problem
+from repro.jra import BranchAndBoundSolver, BruteForceSolver, find_top_k_groups
+
+
+def main() -> None:
+    # 120 candidate reviewers drawn from three research areas; the target
+    # paper is interdisciplinary, so good groups need complementary experts.
+    pool = make_jra_pool(pool_size=120, num_topics=30, seed=7)
+    problem = make_jra_problem(num_candidates=120, group_size=3, pool=pool, seed=7)
+    print(f"Journal assignment: {problem}")
+
+    bba = BranchAndBoundSolver().solve(problem)
+    print(f"\nBBA optimal group (coverage {bba.score:.4f}, "
+          f"{bba.elapsed_seconds * 1000:.1f} ms, "
+          f"{bba.stats['nodes_expanded']} nodes):")
+    for reviewer_id in bba.reviewer_ids:
+        print(f"  - {problem.reviewer_by_id(reviewer_id).name}")
+
+    bfs = BruteForceSolver().solve(problem)
+    print(f"\nBrute force agrees: score {bfs.score:.4f} "
+          f"({bfs.stats['groups_evaluated']} groups evaluated, "
+          f"{bfs.elapsed_seconds:.2f} s)")
+    speedup = bfs.elapsed_seconds / max(bba.elapsed_seconds, 1e-9)
+    print(f"BBA speed-up over brute force: {speedup:.0f}x")
+
+    print("\nTop-5 candidate groups (for the editor to choose from):")
+    for entry in find_top_k_groups(problem, k=5):
+        names = ", ".join(
+            problem.reviewer_by_id(reviewer_id).name for reviewer_id in entry.reviewer_ids
+        )
+        print(f"  {entry.rank}. coverage {entry.score:.4f}: {names}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,29 @@
+"""Linear-assignment substrate: Hungarian, min-cost flow and transportation.
+
+These solvers replace the off-the-shelf Hungarian / network-flow libraries
+used by the paper's C++ implementation.  They are generic (they know
+nothing about reviewers or papers) and are reused by the Stage Deepening
+Greedy Algorithm, the stochastic refinement, and the baselines.
+"""
+
+from repro.assignment.hungarian import (
+    AssignmentResult,
+    solve_assignment,
+    solve_max_assignment,
+)
+from repro.assignment.min_cost_flow import Edge, FlowResult, MinCostFlowSolver
+from repro.assignment.transportation import (
+    CapacitatedAssignmentResult,
+    solve_capacitated_assignment,
+)
+
+__all__ = [
+    "AssignmentResult",
+    "solve_assignment",
+    "solve_max_assignment",
+    "Edge",
+    "FlowResult",
+    "MinCostFlowSolver",
+    "CapacitatedAssignmentResult",
+    "solve_capacitated_assignment",
+]

@@ -1,0 +1,145 @@
+"""Command-line interface for the WGRAP library.
+
+The ``wgrap`` command exposes the most common workflows:
+
+* ``wgrap generate`` — create a synthetic problem file (JSON).
+* ``wgrap solve``    — run a conference-assignment solver on a problem file.
+* ``wgrap journal``  — find the best reviewer group for one paper of a
+  problem file (JRA).
+* ``wgrap evaluate`` — score an existing assignment against a problem.
+
+All files use the JSON formats of :mod:`repro.data.io`.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from collections.abc import Sequence
+
+from repro.data.io import load_assignment, load_problem, save_assignment, save_problem
+from repro.data.synthetic import SyntheticWorkloadGenerator
+from repro.experiments.runner import DEFAULT_CRA_METHODS, make_cra_solver
+from repro.jra.bba import BranchAndBoundSolver
+from repro.metrics.quality import lowest_coverage_score, optimality_ratio
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the top-level argument parser (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="wgrap",
+        description="Weighted Coverage based Reviewer Assignment (SIGMOD 2015 reproduction)",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    generate = subparsers.add_parser("generate", help="generate a synthetic problem file")
+    generate.add_argument("output", help="path of the JSON problem file to write")
+    generate.add_argument("--papers", type=int, default=60, help="number of papers")
+    generate.add_argument("--reviewers", type=int, default=25, help="number of reviewers")
+    generate.add_argument("--topics", type=int, default=30, help="number of topics")
+    generate.add_argument("--group-size", type=int, default=3, help="reviewers per paper")
+    generate.add_argument(
+        "--workload", type=int, default=None, help="max papers per reviewer (default: minimal)"
+    )
+    generate.add_argument("--seed", type=int, default=0, help="random seed")
+
+    solve = subparsers.add_parser("solve", help="solve a conference assignment")
+    solve.add_argument("problem", help="path of the JSON problem file")
+    solve.add_argument("output", help="path of the JSON assignment file to write")
+    solve.add_argument(
+        "--method",
+        default="SDGA-SRA",
+        choices=sorted({*DEFAULT_CRA_METHODS, "SDGA-LS"}),
+        help="assignment method",
+    )
+
+    journal = subparsers.add_parser("journal", help="find the best group for one paper")
+    journal.add_argument("problem", help="path of the JSON problem file")
+    journal.add_argument("paper_id", help="id of the paper to staff")
+    journal.add_argument("--group-size", type=int, default=None,
+                         help="override the problem's group size")
+
+    evaluate = subparsers.add_parser("evaluate", help="score an existing assignment")
+    evaluate.add_argument("problem", help="path of the JSON problem file")
+    evaluate.add_argument("assignment", help="path of the JSON assignment file")
+
+    return parser
+
+
+def _command_generate(args: argparse.Namespace) -> int:
+    generator = SyntheticWorkloadGenerator(num_topics=args.topics, seed=args.seed)
+    problem = generator.generate_problem(
+        num_papers=args.papers,
+        num_reviewers=args.reviewers,
+        group_size=args.group_size,
+        reviewer_workload=args.workload,
+    )
+    path = save_problem(problem, args.output)
+    print(
+        f"wrote {path}: {problem.num_papers} papers, {problem.num_reviewers} reviewers, "
+        f"delta_p={problem.group_size}, delta_r={problem.reviewer_workload}"
+    )
+    return 0
+
+
+def _command_solve(args: argparse.Namespace) -> int:
+    problem = load_problem(args.problem)
+    solver = make_cra_solver(args.method)
+    result = solver.solve(problem)
+    save_assignment(result.assignment, args.output)
+    ratio = optimality_ratio(problem, result.assignment)
+    print(
+        f"{solver.name}: coverage score {result.score:.4f}, "
+        f"optimality ratio {ratio:.4f}, "
+        f"lowest coverage {lowest_coverage_score(problem, result.assignment):.4f}, "
+        f"time {result.elapsed_seconds:.2f}s"
+    )
+    print(f"wrote assignment to {args.output}")
+    return 0
+
+
+def _command_journal(args: argparse.Namespace) -> int:
+    problem = load_problem(args.problem)
+    jra = problem.to_jra(args.paper_id)
+    if args.group_size is not None:
+        jra = type(jra)(
+            paper=jra.paper,
+            reviewers=jra.reviewers,
+            group_size=args.group_size,
+            scoring=jra.scoring,
+        )
+    result = BranchAndBoundSolver().solve(jra)
+    print(f"best group for paper {args.paper_id!r} (score {result.score:.4f}):")
+    for reviewer_id in result.reviewer_ids:
+        print(f"  - {reviewer_id}")
+    return 0
+
+
+def _command_evaluate(args: argparse.Namespace) -> int:
+    problem = load_problem(args.problem)
+    assignment = load_assignment(args.assignment)
+    problem.validate_assignment(assignment, require_complete=False)
+    score = problem.assignment_score(assignment)
+    print(f"coverage score: {score:.4f}")
+    print(f"optimality ratio: {optimality_ratio(problem, assignment):.4f}")
+    print(f"lowest per-paper coverage: {lowest_coverage_score(problem, assignment):.4f}")
+    return 0
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """Entry point of the ``wgrap`` command."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    handlers = {
+        "generate": _command_generate,
+        "solve": _command_solve,
+        "journal": _command_journal,
+        "evaluate": _command_evaluate,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via the console script
+    sys.exit(main())

@@ -1,0 +1,182 @@
+"""The :class:`Assignment` container: a bipartite reviewer/paper relation.
+
+An assignment ``A`` is a subset of ``P x R`` (paper/reviewer pairs).  The
+paper indexes it both ways — ``A[p]`` is the set of reviewers of paper
+``p`` and ``A[r]`` the set of papers given to reviewer ``r`` — and so does
+this class.  The container is deliberately independent of any particular
+problem instance: it only stores identifiers, so the same object can be
+scored under different scoring functions, checked against different
+constraint sets, serialised, and diffed.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator
+
+from repro.exceptions import ConfigurationError
+
+__all__ = ["Assignment"]
+
+
+class Assignment:
+    """A mutable set of ``(reviewer_id, paper_id)`` pairs with two-way indexes."""
+
+    __slots__ = ("_by_paper", "_by_reviewer", "_size")
+
+    def __init__(self, pairs: Iterable[tuple[str, str]] = ()) -> None:
+        self._by_paper: dict[str, set[str]] = {}
+        self._by_reviewer: dict[str, set[str]] = {}
+        self._size = 0
+        for reviewer_id, paper_id in pairs:
+            self.add(reviewer_id, paper_id)
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+    def add(self, reviewer_id: str, paper_id: str) -> bool:
+        """Add a pair; returns ``True`` if it was not already present."""
+        if not reviewer_id or not paper_id:
+            raise ConfigurationError("assignment pairs need non-empty identifiers")
+        reviewers = self._by_paper.setdefault(paper_id, set())
+        if reviewer_id in reviewers:
+            return False
+        reviewers.add(reviewer_id)
+        self._by_reviewer.setdefault(reviewer_id, set()).add(paper_id)
+        self._size += 1
+        return True
+
+    def remove(self, reviewer_id: str, paper_id: str) -> None:
+        """Remove a pair.
+
+        Raises
+        ------
+        KeyError
+            If the pair is not in the assignment.
+        """
+        reviewers = self._by_paper.get(paper_id)
+        if not reviewers or reviewer_id not in reviewers:
+            raise KeyError((reviewer_id, paper_id))
+        reviewers.discard(reviewer_id)
+        self._by_reviewer[reviewer_id].discard(paper_id)
+        self._size -= 1
+
+    def discard(self, reviewer_id: str, paper_id: str) -> bool:
+        """Remove a pair if present; returns whether anything was removed."""
+        if not self.contains(reviewer_id, paper_id):
+            return False
+        self.remove(reviewer_id, paper_id)
+        return True
+
+    def clear_paper(self, paper_id: str) -> set[str]:
+        """Remove every reviewer of ``paper_id``; returns the removed set."""
+        removed = set(self._by_paper.get(paper_id, ()))
+        for reviewer_id in removed:
+            self.remove(reviewer_id, paper_id)
+        return removed
+
+    def update(self, other: "Assignment") -> None:
+        """Add every pair of ``other`` into this assignment (set union)."""
+        for reviewer_id, paper_id in other.pairs():
+            self.add(reviewer_id, paper_id)
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def contains(self, reviewer_id: str, paper_id: str) -> bool:
+        """Whether the pair is in the assignment."""
+        return reviewer_id in self._by_paper.get(paper_id, ())
+
+    def __contains__(self, pair: tuple[str, str]) -> bool:
+        reviewer_id, paper_id = pair
+        return self.contains(reviewer_id, paper_id)
+
+    def reviewers_of(self, paper_id: str) -> frozenset[str]:
+        """``A[p]`` — the ids of the reviewers currently assigned to a paper."""
+        return frozenset(self._by_paper.get(paper_id, ()))
+
+    def papers_of(self, reviewer_id: str) -> frozenset[str]:
+        """``A[r]`` — the ids of the papers currently given to a reviewer."""
+        return frozenset(self._by_reviewer.get(reviewer_id, ()))
+
+    def group_size(self, paper_id: str) -> int:
+        """Number of reviewers assigned to a paper."""
+        return len(self._by_paper.get(paper_id, ()))
+
+    def load(self, reviewer_id: str) -> int:
+        """Number of papers assigned to a reviewer."""
+        return len(self._by_reviewer.get(reviewer_id, ()))
+
+    def papers(self) -> frozenset[str]:
+        """All papers that have at least one reviewer."""
+        return frozenset(p for p, reviewers in self._by_paper.items() if reviewers)
+
+    def reviewers(self) -> frozenset[str]:
+        """All reviewers that have at least one paper."""
+        return frozenset(r for r, papers in self._by_reviewer.items() if papers)
+
+    def pairs(self) -> Iterator[tuple[str, str]]:
+        """Iterate over ``(reviewer_id, paper_id)`` pairs in a stable order."""
+        for paper_id in sorted(self._by_paper):
+            for reviewer_id in sorted(self._by_paper[paper_id]):
+                yield reviewer_id, paper_id
+
+    def __len__(self) -> int:
+        return self._size
+
+    def __bool__(self) -> bool:
+        return self._size > 0
+
+    def __iter__(self) -> Iterator[tuple[str, str]]:
+        return self.pairs()
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Assignment):
+            return NotImplemented
+        return set(self.pairs()) == set(other.pairs())
+
+    def __repr__(self) -> str:
+        return f"Assignment({self._size} pairs, {len(self.papers())} papers)"
+
+    # ------------------------------------------------------------------
+    # Derived views
+    # ------------------------------------------------------------------
+    def copy(self) -> "Assignment":
+        """A deep, independent copy of this assignment."""
+        return Assignment(self.pairs())
+
+    def union(self, other: "Assignment") -> "Assignment":
+        """A new assignment containing the pairs of both operands."""
+        merged = self.copy()
+        merged.update(other)
+        return merged
+
+    def difference(self, other: "Assignment") -> "Assignment":
+        """Pairs in this assignment that are not in ``other``."""
+        return Assignment(pair for pair in self.pairs() if pair not in other)
+
+    def symmetric_difference(self, other: "Assignment") -> "Assignment":
+        """Pairs present in exactly one of the two assignments."""
+        return Assignment(
+            pair
+            for pair in set(self.pairs()) ^ set(other.pairs())
+        )
+
+    # ------------------------------------------------------------------
+    # Serialisation
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict[str, list[str]]:
+        """A JSON-friendly ``{paper_id: sorted [reviewer_id, ...]}`` mapping."""
+        return {
+            paper_id: sorted(reviewers)
+            for paper_id, reviewers in sorted(self._by_paper.items())
+            if reviewers
+        }
+
+    @classmethod
+    def from_dict(cls, mapping: dict[str, Iterable[str]]) -> "Assignment":
+        """Inverse of :meth:`to_dict`."""
+        assignment = cls()
+        for paper_id, reviewers in mapping.items():
+            for reviewer_id in reviewers:
+                assignment.add(reviewer_id, paper_id)
+        return assignment

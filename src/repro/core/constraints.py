@@ -1,0 +1,168 @@
+"""Assignment constraints: conflicts of interest and workload bounds.
+
+WGRAP (Definition 3) has two hard constraints — the per-paper group size
+``delta_p`` and the per-reviewer workload ``delta_r`` — plus, in practice,
+conflicts of interest (COIs) that forbid specific reviewer/paper pairs.
+Section 4.3 of the paper notes that SDGA keeps its approximation guarantee
+in the presence of COIs, so every solver in this library accepts them.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator
+from dataclasses import dataclass
+
+from repro.exceptions import ConfigurationError
+
+__all__ = ["ConflictOfInterest", "WorkloadConstraints"]
+
+
+class ConflictOfInterest:
+    """A set of forbidden ``(reviewer_id, paper_id)`` pairs.
+
+    The container is symmetric-agnostic: a conflict simply means the pair
+    may never appear in an assignment, whatever the reason (co-authorship,
+    same institution, personal ties, ...).
+    """
+
+    __slots__ = ("_pairs", "_by_reviewer", "_by_paper")
+
+    def __init__(self, pairs: Iterable[tuple[str, str]] = ()) -> None:
+        self._pairs: set[tuple[str, str]] = set()
+        self._by_reviewer: dict[str, set[str]] = {}
+        self._by_paper: dict[str, set[str]] = {}
+        for reviewer_id, paper_id in pairs:
+            self.add(reviewer_id, paper_id)
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+    def add(self, reviewer_id: str, paper_id: str) -> None:
+        """Declare that ``reviewer_id`` must never review ``paper_id``."""
+        if not reviewer_id or not paper_id:
+            raise ConfigurationError("conflict entries need non-empty identifiers")
+        pair = (reviewer_id, paper_id)
+        if pair in self._pairs:
+            return
+        self._pairs.add(pair)
+        self._by_reviewer.setdefault(reviewer_id, set()).add(paper_id)
+        self._by_paper.setdefault(paper_id, set()).add(reviewer_id)
+
+    def discard(self, reviewer_id: str, paper_id: str) -> None:
+        """Remove a conflict if present (no error if absent)."""
+        pair = (reviewer_id, paper_id)
+        if pair not in self._pairs:
+            return
+        self._pairs.discard(pair)
+        self._by_reviewer[reviewer_id].discard(paper_id)
+        self._by_paper[paper_id].discard(reviewer_id)
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def is_conflict(self, reviewer_id: str, paper_id: str) -> bool:
+        """Whether the pair is forbidden."""
+        return (reviewer_id, paper_id) in self._pairs
+
+    def papers_conflicting_with(self, reviewer_id: str) -> frozenset[str]:
+        """All papers this reviewer must not see."""
+        return frozenset(self._by_reviewer.get(reviewer_id, ()))
+
+    def reviewers_conflicting_with(self, paper_id: str) -> frozenset[str]:
+        """All reviewers that must not see this paper."""
+        return frozenset(self._by_paper.get(paper_id, ()))
+
+    def __len__(self) -> int:
+        return len(self._pairs)
+
+    def __iter__(self) -> Iterator[tuple[str, str]]:
+        return iter(sorted(self._pairs))
+
+    def __contains__(self, pair: tuple[str, str]) -> bool:
+        return pair in self._pairs
+
+    def __bool__(self) -> bool:
+        return bool(self._pairs)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, ConflictOfInterest):
+            return NotImplemented
+        return self._pairs == other._pairs
+
+    def __repr__(self) -> str:
+        return f"ConflictOfInterest({len(self._pairs)} pairs)"
+
+    def copy(self) -> "ConflictOfInterest":
+        """An independent copy of this conflict set."""
+        return ConflictOfInterest(self._pairs)
+
+    @classmethod
+    def from_coauthorship(
+        cls, paper_authors: dict[str, Iterable[str]], reviewer_ids: Iterable[str]
+    ) -> "ConflictOfInterest":
+        """Build conflicts from authorship: an author never reviews their paper.
+
+        Parameters
+        ----------
+        paper_authors:
+            Mapping from paper id to the ids of its authors.
+        reviewer_ids:
+            The reviewer pool; only authors that actually serve as reviewers
+            generate conflicts.
+        """
+        pool = set(reviewer_ids)
+        conflicts = cls()
+        for paper_id, authors in paper_authors.items():
+            for author in authors:
+                if author in pool:
+                    conflicts.add(author, paper_id)
+        return conflicts
+
+
+@dataclass(frozen=True)
+class WorkloadConstraints:
+    """The two cardinality constraints of WGRAP.
+
+    Attributes
+    ----------
+    group_size:
+        ``delta_p`` — exactly this many reviewers per paper.
+    reviewer_workload:
+        ``delta_r`` — at most this many papers per reviewer.
+    """
+
+    group_size: int
+    reviewer_workload: int
+
+    def __post_init__(self) -> None:
+        if self.group_size < 1:
+            raise ConfigurationError("group_size (delta_p) must be at least 1")
+        if self.reviewer_workload < 1:
+            raise ConfigurationError("reviewer_workload (delta_r) must be at least 1")
+
+    @property
+    def stage_workload(self) -> int:
+        """Per-stage workload ``ceil(delta_r / delta_p)`` used by SDGA."""
+        return -(-self.reviewer_workload // self.group_size)
+
+    @property
+    def is_integral(self) -> bool:
+        """Whether ``delta_r`` is divisible by ``delta_p``.
+
+        In the integral case SDGA achieves the stronger ``1 - 1/e``
+        approximation ratio (Theorem 1); otherwise the guarantee is
+        ``1 - (1 - 1/delta_p)^(delta_p - 1) >= 1/2`` (Theorem 2).
+        """
+        return self.reviewer_workload % self.group_size == 0
+
+    def total_capacity(self, num_reviewers: int) -> int:
+        """Total number of reviews the pool can produce."""
+        return num_reviewers * self.reviewer_workload
+
+    def total_demand(self, num_papers: int) -> int:
+        """Total number of reviews the papers require."""
+        return num_papers * self.group_size
+
+    def is_satisfiable(self, num_reviewers: int, num_papers: int) -> bool:
+        """Capacity check ``R * delta_r >= P * delta_p`` from Section 2.2."""
+        return self.total_capacity(num_reviewers) >= self.total_demand(num_papers)

@@ -1,0 +1,598 @@
+"""Problem definitions: WGRAP (Definition 3) and JRA (Definition 6).
+
+:class:`WGRAPProblem` bundles everything a conference-assignment solver
+needs — papers, reviewers, the two cardinality constraints, optional
+conflicts of interest and the scoring function — and exposes the dense
+numpy views (reviewer matrix, paper matrix, pairwise score matrix) that the
+solvers use for speed.
+
+:class:`JRAProblem` is the single-paper special case (Journal Reviewer
+Assignment) solved exactly in :mod:`repro.jra`.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Iterable, Sequence
+
+import numpy as np
+
+from repro.core.assignment import Assignment
+from repro.core.constraints import ConflictOfInterest, WorkloadConstraints
+from repro.core.entities import Paper, Reviewer
+from repro.core.scoring import ScoringFunction, get_scoring_function
+from repro.core.vectors import TopicVector
+from repro.exceptions import (
+    ConfigurationError,
+    DimensionMismatchError,
+    InfeasibleAssignmentError,
+    InfeasibleProblemError,
+)
+
+__all__ = ["WGRAPProblem", "JRAProblem", "minimal_reviewer_workload"]
+
+
+def minimal_reviewer_workload(num_papers: int, num_reviewers: int, group_size: int) -> int:
+    """The smallest workload ``delta_r`` that keeps the problem feasible.
+
+    The paper's conference experiments use this value
+    (``delta_r = ceil(P * delta_p / R)``) because program chairs want the
+    load spread as evenly as possible, and it is also the hardest setting
+    for the solvers since every reviewer must participate.
+    """
+    if num_reviewers <= 0:
+        raise ConfigurationError("there must be at least one reviewer")
+    return max(1, math.ceil(num_papers * group_size / num_reviewers))
+
+
+class _EntityIndex:
+    """Shared index bookkeeping for papers and reviewers."""
+
+    __slots__ = ("ids", "positions")
+
+    def __init__(self, ids: Sequence[str], kind: str) -> None:
+        self.ids: tuple[str, ...] = tuple(ids)
+        self.positions: dict[str, int] = {}
+        for position, identifier in enumerate(self.ids):
+            if identifier in self.positions:
+                raise ConfigurationError(f"duplicate {kind} id: {identifier!r}")
+            self.positions[identifier] = position
+
+    def index_of(self, identifier: str, kind: str) -> int:
+        try:
+            return self.positions[identifier]
+        except KeyError:
+            raise KeyError(f"unknown {kind} id: {identifier!r}") from None
+
+
+class WGRAPProblem:
+    """A Weighted-coverage Group-based Reviewer Assignment Problem instance.
+
+    Parameters
+    ----------
+    papers:
+        The submissions to be reviewed.
+    reviewers:
+        The reviewer pool.
+    group_size:
+        ``delta_p`` — every paper must receive exactly this many reviewers.
+    reviewer_workload:
+        ``delta_r`` — no reviewer may receive more papers than this.  When
+        omitted, the minimal feasible workload
+        ``ceil(P * delta_p / R)`` is used, matching the paper's experiments.
+    conflicts:
+        Optional conflicts of interest.
+    scoring:
+        Scoring-function name or instance; defaults to weighted coverage.
+    validate_capacity:
+        When true (the default), raise :class:`InfeasibleProblemError` if
+        ``R * delta_r < P * delta_p`` or if some paper cannot possibly get
+        ``delta_p`` non-conflicted reviewers.
+    """
+
+    def __init__(
+        self,
+        papers: Sequence[Paper],
+        reviewers: Sequence[Reviewer],
+        group_size: int,
+        reviewer_workload: int | None = None,
+        conflicts: ConflictOfInterest | Iterable[tuple[str, str]] | None = None,
+        scoring: str | ScoringFunction | None = None,
+        validate_capacity: bool = True,
+    ) -> None:
+        if not papers:
+            raise ConfigurationError("a WGRAP instance needs at least one paper")
+        if not reviewers:
+            raise ConfigurationError("a WGRAP instance needs at least one reviewer")
+        self._papers: tuple[Paper, ...] = tuple(papers)
+        self._reviewers: tuple[Reviewer, ...] = tuple(reviewers)
+        self._paper_index = _EntityIndex([paper.id for paper in self._papers], "paper")
+        self._reviewer_index = _EntityIndex(
+            [reviewer.id for reviewer in self._reviewers], "reviewer"
+        )
+
+        num_topics = self._papers[0].num_topics
+        for entity in (*self._papers, *self._reviewers):
+            if entity.num_topics != num_topics:
+                raise DimensionMismatchError(
+                    "all papers and reviewers must share the same number of topics"
+                )
+        self._num_topics = num_topics
+
+        if reviewer_workload is None:
+            reviewer_workload = minimal_reviewer_workload(
+                len(self._papers), len(self._reviewers), group_size
+            )
+        self._constraints = WorkloadConstraints(
+            group_size=group_size, reviewer_workload=reviewer_workload
+        )
+
+        if conflicts is None:
+            self._conflicts = ConflictOfInterest()
+        elif isinstance(conflicts, ConflictOfInterest):
+            self._conflicts = conflicts.copy()
+        else:
+            self._conflicts = ConflictOfInterest(conflicts)
+
+        self._scoring = get_scoring_function(scoring)
+
+        self._reviewer_matrix: np.ndarray | None = None
+        self._paper_matrix: np.ndarray | None = None
+        self._pair_scores: np.ndarray | None = None
+
+        if validate_capacity:
+            self._validate_capacity()
+
+    # ------------------------------------------------------------------
+    # Basic accessors
+    # ------------------------------------------------------------------
+    @property
+    def papers(self) -> tuple[Paper, ...]:
+        """The papers, in a fixed order used by all index-based APIs."""
+        return self._papers
+
+    @property
+    def reviewers(self) -> tuple[Reviewer, ...]:
+        """The reviewers, in a fixed order used by all index-based APIs."""
+        return self._reviewers
+
+    @property
+    def num_papers(self) -> int:
+        """``P`` — number of papers."""
+        return len(self._papers)
+
+    @property
+    def num_reviewers(self) -> int:
+        """``R`` — number of reviewers."""
+        return len(self._reviewers)
+
+    @property
+    def num_topics(self) -> int:
+        """``T`` — number of topics."""
+        return self._num_topics
+
+    @property
+    def group_size(self) -> int:
+        """``delta_p`` — reviewers required per paper."""
+        return self._constraints.group_size
+
+    @property
+    def reviewer_workload(self) -> int:
+        """``delta_r`` — maximum papers per reviewer."""
+        return self._constraints.reviewer_workload
+
+    @property
+    def constraints(self) -> WorkloadConstraints:
+        """The cardinality constraints as a value object."""
+        return self._constraints
+
+    @property
+    def conflicts(self) -> ConflictOfInterest:
+        """The conflict-of-interest set (possibly empty)."""
+        return self._conflicts
+
+    @property
+    def scoring(self) -> ScoringFunction:
+        """The scoring function used to evaluate assignments."""
+        return self._scoring
+
+    @property
+    def stage_workload(self) -> int:
+        """Per-stage reviewer workload ``ceil(delta_r / delta_p)`` for SDGA."""
+        return self._constraints.stage_workload
+
+    # ------------------------------------------------------------------
+    # Id <-> index mapping
+    # ------------------------------------------------------------------
+    @property
+    def paper_ids(self) -> tuple[str, ...]:
+        """All paper ids in problem order."""
+        return self._paper_index.ids
+
+    @property
+    def reviewer_ids(self) -> tuple[str, ...]:
+        """All reviewer ids in problem order."""
+        return self._reviewer_index.ids
+
+    def paper_index(self, paper_id: str) -> int:
+        """Position of a paper in :attr:`papers`."""
+        return self._paper_index.index_of(paper_id, "paper")
+
+    def reviewer_index(self, reviewer_id: str) -> int:
+        """Position of a reviewer in :attr:`reviewers`."""
+        return self._reviewer_index.index_of(reviewer_id, "reviewer")
+
+    def paper_by_id(self, paper_id: str) -> Paper:
+        """Look up a paper by id."""
+        return self._papers[self.paper_index(paper_id)]
+
+    def reviewer_by_id(self, reviewer_id: str) -> Reviewer:
+        """Look up a reviewer by id."""
+        return self._reviewers[self.reviewer_index(reviewer_id)]
+
+    # ------------------------------------------------------------------
+    # Dense views (cached)
+    # ------------------------------------------------------------------
+    @property
+    def reviewer_matrix(self) -> np.ndarray:
+        """Read-only ``(R, T)`` matrix of reviewer vectors."""
+        if self._reviewer_matrix is None:
+            matrix = np.vstack([reviewer.vector.values for reviewer in self._reviewers])
+            matrix.setflags(write=False)
+            self._reviewer_matrix = matrix
+        return self._reviewer_matrix
+
+    @property
+    def paper_matrix(self) -> np.ndarray:
+        """Read-only ``(P, T)`` matrix of paper vectors."""
+        if self._paper_matrix is None:
+            matrix = np.vstack([paper.vector.values for paper in self._papers])
+            matrix.setflags(write=False)
+            self._paper_matrix = matrix
+        return self._paper_matrix
+
+    def pair_score_matrix(self) -> np.ndarray:
+        """Cached ``(R, P)`` matrix of single-reviewer scores ``c(r, p)``.
+
+        Conflicted pairs keep their raw score here; solvers must consult
+        :meth:`is_feasible_pair` separately, since some of them (e.g. the
+        stochastic refinement probability model) need the unmasked scores.
+        """
+        if self._pair_scores is None:
+            scores = self._scoring.score_matrix(self.reviewer_matrix, self.paper_matrix)
+            scores.setflags(write=False)
+            self._pair_scores = scores
+        return self._pair_scores
+
+    def pair_score(self, reviewer_id: str, paper_id: str) -> float:
+        """Single-reviewer score ``c(r, p)`` for one pair."""
+        return float(
+            self.pair_score_matrix()[
+                self.reviewer_index(reviewer_id), self.paper_index(paper_id)
+            ]
+        )
+
+    # ------------------------------------------------------------------
+    # Feasibility
+    # ------------------------------------------------------------------
+    def is_feasible_pair(self, reviewer_id: str, paper_id: str) -> bool:
+        """Whether assigning the pair is allowed (i.e. not a conflict)."""
+        return not self._conflicts.is_conflict(reviewer_id, paper_id)
+
+    def candidate_reviewers(self, paper_id: str) -> list[str]:
+        """Reviewer ids that may review ``paper_id`` (COIs removed)."""
+        forbidden = self._conflicts.reviewers_conflicting_with(paper_id)
+        return [rid for rid in self.reviewer_ids if rid not in forbidden]
+
+    def _validate_capacity(self) -> None:
+        if not self._constraints.is_satisfiable(self.num_reviewers, self.num_papers):
+            raise InfeasibleProblemError(
+                f"insufficient review capacity: {self.num_reviewers} reviewers x "
+                f"workload {self.reviewer_workload} < {self.num_papers} papers x "
+                f"group size {self.group_size}"
+            )
+        for paper in self._papers:
+            candidates = len(self.candidate_reviewers(paper.id))
+            if candidates < self.group_size:
+                raise InfeasibleProblemError(
+                    f"paper {paper.id!r} has only {candidates} non-conflicted "
+                    f"reviewers but needs {self.group_size}"
+                )
+
+    # ------------------------------------------------------------------
+    # Assignment evaluation
+    # ------------------------------------------------------------------
+    def group_vector(self, assignment: Assignment, paper_id: str) -> np.ndarray:
+        """The aggregated expertise vector of a paper's assigned group.
+
+        Returns the zero vector when the paper has no reviewers yet.
+        """
+        reviewer_ids = assignment.reviewers_of(paper_id)
+        if not reviewer_ids:
+            return np.zeros(self._num_topics, dtype=np.float64)
+        rows = [self.reviewer_index(rid) for rid in reviewer_ids]
+        return self.reviewer_matrix[rows].max(axis=0)
+
+    def paper_score(self, assignment: Assignment, paper_id: str) -> float:
+        """Weighted coverage of one paper under the assignment."""
+        paper = self.paper_by_id(paper_id)
+        group_vector = TopicVector(self.group_vector(assignment, paper_id))
+        return self._scoring.score(group_vector, paper.vector)
+
+    def assignment_score(self, assignment: Assignment) -> float:
+        """Total coverage score ``c(A)`` (the WGRAP objective)."""
+        return float(
+            sum(self.paper_score(assignment, paper.id) for paper in self._papers)
+        )
+
+    def paper_scores(self, assignment: Assignment) -> dict[str, float]:
+        """Per-paper coverage scores keyed by paper id."""
+        return {paper.id: self.paper_score(assignment, paper.id) for paper in self._papers}
+
+    # ------------------------------------------------------------------
+    # Assignment validation
+    # ------------------------------------------------------------------
+    def validate_assignment(
+        self, assignment: Assignment, require_complete: bool = True
+    ) -> None:
+        """Check an assignment against this problem's constraints.
+
+        Parameters
+        ----------
+        assignment:
+            The assignment to check.
+        require_complete:
+            When true, every paper must have exactly ``delta_p`` reviewers;
+            when false, papers may have fewer (useful for partial/staged
+            assignments) but never more.
+
+        Raises
+        ------
+        InfeasibleAssignmentError
+            Describing every violated constraint.
+        """
+        violations: list[str] = []
+        known_papers = set(self.paper_ids)
+        known_reviewers = set(self.reviewer_ids)
+        for reviewer_id, paper_id in assignment.pairs():
+            if paper_id not in known_papers:
+                violations.append(f"unknown paper {paper_id!r}")
+            if reviewer_id not in known_reviewers:
+                violations.append(f"unknown reviewer {reviewer_id!r}")
+            if self._conflicts.is_conflict(reviewer_id, paper_id):
+                violations.append(
+                    f"conflict of interest: reviewer {reviewer_id!r} on paper {paper_id!r}"
+                )
+        for paper in self._papers:
+            size = assignment.group_size(paper.id)
+            if size > self.group_size:
+                violations.append(
+                    f"paper {paper.id!r} has {size} reviewers, more than "
+                    f"delta_p={self.group_size}"
+                )
+            elif require_complete and size != self.group_size:
+                violations.append(
+                    f"paper {paper.id!r} has {size} reviewers, expected "
+                    f"delta_p={self.group_size}"
+                )
+        for reviewer in self._reviewers:
+            load = assignment.load(reviewer.id)
+            if load > self.reviewer_workload:
+                violations.append(
+                    f"reviewer {reviewer.id!r} has {load} papers, more than "
+                    f"delta_r={self.reviewer_workload}"
+                )
+        if violations:
+            raise InfeasibleAssignmentError("; ".join(violations))
+
+    def is_valid_assignment(
+        self, assignment: Assignment, require_complete: bool = True
+    ) -> bool:
+        """Boolean form of :meth:`validate_assignment`."""
+        try:
+            self.validate_assignment(assignment, require_complete=require_complete)
+        except InfeasibleAssignmentError:
+            return False
+        return True
+
+    # ------------------------------------------------------------------
+    # Derived problems
+    # ------------------------------------------------------------------
+    def to_jra(self, paper: Paper | str) -> "JRAProblem":
+        """The JRA sub-problem of finding a group for a single paper."""
+        paper_obj = self.paper_by_id(paper) if isinstance(paper, str) else paper
+        excluded = self._conflicts.reviewers_conflicting_with(paper_obj.id)
+        return JRAProblem(
+            paper=paper_obj,
+            reviewers=self._reviewers,
+            group_size=self.group_size,
+            excluded_reviewers=excluded,
+            scoring=self._scoring,
+        )
+
+    def with_scoring(self, scoring: str | ScoringFunction) -> "WGRAPProblem":
+        """A copy of this problem evaluated under a different scoring function."""
+        return WGRAPProblem(
+            papers=self._papers,
+            reviewers=self._reviewers,
+            group_size=self.group_size,
+            reviewer_workload=self.reviewer_workload,
+            conflicts=self._conflicts,
+            scoring=scoring,
+            validate_capacity=False,
+        )
+
+    def with_reviewers(self, reviewers: Sequence[Reviewer]) -> "WGRAPProblem":
+        """A copy of this problem with a replaced reviewer pool.
+
+        Used by the h-index expertise-scaling experiment (Appendix C), which
+        rescales every reviewer vector but keeps everything else fixed.
+        """
+        return WGRAPProblem(
+            papers=self._papers,
+            reviewers=reviewers,
+            group_size=self.group_size,
+            reviewer_workload=self.reviewer_workload,
+            conflicts=self._conflicts,
+            scoring=self._scoring,
+            validate_capacity=False,
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"WGRAPProblem(P={self.num_papers}, R={self.num_reviewers}, "
+            f"T={self.num_topics}, delta_p={self.group_size}, "
+            f"delta_r={self.reviewer_workload})"
+        )
+
+
+class JRAProblem:
+    """Journal Reviewer Assignment: find ``delta_p`` reviewers for one paper.
+
+    Parameters
+    ----------
+    paper:
+        The single submission.
+    reviewers:
+        The candidate pool ``R``.
+    group_size:
+        ``delta_p`` — how many reviewers are required.
+    excluded_reviewers:
+        Reviewer ids that must not be selected (conflicts of interest).
+    scoring:
+        Scoring-function name or instance; defaults to weighted coverage.
+    """
+
+    def __init__(
+        self,
+        paper: Paper,
+        reviewers: Sequence[Reviewer],
+        group_size: int,
+        excluded_reviewers: Iterable[str] = (),
+        scoring: str | ScoringFunction | None = None,
+    ) -> None:
+        if group_size < 1:
+            raise ConfigurationError("group_size (delta_p) must be at least 1")
+        excluded = frozenset(excluded_reviewers)
+        candidates = tuple(r for r in reviewers if r.id not in excluded)
+        if len(candidates) < group_size:
+            raise InfeasibleProblemError(
+                f"only {len(candidates)} eligible reviewers for a group of {group_size}"
+            )
+        for reviewer in candidates:
+            if reviewer.num_topics != paper.num_topics:
+                raise DimensionMismatchError(
+                    "paper and reviewers must share the same number of topics"
+                )
+        self._paper = paper
+        self._reviewers = candidates
+        self._excluded = excluded
+        self._group_size = group_size
+        self._scoring = get_scoring_function(scoring)
+        self._index = _EntityIndex([reviewer.id for reviewer in candidates], "reviewer")
+        self._reviewer_matrix: np.ndarray | None = None
+
+    # ------------------------------------------------------------------
+    # Accessors
+    # ------------------------------------------------------------------
+    @property
+    def paper(self) -> Paper:
+        """The paper to be reviewed."""
+        return self._paper
+
+    @property
+    def reviewers(self) -> tuple[Reviewer, ...]:
+        """The eligible candidate reviewers (conflicts already removed)."""
+        return self._reviewers
+
+    @property
+    def excluded_reviewers(self) -> frozenset[str]:
+        """Reviewer ids excluded by conflicts of interest."""
+        return self._excluded
+
+    @property
+    def group_size(self) -> int:
+        """``delta_p`` — the required group size."""
+        return self._group_size
+
+    @property
+    def num_reviewers(self) -> int:
+        """Number of eligible candidates."""
+        return len(self._reviewers)
+
+    @property
+    def num_topics(self) -> int:
+        """Number of topics."""
+        return self._paper.num_topics
+
+    @property
+    def scoring(self) -> ScoringFunction:
+        """The scoring function."""
+        return self._scoring
+
+    @property
+    def reviewer_ids(self) -> tuple[str, ...]:
+        """Candidate reviewer ids in problem order."""
+        return self._index.ids
+
+    def reviewer_index(self, reviewer_id: str) -> int:
+        """Position of a candidate in :attr:`reviewers`."""
+        return self._index.index_of(reviewer_id, "reviewer")
+
+    def reviewer_by_id(self, reviewer_id: str) -> Reviewer:
+        """Look up a candidate reviewer by id."""
+        return self._reviewers[self.reviewer_index(reviewer_id)]
+
+    @property
+    def reviewer_matrix(self) -> np.ndarray:
+        """Read-only ``(R, T)`` matrix of candidate vectors."""
+        if self._reviewer_matrix is None:
+            matrix = np.vstack([reviewer.vector.values for reviewer in self._reviewers])
+            matrix.setflags(write=False)
+            self._reviewer_matrix = matrix
+        return self._reviewer_matrix
+
+    @property
+    def paper_vector(self) -> np.ndarray:
+        """The paper's topic weights as a plain array."""
+        return self._paper.vector.values
+
+    # ------------------------------------------------------------------
+    # Evaluation
+    # ------------------------------------------------------------------
+    def group_score(self, reviewer_ids: Iterable[str]) -> float:
+        """Coverage score of the group formed by the given reviewer ids."""
+        ids = list(reviewer_ids)
+        if not ids:
+            return 0.0
+        rows = [self.reviewer_index(rid) for rid in ids]
+        group_vector = TopicVector(self.reviewer_matrix[rows].max(axis=0))
+        return self._scoring.score(group_vector, self._paper.vector)
+
+    def validate_group(self, reviewer_ids: Iterable[str]) -> None:
+        """Check a candidate group for size, duplicates and exclusions.
+
+        Raises
+        ------
+        InfeasibleAssignmentError
+            If the group is not a feasible JRA answer.
+        """
+        ids = list(reviewer_ids)
+        if len(set(ids)) != len(ids):
+            raise InfeasibleAssignmentError("a reviewer group must not repeat reviewers")
+        if len(ids) != self._group_size:
+            raise InfeasibleAssignmentError(
+                f"group has {len(ids)} reviewers, expected delta_p={self._group_size}"
+            )
+        for reviewer_id in ids:
+            if reviewer_id in self._excluded:
+                raise InfeasibleAssignmentError(
+                    f"reviewer {reviewer_id!r} is excluded by a conflict of interest"
+                )
+            self.reviewer_index(reviewer_id)
+
+    def __repr__(self) -> str:
+        return (
+            f"JRAProblem(paper={self._paper.id!r}, R={self.num_reviewers}, "
+            f"delta_p={self._group_size})"
+        )

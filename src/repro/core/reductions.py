@@ -1,0 +1,170 @@
+"""Relationships between WGRAP and earlier RAP formulations (Section 2.3).
+
+The paper shows that the three previously studied reviewer-assignment
+formulations are special cases of WGRAP:
+
+* **RRAP** (retrieval-based): no group-size constraint, per-pair objective.
+* **ARAP** (assignment-based): both constraints, per-pair objective.
+* **SGRAP** (set-coverage group-based): both constraints, group objective on
+  binary topic *sets*.
+
+This module implements the constructive reductions used in that discussion —
+binary set-coverage vectors for SGRAP, and the block-expansion that turns
+the group objective into a sum of per-pair scores for ARAP/RRAP — together
+with the formulation-comparison table (Table 2).  They are exercised by the
+tests (the reductions must preserve scores exactly) and by
+``benchmarks/bench_table2_reductions.py``.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence, Set
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.entities import Paper, Reviewer
+from repro.core.problem import WGRAPProblem
+from repro.core.scoring import WeightedCoverage
+from repro.core.vectors import TopicVector
+from repro.exceptions import ConfigurationError
+
+__all__ = [
+    "RAPFormulation",
+    "formulation_table",
+    "binary_topic_vector",
+    "set_coverage",
+    "sgrap_problem_from_topic_sets",
+    "expand_problem_for_pairwise_objective",
+]
+
+
+@dataclass(frozen=True)
+class RAPFormulation:
+    """One row of the paper's Table 2: properties of a RAP formulation."""
+
+    name: str
+    group_size_constraint: bool
+    group_based_objective: bool
+    objective_weighting: str  # "weight" or "set"
+
+    def is_special_case_of_wgrap(self) -> bool:
+        """Every formulation in the table reduces to WGRAP."""
+        return True
+
+
+def formulation_table() -> tuple[RAPFormulation, ...]:
+    """The four formulations compared in Table 2 of the paper."""
+    return (
+        RAPFormulation("RRAP", group_size_constraint=False,
+                       group_based_objective=False, objective_weighting="weight"),
+        RAPFormulation("ARAP", group_size_constraint=True,
+                       group_based_objective=False, objective_weighting="weight"),
+        RAPFormulation("SGRAP", group_size_constraint=True,
+                       group_based_objective=True, objective_weighting="set"),
+        RAPFormulation("WGRAP", group_size_constraint=True,
+                       group_based_objective=True, objective_weighting="weight"),
+    )
+
+
+# ----------------------------------------------------------------------
+# SGRAP: binary topic vectors
+# ----------------------------------------------------------------------
+def binary_topic_vector(topic_set: Set[int] | Iterable[int], num_topics: int) -> TopicVector:
+    """Convert a topic *set* into a 0/1 topic vector of length ``num_topics``."""
+    values = np.zeros(num_topics, dtype=np.float64)
+    for topic in topic_set:
+        if not 0 <= int(topic) < num_topics:
+            raise ConfigurationError(
+                f"topic {topic} out of range for {num_topics} topics"
+            )
+        values[int(topic)] = 1.0
+    return TopicVector(values)
+
+
+def set_coverage(group_topic_sets: Sequence[Set[int]], paper_topic_set: Set[int]) -> float:
+    """SGRAP's set coverage ratio ``|union(T_g) ∩ T_p| / |T_p|``."""
+    paper_topics = set(paper_topic_set)
+    if not paper_topics:
+        return 0.0
+    union: set[int] = set()
+    for topic_set in group_topic_sets:
+        union |= set(topic_set)
+    return len(union & paper_topics) / len(paper_topics)
+
+
+def sgrap_problem_from_topic_sets(
+    paper_topic_sets: dict[str, Set[int]],
+    reviewer_topic_sets: dict[str, Set[int]],
+    num_topics: int,
+    group_size: int,
+    reviewer_workload: int | None = None,
+) -> WGRAPProblem:
+    """Build the WGRAP instance equivalent to an SGRAP instance.
+
+    Topic sets are converted into binary vectors, under which the weighted
+    coverage of Definition 1 coincides exactly with SGRAP's set coverage
+    ratio (Section 2.3).  Solving the returned WGRAP instance therefore
+    solves the original SGRAP instance.
+    """
+    papers = [
+        Paper(id=paper_id, vector=binary_topic_vector(topics, num_topics))
+        for paper_id, topics in paper_topic_sets.items()
+    ]
+    reviewers = [
+        Reviewer(id=reviewer_id, vector=binary_topic_vector(topics, num_topics))
+        for reviewer_id, topics in reviewer_topic_sets.items()
+    ]
+    return WGRAPProblem(
+        papers=papers,
+        reviewers=reviewers,
+        group_size=group_size,
+        reviewer_workload=reviewer_workload,
+        scoring=WeightedCoverage(),
+    )
+
+
+# ----------------------------------------------------------------------
+# ARAP / RRAP: block expansion that linearises the group objective
+# ----------------------------------------------------------------------
+def expand_problem_for_pairwise_objective(problem: WGRAPProblem) -> WGRAPProblem:
+    """Expand topic vectors so the group objective becomes a per-pair sum.
+
+    Section 2.3 reduces WGRAP to ARAP/RRAP by blowing the ``T``-dimensional
+    vectors up to ``R * T`` dimensions: the paper vector is repeated once
+    per reviewer, and reviewer ``i`` keeps its vector only in block ``i``
+    (zeros elsewhere).  On the expanded instance the *group* coverage of a
+    set of reviewers equals ``1/R`` times the *sum* of their individual
+    coverages on the original instance, i.e. exactly the ARAP objective up
+    to a constant factor.
+
+    The expansion is mainly of theoretical interest; it is implemented here
+    (and verified in the tests) to demonstrate the claimed generality of
+    WGRAP.  Note the ``R``-fold blow-up of the dimensionality, so only use
+    it on small instances.
+    """
+    num_reviewers = problem.num_reviewers
+    num_topics = problem.num_topics
+    expanded_dim = num_reviewers * num_topics
+
+    expanded_papers = []
+    for paper in problem.papers:
+        tiled = np.tile(paper.vector.values, num_reviewers)
+        expanded_papers.append(paper.with_vector(TopicVector(tiled)))
+
+    expanded_reviewers = []
+    for position, reviewer in enumerate(problem.reviewers):
+        values = np.zeros(expanded_dim, dtype=np.float64)
+        start = position * num_topics
+        values[start:start + num_topics] = reviewer.vector.values
+        expanded_reviewers.append(reviewer.with_vector(TopicVector(values)))
+
+    return WGRAPProblem(
+        papers=expanded_papers,
+        reviewers=expanded_reviewers,
+        group_size=problem.group_size,
+        reviewer_workload=problem.reviewer_workload,
+        conflicts=problem.conflicts,
+        scoring=problem.scoring,
+        validate_capacity=False,
+    )

@@ -1,0 +1,258 @@
+"""Topic vectors: the fundamental numeric object of WGRAP.
+
+The paper (Section 2.1) models both reviewer expertise and paper content as
+``T``-dimensional *topic vectors*.  :class:`TopicVector` is a small immutable
+wrapper around a ``numpy`` array that provides the vector algebra the
+algorithms need:
+
+* element-wise minimum (used by the weighted-coverage score, Definition 1),
+* element-wise maximum (used to aggregate a reviewer group, Definition 2),
+* L1 normalisation (the paper normalises both reviewer and paper vectors),
+* convenient constructors from dicts, lists and other vectors.
+
+Keeping the wrapper immutable means vectors can be shared freely between
+problem instances, assignments and solver internals without defensive
+copies; all mutating-looking operations return new vectors.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Mapping, Sequence
+from typing import Union
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError, DimensionMismatchError
+
+__all__ = ["TopicVector", "as_topic_vector", "stack_vectors"]
+
+VectorLike = Union["TopicVector", Sequence[float], np.ndarray, Mapping[int, float]]
+
+
+class TopicVector:
+    """An immutable, non-negative, fixed-length vector of topic weights.
+
+    Parameters
+    ----------
+    values:
+        Any sequence of floats, a numpy array, or a mapping from topic index
+        to weight.  Mappings require ``num_topics`` to be given so missing
+        topics default to zero.
+    num_topics:
+        Length of the vector; only required (and only honoured) when
+        ``values`` is a mapping.
+
+    Raises
+    ------
+    ConfigurationError
+        If any weight is negative or not finite.
+    """
+
+    __slots__ = ("_values",)
+
+    def __init__(self, values: VectorLike, num_topics: int | None = None) -> None:
+        if isinstance(values, TopicVector):
+            array = values._values
+        elif isinstance(values, Mapping):
+            if num_topics is None:
+                raise ConfigurationError(
+                    "num_topics is required when building a TopicVector from a mapping"
+                )
+            array = np.zeros(num_topics, dtype=np.float64)
+            for index, weight in values.items():
+                if not 0 <= int(index) < num_topics:
+                    raise ConfigurationError(
+                        f"topic index {index} out of range for {num_topics} topics"
+                    )
+                array[int(index)] = float(weight)
+        else:
+            array = np.asarray(values, dtype=np.float64)
+        if array.ndim != 1:
+            raise ConfigurationError(
+                f"a topic vector must be one-dimensional, got shape {array.shape}"
+            )
+        if array.size == 0:
+            raise ConfigurationError("a topic vector must have at least one topic")
+        if not np.all(np.isfinite(array)):
+            raise ConfigurationError("topic weights must be finite numbers")
+        if np.any(array < 0):
+            raise ConfigurationError("topic weights must be non-negative")
+        self._values = np.array(array, dtype=np.float64, copy=True)
+        self._values.setflags(write=False)
+
+    # ------------------------------------------------------------------
+    # Basic container behaviour
+    # ------------------------------------------------------------------
+    @property
+    def values(self) -> np.ndarray:
+        """The underlying read-only numpy array."""
+        return self._values
+
+    @property
+    def num_topics(self) -> int:
+        """The number of topics ``T``."""
+        return int(self._values.size)
+
+    def __len__(self) -> int:
+        return self.num_topics
+
+    def __getitem__(self, topic: int) -> float:
+        return float(self._values[topic])
+
+    def __iter__(self):
+        return iter(float(value) for value in self._values)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, TopicVector):
+            return NotImplemented
+        return self._values.shape == other._values.shape and bool(
+            np.array_equal(self._values, other._values)
+        )
+
+    def __hash__(self) -> int:
+        return hash(self._values.tobytes())
+
+    def __repr__(self) -> str:
+        weights = ", ".join(f"{value:.3f}" for value in self._values)
+        return f"TopicVector([{weights}])"
+
+    # ------------------------------------------------------------------
+    # Algebra used by the WGRAP scoring functions
+    # ------------------------------------------------------------------
+    def total(self) -> float:
+        """Sum of all topic weights (the denominator of Definition 1)."""
+        return float(self._values.sum())
+
+    def is_normalized(self, tolerance: float = 1e-9) -> bool:
+        """Whether the weights sum to one within ``tolerance``."""
+        return abs(self.total() - 1.0) <= tolerance
+
+    def normalized(self) -> "TopicVector":
+        """Return an L1-normalised copy of this vector.
+
+        A zero vector is returned unchanged, since there is no meaningful
+        normalisation for a reviewer or paper with no topic mass.
+        """
+        total = self.total()
+        if total <= 0.0:
+            return self
+        return TopicVector(self._values / total)
+
+    def minimum(self, other: "TopicVector") -> "TopicVector":
+        """Element-wise minimum with ``other`` (coverage of one by the other)."""
+        self._check_same_dimension(other)
+        return TopicVector(np.minimum(self._values, other._values))
+
+    def maximum(self, other: "TopicVector") -> "TopicVector":
+        """Element-wise maximum with ``other`` (group aggregation)."""
+        self._check_same_dimension(other)
+        return TopicVector(np.maximum(self._values, other._values))
+
+    def dot(self, other: "TopicVector") -> float:
+        """Inner product with ``other`` (the ``cD`` scoring function)."""
+        self._check_same_dimension(other)
+        return float(np.dot(self._values, other._values))
+
+    def scaled(self, factor: float) -> "TopicVector":
+        """Return this vector multiplied by a non-negative scalar.
+
+        Used by the h-index expertise scaling of Appendix C (Equation 15).
+        """
+        if factor < 0:
+            raise ConfigurationError("scaling factor must be non-negative")
+        return TopicVector(self._values * float(factor))
+
+    def top_topics(self, count: int) -> list[int]:
+        """Indices of the ``count`` highest-weight topics, heaviest first."""
+        if count <= 0:
+            return []
+        count = min(count, self.num_topics)
+        order = np.argsort(-self._values, kind="stable")
+        return [int(index) for index in order[:count]]
+
+    def dominates(self, other: "TopicVector") -> bool:
+        """Whether every weight of this vector is >= the matching weight."""
+        self._check_same_dimension(other)
+        return bool(np.all(self._values >= other._values))
+
+    def to_dict(self, include_zeros: bool = False) -> dict[int, float]:
+        """A ``{topic index: weight}`` mapping, omitting zeros by default."""
+        items = enumerate(self._values)
+        if include_zeros:
+            return {index: float(value) for index, value in items}
+        return {index: float(value) for index, value in items if value > 0.0}
+
+    def to_list(self) -> list[float]:
+        """The weights as a plain Python list."""
+        return [float(value) for value in self._values]
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def zeros(cls, num_topics: int) -> "TopicVector":
+        """The all-zero vector of length ``num_topics``."""
+        if num_topics <= 0:
+            raise ConfigurationError("num_topics must be positive")
+        return cls(np.zeros(num_topics, dtype=np.float64))
+
+    @classmethod
+    def uniform(cls, num_topics: int) -> "TopicVector":
+        """The uniform distribution over ``num_topics`` topics."""
+        if num_topics <= 0:
+            raise ConfigurationError("num_topics must be positive")
+        return cls(np.full(num_topics, 1.0 / num_topics, dtype=np.float64))
+
+    @classmethod
+    def single_topic(cls, topic: int, num_topics: int, weight: float = 1.0) -> "TopicVector":
+        """A vector with all mass ``weight`` on a single topic."""
+        return cls({topic: weight}, num_topics=num_topics)
+
+    @classmethod
+    def group_maximum(cls, vectors: Iterable["TopicVector"]) -> "TopicVector":
+        """Per-topic maximum of several vectors (Definition 2).
+
+        Raises
+        ------
+        ConfigurationError
+            If no vectors are given.
+        """
+        vector_list = list(vectors)
+        if not vector_list:
+            raise ConfigurationError("group_maximum requires at least one vector")
+        stacked = stack_vectors(vector_list)
+        return cls(stacked.max(axis=0))
+
+    # ------------------------------------------------------------------
+    # Internal helpers
+    # ------------------------------------------------------------------
+    def _check_same_dimension(self, other: "TopicVector") -> None:
+        if self.num_topics != other.num_topics:
+            raise DimensionMismatchError(
+                f"topic vectors have different lengths: "
+                f"{self.num_topics} vs {other.num_topics}"
+            )
+
+
+def as_topic_vector(values: VectorLike, num_topics: int | None = None) -> TopicVector:
+    """Coerce ``values`` into a :class:`TopicVector` (no copy if already one)."""
+    if isinstance(values, TopicVector):
+        return values
+    return TopicVector(values, num_topics=num_topics)
+
+
+def stack_vectors(vectors: Sequence[TopicVector]) -> np.ndarray:
+    """Stack vectors into a dense ``(len(vectors), T)`` matrix.
+
+    All vectors must have the same dimensionality.  Solvers use this to move
+    from the object model into fast vectorised numpy computations.
+    """
+    if not vectors:
+        raise ConfigurationError("cannot stack an empty list of vectors")
+    num_topics = vectors[0].num_topics
+    for vector in vectors:
+        if vector.num_topics != num_topics:
+            raise DimensionMismatchError(
+                "all vectors must have the same number of topics to be stacked"
+            )
+    return np.vstack([vector.values for vector in vectors])

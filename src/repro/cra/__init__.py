@@ -1,0 +1,66 @@
+"""Conference Reviewer Assignment (CRA) solvers — Section 4 of the paper.
+
+The paper's contributions:
+
+* :class:`~repro.cra.sdga.StageDeepeningGreedySolver` (SDGA) — the
+  1/2-approximation (1 - 1/e in the integral case) stage-by-stage solver.
+* :class:`~repro.cra.sra.SDGAWithRefinementSolver` (SDGA-SRA) — SDGA plus
+  the stochastic refinement post-processor.
+
+Baselines reproduced from the paper's experimental section:
+
+* :class:`~repro.cra.greedy.GreedySolver` — the 1/3-approximation pair
+  greedy of Long et al. (2013).
+* :class:`~repro.cra.brgg.BestReviewerGroupGreedySolver` (BRGG).
+* :class:`~repro.cra.stable_matching.StableMatchingSolver` (SM).
+* :class:`~repro.cra.ilp.PairwiseILPSolver` (ILP, the ARAP objective).
+* :class:`~repro.cra.local_search.SDGAWithLocalSearchSolver` (SDGA-LS).
+"""
+
+from repro.cra.base import CRAResult, CRASolver
+from repro.cra.brgg import BestReviewerGroupGreedySolver
+from repro.cra.exact import ExhaustiveSolver
+from repro.cra.greedy import GreedySolver
+from repro.cra.ideal import IdealAssignment, ideal_assignment
+from repro.cra.ilp import PairwiseILPSolver
+from repro.cra.local_search import LocalSearchRefiner, SDGAWithLocalSearchSolver
+from repro.cra.ratio import (
+    GREEDY_RATIO,
+    RatioPoint,
+    approximation_ratio_table,
+    general_case_ratio,
+    integral_case_ratio,
+    sdga_ratio,
+)
+from repro.cra.repair import complete_assignment
+from repro.cra.retrieval import RetrievalAssignment, solve_retrieval_assignment
+from repro.cra.sdga import StageDeepeningGreedySolver
+from repro.cra.sra import RefinementRound, SDGAWithRefinementSolver, StochasticRefiner
+from repro.cra.stable_matching import StableMatchingSolver
+
+__all__ = [
+    "CRAResult",
+    "CRASolver",
+    "BestReviewerGroupGreedySolver",
+    "ExhaustiveSolver",
+    "GreedySolver",
+    "IdealAssignment",
+    "ideal_assignment",
+    "PairwiseILPSolver",
+    "LocalSearchRefiner",
+    "SDGAWithLocalSearchSolver",
+    "GREEDY_RATIO",
+    "RatioPoint",
+    "approximation_ratio_table",
+    "general_case_ratio",
+    "integral_case_ratio",
+    "sdga_ratio",
+    "complete_assignment",
+    "RetrievalAssignment",
+    "solve_retrieval_assignment",
+    "StageDeepeningGreedySolver",
+    "RefinementRound",
+    "SDGAWithRefinementSolver",
+    "StochasticRefiner",
+    "StableMatchingSolver",
+]

@@ -1,0 +1,80 @@
+"""Common interface for Conference Reviewer Assignment (CRA) solvers.
+
+Every solver in :mod:`repro.cra` consumes a
+:class:`~repro.core.problem.WGRAPProblem` and produces a
+:class:`CRAResult` containing the full assignment, its coverage score and
+solver statistics.  All solvers respect the group-size constraint, the
+reviewer workload and any conflicts of interest declared on the problem.
+"""
+
+from __future__ import annotations
+
+import time
+from abc import ABC, abstractmethod
+from collections.abc import Mapping
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.core.assignment import Assignment
+from repro.core.problem import WGRAPProblem
+
+__all__ = ["CRAResult", "CRASolver"]
+
+
+@dataclass(frozen=True)
+class CRAResult:
+    """Outcome of a CRA solver run.
+
+    Attributes
+    ----------
+    assignment:
+        The produced assignment (papers to reviewer groups).
+    score:
+        Total coverage score ``c(A)`` under the problem's scoring function.
+    elapsed_seconds:
+        Wall-clock time spent solving.
+    solver_name:
+        Short name of the solver that produced the result.
+    stats:
+        Solver-specific counters (stages, iterations, refinement rounds, ...).
+    """
+
+    assignment: Assignment
+    score: float
+    elapsed_seconds: float
+    solver_name: str
+    stats: Mapping[str, Any] = field(default_factory=dict)
+
+
+class CRASolver(ABC):
+    """Base class for conference-assignment solvers.
+
+    The public :meth:`solve` wraps the subclass hook :meth:`_solve` with
+    timing, scoring and validation so every solver reports comparable
+    results.
+    """
+
+    #: short name used in experiment reports ("Greedy", "SDGA", "SM", ...)
+    name: str = "abstract"
+
+    def solve(self, problem: WGRAPProblem) -> CRAResult:
+        """Produce a complete, feasible assignment for ``problem``."""
+        started = time.perf_counter()
+        assignment, stats = self._solve(problem)
+        elapsed = time.perf_counter() - started
+        problem.validate_assignment(assignment, require_complete=True)
+        score = problem.assignment_score(assignment)
+        return CRAResult(
+            assignment=assignment,
+            score=score,
+            elapsed_seconds=elapsed,
+            solver_name=self.name,
+            stats=dict(stats),
+        )
+
+    @abstractmethod
+    def _solve(self, problem: WGRAPProblem) -> tuple[Assignment, dict[str, Any]]:
+        """Return the assignment and solver statistics."""
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}()"

@@ -1,0 +1,140 @@
+"""Exhaustive (exact) WGRAP solver for tiny instances.
+
+WGRAP is NP-hard (it generalises SGRAP, and even the single-paper case is
+NP-hard — Lemma 1), so no polynomial exact solver exists.  For *tiny*
+instances, however, the optimum is still useful: the paper uses it
+implicitly when reasoning about approximation ratios, and the test suite
+uses it to verify SDGA's and Greedy's guarantees empirically.
+
+:class:`ExhaustiveSolver` enumerates, paper by paper, every reviewer group
+that fits the remaining workload, with two safeguards:
+
+* a pre-computed bound on the search-space size (refusing to start when it
+  exceeds ``max_nodes``), and
+* an optimistic-completion bound (the best still-achievable score for the
+  remaining papers, ignoring workloads) that prunes hopeless branches.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any
+
+import numpy as np
+
+from repro.core.assignment import Assignment
+from repro.core.problem import WGRAPProblem
+from repro.cra.base import CRASolver
+from repro.exceptions import ConfigurationError
+
+__all__ = ["ExhaustiveSolver"]
+
+
+class ExhaustiveSolver(CRASolver):
+    """Provably optimal WGRAP solver by bounded exhaustive search.
+
+    Parameters
+    ----------
+    max_nodes:
+        Upper bound on ``C(R, delta_p) ** P`` below which the search is
+        attempted; larger instances are rejected up front with a
+        :class:`ConfigurationError` so callers do not accidentally launch a
+        multi-day enumeration.
+    """
+
+    name = "Exact"
+
+    def __init__(self, max_nodes: float = 5e7) -> None:
+        if max_nodes <= 0:
+            raise ConfigurationError("max_nodes must be positive")
+        self._max_nodes = float(max_nodes)
+
+    def _solve(self, problem: WGRAPProblem) -> tuple[Assignment, dict[str, Any]]:
+        num_groups = _combinations(problem.num_reviewers, problem.group_size)
+        search_space = float(num_groups) ** problem.num_papers
+        if search_space > self._max_nodes:
+            raise ConfigurationError(
+                f"the exhaustive search space ({num_groups}^{problem.num_papers}) "
+                f"exceeds max_nodes={self._max_nodes:.0f}; use SDGA/SDGA-SRA instead"
+            )
+
+        reviewer_ids = problem.reviewer_ids
+        groups = list(itertools.combinations(range(problem.num_reviewers), problem.group_size))
+        reviewer_matrix = problem.reviewer_matrix
+        paper_matrix = problem.paper_matrix
+        scoring = problem.scoring
+
+        # Pre-compute the score of every (group, paper) pair and the
+        # per-paper unconstrained best, used as the optimistic completion.
+        group_vectors = np.stack(
+            [reviewer_matrix[list(group)].max(axis=0) for group in groups]
+        )
+        group_scores = scoring.score_matrix(group_vectors, paper_matrix)  # (G, P)
+
+        # Forbid groups containing a conflicted reviewer for each paper.
+        allowed = np.ones_like(group_scores, dtype=bool)
+        for paper_idx, paper_id in enumerate(problem.paper_ids):
+            conflicted = problem.conflicts.reviewers_conflicting_with(paper_id)
+            if not conflicted:
+                continue
+            conflicted_rows = {
+                problem.reviewer_index(reviewer_id) for reviewer_id in conflicted
+            }
+            for group_idx, group in enumerate(groups):
+                if conflicted_rows.intersection(group):
+                    allowed[group_idx, paper_idx] = False
+        masked_scores = np.where(allowed, group_scores, -np.inf)
+        per_paper_best = masked_scores.max(axis=0)
+        suffix_best = np.concatenate(
+            [np.cumsum(per_paper_best[::-1])[::-1], [0.0]]
+        )
+
+        best_score = -np.inf
+        best_choice: list[int] | None = None
+        loads = np.zeros(problem.num_reviewers, dtype=np.int64)
+        choice: list[int] = []
+        nodes = 0
+
+        def recurse(paper_idx: int, score_so_far: float) -> None:
+            nonlocal best_score, best_choice, nodes
+            if paper_idx == problem.num_papers:
+                if score_so_far > best_score:
+                    best_score = score_so_far
+                    best_choice = list(choice)
+                return
+            # Optimistic completion: even with unlimited workload the rest
+            # of the papers cannot contribute more than suffix_best.
+            if score_so_far + suffix_best[paper_idx] <= best_score + 1e-12:
+                return
+            for group_idx, group in enumerate(groups):
+                if not allowed[group_idx, paper_idx]:
+                    continue
+                if any(loads[r] + 1 > problem.reviewer_workload for r in group):
+                    continue
+                nodes += 1
+                for r in group:
+                    loads[r] += 1
+                choice.append(group_idx)
+                recurse(paper_idx + 1, score_so_far + group_scores[group_idx, paper_idx])
+                choice.pop()
+                for r in group:
+                    loads[r] -= 1
+
+        recurse(0, 0.0)
+        if best_choice is None:
+            raise ConfigurationError(
+                "no feasible assignment exists for this instance (conflicts too dense)"
+            )
+
+        assignment = Assignment()
+        for paper_idx, group_idx in enumerate(best_choice):
+            for reviewer_idx in groups[group_idx]:
+                assignment.add(reviewer_ids[reviewer_idx], problem.paper_ids[paper_idx])
+        return assignment, {"nodes_explored": nodes, "optimal_score": float(best_score)}
+
+
+def _combinations(n: int, k: int) -> int:
+    result = 1
+    for i in range(k):
+        result = result * (n - i) // (i + 1)
+    return result

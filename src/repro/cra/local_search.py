@@ -1,0 +1,223 @@
+"""Local-search refinement baseline (Section 4.4, Figure 12).
+
+The paper compares its stochastic refinement against a standard local
+search that greedily swaps assignment pairs while the swap improves the
+coverage score.  Because the search only ever accepts improving moves it
+quickly gets stuck in a local maximum of the huge ``(C(R, delta_p))^P``
+search space — which is exactly the behaviour Figure 12 demonstrates.
+
+Two kinds of moves are considered:
+
+* **replace** — swap an assigned reviewer of a paper for an unassigned
+  reviewer with spare capacity;
+* **exchange** — swap the reviewers of two assignment pairs between their
+  papers.
+
+Both moves preserve feasibility by construction.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any
+
+from repro.core.assignment import Assignment
+from repro.core.problem import WGRAPProblem
+from repro.cra.base import CRAResult, CRASolver
+from repro.cra.sdga import StageDeepeningGreedySolver
+
+__all__ = ["LocalSearchRefiner", "SDGAWithLocalSearchSolver"]
+
+
+class LocalSearchRefiner:
+    """Greedy hill-climbing over replace/exchange moves.
+
+    Parameters
+    ----------
+    max_rounds:
+        Maximum number of full passes over the papers.
+    time_budget:
+        Optional wall-clock budget in seconds.
+    """
+
+    def __init__(self, max_rounds: int = 100, time_budget: float | None = None) -> None:
+        self._max_rounds = max_rounds
+        self._time_budget = time_budget
+
+    def refine(
+        self, problem: WGRAPProblem, assignment: Assignment
+    ) -> tuple[Assignment, dict[str, Any]]:
+        """Hill-climb from ``assignment``; returns the local optimum reached."""
+        problem.validate_assignment(assignment, require_complete=True)
+        current = assignment.copy()
+        current_score = problem.assignment_score(current)
+        started = time.perf_counter()
+        history: list[tuple[float, float]] = [(0.0, current_score)]
+        moves_applied = 0
+
+        for _ in range(self._max_rounds):
+            if self._time_budget is not None:
+                if time.perf_counter() - started >= self._time_budget:
+                    break
+            improved = False
+
+            for paper_id in problem.paper_ids:
+                if self._time_budget is not None:
+                    if time.perf_counter() - started >= self._time_budget:
+                        break
+                gain, move = self._best_move_for_paper(problem, current, paper_id)
+                if move is not None and gain > 1e-12:
+                    self._apply_move(current, move)
+                    current_score += gain
+                    moves_applied += 1
+                    improved = True
+                    history.append((time.perf_counter() - started, current_score))
+
+            if not improved:
+                break
+
+        stats: dict[str, Any] = {
+            "moves_applied": moves_applied,
+            "final_score": current_score,
+            "history": history,
+        }
+        return current, stats
+
+    # ------------------------------------------------------------------
+    # Move generation
+    # ------------------------------------------------------------------
+    def _best_move_for_paper(
+        self, problem: WGRAPProblem, assignment: Assignment, paper_id: str
+    ) -> tuple[float, tuple | None]:
+        """The best improving move that touches ``paper_id`` (or ``None``)."""
+        best_gain = 0.0
+        best_move: tuple | None = None
+        current_score = problem.paper_score(assignment, paper_id)
+        members = sorted(assignment.reviewers_of(paper_id))
+
+        for reviewer_id in members:
+            # Replace moves: bring in a reviewer with spare capacity.
+            for candidate_id in problem.reviewer_ids:
+                if candidate_id in members:
+                    continue
+                if assignment.load(candidate_id) >= problem.reviewer_workload:
+                    continue
+                if not problem.is_feasible_pair(candidate_id, paper_id):
+                    continue
+                gain = self._replace_gain(
+                    problem, assignment, paper_id, reviewer_id, candidate_id, current_score
+                )
+                if gain > best_gain + 1e-12:
+                    best_gain = gain
+                    best_move = ("replace", paper_id, reviewer_id, candidate_id)
+
+            # Exchange moves: trade reviewers with another paper.
+            for other_paper_id in problem.paper_ids:
+                if other_paper_id == paper_id:
+                    continue
+                for other_reviewer_id in assignment.reviewers_of(other_paper_id):
+                    gain = self._exchange_gain(
+                        problem,
+                        assignment,
+                        paper_id,
+                        reviewer_id,
+                        other_paper_id,
+                        other_reviewer_id,
+                    )
+                    if gain is not None and gain > best_gain + 1e-12:
+                        best_gain = gain
+                        best_move = (
+                            "exchange",
+                            paper_id,
+                            reviewer_id,
+                            other_paper_id,
+                            other_reviewer_id,
+                        )
+        return best_gain, best_move
+
+    @staticmethod
+    def _replace_gain(
+        problem: WGRAPProblem,
+        assignment: Assignment,
+        paper_id: str,
+        out_reviewer: str,
+        in_reviewer: str,
+        current_score: float,
+    ) -> float:
+        assignment.remove(out_reviewer, paper_id)
+        assignment.add(in_reviewer, paper_id)
+        new_score = problem.paper_score(assignment, paper_id)
+        assignment.remove(in_reviewer, paper_id)
+        assignment.add(out_reviewer, paper_id)
+        return new_score - current_score
+
+    @staticmethod
+    def _exchange_gain(
+        problem: WGRAPProblem,
+        assignment: Assignment,
+        paper_a: str,
+        reviewer_a: str,
+        paper_b: str,
+        reviewer_b: str,
+    ) -> float | None:
+        """Gain of swapping ``reviewer_a`` and ``reviewer_b`` between papers."""
+        if reviewer_b in assignment.reviewers_of(paper_a):
+            return None
+        if reviewer_a in assignment.reviewers_of(paper_b):
+            return None
+        if not problem.is_feasible_pair(reviewer_b, paper_a):
+            return None
+        if not problem.is_feasible_pair(reviewer_a, paper_b):
+            return None
+        before = problem.paper_score(assignment, paper_a) + problem.paper_score(
+            assignment, paper_b
+        )
+        assignment.remove(reviewer_a, paper_a)
+        assignment.remove(reviewer_b, paper_b)
+        assignment.add(reviewer_b, paper_a)
+        assignment.add(reviewer_a, paper_b)
+        after = problem.paper_score(assignment, paper_a) + problem.paper_score(
+            assignment, paper_b
+        )
+        assignment.remove(reviewer_b, paper_a)
+        assignment.remove(reviewer_a, paper_b)
+        assignment.add(reviewer_a, paper_a)
+        assignment.add(reviewer_b, paper_b)
+        return after - before
+
+    @staticmethod
+    def _apply_move(assignment: Assignment, move: tuple) -> None:
+        if move[0] == "replace":
+            _, paper_id, out_reviewer, in_reviewer = move
+            assignment.remove(out_reviewer, paper_id)
+            assignment.add(in_reviewer, paper_id)
+        else:
+            _, paper_a, reviewer_a, paper_b, reviewer_b = move
+            assignment.remove(reviewer_a, paper_a)
+            assignment.remove(reviewer_b, paper_b)
+            assignment.add(reviewer_b, paper_a)
+            assignment.add(reviewer_a, paper_b)
+
+
+class SDGAWithLocalSearchSolver(CRASolver):
+    """SDGA followed by local search — the "SDGA-LS" line of Figure 12."""
+
+    name = "SDGA-LS"
+
+    def __init__(
+        self,
+        refiner: LocalSearchRefiner | None = None,
+        base_solver: CRASolver | None = None,
+    ) -> None:
+        self._refiner = refiner or LocalSearchRefiner()
+        self._base_solver = base_solver or StageDeepeningGreedySolver()
+
+    def _solve(self, problem: WGRAPProblem) -> tuple[Assignment, dict[str, Any]]:
+        base_result: CRAResult = self._base_solver.solve(problem)
+        refined, refine_stats = self._refiner.refine(problem, base_result.assignment)
+        stats: dict[str, Any] = {
+            "base_solver": self._base_solver.name,
+            "base_score": base_result.score,
+            **{f"local_search_{key}": value for key, value in refine_stats.items()},
+        }
+        return refined, stats

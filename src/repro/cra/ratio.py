@@ -1,0 +1,95 @@
+"""Theoretical approximation ratios of SDGA (Section 4.3, Figure 7).
+
+SDGA achieves
+
+* ``1 - (1 - 1/delta_p)^delta_p`` (which tends to ``1 - 1/e``) when the
+  reviewer workload ``delta_r`` is divisible by the group size ``delta_p``
+  (Theorem 1), and
+* ``1 - (1 - 1/delta_p)^(delta_p - 1)`` (at least ``1/2`` for
+  ``delta_p >= 2``) in the general case (Theorem 2).
+
+The previously best algorithm (the greedy of Long et al. 2013) guarantees
+only ``1/3``.  Figure 7 of the paper plots these curves against
+``delta_p``; :func:`approximation_ratio_table` regenerates its series.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.exceptions import ConfigurationError
+
+__all__ = [
+    "GREEDY_RATIO",
+    "integral_case_ratio",
+    "general_case_ratio",
+    "sdga_ratio",
+    "RatioPoint",
+    "approximation_ratio_table",
+]
+
+#: approximation guarantee of the baseline greedy algorithm of Long et al.
+GREEDY_RATIO = 1.0 / 3.0
+
+
+def integral_case_ratio(group_size: int) -> float:
+    """``1 - (1 - 1/delta_p)^delta_p`` — the bound when ``delta_p | delta_r``."""
+    _check_group_size(group_size)
+    return 1.0 - (1.0 - 1.0 / group_size) ** group_size
+
+
+def general_case_ratio(group_size: int) -> float:
+    """``1 - (1 - 1/delta_p)^(delta_p - 1)`` — the bound in the general case."""
+    _check_group_size(group_size)
+    return 1.0 - (1.0 - 1.0 / group_size) ** (group_size - 1)
+
+
+def sdga_ratio(group_size: int, reviewer_workload: int) -> float:
+    """The guarantee that applies to a concrete ``(delta_p, delta_r)`` pair."""
+    _check_group_size(group_size)
+    if reviewer_workload < 1:
+        raise ConfigurationError("reviewer_workload must be at least 1")
+    if reviewer_workload % group_size == 0:
+        return integral_case_ratio(group_size)
+    return general_case_ratio(group_size)
+
+
+@dataclass(frozen=True)
+class RatioPoint:
+    """One point of the Figure 7 plot."""
+
+    group_size: int
+    integral_case: float
+    general_case: float
+    greedy_baseline: float = GREEDY_RATIO
+
+    @property
+    def limit_one_minus_inverse_e(self) -> float:
+        """The asymptote ``1 - 1/e`` shown in the figure."""
+        return 1.0 - 1.0 / math.e
+
+
+def approximation_ratio_table(
+    min_group_size: int = 2, max_group_size: int = 10
+) -> list[RatioPoint]:
+    """The series plotted in Figure 7 for ``delta_p`` in the given range."""
+    if min_group_size < 2:
+        raise ConfigurationError("the ratios are defined for delta_p >= 2")
+    if max_group_size < min_group_size:
+        raise ConfigurationError("max_group_size must be >= min_group_size")
+    return [
+        RatioPoint(
+            group_size=group_size,
+            integral_case=integral_case_ratio(group_size),
+            general_case=general_case_ratio(group_size),
+        )
+        for group_size in range(min_group_size, max_group_size + 1)
+    ]
+
+
+def _check_group_size(group_size: int) -> None:
+    if group_size < 2:
+        raise ConfigurationError(
+            "approximation ratios are defined for group sizes of at least 2"
+        )

@@ -1,0 +1,148 @@
+"""Repair pass that completes a partial assignment.
+
+Several constructive solvers (pair greedy, stable matching) can in tight
+corner cases — capacity exactly equal to demand combined with conflicts of
+interest — finish with a few papers short of their ``delta_p`` reviewers.
+This module completes such assignments:
+
+* normally with a capacitated one-reviewer-per-paper step (the same
+  machinery SDGA uses for its stages), maximising the marginal coverage
+  gain of the added pairs;
+* when a paper is *deadlocked* — the only reviewers with spare capacity are
+  already in its group — with a single augmenting swap that moves a member
+  of another paper's group over and back-fills that paper with a
+  spare-capacity reviewer, which preserves every constraint.
+
+When the assignment is already complete the repair is a no-op.  The input
+assignment is never modified; a completed copy is returned.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.assignment.transportation import solve_capacitated_assignment
+from repro.core.assignment import Assignment
+from repro.core.problem import WGRAPProblem
+from repro.exceptions import InfeasibleProblemError
+
+__all__ = ["complete_assignment"]
+
+
+def complete_assignment(
+    problem: WGRAPProblem, assignment: Assignment, backend: str = "hungarian"
+) -> Assignment:
+    """Fill every under-staffed paper up to ``delta_p`` reviewers.
+
+    Raises
+    ------
+    InfeasibleProblemError
+        If the remaining capacity cannot cover the missing slots even with
+        augmenting swaps (which a validated :class:`WGRAPProblem` rules out
+        unless conflicts of interest are extremely dense).
+    """
+    completed = assignment.copy()
+    safety_budget = problem.num_papers * problem.group_size + 1
+
+    for _ in range(safety_budget):
+        missing = [
+            paper_id
+            for paper_id in problem.paper_ids
+            if completed.group_size(paper_id) < problem.group_size
+        ]
+        if not missing:
+            return completed
+
+        capacities = np.array(
+            [
+                problem.reviewer_workload - completed.load(reviewer_id)
+                for reviewer_id in problem.reviewer_ids
+            ],
+            dtype=np.int64,
+        )
+        if int(np.maximum(capacities, 0).sum()) < len(missing):
+            raise InfeasibleProblemError(
+                "not enough remaining reviewer capacity to complete the assignment"
+            )
+
+        gains, forbidden = _refill_inputs(problem, completed, missing, capacities)
+
+        deadlocked = [missing[row] for row in np.flatnonzero(forbidden.all(axis=1))]
+        if deadlocked:
+            for paper_id in deadlocked:
+                if not _resolve_deadlock(problem, completed, paper_id):
+                    raise InfeasibleProblemError(
+                        f"paper {paper_id!r} cannot be completed: every reviewer with "
+                        "spare capacity is already in its group or conflicted"
+                    )
+            continue  # loads changed; rebuild the refill inputs
+
+        result = solve_capacitated_assignment(
+            gains, np.maximum(capacities, 0), forbidden=forbidden, backend=backend
+        )
+        for row, paper_id in enumerate(missing):
+            completed.add(problem.reviewer_ids[result.row_to_col[row]], paper_id)
+
+    raise InfeasibleProblemError("the repair pass failed to converge")
+
+
+def _refill_inputs(
+    problem: WGRAPProblem,
+    assignment: Assignment,
+    missing: list[str],
+    capacities: np.ndarray,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Gain matrix and forbidden mask for one refill round."""
+    gains = np.zeros((len(missing), problem.num_reviewers), dtype=np.float64)
+    forbidden = np.zeros_like(gains, dtype=bool)
+    for row, paper_id in enumerate(missing):
+        paper_idx = problem.paper_index(paper_id)
+        group_vector = problem.group_vector(assignment, paper_id)
+        gains[row] = problem.scoring.gain_vector(
+            group_vector, problem.reviewer_matrix, problem.paper_matrix[paper_idx]
+        )
+        current = assignment.reviewers_of(paper_id)
+        for col, reviewer_id in enumerate(problem.reviewer_ids):
+            if (
+                reviewer_id in current
+                or capacities[col] <= 0
+                or not problem.is_feasible_pair(reviewer_id, paper_id)
+            ):
+                forbidden[row, col] = True
+    return gains, forbidden
+
+
+def _resolve_deadlock(
+    problem: WGRAPProblem, assignment: Assignment, paper_id: str
+) -> bool:
+    """Free a slot for ``paper_id`` with one augmenting swap.
+
+    A reviewer ``r`` with spare capacity (necessarily already in the paper's
+    group) is added to some *other* paper ``q``, and in exchange one of
+    ``q``'s reviewers ``s`` moves into ``paper_id``.  Loads and group sizes
+    of everyone except the short paper stay unchanged, so the swap is always
+    constraint-preserving.
+    """
+    group = assignment.reviewers_of(paper_id)
+    spare_reviewers = [
+        reviewer_id
+        for reviewer_id in problem.reviewer_ids
+        if assignment.load(reviewer_id) < problem.reviewer_workload
+    ]
+    for spare in spare_reviewers:
+        for other_paper in problem.paper_ids:
+            if other_paper == paper_id:
+                continue
+            other_group = assignment.reviewers_of(other_paper)
+            if spare in other_group or not problem.is_feasible_pair(spare, other_paper):
+                continue
+            for candidate in sorted(other_group):
+                if candidate in group or candidate == spare:
+                    continue
+                if not problem.is_feasible_pair(candidate, paper_id):
+                    continue
+                assignment.remove(candidate, other_paper)
+                assignment.add(candidate, paper_id)
+                assignment.add(spare, other_paper)
+                return True
+    return False

@@ -1,0 +1,103 @@
+"""Retrieval-based assignment (RRAP, Definition 4) — the motivating strawman.
+
+The paper's introduction (Figure 1a) motivates WGRAP by showing what goes
+wrong with purely retrieval-based assignment: every reviewer independently
+receives their most relevant papers, so popular topics pile up on a few
+reviewers while other papers receive no reviewer at all.
+
+This module implements that formulation faithfully — each reviewer is given
+their top ``delta_r`` papers by pair score, with no per-paper group-size
+constraint — so the imbalance can be measured and demonstrated (see
+``examples/compare_baselines.py`` and the tests).  Because RRAP ignores the
+group-size constraint its output is *not* a feasible WGRAP assignment; it
+is therefore exposed as a standalone function rather than a
+:class:`~repro.cra.base.CRASolver`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.assignment import Assignment
+from repro.core.problem import WGRAPProblem
+from repro.exceptions import ConfigurationError
+
+__all__ = ["RetrievalAssignment", "solve_retrieval_assignment"]
+
+
+@dataclass(frozen=True)
+class RetrievalAssignment:
+    """Outcome of the retrieval-based (RRAP) assignment.
+
+    Attributes
+    ----------
+    assignment:
+        The produced reviewer/paper pairs (papers may have any number of
+        reviewers, including zero).
+    unreviewed_papers:
+        Papers that received no reviewer — the imbalance the paper's
+        Figure 1(a) illustrates.
+    overloaded_papers:
+        Papers that received more than the problem's ``delta_p`` reviewers.
+    pairwise_score:
+        The RRAP objective: the sum of individual pair scores.
+    """
+
+    assignment: Assignment
+    unreviewed_papers: tuple[str, ...]
+    overloaded_papers: tuple[str, ...]
+    pairwise_score: float
+
+
+def solve_retrieval_assignment(
+    problem: WGRAPProblem, reviews_per_reviewer: int | None = None
+) -> RetrievalAssignment:
+    """Give every reviewer their ``delta_r`` most relevant papers.
+
+    Parameters
+    ----------
+    problem:
+        The WGRAP instance (only its pair scores, conflicts and ``delta_r``
+        are used; the group-size constraint is deliberately ignored, as in
+        Definition 4).
+    reviews_per_reviewer:
+        How many papers each reviewer takes; defaults to the problem's
+        ``delta_r``.
+    """
+    workload = reviews_per_reviewer if reviews_per_reviewer is not None else problem.reviewer_workload
+    if workload < 1:
+        raise ConfigurationError("reviews_per_reviewer must be at least 1")
+    workload = min(workload, problem.num_papers)
+
+    scores = problem.pair_score_matrix()  # (R, P)
+    assignment = Assignment()
+    total = 0.0
+    for reviewer_idx, reviewer_id in enumerate(problem.reviewer_ids):
+        order = np.argsort(-scores[reviewer_idx], kind="stable")
+        taken = 0
+        for paper_idx in order:
+            if taken >= workload:
+                break
+            paper_id = problem.paper_ids[int(paper_idx)]
+            if not problem.is_feasible_pair(reviewer_id, paper_id):
+                continue
+            assignment.add(reviewer_id, paper_id)
+            total += float(scores[reviewer_idx, paper_idx])
+            taken += 1
+
+    unreviewed = tuple(
+        paper_id for paper_id in problem.paper_ids if assignment.group_size(paper_id) == 0
+    )
+    overloaded = tuple(
+        paper_id
+        for paper_id in problem.paper_ids
+        if assignment.group_size(paper_id) > problem.group_size
+    )
+    return RetrievalAssignment(
+        assignment=assignment,
+        unreviewed_papers=unreviewed,
+        overloaded_papers=overloaded,
+        pairwise_score=total,
+    )

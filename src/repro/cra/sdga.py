@@ -1,0 +1,130 @@
+"""Stage Deepening Greedy Algorithm (SDGA) — Section 4.2, Algorithm 2.
+
+SDGA splits the conference assignment into exactly ``delta_p`` stages.  At
+every stage, *each paper receives exactly one additional reviewer* and each
+reviewer takes at most ``ceil(delta_r / delta_p)`` new papers; the stage is
+therefore a capacitated linear-assignment problem (Stage-WGRAP,
+Definition 9) whose profit for pair ``(r, p)`` is the marginal coverage
+gain of adding ``r`` to the group that ``p`` accumulated in earlier stages.
+
+Solving every stage optimally yields the paper's approximation guarantee:
+``1 - (1 - 1/delta_p)^delta_p >= 1 - 1/e`` when ``delta_p`` divides
+``delta_r`` (Theorem 1) and at least ``1/2`` otherwise (Theorem 2) — a
+substantial improvement over the 1/3 guarantee of the pair-greedy baseline.
+
+The per-stage assignment can be solved by either the Hungarian backend
+(default, dense) or the min-cost-flow backend; both are exact, so the
+choice does not affect the result, only the running time (see the backend
+ablation benchmark).
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+from repro.assignment.transportation import solve_capacitated_assignment
+from repro.core.assignment import Assignment
+from repro.core.problem import WGRAPProblem
+from repro.cra.base import CRASolver
+
+__all__ = ["StageDeepeningGreedySolver"]
+
+
+class StageDeepeningGreedySolver(CRASolver):
+    """The paper's SDGA: ``delta_p`` optimal one-reviewer-per-paper stages.
+
+    Parameters
+    ----------
+    backend:
+        ``"hungarian"`` (default) or ``"flow"`` — which exact assignment
+        solver handles each stage.
+    """
+
+    name = "SDGA"
+
+    def __init__(self, backend: str = "hungarian") -> None:
+        self._backend = backend
+
+    def _solve(self, problem: WGRAPProblem) -> tuple[Assignment, dict[str, Any]]:
+        assignment = Assignment()
+        stage_gains: list[float] = []
+        for stage in range(problem.group_size):
+            gain = self._run_stage(problem, assignment)
+            stage_gains.append(gain)
+        return assignment, {
+            "stages": problem.group_size,
+            "stage_gains": stage_gains,
+            "backend": self._backend,
+        }
+
+    # ------------------------------------------------------------------
+    # One Stage-WGRAP step
+    # ------------------------------------------------------------------
+    def _run_stage(self, problem: WGRAPProblem, assignment: Assignment) -> float:
+        """Assign one more reviewer to every paper, in place; returns the gain."""
+        gains, forbidden, capacities = self._stage_inputs(problem, assignment)
+        result = solve_capacitated_assignment(
+            gains, capacities, forbidden=forbidden, backend=self._backend
+        )
+        for paper_idx, reviewer_idx in enumerate(result.row_to_col):
+            assignment.add(
+                problem.reviewer_ids[reviewer_idx], problem.paper_ids[paper_idx]
+            )
+        return float(result.total_profit)
+
+    @staticmethod
+    def _stage_inputs(
+        problem: WGRAPProblem, assignment: Assignment
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Build the per-stage gain matrix, forbidden mask and capacities.
+
+        * Gains are marginal coverage gains relative to the groups formed in
+          earlier stages (Equation 5).
+        * Forbidden pairs are conflicts of interest and reviewers already in
+          the paper's group.
+        * Per-reviewer capacity is the stage workload
+          ``ceil(delta_r / delta_p)``, additionally clipped by the remaining
+          global workload so the general (non-integral) case never exceeds
+          ``delta_r`` in total.
+        """
+        num_papers = problem.num_papers
+        num_reviewers = problem.num_reviewers
+        reviewer_matrix = problem.reviewer_matrix
+        paper_matrix = problem.paper_matrix
+        scoring = problem.scoring
+
+        gains = np.zeros((num_papers, num_reviewers), dtype=np.float64)
+        forbidden = np.zeros((num_papers, num_reviewers), dtype=bool)
+        for paper_idx, paper_id in enumerate(problem.paper_ids):
+            group_vector = problem.group_vector(assignment, paper_id)
+            gains[paper_idx] = scoring.gain_vector(
+                group_vector, reviewer_matrix, paper_matrix[paper_idx]
+            )
+            current_group = assignment.reviewers_of(paper_id)
+            conflicted = problem.conflicts.reviewers_conflicting_with(paper_id)
+            if current_group or conflicted:
+                for reviewer_idx, reviewer_id in enumerate(problem.reviewer_ids):
+                    if reviewer_id in current_group or reviewer_id in conflicted:
+                        forbidden[paper_idx, reviewer_idx] = True
+
+        remaining_global = np.maximum(
+            np.array(
+                [
+                    problem.reviewer_workload - assignment.load(reviewer_id)
+                    for reviewer_id in problem.reviewer_ids
+                ],
+                dtype=np.int64,
+            ),
+            0,
+        )
+        capacities = np.minimum(problem.stage_workload, remaining_global)
+        if int(capacities.sum()) < num_papers:
+            # In the general (non-integral) case the per-stage cap can leave
+            # too little headroom for the final stage; the global workload is
+            # the binding constraint there, so fall back to it.  The
+            # approximation analysis only relies on the cap for the first
+            # delta_p - 1 stages (Section 4.3.2).
+            capacities = remaining_global
+        return gains, forbidden, capacities

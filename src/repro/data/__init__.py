@@ -1,0 +1,54 @@
+"""Synthetic DBLP-like data generation, dataset metadata and (de)serialisation."""
+
+from repro.data.io import (
+    assignment_from_dict,
+    assignment_to_dict,
+    load_assignment,
+    load_problem,
+    problem_from_dict,
+    problem_to_dict,
+    save_assignment,
+    save_problem,
+)
+from repro.data.synthetic import (
+    SyntheticCorpus,
+    SyntheticCorpusGenerator,
+    SyntheticWorkloadGenerator,
+    make_problem,
+)
+from repro.data.venues import AREAS, DATASETS, AreaSpec, DatasetSpec, dataset_names, dataset_spec
+from repro.data.workloads import (
+    CRA_PRESETS,
+    DEFAULT_JRA_POOL_SIZE,
+    WorkloadPreset,
+    make_jra_pool,
+    make_jra_problem,
+    scale_reviewers_by_h_index,
+)
+
+__all__ = [
+    "assignment_from_dict",
+    "assignment_to_dict",
+    "load_assignment",
+    "load_problem",
+    "problem_from_dict",
+    "problem_to_dict",
+    "save_assignment",
+    "save_problem",
+    "SyntheticCorpus",
+    "SyntheticCorpusGenerator",
+    "SyntheticWorkloadGenerator",
+    "make_problem",
+    "AREAS",
+    "DATASETS",
+    "AreaSpec",
+    "DatasetSpec",
+    "dataset_names",
+    "dataset_spec",
+    "CRA_PRESETS",
+    "DEFAULT_JRA_POOL_SIZE",
+    "WorkloadPreset",
+    "make_jra_pool",
+    "make_jra_problem",
+    "scale_reviewers_by_h_index",
+]

@@ -1,0 +1,152 @@
+"""JSON (de)serialisation of problems and assignments.
+
+Conference organisers normally keep reviewer expertise, submissions,
+conflicts and final assignments in files; this module defines a small,
+stable JSON format so problems built by the topic pipeline or the synthetic
+generator can be saved, inspected, versioned and re-loaded, and so the
+command-line interface can operate on files.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any
+
+from repro.core.assignment import Assignment
+from repro.core.constraints import ConflictOfInterest
+from repro.core.entities import Paper, Reviewer
+from repro.core.problem import WGRAPProblem
+from repro.core.vectors import TopicVector
+from repro.exceptions import ConfigurationError
+
+__all__ = [
+    "problem_to_dict",
+    "problem_from_dict",
+    "save_problem",
+    "load_problem",
+    "assignment_to_dict",
+    "assignment_from_dict",
+    "save_assignment",
+    "load_assignment",
+]
+
+_FORMAT_VERSION = 1
+
+
+# ----------------------------------------------------------------------
+# Problems
+# ----------------------------------------------------------------------
+def problem_to_dict(problem: WGRAPProblem) -> dict[str, Any]:
+    """A JSON-serialisable representation of a WGRAP problem."""
+    return {
+        "format_version": _FORMAT_VERSION,
+        "num_topics": problem.num_topics,
+        "group_size": problem.group_size,
+        "reviewer_workload": problem.reviewer_workload,
+        "scoring": problem.scoring.name,
+        "reviewers": [
+            {
+                "id": reviewer.id,
+                "name": reviewer.name,
+                "h_index": reviewer.h_index,
+                "vector": reviewer.vector.to_list(),
+            }
+            for reviewer in problem.reviewers
+        ],
+        "papers": [
+            {
+                "id": paper.id,
+                "title": paper.title,
+                "abstract": paper.abstract,
+                "vector": paper.vector.to_list(),
+            }
+            for paper in problem.papers
+        ],
+        "conflicts": [list(pair) for pair in problem.conflicts],
+    }
+
+
+def problem_from_dict(payload: dict[str, Any]) -> WGRAPProblem:
+    """Rebuild a WGRAP problem from :func:`problem_to_dict` output."""
+    version = payload.get("format_version")
+    if version != _FORMAT_VERSION:
+        raise ConfigurationError(
+            f"unsupported problem format version {version!r} (expected {_FORMAT_VERSION})"
+        )
+    reviewers = [
+        Reviewer(
+            id=entry["id"],
+            vector=TopicVector(entry["vector"]),
+            name=entry.get("name", ""),
+            h_index=entry.get("h_index"),
+        )
+        for entry in payload["reviewers"]
+    ]
+    papers = [
+        Paper(
+            id=entry["id"],
+            vector=TopicVector(entry["vector"]),
+            title=entry.get("title", ""),
+            abstract=entry.get("abstract", ""),
+        )
+        for entry in payload["papers"]
+    ]
+    conflicts = ConflictOfInterest(
+        (str(reviewer_id), str(paper_id)) for reviewer_id, paper_id in payload.get("conflicts", [])
+    )
+    return WGRAPProblem(
+        papers=papers,
+        reviewers=reviewers,
+        group_size=int(payload["group_size"]),
+        reviewer_workload=int(payload["reviewer_workload"]),
+        conflicts=conflicts,
+        scoring=payload.get("scoring"),
+    )
+
+
+def save_problem(problem: WGRAPProblem, path: str | Path) -> Path:
+    """Write a problem to a JSON file; returns the path written."""
+    path = Path(path)
+    path.write_text(json.dumps(problem_to_dict(problem), indent=2), encoding="utf-8")
+    return path
+
+
+def load_problem(path: str | Path) -> WGRAPProblem:
+    """Read a problem from a JSON file produced by :func:`save_problem`."""
+    payload = json.loads(Path(path).read_text(encoding="utf-8"))
+    return problem_from_dict(payload)
+
+
+# ----------------------------------------------------------------------
+# Assignments
+# ----------------------------------------------------------------------
+def assignment_to_dict(assignment: Assignment) -> dict[str, Any]:
+    """A JSON-serialisable representation of an assignment."""
+    return {
+        "format_version": _FORMAT_VERSION,
+        "assignment": assignment.to_dict(),
+    }
+
+
+def assignment_from_dict(payload: dict[str, Any]) -> Assignment:
+    """Rebuild an assignment from :func:`assignment_to_dict` output."""
+    version = payload.get("format_version")
+    if version != _FORMAT_VERSION:
+        raise ConfigurationError(
+            f"unsupported assignment format version {version!r} (expected {_FORMAT_VERSION})"
+        )
+    return Assignment.from_dict(payload["assignment"])
+
+
+def save_assignment(assignment: Assignment, path: str | Path) -> Path:
+    """Write an assignment to a JSON file; returns the path written."""
+    path = Path(path)
+    path.write_text(json.dumps(assignment_to_dict(assignment), indent=2), encoding="utf-8")
+    return path
+
+
+def load_assignment(path: str | Path) -> Assignment:
+    """Read an assignment from a JSON file produced by :func:`save_assignment`."""
+    payload = json.loads(Path(path).read_text(encoding="utf-8"))
+    return assignment_from_dict(payload)

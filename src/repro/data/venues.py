@@ -1,0 +1,114 @@
+"""Research-area and venue metadata mirroring Table 3 of the paper.
+
+The paper simulates conferences from three areas over two years:
+
+======== ============================================== ========= =========
+Area     Submission venues                              #Papers   #Reviewers
+======== ============================================== ========= =========
+DM 2008  SIGKDD, ICDM, SDM, CIKM                        545       203 (KDD PC)
+DM 2009  SIGKDD, ICDM, SDM, CIKM                        648       145
+DB 2008  SIGMOD, VLDB, ICDE, PODS                       617       105 (SIGMOD PC)
+DB 2009  SIGMOD, VLDB, ICDE, PODS                       513       90
+TH 2008  STOC, FOCS, SODA                               281       228 (STOC PC)
+TH 2009  STOC, FOCS, SODA                               226       222
+======== ============================================== ========= =========
+
+The synthetic generator uses these numbers (optionally scaled down) so the
+regenerated experiments have the same relative sizes as the paper's.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.exceptions import ConfigurationError
+
+__all__ = ["AreaSpec", "DatasetSpec", "AREAS", "DATASETS", "dataset_spec", "dataset_names"]
+
+
+@dataclass(frozen=True)
+class AreaSpec:
+    """A research area: its venues and its slice of the topic space."""
+
+    key: str
+    name: str
+    submission_venues: tuple[str, ...]
+    reviewer_venue: str
+    #: fraction of the topic space this area's papers concentrate on
+    topic_share: float
+
+
+@dataclass(frozen=True)
+class DatasetSpec:
+    """One experimental dataset (area x year) with the paper's sizes."""
+
+    key: str
+    area: AreaSpec
+    year: int
+    num_papers: int
+    num_reviewers: int
+
+    def scaled(self, scale: float) -> "DatasetSpec":
+        """A proportionally smaller (or larger) copy of this dataset.
+
+        Scaling keeps at least 20 papers and 10 reviewers so the WGRAP
+        constraints remain meaningful.
+        """
+        if scale <= 0:
+            raise ConfigurationError("scale must be positive")
+        return DatasetSpec(
+            key=self.key,
+            area=self.area,
+            year=self.year,
+            num_papers=max(20, int(round(self.num_papers * scale))),
+            num_reviewers=max(10, int(round(self.num_reviewers * scale))),
+        )
+
+
+_DATA_MINING = AreaSpec(
+    key="DM",
+    name="Data Mining",
+    submission_venues=("SIGKDD", "ICDM", "SDM", "CIKM"),
+    reviewer_venue="SIGKDD",
+    topic_share=1.0 / 3.0,
+)
+_DATABASES = AreaSpec(
+    key="DB",
+    name="Databases",
+    submission_venues=("SIGMOD", "VLDB", "ICDE", "PODS"),
+    reviewer_venue="SIGMOD",
+    topic_share=1.0 / 3.0,
+)
+_THEORY = AreaSpec(
+    key="TH",
+    name="Theory",
+    submission_venues=("STOC", "FOCS", "SODA"),
+    reviewer_venue="STOC",
+    topic_share=1.0 / 3.0,
+)
+
+AREAS: tuple[AreaSpec, ...] = (_DATA_MINING, _DATABASES, _THEORY)
+
+DATASETS: dict[str, DatasetSpec] = {
+    "DM08": DatasetSpec("DM08", _DATA_MINING, 2008, num_papers=545, num_reviewers=203),
+    "DM09": DatasetSpec("DM09", _DATA_MINING, 2009, num_papers=648, num_reviewers=145),
+    "DB08": DatasetSpec("DB08", _DATABASES, 2008, num_papers=617, num_reviewers=105),
+    "DB09": DatasetSpec("DB09", _DATABASES, 2009, num_papers=513, num_reviewers=90),
+    "TH08": DatasetSpec("TH08", _THEORY, 2008, num_papers=281, num_reviewers=228),
+    "TH09": DatasetSpec("TH09", _THEORY, 2009, num_papers=226, num_reviewers=222),
+}
+
+
+def dataset_names() -> list[str]:
+    """The six dataset keys of Table 3, in the paper's order."""
+    return ["DM08", "DM09", "DB08", "DB09", "TH08", "TH09"]
+
+
+def dataset_spec(name: str) -> DatasetSpec:
+    """Look up a dataset spec by key (e.g. ``"DB08"``)."""
+    try:
+        return DATASETS[name.upper()]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown dataset {name!r}; available: {dataset_names()}"
+        ) from None

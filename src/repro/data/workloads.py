@@ -1,0 +1,151 @@
+"""Experiment workload helpers.
+
+Utilities shared by the benchmark harness and the examples:
+
+* building the default JRA candidate pool (the paper uses the 1002 authors
+  with at least three publications in 2005-2009; we generate a pool of the
+  same size and structure),
+* the h-index expertise scaling of Appendix C (Equation 15),
+* a registry of pre-configured workloads used by the benches.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.entities import Paper, Reviewer
+from repro.core.problem import JRAProblem, WGRAPProblem
+from repro.core.vectors import TopicVector
+from repro.data.synthetic import SyntheticWorkloadGenerator
+from repro.exceptions import ConfigurationError
+
+__all__ = [
+    "DEFAULT_JRA_POOL_SIZE",
+    "make_jra_pool",
+    "make_jra_problem",
+    "scale_reviewers_by_h_index",
+    "WorkloadPreset",
+    "CRA_PRESETS",
+]
+
+#: size of the default JRA candidate pool in the paper (authors with >= 3
+#: papers in the three areas over 2005-2009)
+DEFAULT_JRA_POOL_SIZE = 1002
+
+
+def make_jra_pool(
+    pool_size: int = DEFAULT_JRA_POOL_SIZE,
+    num_topics: int = 30,
+    seed: int | None = 0,
+) -> list[Reviewer]:
+    """Generate the JRA candidate-reviewer pool.
+
+    The pool mixes the three research areas in equal parts, mirroring the
+    paper's pool of authors drawn from all three areas.
+    """
+    if pool_size < 3:
+        raise ConfigurationError("the pool needs at least three reviewers")
+    generator = SyntheticWorkloadGenerator(num_topics=num_topics, seed=seed)
+    rng = np.random.default_rng(seed)
+    per_area = [pool_size // 3, pool_size // 3, pool_size - 2 * (pool_size // 3)]
+    reviewers: list[Reviewer] = []
+    for area_index, count in enumerate(per_area):
+        vectors = generator.reviewer_vectors(count, area_index=area_index, rng=rng)
+        for row in range(count):
+            index = len(reviewers)
+            reviewers.append(
+                Reviewer(
+                    id=f"pool-reviewer-{index:04d}",
+                    vector=TopicVector(vectors[row]),
+                    name=f"Pool reviewer {index:04d}",
+                    h_index=int(rng.integers(3, 60)),
+                )
+            )
+    return reviewers
+
+
+def make_jra_problem(
+    num_candidates: int,
+    group_size: int,
+    num_topics: int = 30,
+    seed: int | None = 0,
+    pool: list[Reviewer] | None = None,
+) -> JRAProblem:
+    """A JRA instance with ``num_candidates`` reviewers drawn from a pool.
+
+    The target paper is an interdisciplinary submission (as in the paper's
+    motivating examples) so that good groups genuinely need complementary
+    reviewers.
+    """
+    if pool is not None:
+        reviewers = pool
+        num_topics = reviewers[0].num_topics
+    else:
+        reviewers = make_jra_pool(max(num_candidates, 3), num_topics=num_topics, seed=seed)
+    if num_candidates > len(reviewers):
+        raise ConfigurationError(
+            f"requested {num_candidates} candidates but the pool has {len(reviewers)}"
+        )
+    rng = np.random.default_rng(seed)
+    chosen_positions = rng.choice(len(reviewers), size=num_candidates, replace=False)
+    candidates = [reviewers[int(position)] for position in sorted(chosen_positions)]
+
+    generator = SyntheticWorkloadGenerator(num_topics=num_topics, seed=seed)
+    paper_vector = generator.paper_vectors(
+        1, area_index=int(rng.integers(0, 3)), interdisciplinary_ratio=1.0, rng=rng
+    )[0]
+    paper = Paper(
+        id="jra-target-paper",
+        vector=TopicVector(paper_vector),
+        title="Synthetic journal submission",
+    )
+    return JRAProblem(paper=paper, reviewers=candidates, group_size=group_size)
+
+
+def scale_reviewers_by_h_index(problem: WGRAPProblem) -> WGRAPProblem:
+    """Scale every reviewer vector by its h-index (Appendix C, Equation 15).
+
+    Each vector is multiplied by ``1 + (h_r - h_min) / (h_max - h_min)``,
+    i.e. a factor in ``[1, 2]``.  Reviewers without an h-index are treated
+    as having the minimum.
+    """
+    h_values = [
+        reviewer.h_index if reviewer.h_index is not None else 0
+        for reviewer in problem.reviewers
+    ]
+    h_min, h_max = min(h_values), max(h_values)
+    spread = max(h_max - h_min, 1)
+    scaled = [
+        reviewer.with_vector(
+            reviewer.vector.scaled(1.0 + (h_value - h_min) / spread)
+        )
+        for reviewer, h_value in zip(problem.reviewers, h_values)
+    ]
+    return problem.with_reviewers(scaled)
+
+
+@dataclass(frozen=True)
+class WorkloadPreset:
+    """A named CRA workload used by the benchmark harness."""
+
+    name: str
+    dataset: str
+    group_size: int
+    scale: float
+
+
+#: the conference workloads exercised by the paper's Section 5.2 figures
+CRA_PRESETS: tuple[WorkloadPreset, ...] = (
+    WorkloadPreset("DB08-d3", dataset="DB08", group_size=3, scale=0.25),
+    WorkloadPreset("DB08-d4", dataset="DB08", group_size=4, scale=0.25),
+    WorkloadPreset("DB08-d5", dataset="DB08", group_size=5, scale=0.25),
+    WorkloadPreset("DM08-d3", dataset="DM08", group_size=3, scale=0.25),
+    WorkloadPreset("DM08-d4", dataset="DM08", group_size=4, scale=0.25),
+    WorkloadPreset("DM08-d5", dataset="DM08", group_size=5, scale=0.25),
+    WorkloadPreset("TH08-d3", dataset="TH08", group_size=3, scale=0.25),
+    WorkloadPreset("DB09-d3", dataset="DB09", group_size=3, scale=0.25),
+    WorkloadPreset("DM09-d3", dataset="DM09", group_size=3, scale=0.25),
+    WorkloadPreset("TH09-d3", dataset="TH09", group_size=3, scale=0.25),
+)

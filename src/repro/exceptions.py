@@ -1,0 +1,58 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+All exceptions raised by the library derive from :class:`ReproError` so that
+callers can catch library failures with a single ``except`` clause while
+still being able to distinguish configuration problems from infeasible
+problem instances or solver failures.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the ``repro`` package."""
+
+
+class ConfigurationError(ReproError):
+    """An object was constructed with inconsistent or invalid parameters."""
+
+
+class DimensionMismatchError(ConfigurationError):
+    """Two topic vectors (or a vector and a problem) have different sizes."""
+
+
+class InfeasibleProblemError(ReproError):
+    """The problem instance admits no feasible assignment.
+
+    Raised, for example, when ``R * delta_r < P * delta_p`` in a WGRAP
+    instance, or when conflicts of interest make it impossible to give a
+    paper its required number of reviewers.
+    """
+
+
+class InfeasibleAssignmentError(ReproError):
+    """An assignment violates the constraints of its problem instance."""
+
+
+class SolverError(ReproError):
+    """A solver failed to produce a result."""
+
+
+class UnboundedProblemError(SolverError):
+    """A linear program is unbounded in the direction of optimization."""
+
+
+class InfeasibleLinearProgramError(SolverError):
+    """A linear program has an empty feasible region."""
+
+
+class IterationLimitError(SolverError):
+    """An iterative solver exceeded its iteration budget before converging."""
+
+
+class UnknownScoringFunctionError(ConfigurationError, KeyError):
+    """A scoring function name was not found in the registry."""
+
+
+class VocabularyError(ReproError):
+    """A token or document refers to a word missing from the vocabulary."""

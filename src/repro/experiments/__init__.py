@@ -1,0 +1,64 @@
+"""Experiment harness: regenerates every table and figure of the paper."""
+
+from repro.experiments.case_study import (
+    CASE_STUDY_METHODS,
+    CaseStudyResult,
+    pick_interdisciplinary_paper,
+    run_case_study,
+)
+from repro.experiments.cra_quality import (
+    CRAQualityResult,
+    build_dataset_problem,
+    run_cra_quality,
+)
+from repro.experiments.jra_scalability import (
+    JRAScalabilityConfig,
+    run_cp_comparison,
+    run_group_size_scalability,
+    run_pool_size_scalability,
+    run_topk_experiment,
+)
+from repro.experiments.refinement import run_omega_sensitivity, run_refinement_comparison
+from repro.experiments.reporting import ExperimentTable, format_ratio, format_seconds
+from repro.experiments.runner import (
+    DEFAULT_CRA_METHODS,
+    DEFAULT_JRA_METHODS,
+    ExperimentConfig,
+    make_cra_solver,
+    make_jra_solver,
+    run_cra_methods,
+)
+from repro.experiments.scoring_ablation import (
+    run_h_index_scaling,
+    run_scoring_ablation,
+    scoring_toy_example,
+)
+
+__all__ = [
+    "CASE_STUDY_METHODS",
+    "CaseStudyResult",
+    "pick_interdisciplinary_paper",
+    "run_case_study",
+    "CRAQualityResult",
+    "build_dataset_problem",
+    "run_cra_quality",
+    "JRAScalabilityConfig",
+    "run_cp_comparison",
+    "run_group_size_scalability",
+    "run_pool_size_scalability",
+    "run_topk_experiment",
+    "run_omega_sensitivity",
+    "run_refinement_comparison",
+    "ExperimentTable",
+    "format_ratio",
+    "format_seconds",
+    "DEFAULT_CRA_METHODS",
+    "DEFAULT_JRA_METHODS",
+    "ExperimentConfig",
+    "make_cra_solver",
+    "make_jra_solver",
+    "run_cra_methods",
+    "run_h_index_scaling",
+    "run_scoring_ablation",
+    "scoring_toy_example",
+]

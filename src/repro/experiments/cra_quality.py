@@ -1,0 +1,163 @@
+"""Conference-assignment quality experiments.
+
+Regenerates the quality-oriented figures and tables of Section 5.2:
+
+* **Table 4** — response time of the approximate methods.
+* **Figure 10 / 17 / 18** — optimality ratio against the ideal assignment.
+* **Figure 11** — superiority ratio of SDGA-SRA over the competitors.
+* **Table 7** — lowest per-paper coverage score.
+
+Every run produces a :class:`CRAQualityResult` from which all four views
+can be printed, so the expensive part (running all solvers) happens once
+per dataset and group size.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass, field
+
+from repro.core.problem import WGRAPProblem
+from repro.cra.base import CRAResult
+from repro.cra.ideal import IdealAssignment, ideal_assignment
+from repro.data.synthetic import SyntheticWorkloadGenerator
+from repro.experiments.reporting import ExperimentTable
+from repro.experiments.runner import DEFAULT_CRA_METHODS, ExperimentConfig, run_cra_methods
+from repro.metrics.quality import lowest_coverage_score, superiority_ratio
+
+__all__ = ["CRAQualityResult", "run_cra_quality", "build_dataset_problem"]
+
+
+@dataclass
+class CRAQualityResult:
+    """All method results for one (dataset, group size) configuration."""
+
+    dataset: str
+    group_size: int
+    problem: WGRAPProblem
+    ideal: IdealAssignment
+    results: dict[str, CRAResult] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------
+    # Views over the results
+    # ------------------------------------------------------------------
+    def optimality_ratios(self) -> dict[str, float]:
+        """``c(A)/c(AI)`` per method (Figure 10 / 17 / 18)."""
+        if self.ideal.score <= 0:
+            return {method: 1.0 for method in self.results}
+        return {
+            method: result.score / self.ideal.score
+            for method, result in self.results.items()
+        }
+
+    def response_times(self) -> dict[str, float]:
+        """Wall-clock seconds per method (Table 4)."""
+        return {method: result.elapsed_seconds for method, result in self.results.items()}
+
+    def lowest_coverage(self) -> dict[str, float]:
+        """Worst per-paper coverage per method (Table 7)."""
+        return {
+            method: lowest_coverage_score(self.problem, result.assignment)
+            for method, result in self.results.items()
+        }
+
+    def superiority_of(self, reference: str = "SDGA-SRA") -> dict[str, dict[str, float]]:
+        """Superiority ratio of ``reference`` over every other method (Figure 11)."""
+        reference_result = self.results[reference]
+        breakdowns: dict[str, dict[str, float]] = {}
+        for method, result in self.results.items():
+            if method == reference:
+                continue
+            breakdown = superiority_ratio(
+                self.problem, reference_result.assignment, result.assignment
+            )
+            breakdowns[method] = {
+                "superiority": breakdown.superiority,
+                "strict": breakdown.strict_superiority,
+                "ties": breakdown.tie_ratio,
+            }
+        return breakdowns
+
+    # ------------------------------------------------------------------
+    # Table renderings
+    # ------------------------------------------------------------------
+    def optimality_table(self) -> ExperimentTable:
+        """The Figure 10-style table for this configuration."""
+        table = ExperimentTable(
+            title=f"Optimality ratio — {self.dataset}, delta_p={self.group_size}",
+            columns=["method", "optimality ratio", "coverage score"],
+        )
+        ratios = self.optimality_ratios()
+        for method, result in self.results.items():
+            table.add_row(method, ratios[method], result.score)
+        return table
+
+    def timing_table(self) -> ExperimentTable:
+        """The Table 4-style table for this configuration."""
+        table = ExperimentTable(
+            title=f"Response time — {self.dataset}, delta_p={self.group_size}",
+            columns=["method", "time (s)"],
+        )
+        for method, seconds in self.response_times().items():
+            table.add_row(method, seconds)
+        return table
+
+    def superiority_table(self, reference: str = "SDGA-SRA") -> ExperimentTable:
+        """The Figure 11-style table for this configuration."""
+        table = ExperimentTable(
+            title=(
+                f"Superiority of {reference} — {self.dataset}, delta_p={self.group_size}"
+            ),
+            columns=["versus", "superiority ratio", "strict wins", "ties"],
+        )
+        for method, breakdown in self.superiority_of(reference).items():
+            table.add_row(
+                method, breakdown["superiority"], breakdown["strict"], breakdown["ties"]
+            )
+        return table
+
+    def lowest_coverage_table(self) -> ExperimentTable:
+        """The Table 7-style table for this configuration."""
+        table = ExperimentTable(
+            title=f"Lowest coverage score — {self.dataset}, delta_p={self.group_size}",
+            columns=["method", "lowest coverage"],
+        )
+        for method, value in self.lowest_coverage().items():
+            table.add_row(method, value)
+        return table
+
+
+def build_dataset_problem(
+    dataset: str,
+    group_size: int,
+    config: ExperimentConfig | None = None,
+    scoring: str | None = None,
+) -> WGRAPProblem:
+    """Generate the (scaled) synthetic stand-in for one Table 3 dataset."""
+    config = config or ExperimentConfig()
+    generator = SyntheticWorkloadGenerator(num_topics=config.num_topics, seed=config.seed)
+    return generator.generate_dataset(
+        dataset, scale=config.scale, group_size=group_size, scoring=scoring
+    )
+
+
+def run_cra_quality(
+    dataset: str = "DB08",
+    group_size: int = 3,
+    methods: Sequence[str] = DEFAULT_CRA_METHODS,
+    config: ExperimentConfig | None = None,
+    problem: WGRAPProblem | None = None,
+) -> CRAQualityResult:
+    """Run all requested methods on one dataset/group-size configuration."""
+    config = config or ExperimentConfig()
+    if problem is None:
+        problem = build_dataset_problem(dataset, group_size, config)
+    ideal = ideal_assignment(problem)
+    results = run_cra_methods(problem, methods, config)
+    return CRAQualityResult(
+        dataset=dataset,
+        group_size=group_size,
+        problem=problem,
+        ideal=ideal,
+        results=results,
+    )

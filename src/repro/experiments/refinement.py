@@ -1,0 +1,95 @@
+"""Refinement experiments: SRA vs. local search and the effect of omega.
+
+* **Figure 12** compares the optimality ratio reached by the stochastic
+  refinement (SRA) and by plain local search (LS) as a function of the
+  post-processing time budget, both starting from the same SDGA solution.
+* **Figure 16** studies the convergence window ``omega``: larger windows
+  buy slightly better quality at a steep cost in refinement time.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.core.problem import WGRAPProblem
+from repro.cra.ideal import ideal_assignment
+from repro.cra.local_search import LocalSearchRefiner
+from repro.cra.sdga import StageDeepeningGreedySolver
+from repro.cra.sra import StochasticRefiner
+from repro.experiments.cra_quality import build_dataset_problem
+from repro.experiments.reporting import ExperimentTable
+from repro.experiments.runner import ExperimentConfig
+
+__all__ = ["run_refinement_comparison", "run_omega_sensitivity"]
+
+
+def run_refinement_comparison(
+    dataset: str = "DB08",
+    group_size: int = 3,
+    time_budgets: Sequence[float] = (2.0, 5.0, 10.0, 20.0),
+    config: ExperimentConfig | None = None,
+    problem: WGRAPProblem | None = None,
+) -> ExperimentTable:
+    """Figure 12: optimality ratio of SDGA-SRA vs SDGA-LS per time budget.
+
+    Both refiners start from the same SDGA assignment; each row reports the
+    optimality ratio reached within the given wall-clock budget.
+    """
+    config = config or ExperimentConfig()
+    if problem is None:
+        problem = build_dataset_problem(dataset, group_size, config)
+    ideal = ideal_assignment(problem)
+    base = StageDeepeningGreedySolver().solve(problem)
+    base_ratio = base.score / ideal.score if ideal.score > 0 else 1.0
+
+    table = ExperimentTable(
+        title=f"Refinement quality vs time — {dataset}, delta_p={group_size}",
+        columns=["time budget (s)", "SDGA-SRA ratio", "SDGA-LS ratio", "SDGA ratio"],
+    )
+    for budget in time_budgets:
+        sra = StochasticRefiner(
+            convergence_window=10_000,  # let the time budget be the stopping rule
+            time_budget=float(budget),
+            seed=config.seed,
+        )
+        refined_sra, _ = sra.refine(problem, base.assignment)
+        local_search = LocalSearchRefiner(max_rounds=10_000, time_budget=float(budget))
+        refined_ls, _ = local_search.refine(problem, base.assignment)
+        sra_ratio = (
+            problem.assignment_score(refined_sra) / ideal.score if ideal.score > 0 else 1.0
+        )
+        ls_ratio = (
+            problem.assignment_score(refined_ls) / ideal.score if ideal.score > 0 else 1.0
+        )
+        table.add_row(float(budget), sra_ratio, ls_ratio, base_ratio)
+    return table
+
+
+def run_omega_sensitivity(
+    dataset: str = "DB08",
+    group_size: int = 3,
+    omegas: Sequence[int] = (2, 5, 10, 20, 40),
+    config: ExperimentConfig | None = None,
+    problem: WGRAPProblem | None = None,
+) -> ExperimentTable:
+    """Figure 16: quality and refinement time as a function of omega."""
+    config = config or ExperimentConfig()
+    if problem is None:
+        problem = build_dataset_problem(dataset, group_size, config)
+    ideal = ideal_assignment(problem)
+    base = StageDeepeningGreedySolver().solve(problem)
+
+    table = ExperimentTable(
+        title=f"Effect of omega — {dataset}, delta_p={group_size}",
+        columns=["omega", "optimality ratio", "refinement time (s)", "rounds"],
+    )
+    for omega in omegas:
+        refiner = StochasticRefiner(convergence_window=int(omega), seed=config.seed)
+        refined, stats = refiner.refine(problem, base.assignment)
+        history = stats["history"]
+        elapsed = history[-1].elapsed_seconds if history else 0.0
+        ratio = (
+            problem.assignment_score(refined) / ideal.score if ideal.score > 0 else 1.0
+        )
+        table.add_row(int(omega), ratio, float(elapsed), stats["rounds"])
+    return table

@@ -1,0 +1,128 @@
+"""Small reporting helpers shared by the experiment harness.
+
+Experiments produce :class:`ExperimentTable` objects — named columns plus a
+list of rows — which render to aligned plain text (what the benchmark
+harness prints, mirroring the rows/series of the paper's tables and
+figures) and to CSV for further processing.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any
+
+from repro.exceptions import ConfigurationError
+
+__all__ = ["ExperimentTable", "format_seconds", "format_ratio"]
+
+
+def format_seconds(value: float) -> str:
+    """Human-friendly rendering of a duration in seconds."""
+    if value < 0:
+        raise ConfigurationError("durations cannot be negative")
+    if value < 1e-3:
+        return f"{value * 1e6:.0f}us"
+    if value < 1.0:
+        return f"{value * 1e3:.1f}ms"
+    if value < 120.0:
+        return f"{value:.2f}s"
+    return f"{value / 60.0:.1f}min"
+
+
+def format_ratio(value: float) -> str:
+    """Render a ratio in the paper's percentage style (e.g. ``97.3%``)."""
+    return f"{value * 100.0:.1f}%"
+
+
+@dataclass
+class ExperimentTable:
+    """A titled table of experiment results.
+
+    Attributes
+    ----------
+    title:
+        Table caption (e.g. ``"Figure 10(a): optimality ratio, Databases"``).
+    columns:
+        Column headers.
+    rows:
+        Row values; each row must have one cell per column.
+    """
+
+    title: str
+    columns: Sequence[str]
+    rows: list[list[Any]] = field(default_factory=list)
+
+    def add_row(self, *values: Any) -> None:
+        """Append a row (must match the number of columns)."""
+        if len(values) != len(self.columns):
+            raise ConfigurationError(
+                f"row has {len(values)} cells but the table has {len(self.columns)} columns"
+            )
+        self.rows.append(list(values))
+
+    def column(self, name: str) -> list[Any]:
+        """All values of one column, by header name."""
+        try:
+            index = list(self.columns).index(name)
+        except ValueError:
+            raise ConfigurationError(f"unknown column {name!r}") from None
+        return [row[index] for row in self.rows]
+
+    # ------------------------------------------------------------------
+    # Rendering
+    # ------------------------------------------------------------------
+    def to_text(self) -> str:
+        """Aligned plain-text rendering (what the benches print)."""
+        rendered_rows = [[_render(cell) for cell in row] for row in self.rows]
+        headers = [str(column) for column in self.columns]
+        widths = [
+            max(len(headers[index]), *(len(row[index]) for row in rendered_rows))
+            if rendered_rows
+            else len(headers[index])
+            for index in range(len(headers))
+        ]
+        lines = [self.title, "-" * len(self.title)]
+        lines.append("  ".join(header.ljust(width) for header, width in zip(headers, widths)))
+        for row in rendered_rows:
+            lines.append("  ".join(cell.ljust(width) for cell, width in zip(row, widths)))
+        return "\n".join(lines)
+
+    def to_csv(self) -> str:
+        """Comma-separated rendering (no quoting; cells must not contain commas)."""
+        lines = [",".join(str(column) for column in self.columns)]
+        for row in self.rows:
+            lines.append(",".join(_render(cell) for cell in row))
+        return "\n".join(lines)
+
+    def save_csv(self, path: str | Path) -> Path:
+        """Write the CSV rendering to a file and return the path."""
+        path = Path(path)
+        path.write_text(self.to_csv() + "\n", encoding="utf-8")
+        return path
+
+    def __str__(self) -> str:
+        return self.to_text()
+
+
+def _render(cell: Any) -> str:
+    if isinstance(cell, float):
+        return f"{cell:.4f}"
+    return str(cell)
+
+
+def merge_tables(title: str, tables: Iterable[ExperimentTable]) -> ExperimentTable:
+    """Concatenate tables that share the same columns under a new title."""
+    tables = list(tables)
+    if not tables:
+        raise ConfigurationError("merge_tables needs at least one table")
+    columns = list(tables[0].columns)
+    for table in tables:
+        if list(table.columns) != columns:
+            raise ConfigurationError("all merged tables must share the same columns")
+    merged = ExperimentTable(title=title, columns=columns)
+    for table in tables:
+        for row in table.rows:
+            merged.add_row(*row)
+    return merged

@@ -1,0 +1,32 @@
+"""Extensions beyond the paper's core contribution.
+
+* :mod:`repro.extensions.bidding` — the bid-aware objective the paper lists
+  as future work (coverage + reviewer preferences), with an SDGA variant
+  that keeps the approximation guarantee.
+* :mod:`repro.extensions.incremental` — incremental maintenance of an
+  existing assignment (late submissions, reviewer withdrawals).
+"""
+
+from repro.extensions.bidding import (
+    BidAwareObjective,
+    BidAwareSDGASolver,
+    BidLevel,
+    BidMatrix,
+    bid_satisfaction,
+)
+from repro.extensions.incremental import (
+    IncrementalUpdate,
+    assign_additional_paper,
+    withdraw_reviewer,
+)
+
+__all__ = [
+    "BidAwareObjective",
+    "BidAwareSDGASolver",
+    "BidLevel",
+    "BidMatrix",
+    "bid_satisfaction",
+    "IncrementalUpdate",
+    "assign_additional_paper",
+    "withdraw_reviewer",
+]

@@ -1,0 +1,178 @@
+"""Incremental maintenance of an existing assignment.
+
+Real review processes are not one-shot: late submissions arrive after the
+bulk assignment has been made, and reviewers occasionally drop out.  This
+module provides the two corresponding maintenance operations on top of the
+WGRAP machinery:
+
+* :func:`assign_additional_paper` — staff a newly arrived submission with
+  the reviewers that still have spare capacity, using the exact BBA solver
+  (this is exactly the Journal Reviewer Assignment sub-problem of
+  Section 3, applied inside a conference).
+* :func:`withdraw_reviewer` — remove a reviewer from the pool and re-staff
+  the affected papers with a capacitated assignment over the remaining
+  spare capacity (the same machinery as an SDGA stage / the repair pass).
+
+Both functions return a *new* problem and a *new* assignment; the inputs
+are never mutated.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.assignment import Assignment
+from repro.core.entities import Paper
+from repro.core.problem import JRAProblem, WGRAPProblem
+from repro.cra.repair import complete_assignment
+from repro.exceptions import ConfigurationError, InfeasibleProblemError
+from repro.jra.bba import BranchAndBoundSolver
+
+__all__ = ["IncrementalUpdate", "assign_additional_paper", "withdraw_reviewer"]
+
+
+@dataclass(frozen=True)
+class IncrementalUpdate:
+    """Result of an incremental maintenance operation.
+
+    Attributes
+    ----------
+    problem:
+        The updated problem instance (with the paper added or the reviewer
+        removed).
+    assignment:
+        The updated, feasible assignment for that problem.
+    affected_papers:
+        Papers whose reviewer group changed during the update.
+    """
+
+    problem: WGRAPProblem
+    assignment: Assignment
+    affected_papers: tuple[str, ...]
+
+
+def assign_additional_paper(
+    problem: WGRAPProblem,
+    assignment: Assignment,
+    paper: Paper,
+    reviewer_workload: int | None = None,
+) -> IncrementalUpdate:
+    """Add a late submission and staff it without touching existing groups.
+
+    Parameters
+    ----------
+    problem:
+        The current problem (the new paper must not already be part of it).
+    assignment:
+        The current, complete assignment for ``problem``.
+    paper:
+        The newly arrived submission.
+    reviewer_workload:
+        Optional new workload bound ``delta_r``; when omitted the existing
+        bound is kept, and an :class:`InfeasibleProblemError` is raised if
+        the remaining capacity cannot absorb the new paper (the chair must
+        then raise the workload explicitly).
+
+    Raises
+    ------
+    ConfigurationError
+        If the paper id already exists in the problem.
+    InfeasibleProblemError
+        If fewer than ``delta_p`` reviewers have spare capacity.
+    """
+    if paper.id in problem.paper_ids:
+        raise ConfigurationError(f"paper {paper.id!r} is already part of the problem")
+    problem.validate_assignment(assignment, require_complete=True)
+
+    workload = reviewer_workload if reviewer_workload is not None else problem.reviewer_workload
+    updated_problem = WGRAPProblem(
+        papers=[*problem.papers, paper],
+        reviewers=problem.reviewers,
+        group_size=problem.group_size,
+        reviewer_workload=workload,
+        conflicts=problem.conflicts,
+        scoring=problem.scoring,
+        validate_capacity=False,
+    )
+
+    exhausted = {
+        reviewer_id
+        for reviewer_id in problem.reviewer_ids
+        if assignment.load(reviewer_id) >= workload
+    }
+    excluded = exhausted | set(problem.conflicts.reviewers_conflicting_with(paper.id))
+    available = problem.num_reviewers - len(excluded)
+    if available < problem.group_size:
+        raise InfeasibleProblemError(
+            f"only {available} reviewers have spare capacity for the new paper; "
+            "increase reviewer_workload to absorb it"
+        )
+
+    jra = JRAProblem(
+        paper=paper,
+        reviewers=problem.reviewers,
+        group_size=problem.group_size,
+        excluded_reviewers=excluded,
+        scoring=problem.scoring,
+    )
+    group = BranchAndBoundSolver().solve(jra)
+
+    updated_assignment = assignment.copy()
+    for reviewer_id in group.reviewer_ids:
+        updated_assignment.add(reviewer_id, paper.id)
+    updated_problem.validate_assignment(updated_assignment, require_complete=True)
+    return IncrementalUpdate(
+        problem=updated_problem,
+        assignment=updated_assignment,
+        affected_papers=(paper.id,),
+    )
+
+
+def withdraw_reviewer(
+    problem: WGRAPProblem,
+    assignment: Assignment,
+    reviewer_id: str,
+) -> IncrementalUpdate:
+    """Remove a reviewer from the pool and re-staff their papers.
+
+    The reviewer's papers keep their other group members; the vacated slots
+    are refilled by the repair pass (a capacitated assignment maximising
+    marginal coverage, with augmenting swaps if capacity is tight).
+
+    Raises
+    ------
+    KeyError
+        If the reviewer is not part of the problem.
+    InfeasibleProblemError
+        If the remaining pool cannot cover the vacated slots.
+    """
+    problem.reviewer_index(reviewer_id)  # raises KeyError for unknown reviewers
+    problem.validate_assignment(assignment, require_complete=True)
+
+    affected = tuple(sorted(assignment.papers_of(reviewer_id)))
+    remaining_reviewers = [
+        reviewer for reviewer in problem.reviewers if reviewer.id != reviewer_id
+    ]
+    if not remaining_reviewers:
+        raise InfeasibleProblemError("cannot withdraw the only reviewer in the pool")
+
+    updated_problem = WGRAPProblem(
+        papers=problem.papers,
+        reviewers=remaining_reviewers,
+        group_size=problem.group_size,
+        reviewer_workload=problem.reviewer_workload,
+        conflicts=problem.conflicts,
+        scoring=problem.scoring,
+        validate_capacity=False,
+    )
+
+    stripped = Assignment(
+        pair for pair in assignment.pairs() if pair[0] != reviewer_id
+    )
+    repaired = complete_assignment(updated_problem, stripped)
+    updated_problem.validate_assignment(repaired, require_complete=True)
+    return IncrementalUpdate(
+        problem=updated_problem,
+        assignment=repaired,
+        affected_papers=affected,
+    )

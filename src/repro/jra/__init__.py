@@ -1,0 +1,29 @@
+"""Journal Reviewer Assignment (JRA) solvers — Section 3 of the paper.
+
+All solvers here are *exact* (given enough search budget):
+
+* :class:`~repro.jra.bba.BranchAndBoundSolver` — the paper's BBA, the fast one.
+* :class:`~repro.jra.brute_force.BruteForceSolver` — exhaustive enumeration.
+* :class:`~repro.jra.ilp.ILPSolver` — the ILP formulation solved by our
+  branch-and-bound over LP relaxations.
+* :class:`~repro.jra.cp.ConstraintProgrammingSolver` — a generic CP search
+  with a weak bound, standing in for the commercial CP solver of the paper.
+"""
+
+from repro.jra.base import JRAResult, JRASolver
+from repro.jra.bba import BranchAndBoundSolver
+from repro.jra.brute_force import BruteForceSolver
+from repro.jra.cp import ConstraintProgrammingSolver
+from repro.jra.ilp import ILPSolver
+from repro.jra.topk import RankedGroup, find_top_k_groups
+
+__all__ = [
+    "JRAResult",
+    "JRASolver",
+    "BranchAndBoundSolver",
+    "BruteForceSolver",
+    "ConstraintProgrammingSolver",
+    "ILPSolver",
+    "RankedGroup",
+    "find_top_k_groups",
+]

@@ -1,0 +1,85 @@
+"""Common interface for Journal Reviewer Assignment (JRA) solvers.
+
+Every solver in :mod:`repro.jra` takes a :class:`~repro.core.problem.JRAProblem`
+and returns a :class:`JRAResult`: the best reviewer group it found, the
+group's coverage score and solver statistics (node counts, wall-clock time).
+Exact solvers (brute force, BBA, ILP with an exhausted search tree, CP)
+return provably optimal groups.
+"""
+
+from __future__ import annotations
+
+import time
+from abc import ABC, abstractmethod
+from collections.abc import Mapping
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.core.problem import JRAProblem
+
+__all__ = ["JRAResult", "JRASolver"]
+
+
+@dataclass(frozen=True)
+class JRAResult:
+    """Outcome of a JRA solver run.
+
+    Attributes
+    ----------
+    reviewer_ids:
+        The selected reviewer group (ids, in no particular order).
+    score:
+        Weighted coverage (or the configured scoring function) of the group.
+    is_optimal:
+        Whether the solver proved optimality.
+    elapsed_seconds:
+        Wall-clock time spent solving.
+    stats:
+        Solver-specific counters (nodes explored, combinations evaluated,
+        prunings, ...), useful for the scalability experiments.
+    """
+
+    reviewer_ids: tuple[str, ...]
+    score: float
+    is_optimal: bool
+    elapsed_seconds: float
+    stats: Mapping[str, Any] = field(default_factory=dict)
+
+    @property
+    def group_size(self) -> int:
+        """Number of reviewers in the returned group."""
+        return len(self.reviewer_ids)
+
+
+class JRASolver(ABC):
+    """Base class for JRA solvers.
+
+    Subclasses implement :meth:`_solve`; the public :meth:`solve` adds
+    timing and input validation so all solvers report comparable statistics.
+    """
+
+    #: short name used in experiment reports ("BBA", "BFS", "ILP", "CP")
+    name: str = "abstract"
+
+    def solve(self, problem: JRAProblem) -> JRAResult:
+        """Find a reviewer group of size ``problem.group_size``."""
+        started = time.perf_counter()
+        reviewer_ids, score, is_optimal, stats = self._solve(problem)
+        elapsed = time.perf_counter() - started
+        problem.validate_group(reviewer_ids)
+        return JRAResult(
+            reviewer_ids=tuple(reviewer_ids),
+            score=float(score),
+            is_optimal=bool(is_optimal),
+            elapsed_seconds=elapsed,
+            stats=dict(stats),
+        )
+
+    @abstractmethod
+    def _solve(
+        self, problem: JRAProblem
+    ) -> tuple[tuple[str, ...], float, bool, dict[str, Any]]:
+        """Return ``(reviewer_ids, score, is_optimal, stats)``."""
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}()"

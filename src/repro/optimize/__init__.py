@@ -1,0 +1,20 @@
+"""LP / ILP substrate: model builder, simplex solver and branch-and-bound.
+
+These replace the third-party ``lp_solve`` library used by the paper's ILP
+baselines.  They are generic optimisation tools; the reviewer-assignment
+formulations live in :mod:`repro.jra.ilp` and :mod:`repro.cra.ilp`.
+"""
+
+from repro.optimize.branch_and_bound import BranchAndBoundSolver, ILPSolution
+from repro.optimize.model import LinearProgram, ModelBuilder, Sense
+from repro.optimize.simplex import LPSolution, solve_linear_program
+
+__all__ = [
+    "BranchAndBoundSolver",
+    "ILPSolution",
+    "LinearProgram",
+    "ModelBuilder",
+    "Sense",
+    "LPSolution",
+    "solve_linear_program",
+]

@@ -1,0 +1,25 @@
+"""Topic-modelling substrate: tokenisation, LDA, the Author-Topic Model and
+EM inference of submission vectors (Section 2.4 / Appendix A of the paper)."""
+
+from repro.topics.atm import ATMResult, AuthorTopicModel
+from repro.topics.corpus import Corpus, Document
+from repro.topics.em import EMInferenceResult, infer_document_vectors, infer_topic_mixture
+from repro.topics.lda import LatentDirichletAllocation, LDAModel
+from repro.topics.pipeline import TopicExtractionPipeline
+from repro.topics.text import STOP_WORDS, Vocabulary, tokenize
+
+__all__ = [
+    "ATMResult",
+    "AuthorTopicModel",
+    "Corpus",
+    "Document",
+    "EMInferenceResult",
+    "infer_document_vectors",
+    "infer_topic_mixture",
+    "LatentDirichletAllocation",
+    "LDAModel",
+    "TopicExtractionPipeline",
+    "STOP_WORDS",
+    "Vocabulary",
+    "tokenize",
+]

@@ -1,0 +1,126 @@
+"""EM inference of paper topic vectors (Equation 11 of the paper).
+
+Once the Author-Topic Model has produced the topic set (the topic-word
+distributions ``p(w | t)``), each *submitted* paper's topic vector is the
+mixture that maximises the likelihood of its abstract:
+
+.. math::
+
+    \\vec p = \\arg\\max_{\\vec p} \\prod_{i=1}^{W_p}
+              \\sum_{j=1}^{T} p(w_i | t_j) \\, \\vec p[t_j]
+
+This is a standard mixture-weight estimation problem solved by
+Expectation-Maximisation: the E-step computes the responsibility of every
+topic for every token, the M-step sets the mixture to the average
+responsibility.  The resulting vector is normalised (sums to one), exactly
+what the WGRAP scoring assumes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+
+__all__ = ["EMInferenceResult", "infer_topic_mixture", "infer_document_vectors"]
+
+
+@dataclass(frozen=True)
+class EMInferenceResult:
+    """Result of one EM mixture estimation."""
+
+    mixture: np.ndarray
+    log_likelihood: float
+    iterations: int
+    converged: bool
+
+
+def infer_topic_mixture(
+    word_ids: list[int] | np.ndarray,
+    topic_word: np.ndarray,
+    max_iterations: int = 200,
+    tolerance: float = 1e-7,
+    smoothing: float = 1e-10,
+) -> EMInferenceResult:
+    """Estimate the topic mixture of a single document.
+
+    Parameters
+    ----------
+    word_ids:
+        The document's tokens as vocabulary ids (out-of-vocabulary tokens
+        must already be removed).
+    topic_word:
+        ``(T, V)`` topic-word probability matrix from the fitted topic model.
+    max_iterations:
+        EM iteration budget.
+    tolerance:
+        Convergence threshold on the log-likelihood improvement.
+    smoothing:
+        Small constant added to ``p(w | t)`` to avoid zero-probability
+        tokens breaking the E-step.
+
+    Returns
+    -------
+    EMInferenceResult
+        The normalised mixture and convergence information.  A document
+        with no usable tokens yields the uniform mixture.
+    """
+    topic_word = np.asarray(topic_word, dtype=np.float64)
+    if topic_word.ndim != 2:
+        raise ConfigurationError("topic_word must be a (T, V) matrix")
+    num_topics = topic_word.shape[0]
+    words = np.asarray(word_ids, dtype=np.int64)
+    if words.size == 0:
+        return EMInferenceResult(
+            mixture=np.full(num_topics, 1.0 / num_topics),
+            log_likelihood=0.0,
+            iterations=0,
+            converged=True,
+        )
+    if words.min(initial=0) < 0 or words.max(initial=0) >= topic_word.shape[1]:
+        raise ConfigurationError("word ids are out of range for the topic-word matrix")
+
+    # (W, T): probability of each observed token under each topic.
+    token_topic = topic_word[:, words].T + smoothing
+
+    mixture = np.full(num_topics, 1.0 / num_topics, dtype=np.float64)
+    previous_log_likelihood = -np.inf
+    converged = False
+    iterations = 0
+
+    for iterations in range(1, max_iterations + 1):
+        weighted = token_topic * mixture[None, :]
+        token_totals = weighted.sum(axis=1, keepdims=True)
+        responsibilities = weighted / token_totals
+        mixture = responsibilities.mean(axis=0)
+        log_likelihood = float(np.log(token_totals).sum())
+        if log_likelihood - previous_log_likelihood < tolerance:
+            converged = True
+            previous_log_likelihood = log_likelihood
+            break
+        previous_log_likelihood = log_likelihood
+
+    return EMInferenceResult(
+        mixture=mixture,
+        log_likelihood=previous_log_likelihood,
+        iterations=iterations,
+        converged=converged,
+    )
+
+
+def infer_document_vectors(
+    encoded_documents: list[list[int]],
+    topic_word: np.ndarray,
+    max_iterations: int = 200,
+    tolerance: float = 1e-7,
+) -> np.ndarray:
+    """Infer the topic mixture of every document; returns a ``(D, T)`` matrix."""
+    vectors = [
+        infer_topic_mixture(
+            word_ids, topic_word, max_iterations=max_iterations, tolerance=tolerance
+        ).mixture
+        for word_ids in encoded_documents
+    ]
+    return np.vstack(vectors)

@@ -1,0 +1,183 @@
+"""Latent Dirichlet Allocation with collapsed Gibbs sampling.
+
+LDA (Blei, Ng and Jordan 2003) is the basic topic model the paper builds
+on; the Author-Topic Model of :mod:`repro.topics.atm` extends it with an
+author layer.  Both share the same collapsed Gibbs machinery: the topic of
+every token is resampled from its conditional distribution given all other
+assignments, and the converged counts yield the topic-word and
+document-topic distributions.
+
+The sampler is written with per-token Python loops over vectorised numpy
+probability computations — ample for the corpus sizes of the reviewer
+assignment pipeline (hundreds of abstracts).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+from repro.topics.corpus import Corpus
+
+__all__ = ["LDAModel", "LatentDirichletAllocation"]
+
+
+@dataclass(frozen=True)
+class LDAModel:
+    """A fitted LDA model.
+
+    Attributes
+    ----------
+    topic_word:
+        ``(T, V)`` matrix; row ``t`` is the word distribution of topic ``t``.
+    document_topic:
+        ``(D, T)`` matrix; row ``d`` is the topic mixture of document ``d``.
+    log_likelihood_trace:
+        Per-iteration joint log-likelihood (useful to check convergence).
+    """
+
+    topic_word: np.ndarray
+    document_topic: np.ndarray
+    log_likelihood_trace: tuple[float, ...]
+
+    @property
+    def num_topics(self) -> int:
+        """Number of topics ``T``."""
+        return int(self.topic_word.shape[0])
+
+    def top_words(self, topic: int, vocabulary, count: int = 10) -> list[str]:
+        """The ``count`` highest-probability words of a topic."""
+        order = np.argsort(-self.topic_word[topic])[:count]
+        return [vocabulary.word_of(int(word_id)) for word_id in order]
+
+
+class LatentDirichletAllocation:
+    """Collapsed Gibbs sampler for LDA.
+
+    Parameters
+    ----------
+    num_topics:
+        Number of topics ``T`` (the paper uses 30).
+    alpha:
+        Symmetric Dirichlet prior on document-topic mixtures.
+    beta:
+        Symmetric Dirichlet prior on topic-word distributions.
+    iterations:
+        Number of Gibbs sweeps over the corpus.
+    seed:
+        Random seed for reproducibility.
+    """
+
+    def __init__(
+        self,
+        num_topics: int,
+        alpha: float = 0.1,
+        beta: float = 0.01,
+        iterations: int = 200,
+        seed: int | None = 0,
+    ) -> None:
+        if num_topics < 1:
+            raise ConfigurationError("num_topics must be at least 1")
+        if alpha <= 0 or beta <= 0:
+            raise ConfigurationError("alpha and beta must be positive")
+        if iterations < 1:
+            raise ConfigurationError("iterations must be at least 1")
+        self._num_topics = num_topics
+        self._alpha = alpha
+        self._beta = beta
+        self._iterations = iterations
+        self._seed = seed
+
+    def fit(self, corpus: Corpus) -> LDAModel:
+        """Run the Gibbs sampler and return the fitted model."""
+        rng = np.random.default_rng(self._seed)
+        num_topics = self._num_topics
+        num_words = corpus.num_words
+        num_documents = corpus.num_documents
+
+        documents = [np.asarray(corpus.encoded_document(d), dtype=np.int64)
+                     for d in range(num_documents)]
+
+        document_topic_counts = np.zeros((num_documents, num_topics), dtype=np.float64)
+        topic_word_counts = np.zeros((num_topics, num_words), dtype=np.float64)
+        topic_totals = np.zeros(num_topics, dtype=np.float64)
+        assignments: list[np.ndarray] = []
+
+        # Random initialisation.
+        for document_index, words in enumerate(documents):
+            topics = rng.integers(0, num_topics, size=words.size)
+            assignments.append(topics)
+            for word, topic in zip(words, topics):
+                document_topic_counts[document_index, topic] += 1
+                topic_word_counts[topic, word] += 1
+                topic_totals[topic] += 1
+
+        trace: list[float] = []
+        for _ in range(self._iterations):
+            for document_index, words in enumerate(documents):
+                topics = assignments[document_index]
+                for position in range(words.size):
+                    word = words[position]
+                    old_topic = topics[position]
+                    # Remove the token from the counts.
+                    document_topic_counts[document_index, old_topic] -= 1
+                    topic_word_counts[old_topic, word] -= 1
+                    topic_totals[old_topic] -= 1
+                    # Conditional distribution over topics.
+                    weights = (
+                        (document_topic_counts[document_index] + self._alpha)
+                        * (topic_word_counts[:, word] + self._beta)
+                        / (topic_totals + self._beta * num_words)
+                    )
+                    new_topic = _sample_index(weights, rng)
+                    topics[position] = new_topic
+                    document_topic_counts[document_index, new_topic] += 1
+                    topic_word_counts[new_topic, word] += 1
+                    topic_totals[new_topic] += 1
+            trace.append(
+                _joint_log_likelihood(
+                    document_topic_counts, topic_word_counts, topic_totals,
+                    self._alpha, self._beta,
+                )
+            )
+
+        topic_word = (topic_word_counts + self._beta) / (
+            topic_totals[:, None] + self._beta * num_words
+        )
+        document_topic = (document_topic_counts + self._alpha) / (
+            document_topic_counts.sum(axis=1, keepdims=True) + self._alpha * num_topics
+        )
+        return LDAModel(
+            topic_word=topic_word,
+            document_topic=document_topic,
+            log_likelihood_trace=tuple(trace),
+        )
+
+
+def _sample_index(weights: np.ndarray, rng: np.random.Generator) -> int:
+    """Draw an index proportionally to non-negative ``weights``."""
+    total = weights.sum()
+    if total <= 0.0:
+        return int(rng.integers(0, weights.size))
+    threshold = rng.random() * total
+    return int(np.searchsorted(np.cumsum(weights), threshold))
+
+
+def _joint_log_likelihood(
+    document_topic_counts: np.ndarray,
+    topic_word_counts: np.ndarray,
+    topic_totals: np.ndarray,
+    alpha: float,
+    beta: float,
+) -> float:
+    """A cheap (up to constants) joint log-likelihood used as a trace."""
+    document_mixtures = document_topic_counts + alpha
+    document_mixtures /= document_mixtures.sum(axis=1, keepdims=True)
+    word_mixtures = topic_word_counts + beta
+    word_mixtures /= topic_totals[:, None] + beta * topic_word_counts.shape[1]
+    return float(
+        (document_topic_counts * np.log(document_mixtures + 1e-12)).sum()
+        + (topic_word_counts * np.log(word_mixtures + 1e-12)).sum()
+    )

@@ -1,0 +1,189 @@
+"""End-to-end topic-vector extraction (Section 2.4 and Appendix A).
+
+The pipeline reproduces the paper's two-step extraction:
+
+1. Fit the **Author-Topic Model** on the candidate reviewers' publication
+   records; each author's topic distribution becomes the reviewer's
+   expertise vector and the topic-word distributions define the topic set.
+2. Infer every **submission's** topic vector with the EM mixture estimator
+   (Equation 11) over the fixed topic set.
+
+The pipeline outputs :class:`~repro.core.entities.Reviewer` and
+:class:`~repro.core.entities.Paper` objects and can assemble a ready-to-solve
+:class:`~repro.core.problem.WGRAPProblem` directly.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+
+from repro.core.entities import Paper, Reviewer
+from repro.core.problem import WGRAPProblem
+from repro.core.vectors import TopicVector
+from repro.exceptions import ConfigurationError, SolverError
+from repro.topics.atm import ATMResult, AuthorTopicModel
+from repro.topics.corpus import Corpus, Document
+from repro.topics.em import infer_topic_mixture
+from repro.topics.text import tokenize
+
+__all__ = ["TopicExtractionPipeline"]
+
+
+class TopicExtractionPipeline:
+    """Turn raw publication records and abstracts into WGRAP inputs.
+
+    Parameters
+    ----------
+    num_topics:
+        Number of topics ``T`` (30 in the paper).
+    atm_iterations:
+        Gibbs sweeps for the Author-Topic Model.
+    em_iterations:
+        EM iterations for submission inference.
+    seed:
+        Random seed shared by the samplers.
+    """
+
+    def __init__(
+        self,
+        num_topics: int = 30,
+        atm_iterations: int = 150,
+        em_iterations: int = 200,
+        seed: int | None = 0,
+    ) -> None:
+        if num_topics < 2:
+            raise ConfigurationError("num_topics must be at least 2")
+        self._num_topics = num_topics
+        self._atm_iterations = atm_iterations
+        self._em_iterations = em_iterations
+        self._seed = seed
+        self._model: ATMResult | None = None
+        self._publications: Corpus | None = None
+
+    # ------------------------------------------------------------------
+    # Fitting
+    # ------------------------------------------------------------------
+    def fit(self, publications: Corpus) -> "TopicExtractionPipeline":
+        """Fit the Author-Topic Model on the reviewers' publication corpus."""
+        model = AuthorTopicModel(
+            num_topics=self._num_topics,
+            iterations=self._atm_iterations,
+            seed=self._seed,
+        )
+        self._model = model.fit(publications)
+        self._publications = publications
+        return self
+
+    @property
+    def is_fitted(self) -> bool:
+        """Whether :meth:`fit` has been called."""
+        return self._model is not None
+
+    @property
+    def model(self) -> ATMResult:
+        """The fitted Author-Topic Model."""
+        return self._require_model()
+
+    @property
+    def num_topics(self) -> int:
+        """Number of topics ``T``."""
+        return self._num_topics
+
+    def topic_keywords(self, topic: int, count: int = 8) -> list[str]:
+        """The most probable words of a topic (for case-study tables)."""
+        model = self._require_model()
+        publications = self._publications
+        assert publications is not None
+        return model.top_words(topic, publications.vocabulary, count=count)
+
+    # ------------------------------------------------------------------
+    # Reviewers
+    # ------------------------------------------------------------------
+    def reviewer(self, author_id: str, name: str | None = None,
+                 h_index: int | None = None) -> Reviewer:
+        """Build the Reviewer object of one author of the fitted corpus."""
+        model = self._require_model()
+        vector = TopicVector(model.author_vector(author_id))
+        return Reviewer(
+            id=author_id, vector=vector, name=name or author_id, h_index=h_index
+        )
+
+    def reviewers(self, author_ids: Iterable[str] | None = None) -> list[Reviewer]:
+        """Reviewer objects for the given authors (default: every author)."""
+        model = self._require_model()
+        ids = list(author_ids) if author_ids is not None else list(model.authors)
+        return [self.reviewer(author_id) for author_id in ids]
+
+    # ------------------------------------------------------------------
+    # Papers
+    # ------------------------------------------------------------------
+    def infer_paper(
+        self, paper_id: str, abstract: str, title: str | None = None
+    ) -> Paper:
+        """Infer the topic vector of one submission from its abstract."""
+        model = self._require_model()
+        publications = self._publications
+        assert publications is not None
+        word_ids = publications.vocabulary.encode(tokenize(abstract))
+        result = infer_topic_mixture(
+            word_ids, model.topic_word, max_iterations=self._em_iterations
+        )
+        return Paper(
+            id=paper_id,
+            vector=TopicVector(result.mixture),
+            title=title or paper_id,
+            abstract=abstract,
+        )
+
+    def infer_papers(self, submissions: Sequence[Document]) -> list[Paper]:
+        """Infer topic vectors for a batch of submission documents."""
+        model = self._require_model()
+        publications = self._publications
+        assert publications is not None
+        papers = []
+        for document in submissions:
+            word_ids = publications.vocabulary.encode(document.tokens)
+            result = infer_topic_mixture(
+                word_ids, model.topic_word, max_iterations=self._em_iterations
+            )
+            papers.append(
+                Paper(
+                    id=document.id,
+                    vector=TopicVector(result.mixture),
+                    title=document.id,
+                    abstract=" ".join(document.tokens),
+                )
+            )
+        return papers
+
+    # ------------------------------------------------------------------
+    # Problem assembly
+    # ------------------------------------------------------------------
+    def build_problem(
+        self,
+        submissions: Sequence[Document],
+        reviewer_ids: Iterable[str] | None = None,
+        group_size: int = 3,
+        reviewer_workload: int | None = None,
+        conflicts: Iterable[tuple[str, str]] | None = None,
+    ) -> WGRAPProblem:
+        """Assemble a :class:`WGRAPProblem` from submissions and the fitted model."""
+        papers = self.infer_papers(submissions)
+        reviewers = self.reviewers(reviewer_ids)
+        return WGRAPProblem(
+            papers=papers,
+            reviewers=reviewers,
+            group_size=group_size,
+            reviewer_workload=reviewer_workload,
+            conflicts=conflicts,
+        )
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _require_model(self) -> ATMResult:
+        if self._model is None:
+            raise SolverError(
+                "the pipeline has not been fitted; call fit() with a publication corpus"
+            )
+        return self._model

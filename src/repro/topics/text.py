@@ -1,0 +1,167 @@
+"""Text preprocessing: tokenisation, stop-word removal and vocabularies.
+
+The topic-extraction pipeline of the paper (Appendix A) works on the raw
+abstracts of reviewers' publications and of the submitted papers.  This
+module provides the minimal, dependency-free text plumbing the Gibbs
+samplers need: a tokenizer, a compact English stop-word list and a
+:class:`Vocabulary` that maps words to dense integer identifiers.
+"""
+
+from __future__ import annotations
+
+import re
+from collections import Counter
+from collections.abc import Iterable, Iterator
+
+from repro.exceptions import ConfigurationError, VocabularyError
+
+__all__ = ["STOP_WORDS", "tokenize", "Vocabulary"]
+
+#: small English stop-word list tailored to scientific abstracts
+STOP_WORDS: frozenset[str] = frozenset(
+    """
+    a about above after again all also an and any are as at be because been
+    before being below between both but by can could did do does doing down
+    during each few for from further had has have having he her here hers him
+    his how i if in into is it its itself just me more most my no nor not of
+    off on once only or other our ours out over own s same she should so some
+    such t than that the their theirs them then there these they this those
+    through to too under until up very was we were what when where which while
+    who whom why will with you your yours
+    using based used use new propose proposed show shows paper approach
+    present presents results result method methods problem problems
+    """.split()
+)
+
+_TOKEN_PATTERN = re.compile(r"[a-z][a-z0-9\-]+")
+
+
+def tokenize(
+    text: str,
+    stop_words: frozenset[str] = STOP_WORDS,
+    min_length: int = 3,
+) -> list[str]:
+    """Lower-case, split and filter a piece of text into content tokens.
+
+    Parameters
+    ----------
+    text:
+        Raw text (title, abstract, ...).
+    stop_words:
+        Words to drop entirely.
+    min_length:
+        Minimum token length kept.
+    """
+    tokens = _TOKEN_PATTERN.findall(text.lower())
+    return [
+        token
+        for token in tokens
+        if len(token) >= min_length and token not in stop_words
+    ]
+
+
+class Vocabulary:
+    """A bidirectional word/id mapping with document-frequency pruning."""
+
+    __slots__ = ("_word_to_id", "_id_to_word")
+
+    def __init__(self, words: Iterable[str] = ()) -> None:
+        self._word_to_id: dict[str, int] = {}
+        self._id_to_word: list[str] = []
+        for word in words:
+            self.add(word)
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def add(self, word: str) -> int:
+        """Add a word (idempotent) and return its id."""
+        if not word:
+            raise ConfigurationError("cannot add an empty word to a vocabulary")
+        existing = self._word_to_id.get(word)
+        if existing is not None:
+            return existing
+        word_id = len(self._id_to_word)
+        self._word_to_id[word] = word_id
+        self._id_to_word.append(word)
+        return word_id
+
+    @classmethod
+    def from_documents(
+        cls,
+        tokenized_documents: Iterable[list[str]],
+        min_document_frequency: int = 1,
+        max_document_ratio: float = 1.0,
+    ) -> "Vocabulary":
+        """Build a vocabulary from tokenised documents with frequency pruning.
+
+        Parameters
+        ----------
+        tokenized_documents:
+            Documents as lists of tokens.
+        min_document_frequency:
+            Words appearing in fewer documents are dropped.
+        max_document_ratio:
+            Words appearing in more than this fraction of documents are
+            dropped (corpus-specific stop words).
+        """
+        documents = list(tokenized_documents)
+        if not 0.0 < max_document_ratio <= 1.0:
+            raise ConfigurationError("max_document_ratio must be in (0, 1]")
+        document_frequency: Counter[str] = Counter()
+        for tokens in documents:
+            document_frequency.update(set(tokens))
+        limit = max(1, int(max_document_ratio * max(len(documents), 1)))
+        kept = sorted(
+            word
+            for word, frequency in document_frequency.items()
+            if frequency >= min_document_frequency and frequency <= limit
+        )
+        return cls(kept)
+
+    # ------------------------------------------------------------------
+    # Lookup
+    # ------------------------------------------------------------------
+    def id_of(self, word: str) -> int:
+        """The id of ``word``.
+
+        Raises
+        ------
+        VocabularyError
+            If the word is unknown.
+        """
+        try:
+            return self._word_to_id[word]
+        except KeyError:
+            raise VocabularyError(f"unknown word {word!r}") from None
+
+    def word_of(self, word_id: int) -> str:
+        """The word with identifier ``word_id``."""
+        try:
+            return self._id_to_word[word_id]
+        except IndexError:
+            raise VocabularyError(f"unknown word id {word_id}") from None
+
+    def encode(self, tokens: Iterable[str], skip_unknown: bool = True) -> list[int]:
+        """Map tokens to ids, silently dropping out-of-vocabulary tokens."""
+        encoded: list[int] = []
+        for token in tokens:
+            word_id = self._word_to_id.get(token)
+            if word_id is None:
+                if skip_unknown:
+                    continue
+                raise VocabularyError(f"unknown word {token!r}")
+            encoded.append(word_id)
+        return encoded
+
+    def __len__(self) -> int:
+        return len(self._id_to_word)
+
+    def __contains__(self, word: str) -> bool:
+        return word in self._word_to_id
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._id_to_word)
+
+    def __repr__(self) -> str:
+        return f"Vocabulary({len(self)} words)"

@@ -1,0 +1,112 @@
+"""Unit tests for the :class:`repro.core.assignment.Assignment` container."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.assignment import Assignment
+from repro.exceptions import ConfigurationError
+
+
+class TestMutation:
+    def test_add_and_contains(self):
+        assignment = Assignment()
+        assert assignment.add("r1", "p1") is True
+        assert assignment.add("r1", "p1") is False  # duplicate
+        assert assignment.contains("r1", "p1")
+        assert ("r1", "p1") in assignment
+        assert len(assignment) == 1
+
+    def test_add_rejects_empty_ids(self):
+        with pytest.raises(ConfigurationError):
+            Assignment().add("", "p1")
+
+    def test_remove(self):
+        assignment = Assignment([("r1", "p1")])
+        assignment.remove("r1", "p1")
+        assert len(assignment) == 0
+        with pytest.raises(KeyError):
+            assignment.remove("r1", "p1")
+
+    def test_discard(self):
+        assignment = Assignment([("r1", "p1")])
+        assert assignment.discard("r1", "p1") is True
+        assert assignment.discard("r1", "p1") is False
+
+    def test_clear_paper(self):
+        assignment = Assignment([("r1", "p1"), ("r2", "p1"), ("r1", "p2")])
+        removed = assignment.clear_paper("p1")
+        assert removed == {"r1", "r2"}
+        assert assignment.group_size("p1") == 0
+        assert assignment.load("r1") == 1
+
+    def test_update(self):
+        first = Assignment([("r1", "p1")])
+        second = Assignment([("r2", "p2")])
+        first.update(second)
+        assert len(first) == 2
+
+
+class TestQueries:
+    def test_two_way_indexing(self):
+        assignment = Assignment([("r1", "p1"), ("r2", "p1"), ("r1", "p2")])
+        assert assignment.reviewers_of("p1") == frozenset({"r1", "r2"})
+        assert assignment.papers_of("r1") == frozenset({"p1", "p2"})
+        assert assignment.group_size("p1") == 2
+        assert assignment.load("r1") == 2
+        assert assignment.load("unknown") == 0
+        assert assignment.reviewers_of("unknown") == frozenset()
+
+    def test_papers_and_reviewers_views(self):
+        assignment = Assignment([("r1", "p1"), ("r2", "p2")])
+        assert assignment.papers() == frozenset({"p1", "p2"})
+        assert assignment.reviewers() == frozenset({"r1", "r2"})
+
+    def test_pairs_are_sorted_and_stable(self):
+        assignment = Assignment([("r2", "p2"), ("r1", "p1"), ("r3", "p1")])
+        assert list(assignment.pairs()) == [("r1", "p1"), ("r3", "p1"), ("r2", "p2")]
+        assert list(iter(assignment)) == list(assignment.pairs())
+
+    def test_equality(self):
+        first = Assignment([("r1", "p1"), ("r2", "p2")])
+        second = Assignment([("r2", "p2"), ("r1", "p1")])
+        assert first == second
+        assert first != Assignment([("r1", "p1")])
+
+    def test_bool_and_repr(self):
+        assert not Assignment()
+        assignment = Assignment([("r1", "p1")])
+        assert assignment
+        assert "1 pairs" in repr(assignment)
+
+
+class TestDerivedViews:
+    def test_copy_is_independent(self):
+        original = Assignment([("r1", "p1")])
+        clone = original.copy()
+        clone.add("r2", "p2")
+        assert len(original) == 1
+        assert len(clone) == 2
+
+    def test_union_difference_symmetric_difference(self):
+        first = Assignment([("r1", "p1"), ("r2", "p2")])
+        second = Assignment([("r2", "p2"), ("r3", "p3")])
+        assert len(first.union(second)) == 3
+        assert set(first.difference(second).pairs()) == {("r1", "p1")}
+        assert set(first.symmetric_difference(second).pairs()) == {
+            ("r1", "p1"),
+            ("r3", "p3"),
+        }
+
+
+class TestSerialisation:
+    def test_round_trip(self):
+        original = Assignment([("r1", "p1"), ("r2", "p1"), ("r3", "p2")])
+        payload = original.to_dict()
+        assert payload == {"p1": ["r1", "r2"], "p2": ["r3"]}
+        assert Assignment.from_dict(payload) == original
+
+    def test_to_dict_skips_empty_groups(self):
+        assignment = Assignment([("r1", "p1")])
+        assignment.remove("r1", "p1")
+        assert assignment.to_dict() == {}

@@ -1,0 +1,102 @@
+"""Tests for the ``wgrap`` command-line interface."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.data.io import load_assignment, load_problem
+
+
+@pytest.fixture
+def problem_file(tmp_path):
+    path = tmp_path / "problem.json"
+    exit_code = main(
+        [
+            "generate",
+            str(path),
+            "--papers",
+            "10",
+            "--reviewers",
+            "6",
+            "--topics",
+            "8",
+            "--group-size",
+            "2",
+            "--seed",
+            "3",
+        ]
+    )
+    assert exit_code == 0
+    return path
+
+
+class TestParser:
+    def test_requires_a_command(self):
+        parser = build_parser()
+        with pytest.raises(SystemExit):
+            parser.parse_args([])
+
+    def test_solve_method_choices(self):
+        parser = build_parser()
+        with pytest.raises(SystemExit):
+            parser.parse_args(["solve", "problem.json", "out.json", "--method", "MAGIC"])
+
+
+class TestGenerate:
+    def test_generates_a_loadable_problem(self, problem_file, capsys):
+        problem = load_problem(problem_file)
+        assert problem.num_papers == 10
+        assert problem.num_reviewers == 6
+        assert problem.num_topics == 8
+        payload = json.loads(problem_file.read_text())
+        assert payload["group_size"] == 2
+
+    def test_prints_a_summary(self, tmp_path, capsys):
+        main(["generate", str(tmp_path / "p.json"), "--papers", "6", "--reviewers", "5",
+              "--topics", "6"])
+        output = capsys.readouterr().out
+        assert "6 papers" in output
+        assert "5 reviewers" in output
+
+
+class TestSolveAndEvaluate:
+    def test_solve_writes_valid_assignment(self, problem_file, tmp_path, capsys):
+        out = tmp_path / "assignment.json"
+        exit_code = main(["solve", str(problem_file), str(out), "--method", "SDGA"])
+        assert exit_code == 0
+        problem = load_problem(problem_file)
+        assignment = load_assignment(out)
+        problem.validate_assignment(assignment)
+        output = capsys.readouterr().out
+        assert "coverage score" in output
+
+    def test_evaluate_reports_metrics(self, problem_file, tmp_path, capsys):
+        out = tmp_path / "assignment.json"
+        main(["solve", str(problem_file), str(out), "--method", "Greedy"])
+        capsys.readouterr()
+        exit_code = main(["evaluate", str(problem_file), str(out)])
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "coverage score" in output
+        assert "optimality ratio" in output
+
+    def test_journal_lists_a_group(self, problem_file, capsys):
+        problem = load_problem(problem_file)
+        paper_id = problem.paper_ids[0]
+        exit_code = main(["journal", str(problem_file), paper_id])
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "best group" in output
+        listed = [line for line in output.splitlines() if line.startswith("  - ")]
+        assert len(listed) == problem.group_size
+
+    def test_journal_with_group_size_override(self, problem_file, capsys):
+        problem = load_problem(problem_file)
+        paper_id = problem.paper_ids[1]
+        main(["journal", str(problem_file), paper_id, "--group-size", "3"])
+        output = capsys.readouterr().out
+        listed = [line for line in output.splitlines() if line.startswith("  - ")]
+        assert len(listed) == 3

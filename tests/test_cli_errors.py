@@ -1,0 +1,63 @@
+"""Error-path tests for the ``wgrap`` CLI and for solving loaded problems."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.core.assignment import Assignment
+from repro.data.io import load_problem, save_assignment
+from repro.exceptions import ConfigurationError, InfeasibleAssignmentError
+
+
+@pytest.fixture
+def problem_file(tmp_path):
+    path = tmp_path / "problem.json"
+    main(["generate", str(path), "--papers", "8", "--reviewers", "5",
+          "--topics", "6", "--group-size", "2", "--seed", "1"])
+    return path
+
+
+class TestEvaluateErrorPaths:
+    def test_evaluate_rejects_assignment_with_unknown_entities(self, problem_file, tmp_path):
+        bad = tmp_path / "bad.json"
+        save_assignment(Assignment([("ghost-reviewer", "paper-0000")]), bad)
+        with pytest.raises(InfeasibleAssignmentError):
+            main(["evaluate", str(problem_file), str(bad)])
+
+    def test_evaluate_rejects_overloaded_assignment(self, problem_file, tmp_path):
+        problem = load_problem(problem_file)
+        reviewer_id = problem.reviewer_ids[0]
+        overloaded = Assignment(
+            (reviewer_id, paper_id) for paper_id in problem.paper_ids
+        )
+        path = tmp_path / "overloaded.json"
+        save_assignment(overloaded, path)
+        with pytest.raises(InfeasibleAssignmentError):
+            main(["evaluate", str(problem_file), str(path)])
+
+
+class TestCorruptFiles:
+    def test_load_problem_with_wrong_version(self, tmp_path):
+        path = tmp_path / "bad_problem.json"
+        path.write_text(json.dumps({"format_version": 42}), encoding="utf-8")
+        with pytest.raises(ConfigurationError):
+            load_problem(path)
+
+    def test_generate_rejects_impossible_configuration(self, tmp_path):
+        # 10 papers x group size 5 with 2 reviewers can never be feasible,
+        # whatever the workload: each paper needs 5 distinct reviewers.
+        from repro.exceptions import InfeasibleProblemError
+
+        with pytest.raises(InfeasibleProblemError):
+            main([
+                "generate", str(tmp_path / "p.json"),
+                "--papers", "10", "--reviewers", "2", "--topics", "6",
+                "--group-size", "5",
+            ])
+
+    def test_journal_with_unknown_paper(self, problem_file):
+        with pytest.raises(KeyError):
+            main(["journal", str(problem_file), "no-such-paper"])

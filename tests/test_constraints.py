@@ -1,0 +1,84 @@
+"""Unit tests for conflicts of interest and workload constraints."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.constraints import ConflictOfInterest, WorkloadConstraints
+from repro.exceptions import ConfigurationError
+
+
+class TestConflictOfInterest:
+    def test_add_and_query(self):
+        conflicts = ConflictOfInterest([("r1", "p1")])
+        assert conflicts.is_conflict("r1", "p1")
+        assert not conflicts.is_conflict("r1", "p2")
+        assert conflicts.papers_conflicting_with("r1") == frozenset({"p1"})
+        assert conflicts.reviewers_conflicting_with("p1") == frozenset({"r1"})
+        assert len(conflicts) == 1
+        assert ("r1", "p1") in conflicts
+
+    def test_add_is_idempotent(self):
+        conflicts = ConflictOfInterest()
+        conflicts.add("r1", "p1")
+        conflicts.add("r1", "p1")
+        assert len(conflicts) == 1
+
+    def test_add_rejects_empty_ids(self):
+        with pytest.raises(ConfigurationError):
+            ConflictOfInterest().add("", "p1")
+
+    def test_discard(self):
+        conflicts = ConflictOfInterest([("r1", "p1")])
+        conflicts.discard("r1", "p1")
+        conflicts.discard("r1", "p1")  # no error on absent pair
+        assert not conflicts.is_conflict("r1", "p1")
+
+    def test_iteration_is_sorted(self):
+        conflicts = ConflictOfInterest([("r2", "p1"), ("r1", "p2"), ("r1", "p1")])
+        assert list(conflicts) == [("r1", "p1"), ("r1", "p2"), ("r2", "p1")]
+
+    def test_copy_is_independent(self):
+        original = ConflictOfInterest([("r1", "p1")])
+        clone = original.copy()
+        clone.add("r2", "p2")
+        assert len(original) == 1
+        assert original == ConflictOfInterest([("r1", "p1")])
+
+    def test_bool(self):
+        assert not ConflictOfInterest()
+        assert ConflictOfInterest([("r", "p")])
+
+    def test_from_coauthorship(self):
+        conflicts = ConflictOfInterest.from_coauthorship(
+            paper_authors={"p1": ["alice", "bob"], "p2": ["carol"]},
+            reviewer_ids=["alice", "carol", "dave"],
+        )
+        assert conflicts.is_conflict("alice", "p1")
+        assert conflicts.is_conflict("carol", "p2")
+        assert not conflicts.is_conflict("bob", "p1")  # bob is not a reviewer
+        assert len(conflicts) == 2
+
+
+class TestWorkloadConstraints:
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            WorkloadConstraints(group_size=0, reviewer_workload=1)
+        with pytest.raises(ConfigurationError):
+            WorkloadConstraints(group_size=1, reviewer_workload=0)
+
+    def test_stage_workload_is_ceiling(self):
+        assert WorkloadConstraints(group_size=3, reviewer_workload=6).stage_workload == 2
+        assert WorkloadConstraints(group_size=3, reviewer_workload=7).stage_workload == 3
+        assert WorkloadConstraints(group_size=5, reviewer_workload=3).stage_workload == 1
+
+    def test_integral_case_detection(self):
+        assert WorkloadConstraints(group_size=3, reviewer_workload=6).is_integral
+        assert not WorkloadConstraints(group_size=3, reviewer_workload=7).is_integral
+
+    def test_capacity_accounting(self):
+        constraints = WorkloadConstraints(group_size=3, reviewer_workload=4)
+        assert constraints.total_capacity(num_reviewers=10) == 40
+        assert constraints.total_demand(num_papers=12) == 36
+        assert constraints.is_satisfiable(num_reviewers=10, num_papers=12)
+        assert not constraints.is_satisfiable(num_reviewers=5, num_papers=12)

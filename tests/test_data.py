@@ -1,0 +1,236 @@
+"""Unit tests for the synthetic data generators, venues, workloads and IO."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.problem import JRAProblem, WGRAPProblem
+from repro.data.io import (
+    assignment_from_dict,
+    assignment_to_dict,
+    load_assignment,
+    load_problem,
+    problem_from_dict,
+    problem_to_dict,
+    save_assignment,
+    save_problem,
+)
+from repro.data.synthetic import (
+    SyntheticCorpusGenerator,
+    SyntheticWorkloadGenerator,
+    make_problem,
+)
+from repro.data.venues import DATASETS, dataset_names, dataset_spec
+from repro.data.workloads import (
+    CRA_PRESETS,
+    make_jra_pool,
+    make_jra_problem,
+    scale_reviewers_by_h_index,
+)
+from repro.core.assignment import Assignment
+from repro.cra.sdga import StageDeepeningGreedySolver
+from repro.exceptions import ConfigurationError
+
+
+class TestVenues:
+    def test_table3_sizes(self):
+        assert dataset_spec("DB08").num_papers == 617
+        assert dataset_spec("DB08").num_reviewers == 105
+        assert dataset_spec("dm09").num_papers == 648
+        assert dataset_spec("TH08").num_reviewers == 228
+        assert set(dataset_names()) == set(DATASETS)
+
+    def test_unknown_dataset(self):
+        with pytest.raises(ConfigurationError):
+            dataset_spec("AI42")
+
+    def test_scaling(self):
+        scaled = dataset_spec("DB08").scaled(0.1)
+        assert scaled.num_papers == pytest.approx(62, abs=1)
+        assert scaled.num_reviewers == pytest.approx(10, abs=1)
+        tiny = dataset_spec("DB08").scaled(0.001)
+        assert tiny.num_papers >= 20 and tiny.num_reviewers >= 10
+        with pytest.raises(ConfigurationError):
+            dataset_spec("DB08").scaled(0.0)
+
+    def test_area_metadata(self):
+        spec = dataset_spec("TH09")
+        assert spec.area.key == "TH"
+        assert "STOC" in spec.area.submission_venues
+
+
+class TestSyntheticWorkloadGenerator:
+    def test_parameter_validation(self):
+        with pytest.raises(ConfigurationError):
+            SyntheticWorkloadGenerator(num_topics=2)
+        with pytest.raises(ConfigurationError):
+            SyntheticWorkloadGenerator(focus_concentration=0.0)
+        generator = SyntheticWorkloadGenerator(num_topics=9)
+        with pytest.raises(ConfigurationError):
+            generator.generate_problem(num_papers=0, num_reviewers=5)
+
+    def test_vectors_are_normalised_and_skewed(self):
+        generator = SyntheticWorkloadGenerator(num_topics=12, seed=0)
+        reviewers = generator.reviewer_vectors(40, area_index=1)
+        papers = generator.paper_vectors(40, area_index=1)
+        assert np.allclose(reviewers.sum(axis=1), 1.0)
+        assert np.allclose(papers.sum(axis=1), 1.0)
+        # Focused mixtures: the top topic should hold far more than 1/T mass.
+        assert reviewers.max(axis=1).mean() > 2.0 / 12
+        assert papers.max(axis=1).mean() > 2.0 / 12
+
+    def test_area_blocks_differ(self):
+        generator = SyntheticWorkloadGenerator(num_topics=12, seed=1)
+        area0 = generator.paper_vectors(60, area_index=0, interdisciplinary_ratio=0.0)
+        area2 = generator.paper_vectors(60, area_index=2, interdisciplinary_ratio=0.0)
+        # Mass concentrates on different topic blocks per area.
+        assert area0[:, :4].sum() > area0[:, 8:].sum()
+        assert area2[:, 8:].sum() > area2[:, :4].sum()
+
+    def test_generate_problem_defaults(self):
+        problem = make_problem(num_papers=15, num_reviewers=9, num_topics=9, seed=2)
+        assert isinstance(problem, WGRAPProblem)
+        assert problem.num_papers == 15
+        assert problem.num_reviewers == 9
+        assert problem.reviewer_workload == 5  # ceil(15*3/9)
+        assert all(reviewer.h_index is not None for reviewer in problem.reviewers)
+
+    def test_generate_problem_is_reproducible(self):
+        first = make_problem(num_papers=10, num_reviewers=6, num_topics=9, seed=7)
+        second = make_problem(num_papers=10, num_reviewers=6, num_topics=9, seed=7)
+        assert np.allclose(first.reviewer_matrix, second.reviewer_matrix)
+        assert np.allclose(first.paper_matrix, second.paper_matrix)
+        different = make_problem(num_papers=10, num_reviewers=6, num_topics=9, seed=8)
+        assert not np.allclose(first.paper_matrix, different.paper_matrix)
+
+    def test_conflict_generation(self):
+        problem = make_problem(
+            num_papers=10, num_reviewers=8, num_topics=9, conflict_ratio=0.1, seed=3
+        )
+        assert len(problem.conflicts) > 0
+        for reviewer_id, paper_id in problem.conflicts:
+            assert reviewer_id in problem.reviewer_ids
+            assert paper_id in problem.paper_ids
+
+    def test_generate_dataset_respects_scale_and_area(self):
+        generator = SyntheticWorkloadGenerator(num_topics=12, seed=0)
+        problem = generator.generate_dataset("DB08", scale=0.05, group_size=3)
+        spec = dataset_spec("DB08").scaled(0.05)
+        assert problem.num_papers == spec.num_papers
+        assert problem.num_reviewers == spec.num_reviewers
+
+
+class TestSyntheticCorpusGenerator:
+    def test_ground_truth_shapes(self):
+        generator = SyntheticCorpusGenerator(num_topics=3, words_per_topic=8,
+                                             background_words=5, seed=0)
+        corpus = generator.generate(num_authors=6, num_submissions=4,
+                                    publications_per_author=(1, 2),
+                                    tokens_per_document=(20, 30))
+        assert corpus.true_author_mixtures.shape == (6, 3)
+        assert corpus.true_submission_mixtures.shape == (4, 3)
+        assert corpus.topic_word.shape[0] == 3
+        assert len(corpus.submissions) == 4
+        assert corpus.publications.num_documents >= 6
+        assert np.allclose(corpus.topic_word.sum(axis=1), 1.0)
+
+    def test_documents_carry_authors(self):
+        generator = SyntheticCorpusGenerator(num_topics=3, seed=1)
+        corpus = generator.generate(num_authors=5, num_submissions=2)
+        for document in corpus.publications.documents:
+            assert document.authors
+            for author in document.authors:
+                assert author in corpus.author_ids
+
+    def test_parameter_validation(self):
+        with pytest.raises(ConfigurationError):
+            SyntheticCorpusGenerator(num_topics=1)
+        with pytest.raises(ConfigurationError):
+            SyntheticCorpusGenerator(num_topics=3, words_per_topic=2)
+
+
+class TestWorkloads:
+    def test_make_jra_pool(self):
+        pool = make_jra_pool(pool_size=30, num_topics=9, seed=0)
+        assert len(pool) == 30
+        assert len({reviewer.id for reviewer in pool}) == 30
+        with pytest.raises(ConfigurationError):
+            make_jra_pool(pool_size=2)
+
+    def test_make_jra_problem(self):
+        problem = make_jra_problem(num_candidates=12, group_size=3, num_topics=9, seed=0)
+        assert isinstance(problem, JRAProblem)
+        assert problem.num_reviewers == 12
+        assert problem.group_size == 3
+
+    def test_make_jra_problem_from_shared_pool(self):
+        pool = make_jra_pool(pool_size=20, num_topics=9, seed=1)
+        problem = make_jra_problem(num_candidates=10, group_size=2, pool=pool, seed=1)
+        assert problem.num_reviewers == 10
+        with pytest.raises(ConfigurationError):
+            make_jra_problem(num_candidates=25, group_size=2, pool=pool)
+
+    def test_h_index_scaling(self):
+        problem = make_problem(num_papers=8, num_reviewers=6, num_topics=9, seed=5)
+        scaled = scale_reviewers_by_h_index(problem)
+        factors = []
+        for original, rescaled in zip(problem.reviewers, scaled.reviewers):
+            factor = rescaled.vector.total() / original.vector.total()
+            factors.append(factor)
+            assert 1.0 - 1e-9 <= factor <= 2.0 + 1e-9
+        # The reviewer with the highest h-index is scaled by exactly 2.
+        assert max(factors) == pytest.approx(2.0)
+        assert min(factors) == pytest.approx(1.0)
+
+    def test_cra_presets_are_well_formed(self):
+        assert len(CRA_PRESETS) >= 6
+        for preset in CRA_PRESETS:
+            assert preset.dataset in DATASETS
+            assert preset.group_size >= 3
+            assert 0 < preset.scale <= 1.0
+
+
+class TestIO:
+    def test_problem_round_trip(self, tmp_path):
+        problem = make_problem(
+            num_papers=6, num_reviewers=5, num_topics=7, conflict_ratio=0.1, seed=9
+        )
+        path = save_problem(problem, tmp_path / "problem.json")
+        loaded = load_problem(path)
+        assert loaded.num_papers == problem.num_papers
+        assert loaded.num_reviewers == problem.num_reviewers
+        assert loaded.group_size == problem.group_size
+        assert loaded.reviewer_workload == problem.reviewer_workload
+        assert loaded.scoring.name == problem.scoring.name
+        assert np.allclose(loaded.paper_matrix, problem.paper_matrix)
+        assert np.allclose(loaded.reviewer_matrix, problem.reviewer_matrix)
+        assert set(loaded.conflicts) == set(problem.conflicts)
+
+    def test_problem_round_trip_preserves_scores(self, tmp_path):
+        problem = make_problem(num_papers=6, num_reviewers=5, num_topics=7, seed=10)
+        loaded = load_problem(save_problem(problem, tmp_path / "p.json"))
+        result = StageDeepeningGreedySolver().solve(problem)
+        assert loaded.assignment_score(result.assignment) == pytest.approx(result.score)
+
+    def test_problem_format_version_check(self):
+        with pytest.raises(ConfigurationError):
+            problem_from_dict({"format_version": 99})
+
+    def test_assignment_round_trip(self, tmp_path):
+        assignment = Assignment([("r1", "p1"), ("r2", "p1"), ("r1", "p2")])
+        path = save_assignment(assignment, tmp_path / "assignment.json")
+        assert load_assignment(path) == assignment
+        assert assignment_from_dict(assignment_to_dict(assignment)) == assignment
+
+    def test_assignment_format_version_check(self):
+        with pytest.raises(ConfigurationError):
+            assignment_from_dict({"format_version": 0, "assignment": {}})
+
+    def test_problem_to_dict_contents(self):
+        problem = make_problem(num_papers=3, num_reviewers=3, num_topics=5, seed=11)
+        payload = problem_to_dict(problem)
+        assert payload["num_topics"] == 5
+        assert len(payload["papers"]) == 3
+        assert len(payload["reviewers"]) == 3
+        assert all(len(entry["vector"]) == 5 for entry in payload["papers"])

@@ -1,0 +1,131 @@
+"""Unit tests for :mod:`repro.core.entities`."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.entities import Paper, Reviewer, ReviewerGroup
+from repro.core.vectors import TopicVector
+from repro.exceptions import ConfigurationError
+
+
+class TestReviewer:
+    def test_basic_construction(self):
+        reviewer = Reviewer(id="r1", vector=TopicVector([0.5, 0.5]))
+        assert reviewer.name == "r1"
+        assert reviewer.num_topics == 2
+        assert reviewer.expertise_on(0) == pytest.approx(0.5)
+
+    def test_from_weights(self):
+        reviewer = Reviewer.from_weights("r1", [0.2, 0.8], name="Alice", h_index=12)
+        assert reviewer.name == "Alice"
+        assert reviewer.h_index == 12
+
+    def test_requires_id(self):
+        with pytest.raises(ConfigurationError):
+            Reviewer(id="", vector=TopicVector([1.0]))
+
+    def test_rejects_negative_h_index(self):
+        with pytest.raises(ConfigurationError):
+            Reviewer(id="r1", vector=TopicVector([1.0]), h_index=-1)
+
+    def test_with_vector(self):
+        reviewer = Reviewer(id="r1", vector=TopicVector([0.5, 0.5]), h_index=3)
+        replaced = reviewer.with_vector([0.1, 0.9])
+        assert replaced.id == "r1"
+        assert replaced.h_index == 3
+        assert replaced.vector.to_list() == pytest.approx([0.1, 0.9])
+
+    def test_accepts_raw_weights(self):
+        reviewer = Reviewer(id="r1", vector=[0.3, 0.7])
+        assert isinstance(reviewer.vector, TopicVector)
+
+
+class TestPaper:
+    def test_basic_construction(self):
+        paper = Paper(id="p1", vector=TopicVector([0.4, 0.6]), abstract="about joins")
+        assert paper.title == "p1"
+        assert paper.relevance_to(1) == pytest.approx(0.6)
+        assert paper.abstract == "about joins"
+
+    def test_from_weights(self):
+        paper = Paper.from_weights("p1", {2: 1.0}, num_topics=4, title="Query processing")
+        assert paper.title == "Query processing"
+        assert paper.vector[2] == pytest.approx(1.0)
+
+    def test_requires_id(self):
+        with pytest.raises(ConfigurationError):
+            Paper(id="", vector=TopicVector([1.0]))
+
+    def test_with_vector(self):
+        paper = Paper(id="p1", vector=TopicVector([1.0, 0.0]), title="T")
+        replaced = paper.with_vector([0.0, 1.0])
+        assert replaced.title == "T"
+        assert replaced.vector[1] == pytest.approx(1.0)
+
+
+class TestReviewerGroup:
+    def _reviewers(self):
+        return [
+            Reviewer(id="a", vector=TopicVector([0.9, 0.1, 0.0])),
+            Reviewer(id="b", vector=TopicVector([0.0, 0.8, 0.2])),
+            Reviewer(id="c", vector=TopicVector([0.1, 0.1, 0.7])),
+        ]
+
+    def test_group_vector_is_elementwise_maximum(self):
+        group = ReviewerGroup(self._reviewers()[:2])
+        assert group.vector.to_list() == pytest.approx([0.9, 0.8, 0.2])
+
+    def test_add_is_idempotent(self):
+        reviewers = self._reviewers()
+        group = ReviewerGroup([reviewers[0]])
+        group.add(reviewers[0])
+        assert len(group) == 1
+
+    def test_remove(self):
+        reviewers = self._reviewers()
+        group = ReviewerGroup(reviewers)
+        removed = group.remove("b")
+        assert removed.id == "b"
+        assert "b" not in group
+        with pytest.raises(KeyError):
+            group.remove("b")
+
+    def test_empty_group_vector_rejected(self):
+        with pytest.raises(ConfigurationError):
+            _ = ReviewerGroup().vector
+
+    def test_vector_or_zero(self):
+        assert ReviewerGroup().vector_or_zero(3).total() == 0.0
+
+    def test_membership_by_reviewer_or_id(self):
+        reviewers = self._reviewers()
+        group = ReviewerGroup(reviewers[:1])
+        assert reviewers[0] in group
+        assert "a" in group
+        assert "z" not in group
+
+    def test_union_and_with_member(self):
+        reviewers = self._reviewers()
+        first = ReviewerGroup(reviewers[:1])
+        second = ReviewerGroup(reviewers[1:2])
+        union = first.union(second)
+        assert union.ids() == frozenset({"a", "b"})
+        extended = first.with_member(reviewers[2])
+        assert extended.ids() == frozenset({"a", "c"})
+        assert first.ids() == frozenset({"a"})  # originals untouched
+
+    def test_without_member(self):
+        group = ReviewerGroup(self._reviewers())
+        smaller = group.without_member("a")
+        assert smaller.ids() == frozenset({"b", "c"})
+
+    def test_mixed_dimensions_rejected(self):
+        group = ReviewerGroup([Reviewer(id="a", vector=TopicVector([1.0, 0.0]))])
+        with pytest.raises(ConfigurationError):
+            group.add(Reviewer(id="b", vector=TopicVector([1.0])))
+
+    def test_equality(self):
+        reviewers = self._reviewers()
+        assert ReviewerGroup(reviewers[:2]) == ReviewerGroup(list(reversed(reviewers[:2])))
+        assert ReviewerGroup(reviewers[:1]) != ReviewerGroup(reviewers[1:2])

@@ -1,0 +1,67 @@
+"""Tests for the bounded exhaustive WGRAP solver."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cra.exact import ExhaustiveSolver
+from repro.cra.greedy import GreedySolver
+from repro.cra.ratio import GREEDY_RATIO, sdga_ratio
+from repro.cra.sdga import StageDeepeningGreedySolver
+from repro.cra.sra import SDGAWithRefinementSolver
+from repro.data.synthetic import make_problem
+from repro.exceptions import ConfigurationError
+from tests.conftest import exhaustive_optimal_assignment
+
+
+class TestExhaustiveSolver:
+    def test_matches_the_reference_enumeration(self):
+        for seed in range(3):
+            problem = make_problem(
+                num_papers=3, num_reviewers=4, num_topics=5, group_size=2, seed=seed
+            )
+            result = ExhaustiveSolver().solve(problem)
+            _, reference_score = exhaustive_optimal_assignment(problem)
+            assert result.score == pytest.approx(reference_score)
+            problem.validate_assignment(result.assignment)
+            assert result.stats["optimal_score"] == pytest.approx(result.score)
+
+    def test_dominates_every_approximate_solver(self):
+        problem = make_problem(
+            num_papers=4, num_reviewers=4, num_topics=6, group_size=2, seed=5
+        )
+        optimum = ExhaustiveSolver().solve(problem)
+        for solver in (GreedySolver(), StageDeepeningGreedySolver(),
+                       SDGAWithRefinementSolver()):
+            approximate = solver.solve(problem)
+            assert approximate.score <= optimum.score + 1e-9
+
+    def test_approximation_guarantees_against_the_true_optimum(self):
+        problem = make_problem(
+            num_papers=4, num_reviewers=5, num_topics=6, group_size=2, seed=8
+        )
+        optimum = ExhaustiveSolver().solve(problem).score
+        sdga = StageDeepeningGreedySolver().solve(problem).score
+        greedy = GreedySolver().solve(problem).score
+        assert sdga >= sdga_ratio(problem.group_size, problem.reviewer_workload) * optimum - 1e-9
+        assert greedy >= GREEDY_RATIO * optimum - 1e-9
+
+    def test_respects_conflicts(self):
+        problem = make_problem(
+            num_papers=3, num_reviewers=4, num_topics=5, group_size=2,
+            conflict_ratio=0.1, seed=2,
+        )
+        result = ExhaustiveSolver().solve(problem)
+        for reviewer_id, paper_id in result.assignment.pairs():
+            assert problem.is_feasible_pair(reviewer_id, paper_id)
+
+    def test_refuses_oversized_instances(self):
+        problem = make_problem(
+            num_papers=30, num_reviewers=20, num_topics=6, group_size=3, seed=1
+        )
+        with pytest.raises(ConfigurationError):
+            ExhaustiveSolver(max_nodes=1e4).solve(problem)
+
+    def test_parameter_validation(self):
+        with pytest.raises(ConfigurationError):
+            ExhaustiveSolver(max_nodes=0)

@@ -1,0 +1,201 @@
+"""Tests for the extensions: bid-aware assignment and incremental updates."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.assignment import Assignment
+from repro.core.entities import Paper
+from repro.core.vectors import TopicVector
+from repro.cra.sdga import StageDeepeningGreedySolver
+from repro.data.synthetic import SyntheticWorkloadGenerator, make_problem
+from repro.exceptions import ConfigurationError, InfeasibleProblemError
+from repro.extensions.bidding import (
+    BidAwareObjective,
+    BidAwareSDGASolver,
+    BidMatrix,
+    bid_satisfaction,
+)
+from repro.extensions.incremental import assign_additional_paper, withdraw_reviewer
+
+
+class TestBidMatrix:
+    def test_set_get_defaults(self):
+        bids = BidMatrix({("r1", "p1"): 0.75})
+        assert bids.get("r1", "p1") == 0.75
+        assert bids.get("r1", "p2") == 0.0
+        assert ("r1", "p1") in bids
+        assert len(bids) == 1
+        assert list(bids.pairs()) == [("r1", "p1", 0.75)]
+
+    def test_value_validation(self):
+        with pytest.raises(ConfigurationError):
+            BidMatrix({("r1", "p1"): 1.5})
+        with pytest.raises(ConfigurationError):
+            BidMatrix().set("", "p1", 0.5)
+
+    def test_from_levels(self):
+        bids = BidMatrix.from_levels({("r1", "p1"): "eager", ("r2", "p1"): "Maybe"})
+        assert bids.get("r1", "p1") == 1.0
+        assert bids.get("r2", "p1") == pytest.approx(0.4)
+        with pytest.raises(ConfigurationError):
+            BidMatrix.from_levels({("r1", "p1"): "love it"})
+
+    def test_random_bids_align_with_problem(self, small_problem):
+        bids = BidMatrix.random(small_problem, bid_probability=0.3, seed=1)
+        assert len(bids) > 0
+        dense = bids.dense(small_problem)
+        assert dense.shape == (small_problem.num_papers, small_problem.num_reviewers)
+        assert dense.max() <= 1.0
+        for reviewer_id, paper_id, value in bids.pairs():
+            assert reviewer_id in small_problem.reviewer_ids
+            assert paper_id in small_problem.paper_ids
+            assert 0.0 < value <= 1.0
+
+    def test_random_bids_validation(self, small_problem):
+        with pytest.raises(ConfigurationError):
+            BidMatrix.random(small_problem, bid_probability=0.0)
+
+    def test_dense_ignores_unknown_entities(self, small_problem):
+        bids = BidMatrix({("ghost", "paper-0000"): 0.5})
+        assert bids.dense(small_problem).sum() == 0.0
+
+
+class TestBidAwareObjective:
+    def test_value_decomposition(self, small_problem):
+        bids = BidMatrix.random(small_problem, seed=2)
+        objective = BidAwareObjective(bids=bids, tradeoff=0.5)
+        assignment = StageDeepeningGreedySolver().solve(small_problem).assignment
+        combined = objective.value(small_problem, assignment)
+        assert combined == pytest.approx(
+            objective.coverage_component(small_problem, assignment)
+            + 0.5 * objective.bid_component(assignment)
+        )
+
+    def test_tradeoff_validation(self):
+        with pytest.raises(ConfigurationError):
+            BidAwareObjective(bids=BidMatrix(), tradeoff=-1.0)
+
+    def test_bid_satisfaction_bounds(self, small_problem):
+        bids = BidMatrix.random(small_problem, seed=3)
+        assignment = StageDeepeningGreedySolver().solve(small_problem).assignment
+        value = bid_satisfaction(assignment, bids)
+        assert 0.0 <= value <= 1.0
+        assert bid_satisfaction(Assignment(), bids) == 0.0
+
+
+class TestBidAwareSDGA:
+    def test_zero_tradeoff_matches_plain_sdga(self, small_problem):
+        bids = BidMatrix.random(small_problem, seed=4)
+        plain = StageDeepeningGreedySolver().solve(small_problem)
+        bid_aware = BidAwareSDGASolver(BidAwareObjective(bids=bids, tradeoff=0.0)).solve(
+            small_problem
+        )
+        assert bid_aware.score == pytest.approx(plain.score)
+
+    def test_produces_feasible_assignment(self, small_problem):
+        bids = BidMatrix.random(small_problem, seed=5)
+        result = BidAwareSDGASolver(BidAwareObjective(bids=bids, tradeoff=0.5)).solve(
+            small_problem
+        )
+        small_problem.validate_assignment(result.assignment)
+        assert result.stats["combined_objective"] >= result.score - 1e-9
+
+    def test_larger_tradeoff_never_reduces_bid_component(self, small_problem):
+        bids = BidMatrix.random(small_problem, bid_probability=0.4, seed=6)
+        low = BidAwareSDGASolver(BidAwareObjective(bids=bids, tradeoff=0.0)).solve(
+            small_problem
+        )
+        high = BidAwareSDGASolver(BidAwareObjective(bids=bids, tradeoff=2.0)).solve(
+            small_problem
+        )
+        assert high.stats["bid_component"] >= low.stats["bid_component"] - 1e-9
+        # And the coverage it gives up for that is bounded by what it gains.
+        assert high.score <= low.score + 1e-9 or high.stats["bid_component"] >= low.stats[
+            "bid_component"
+        ]
+
+    def test_combined_objective_beats_plain_sdga_on_combined_metric(self, small_problem):
+        bids = BidMatrix.random(small_problem, bid_probability=0.4, seed=7)
+        objective = BidAwareObjective(bids=bids, tradeoff=1.0)
+        plain = StageDeepeningGreedySolver().solve(small_problem)
+        bid_aware = BidAwareSDGASolver(objective).solve(small_problem)
+        assert objective.value(small_problem, bid_aware.assignment) >= objective.value(
+            small_problem, plain.assignment
+        ) - 1e-9
+
+
+class TestIncrementalPaperArrival:
+    def _late_paper(self, problem):
+        rng = np.random.default_rng(99)
+        vector = rng.dirichlet(np.full(problem.num_topics, 0.5))
+        return Paper(id="late-submission", vector=TopicVector(vector), title="Late")
+
+    def test_adds_and_staffs_the_new_paper(self):
+        problem = make_problem(num_papers=10, num_reviewers=8, num_topics=8,
+                               group_size=2, reviewer_workload=4, seed=11)
+        assignment = StageDeepeningGreedySolver().solve(problem).assignment
+        update = assign_additional_paper(problem, assignment, self._late_paper(problem))
+        assert update.problem.num_papers == problem.num_papers + 1
+        assert update.assignment.group_size("late-submission") == problem.group_size
+        update.problem.validate_assignment(update.assignment)
+        assert update.affected_papers == ("late-submission",)
+        # Existing groups are untouched.
+        for paper_id in problem.paper_ids:
+            assert update.assignment.reviewers_of(paper_id) == assignment.reviewers_of(paper_id)
+
+    def test_rejects_duplicate_paper(self, small_problem):
+        assignment = StageDeepeningGreedySolver().solve(small_problem).assignment
+        with pytest.raises(ConfigurationError):
+            assign_additional_paper(
+                small_problem, assignment, small_problem.papers[0]
+            )
+
+    def test_requires_spare_capacity(self):
+        # Minimal workload: capacity is exactly exhausted by the assignment.
+        problem = make_problem(num_papers=8, num_reviewers=4, num_topics=6,
+                               group_size=2, seed=13)
+        assert problem.reviewer_workload * problem.num_reviewers == (
+            problem.num_papers * problem.group_size
+        )
+        assignment = StageDeepeningGreedySolver().solve(problem).assignment
+        with pytest.raises(InfeasibleProblemError):
+            assign_additional_paper(problem, assignment, self._late_paper(problem))
+        # Raising the workload makes it possible.
+        update = assign_additional_paper(
+            problem, assignment, self._late_paper(problem),
+            reviewer_workload=problem.reviewer_workload + 1,
+        )
+        assert update.assignment.group_size("late-submission") == problem.group_size
+
+
+class TestReviewerWithdrawal:
+    def test_reassigns_the_withdrawn_reviewers_papers(self):
+        problem = make_problem(num_papers=10, num_reviewers=8, num_topics=8,
+                               group_size=2, reviewer_workload=5, seed=17)
+        assignment = StageDeepeningGreedySolver().solve(problem).assignment
+        victim = max(problem.reviewer_ids, key=assignment.load)
+        affected_before = assignment.papers_of(victim)
+
+        update = withdraw_reviewer(problem, assignment, victim)
+        assert victim not in update.problem.reviewer_ids
+        assert set(update.affected_papers) == set(affected_before)
+        update.problem.validate_assignment(update.assignment)
+        for paper_id in update.problem.paper_ids:
+            assert victim not in update.assignment.reviewers_of(paper_id)
+
+    def test_unknown_reviewer_rejected(self, small_problem):
+        assignment = StageDeepeningGreedySolver().solve(small_problem).assignment
+        with pytest.raises(KeyError):
+            withdraw_reviewer(small_problem, assignment, "nobody")
+
+    def test_inputs_are_not_mutated(self):
+        problem = make_problem(num_papers=8, num_reviewers=7, num_topics=6,
+                               group_size=2, reviewer_workload=4, seed=19)
+        assignment = StageDeepeningGreedySolver().solve(problem).assignment
+        before_pairs = set(assignment.pairs())
+        victim = problem.reviewer_ids[0]
+        withdraw_reviewer(problem, assignment, victim)
+        assert set(assignment.pairs()) == before_pairs
+        assert victim in problem.reviewer_ids

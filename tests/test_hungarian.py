@@ -1,0 +1,109 @@
+"""Unit tests for the Hungarian (Kuhn-Munkres) solver."""
+
+from __future__ import annotations
+
+import itertools
+
+import numpy as np
+import pytest
+from scipy.optimize import linear_sum_assignment
+
+from repro.assignment.hungarian import solve_assignment, solve_max_assignment
+from repro.exceptions import ConfigurationError
+
+
+class TestBasicCases:
+    def test_identity_matrix(self):
+        cost = np.array([[0.0, 1.0], [1.0, 0.0]])
+        result = solve_assignment(cost)
+        assert result.row_to_col == (0, 1)
+        assert result.total_cost == 0.0
+
+    def test_known_three_by_three(self):
+        cost = np.array([[4.0, 1.0, 3.0], [2.0, 0.0, 5.0], [3.0, 2.0, 2.0]])
+        result = solve_assignment(cost)
+        assert result.total_cost == pytest.approx(5.0)
+        assert sorted(result.row_to_col) == [0, 1, 2]
+
+    def test_rectangular_more_columns(self):
+        cost = np.array([[5.0, 1.0, 9.0], [9.0, 5.0, 1.0]])
+        result = solve_assignment(cost)
+        assert result.row_to_col == (1, 2)
+        assert result.total_cost == pytest.approx(2.0)
+
+    def test_rectangular_more_rows(self):
+        cost = np.array([[1.0, 9.0], [2.0, 1.0], [0.5, 8.0]])
+        result = solve_assignment(cost)
+        assigned = [col for col in result.row_to_col if col >= 0]
+        assert len(assigned) == 2
+        assert len(set(assigned)) == 2
+        assert result.total_cost == pytest.approx(1.5)
+        assert result.row_to_col[0] == -1  # row 0 loses to row 2 on column 0
+
+    def test_single_cell(self):
+        result = solve_assignment(np.array([[3.0]]))
+        assert result.row_to_col == (0,)
+        assert result.total_cost == pytest.approx(3.0)
+
+    def test_as_pairs(self):
+        result = solve_assignment(np.array([[1.0, 2.0], [2.0, 1.0]]))
+        assert result.as_pairs() == [(0, 0), (1, 1)]
+
+    def test_max_assignment(self):
+        profit = np.array([[1.0, 5.0], [5.0, 1.0]])
+        result = solve_max_assignment(profit)
+        assert result.total_cost == pytest.approx(10.0)
+        assert result.row_to_col == (1, 0)
+
+
+class TestValidation:
+    def test_rejects_empty(self):
+        with pytest.raises(ConfigurationError):
+            solve_assignment(np.zeros((0, 3)))
+
+    def test_rejects_non_2d(self):
+        with pytest.raises(ConfigurationError):
+            solve_assignment(np.zeros(4))
+
+    def test_rejects_infinite_entries(self):
+        with pytest.raises(ConfigurationError):
+            solve_assignment(np.array([[1.0, np.inf]]))
+
+    def test_rejects_empty_profit(self):
+        with pytest.raises(ConfigurationError):
+            solve_max_assignment(np.zeros((0, 0)))
+
+
+class TestAgainstReferences:
+    def test_matches_scipy_on_random_square_matrices(self):
+        rng = np.random.default_rng(1)
+        for size in (2, 3, 5, 8, 13):
+            cost = rng.random((size, size)) * 10.0
+            ours = solve_assignment(cost)
+            rows, cols = linear_sum_assignment(cost)
+            assert ours.total_cost == pytest.approx(cost[rows, cols].sum())
+
+    def test_matches_scipy_on_random_rectangular_matrices(self):
+        rng = np.random.default_rng(2)
+        for shape in ((3, 7), (7, 3), (5, 6), (10, 4)):
+            cost = rng.random(shape) * 5.0
+            ours = solve_assignment(cost)
+            rows, cols = linear_sum_assignment(cost)
+            assert ours.total_cost == pytest.approx(cost[rows, cols].sum())
+
+    def test_matches_brute_force_on_tiny_matrices(self):
+        rng = np.random.default_rng(3)
+        for _ in range(20):
+            cost = rng.integers(0, 20, size=(4, 4)).astype(float)
+            ours = solve_assignment(cost)
+            best = min(
+                sum(cost[row, col] for row, col in enumerate(permutation))
+                for permutation in itertools.permutations(range(4))
+            )
+            assert ours.total_cost == pytest.approx(best)
+
+    def test_handles_ties_consistently(self):
+        cost = np.ones((4, 4))
+        result = solve_assignment(cost)
+        assert sorted(result.row_to_col) == [0, 1, 2, 3]
+        assert result.total_cost == pytest.approx(4.0)

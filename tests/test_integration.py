@@ -1,0 +1,97 @@
+"""Integration tests: end-to-end workflows and the runnable examples."""
+
+from __future__ import annotations
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.cra.sra import SDGAWithRefinementSolver
+from repro.data.io import load_problem, save_problem
+from repro.data.synthetic import SyntheticCorpusGenerator
+from repro.experiments.runner import run_cra_methods
+from repro.metrics.quality import optimality_ratio, superiority_ratio
+from repro.topics.pipeline import TopicExtractionPipeline
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+
+
+class TestTextToAssignmentPipeline:
+    """Raw abstracts -> ATM -> EM -> WGRAP -> SDGA-SRA, all in one go."""
+
+    @pytest.fixture(scope="class")
+    def solved(self):
+        generator = SyntheticCorpusGenerator(
+            num_topics=5, words_per_topic=12, background_words=10, seed=31
+        )
+        corpus = generator.generate(
+            num_authors=14,
+            publications_per_author=(2, 4),
+            num_submissions=18,
+            tokens_per_document=(40, 80),
+        )
+        pipeline = TopicExtractionPipeline(num_topics=5, atm_iterations=40, seed=0)
+        pipeline.fit(corpus.publications)
+        problem = pipeline.build_problem(
+            submissions=list(corpus.submissions), group_size=2
+        )
+        result = SDGAWithRefinementSolver().solve(problem)
+        return problem, result
+
+    def test_pipeline_produces_a_feasible_assignment(self, solved):
+        problem, result = solved
+        problem.validate_assignment(result.assignment)
+        assert result.score > 0.0
+
+    def test_pipeline_assignment_quality_is_reasonable(self, solved):
+        problem, result = solved
+        ratio = optimality_ratio(problem, result.assignment)
+        assert ratio > 0.7  # loose: the topic model is fitted on a tiny corpus
+
+    def test_round_trip_through_json_preserves_evaluation(self, solved, tmp_path):
+        problem, result = solved
+        loaded = load_problem(save_problem(problem, tmp_path / "problem.json"))
+        assert loaded.assignment_score(result.assignment) == pytest.approx(result.score)
+
+
+class TestMethodComparisonWorkflow:
+    def test_paper_shape_on_a_scaled_conference(self, medium_problem):
+        """SM <= Greedy-family <= SDGA-SRA, and SDGA-SRA wins most papers."""
+        results = run_cra_methods(
+            medium_problem, methods=("SM", "Greedy", "SDGA", "SDGA-SRA")
+        )
+        assert results["SDGA-SRA"].score >= results["SDGA"].score - 1e-9
+        assert results["SDGA-SRA"].score >= results["SM"].score - 1e-9
+        breakdown = superiority_ratio(
+            medium_problem,
+            results["SDGA-SRA"].assignment,
+            results["SM"].assignment,
+        )
+        assert breakdown.superiority >= 0.5
+
+
+class TestExamples:
+    """Every example script must run to completion as-is."""
+
+    @pytest.mark.parametrize(
+        "script",
+        [
+            "quickstart.py",
+            "journal_assignment.py",
+            "conference_assignment.py",
+            "compare_baselines.py",
+            "case_study_report.py",
+            "bidding_and_maintenance.py",
+        ],
+    )
+    def test_example_runs(self, script, capsys, monkeypatch, tmp_path):
+        path = EXAMPLES_DIR / script
+        assert path.exists(), f"missing example {script}"
+        # Keep example artefacts (JSON outputs) inside the temp directory.
+        monkeypatch.chdir(tmp_path)
+        monkeypatch.setattr(sys, "argv", [str(path)])
+        runpy.run_path(str(path), run_name="__main__")
+        output = capsys.readouterr().out
+        assert output.strip(), f"example {script} produced no output"

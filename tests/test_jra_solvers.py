@@ -1,0 +1,216 @@
+"""Unit tests for the JRA solvers: BFS, BBA, ILP and CP (Section 3)."""
+
+from __future__ import annotations
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.core.entities import Paper, Reviewer
+from repro.core.problem import JRAProblem
+from repro.core.vectors import TopicVector
+from repro.jra.base import JRAResult
+from repro.jra.bba import BranchAndBoundSolver
+from repro.jra.brute_force import BruteForceSolver
+from repro.jra.cp import ConstraintProgrammingSolver
+from repro.jra.ilp import ILPSolver
+from repro.jra.topk import find_top_k_groups
+from repro.exceptions import ConfigurationError
+
+
+def _exhaustive_best(problem: JRAProblem) -> tuple[float, set[frozenset[str]]]:
+    """Exact optimum and the set of optimal groups, by direct enumeration."""
+    best_score = -1.0
+    best_groups: set[frozenset[str]] = set()
+    for combination in itertools.combinations(problem.reviewer_ids, problem.group_size):
+        score = problem.group_score(combination)
+        if score > best_score + 1e-12:
+            best_score = score
+            best_groups = {frozenset(combination)}
+        elif abs(score - best_score) <= 1e-12:
+            best_groups.add(frozenset(combination))
+    return best_score, best_groups
+
+
+class TestBruteForce:
+    def test_finds_exact_optimum(self, tiny_jra_problem):
+        result = BruteForceSolver().solve(tiny_jra_problem)
+        best_score, best_groups = _exhaustive_best(tiny_jra_problem)
+        assert result.score == pytest.approx(best_score)
+        assert frozenset(result.reviewer_ids) in best_groups
+        assert result.is_optimal
+        assert result.stats["groups_evaluated"] == len(
+            list(itertools.combinations(range(9), 3))
+        )
+
+    def test_top_k_mode(self, tiny_jra_problem):
+        solver = BruteForceSolver(top_k=4)
+        result = solver.solve(tiny_jra_problem)
+        shortlist = result.stats["top_k"]
+        assert len(shortlist) == 4
+        scores = [score for _, score in shortlist]
+        assert scores == sorted(scores, reverse=True)
+        assert scores[0] == pytest.approx(result.score)
+
+    def test_rejects_bad_top_k(self):
+        with pytest.raises(ValueError):
+            BruteForceSolver(top_k=0)
+
+
+class TestBBA:
+    def test_matches_brute_force(self, tiny_jra_problem):
+        bba = BranchAndBoundSolver().solve(tiny_jra_problem)
+        bfs = BruteForceSolver().solve(tiny_jra_problem)
+        assert bba.score == pytest.approx(bfs.score)
+        assert tiny_jra_problem.group_score(bba.reviewer_ids) == pytest.approx(bba.score)
+
+    @pytest.mark.parametrize("group_size", [1, 2, 3, 4])
+    def test_matches_brute_force_across_group_sizes(self, group_size):
+        rng = np.random.default_rng(group_size)
+        paper = Paper(id="p", vector=TopicVector(rng.dirichlet(np.ones(5))))
+        reviewers = [
+            Reviewer(id=f"r{i}", vector=TopicVector(rng.dirichlet(np.full(5, 0.4))))
+            for i in range(8)
+        ]
+        problem = JRAProblem(paper=paper, reviewers=reviewers, group_size=group_size)
+        bba = BranchAndBoundSolver().solve(problem)
+        bfs = BruteForceSolver().solve(problem)
+        assert bba.score == pytest.approx(bfs.score)
+
+    @pytest.mark.parametrize("scoring", ["weighted_coverage", "reviewer_coverage",
+                                         "paper_coverage", "dot_product"])
+    def test_exact_under_every_scoring_function(self, scoring):
+        rng = np.random.default_rng(hash(scoring) % 2**31)
+        paper = Paper(id="p", vector=TopicVector(rng.dirichlet(np.ones(4))))
+        reviewers = [
+            Reviewer(id=f"r{i}", vector=TopicVector(rng.dirichlet(np.full(4, 0.5))))
+            for i in range(7)
+        ]
+        problem = JRAProblem(paper=paper, reviewers=reviewers, group_size=2, scoring=scoring)
+        bba = BranchAndBoundSolver().solve(problem)
+        best_score, _ = _exhaustive_best(problem)
+        assert bba.score == pytest.approx(best_score)
+
+    def test_ablation_flags_do_not_change_the_answer(self, tiny_jra_problem):
+        reference = BranchAndBoundSolver().solve(tiny_jra_problem)
+        no_bound = BranchAndBoundSolver(use_bound=False).solve(tiny_jra_problem)
+        no_ordering = BranchAndBoundSolver(use_gain_ordering=False).solve(tiny_jra_problem)
+        assert no_bound.score == pytest.approx(reference.score)
+        assert no_ordering.score == pytest.approx(reference.score)
+
+    def test_bounding_prunes_nodes(self, tiny_jra_problem):
+        with_bound = BranchAndBoundSolver().solve(tiny_jra_problem)
+        without_bound = BranchAndBoundSolver(use_bound=False).solve(tiny_jra_problem)
+        assert with_bound.stats["nodes_expanded"] <= without_bound.stats["nodes_expanded"]
+        assert with_bound.stats["prunings"] > 0
+
+    def test_group_size_one(self, tiny_jra_problem):
+        problem = JRAProblem(
+            paper=tiny_jra_problem.paper,
+            reviewers=tiny_jra_problem.reviewers,
+            group_size=1,
+        )
+        result = BranchAndBoundSolver().solve(problem)
+        pair_scores = [
+            problem.group_score([reviewer_id]) for reviewer_id in problem.reviewer_ids
+        ]
+        assert result.score == pytest.approx(max(pair_scores))
+
+    def test_group_size_equals_pool(self):
+        rng = np.random.default_rng(2)
+        paper = Paper(id="p", vector=TopicVector(rng.dirichlet(np.ones(4))))
+        reviewers = [
+            Reviewer(id=f"r{i}", vector=TopicVector(rng.dirichlet(np.ones(4))))
+            for i in range(3)
+        ]
+        problem = JRAProblem(paper=paper, reviewers=reviewers, group_size=3)
+        result = BranchAndBoundSolver().solve(problem)
+        assert set(result.reviewer_ids) == {"r0", "r1", "r2"}
+
+    def test_zero_mass_paper(self):
+        paper = Paper(id="p", vector=TopicVector([0.0, 0.0, 0.0]))
+        reviewers = [
+            Reviewer(id=f"r{i}", vector=TopicVector([0.3, 0.3, 0.4])) for i in range(4)
+        ]
+        problem = JRAProblem(paper=paper, reviewers=reviewers, group_size=2)
+        result = BranchAndBoundSolver().solve(problem)
+        assert result.score == 0.0
+        assert len(result.reviewer_ids) == 2
+
+    def test_result_dataclass_fields(self, tiny_jra_problem):
+        result = BranchAndBoundSolver().solve(tiny_jra_problem)
+        assert isinstance(result, JRAResult)
+        assert result.group_size == tiny_jra_problem.group_size
+        assert result.elapsed_seconds >= 0.0
+
+    def test_rejects_bad_top_k(self):
+        with pytest.raises(ValueError):
+            BranchAndBoundSolver(top_k=0)
+
+
+class TestTopK:
+    def test_bba_top_k_matches_brute_force_ranking(self, tiny_jra_problem):
+        bba = find_top_k_groups(tiny_jra_problem, k=5, method="bba")
+        bfs = find_top_k_groups(tiny_jra_problem, k=5, method="bfs")
+        assert [round(entry.score, 9) for entry in bba] == [
+            round(entry.score, 9) for entry in bfs
+        ]
+        assert [entry.rank for entry in bba] == [1, 2, 3, 4, 5]
+
+    def test_top_k_scores_are_descending(self, tiny_jra_problem):
+        shortlist = find_top_k_groups(tiny_jra_problem, k=10)
+        scores = [entry.score for entry in shortlist]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_top_one(self, tiny_jra_problem):
+        shortlist = find_top_k_groups(tiny_jra_problem, k=1)
+        best = BranchAndBoundSolver().solve(tiny_jra_problem)
+        assert len(shortlist) == 1
+        assert shortlist[0].score == pytest.approx(best.score)
+
+    def test_invalid_arguments(self, tiny_jra_problem):
+        with pytest.raises(ConfigurationError):
+            find_top_k_groups(tiny_jra_problem, k=0)
+        with pytest.raises(ConfigurationError):
+            find_top_k_groups(tiny_jra_problem, k=3, method="magic")
+
+
+class TestILP:
+    def test_matches_brute_force(self, tiny_jra_problem):
+        ilp = ILPSolver().solve(tiny_jra_problem)
+        bfs = BruteForceSolver().solve(tiny_jra_problem)
+        assert ilp.score == pytest.approx(bfs.score)
+        assert ilp.stats["nodes_explored"] >= 1
+
+    def test_simplex_backend_on_small_instance(self):
+        rng = np.random.default_rng(8)
+        paper = Paper(id="p", vector=TopicVector(rng.dirichlet(np.ones(3))))
+        reviewers = [
+            Reviewer(id=f"r{i}", vector=TopicVector(rng.dirichlet(np.ones(3))))
+            for i in range(5)
+        ]
+        problem = JRAProblem(paper=paper, reviewers=reviewers, group_size=2)
+        ilp = ILPSolver(backend="simplex").solve(problem)
+        bfs = BruteForceSolver().solve(problem)
+        assert ilp.score == pytest.approx(bfs.score)
+
+
+class TestCP:
+    def test_matches_brute_force(self, tiny_jra_problem):
+        cp = ConstraintProgrammingSolver().solve(tiny_jra_problem)
+        bfs = BruteForceSolver().solve(tiny_jra_problem)
+        assert cp.score == pytest.approx(bfs.score)
+        assert cp.is_optimal
+
+    def test_first_solution_mode_is_fast_but_not_proven(self, tiny_jra_problem):
+        first = ConstraintProgrammingSolver(first_solution_only=True).solve(tiny_jra_problem)
+        optimal = ConstraintProgrammingSolver().solve(tiny_jra_problem)
+        assert not first.is_optimal
+        assert first.score <= optimal.score + 1e-12
+        assert first.stats["nodes_explored"] <= optimal.stats["nodes_explored"]
+
+    def test_node_limit(self, tiny_jra_problem):
+        limited = ConstraintProgrammingSolver(node_limit=5).solve(tiny_jra_problem)
+        assert not limited.is_optimal
+        assert len(limited.reviewer_ids) == tiny_jra_problem.group_size

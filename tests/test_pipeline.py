@@ -1,0 +1,137 @@
+"""Unit tests for the end-to-end topic-extraction pipeline (Appendix A)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.entities import Paper, Reviewer
+from repro.core.problem import WGRAPProblem
+from repro.data.synthetic import SyntheticCorpusGenerator
+from repro.exceptions import ConfigurationError, SolverError
+from repro.topics.pipeline import TopicExtractionPipeline
+
+
+@pytest.fixture(scope="module")
+def fitted_pipeline():
+    generator = SyntheticCorpusGenerator(
+        num_topics=4, words_per_topic=10, background_words=8, seed=23
+    )
+    corpus = generator.generate(
+        num_authors=10,
+        publications_per_author=(2, 3),
+        num_submissions=6,
+        tokens_per_document=(30, 60),
+    )
+    pipeline = TopicExtractionPipeline(num_topics=4, atm_iterations=30, seed=0)
+    pipeline.fit(corpus.publications)
+    return pipeline, corpus
+
+
+class TestPipelineLifecycle:
+    def test_parameter_validation(self):
+        with pytest.raises(ConfigurationError):
+            TopicExtractionPipeline(num_topics=1)
+
+    def test_requires_fit_before_use(self):
+        pipeline = TopicExtractionPipeline(num_topics=3)
+        assert not pipeline.is_fitted
+        with pytest.raises(SolverError):
+            pipeline.reviewers()
+        with pytest.raises(SolverError):
+            pipeline.infer_paper("p", "some abstract text")
+        with pytest.raises(SolverError):
+            _ = pipeline.model
+
+    def test_fit_exposes_model_and_keywords(self, fitted_pipeline):
+        pipeline, _ = fitted_pipeline
+        assert pipeline.is_fitted
+        assert pipeline.num_topics == 4
+        assert pipeline.model.num_topics == 4
+        keywords = pipeline.topic_keywords(0, count=5)
+        assert len(keywords) == 5
+
+
+class TestReviewerAndPaperExtraction:
+    def test_reviewer_vectors_are_normalised(self, fitted_pipeline):
+        pipeline, corpus = fitted_pipeline
+        reviewers = pipeline.reviewers()
+        assert len(reviewers) == len(corpus.publications.authors)
+        for reviewer in reviewers:
+            assert isinstance(reviewer, Reviewer)
+            assert reviewer.vector.total() == pytest.approx(1.0, abs=1e-6)
+
+    def test_reviewer_subset_and_metadata(self, fitted_pipeline):
+        pipeline, corpus = fitted_pipeline
+        author = corpus.publications.authors[0]
+        reviewer = pipeline.reviewer(author, name="Prof. Zero", h_index=15)
+        assert reviewer.name == "Prof. Zero"
+        assert reviewer.h_index == 15
+        subset = pipeline.reviewers([author])
+        assert len(subset) == 1 and subset[0].id == author
+
+    def test_paper_inference_from_raw_text(self, fitted_pipeline):
+        pipeline, _ = fitted_pipeline
+        paper = pipeline.infer_paper(
+            "p-1", "topic00word001 topic00word002 topic00word003", title="Focused"
+        )
+        assert isinstance(paper, Paper)
+        assert paper.title == "Focused"
+        assert paper.vector.total() == pytest.approx(1.0, abs=1e-6)
+
+    def test_paper_batch_inference(self, fitted_pipeline):
+        pipeline, corpus = fitted_pipeline
+        papers = pipeline.infer_papers(list(corpus.submissions[:3]))
+        assert len(papers) == 3
+        for paper in papers:
+            assert paper.vector.total() == pytest.approx(1.0, abs=1e-6)
+
+
+class TestProblemAssembly:
+    def test_build_problem(self, fitted_pipeline):
+        pipeline, corpus = fitted_pipeline
+        problem = pipeline.build_problem(
+            submissions=list(corpus.submissions),
+            group_size=2,
+        )
+        assert isinstance(problem, WGRAPProblem)
+        assert problem.num_papers == len(corpus.submissions)
+        assert problem.num_reviewers == len(corpus.publications.authors)
+        assert problem.num_topics == 4
+
+    def test_build_problem_with_conflicts(self, fitted_pipeline):
+        pipeline, corpus = fitted_pipeline
+        author = corpus.publications.authors[0]
+        submission = corpus.submissions[0]
+        problem = pipeline.build_problem(
+            submissions=list(corpus.submissions),
+            group_size=2,
+            conflicts=[(author, submission.id)],
+        )
+        assert problem.conflicts.is_conflict(author, submission.id)
+
+    def test_expert_reviewer_scores_higher_on_matching_paper(self, fitted_pipeline):
+        """A paper written in topic-block words should prefer reviewers whose
+        own publications concentrate on that block."""
+        pipeline, corpus = fitted_pipeline
+        model = pipeline.model
+        # Build a paper purely from topic block 0's signature words.
+        signature = " ".join(f"topic00word{index:03d}" for index in range(8))
+        paper = pipeline.infer_paper("pure-topic-0", signature)
+        learned_topic = int(np.argmax(paper.vector.values))
+        reviewers = pipeline.reviewers()
+        scores = [
+            problem_scoring.score(reviewer.vector, paper.vector)
+            for reviewer in reviewers
+            for problem_scoring in [pipeline_scoring()]
+        ]
+        best_reviewer = reviewers[int(np.argmax(scores))]
+        assert best_reviewer.vector.values[learned_topic] >= np.median(
+            model.author_topic[:, learned_topic]
+        )
+
+
+def pipeline_scoring():
+    from repro.core.scoring import WeightedCoverage
+
+    return WeightedCoverage()

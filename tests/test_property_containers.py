@@ -1,0 +1,111 @@
+"""Property-based tests for the Assignment container and problem invariants."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.assignment import Assignment
+from repro.core.constraints import ConflictOfInterest
+from repro.data.synthetic import make_problem
+
+REVIEWER_IDS = [f"r{i}" for i in range(6)]
+PAPER_IDS = [f"p{i}" for i in range(5)]
+
+
+def pair_lists():
+    return st.lists(
+        st.tuples(st.sampled_from(REVIEWER_IDS), st.sampled_from(PAPER_IDS)),
+        max_size=25,
+    )
+
+
+@settings(max_examples=150, deadline=None)
+@given(pair_lists())
+def test_assignment_size_matches_distinct_pairs(pairs):
+    assignment = Assignment(pairs)
+    assert len(assignment) == len(set(pairs))
+    assert set(assignment.pairs()) == set(pairs)
+
+
+@settings(max_examples=150, deadline=None)
+@given(pair_lists())
+def test_assignment_two_way_indexes_are_consistent(pairs):
+    assignment = Assignment(pairs)
+    # Every pair visible from the paper side is visible from the reviewer
+    # side and vice versa, and the loads/group sizes add up to the total.
+    total_from_papers = sum(assignment.group_size(p) for p in PAPER_IDS)
+    total_from_reviewers = sum(assignment.load(r) for r in REVIEWER_IDS)
+    assert total_from_papers == len(assignment) == total_from_reviewers
+    for reviewer_id, paper_id in assignment.pairs():
+        assert reviewer_id in assignment.reviewers_of(paper_id)
+        assert paper_id in assignment.papers_of(reviewer_id)
+
+
+@settings(max_examples=150, deadline=None)
+@given(pair_lists())
+def test_assignment_round_trips_through_dict(pairs):
+    assignment = Assignment(pairs)
+    assert Assignment.from_dict(assignment.to_dict()) == assignment
+
+
+@settings(max_examples=100, deadline=None)
+@given(pair_lists(), pair_lists())
+def test_assignment_set_algebra_laws(first_pairs, second_pairs):
+    first = Assignment(first_pairs)
+    second = Assignment(second_pairs)
+    union = first.union(second)
+    difference = first.difference(second)
+    symmetric = first.symmetric_difference(second)
+    assert set(union.pairs()) == set(first.pairs()) | set(second.pairs())
+    assert set(difference.pairs()) == set(first.pairs()) - set(second.pairs())
+    assert set(symmetric.pairs()) == set(first.pairs()) ^ set(second.pairs())
+
+
+@settings(max_examples=100, deadline=None)
+@given(pair_lists())
+def test_removal_restores_the_empty_assignment(pairs):
+    assignment = Assignment(pairs)
+    for reviewer_id, paper_id in list(assignment.pairs()):
+        assignment.remove(reviewer_id, paper_id)
+    assert len(assignment) == 0
+    assert not assignment.papers()
+    assert not assignment.reviewers()
+
+
+@settings(max_examples=150, deadline=None)
+@given(pair_lists())
+def test_conflicts_container_mirrors_pairs(pairs):
+    conflicts = ConflictOfInterest(pairs)
+    assert len(conflicts) == len(set(pairs))
+    for reviewer_id, paper_id in pairs:
+        assert conflicts.is_conflict(reviewer_id, paper_id)
+        assert paper_id in conflicts.papers_conflicting_with(reviewer_id)
+        assert reviewer_id in conflicts.reviewers_conflicting_with(paper_id)
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    st.integers(min_value=3, max_value=10),
+    st.integers(min_value=3, max_value=8),
+    st.integers(min_value=1, max_value=3),
+    st.integers(min_value=0, max_value=1_000),
+)
+def test_generated_problems_always_satisfy_their_own_capacity_check(
+    num_papers, num_reviewers, group_size, seed
+):
+    group_size = min(group_size, num_reviewers)
+    problem = make_problem(
+        num_papers=num_papers,
+        num_reviewers=num_reviewers,
+        num_topics=6,
+        group_size=group_size,
+        seed=seed,
+    )
+    constraints = problem.constraints
+    assert constraints.is_satisfiable(problem.num_reviewers, problem.num_papers)
+    assert problem.reviewer_workload >= 1
+    # Pair score matrix is consistent with the scoring function bounds.
+    scores = problem.pair_score_matrix()
+    assert scores.min() >= 0.0
+    assert scores.max() <= 1.0 + 1e-9

@@ -1,0 +1,150 @@
+"""Property-based tests (hypothesis) for the scoring functions.
+
+These verify the two conditions of Lemma 4 (Appendix B) — per-topic
+decomposition and monotonicity in the reviewer vector — plus the
+submodularity of the group objective that the SDGA approximation proof
+relies on, for *every* registered scoring function.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.scoring import get_scoring_function
+from repro.core.vectors import TopicVector
+
+SCORING_NAMES = ["weighted_coverage", "reviewer_coverage", "paper_coverage", "dot_product"]
+
+
+def weight_lists(min_size=2, max_size=6):
+    return st.lists(
+        st.floats(min_value=0.0, max_value=1.0, allow_nan=False, allow_infinity=False),
+        min_size=min_size,
+        max_size=max_size,
+    )
+
+
+@st.composite
+def scoring_instances(draw, num_vectors=3):
+    """A scoring function plus several reviewer vectors and one paper vector."""
+    name = draw(st.sampled_from(SCORING_NAMES))
+    num_topics = draw(st.integers(min_value=2, max_value=6))
+    vectors = [
+        TopicVector(
+            draw(
+                st.lists(
+                    st.floats(min_value=0.0, max_value=1.0, allow_nan=False),
+                    min_size=num_topics,
+                    max_size=num_topics,
+                )
+            )
+        )
+        for _ in range(num_vectors)
+    ]
+    paper_weights = draw(
+        st.lists(
+            st.floats(min_value=0.01, max_value=1.0, allow_nan=False),
+            min_size=num_topics,
+            max_size=num_topics,
+        )
+    )
+    return get_scoring_function(name), vectors, TopicVector(paper_weights)
+
+
+@settings(max_examples=120, deadline=None)
+@given(scoring_instances())
+def test_scores_are_non_negative_and_bounded_for_coverage_functions(case):
+    scoring, vectors, paper = case
+    for vector in vectors:
+        score = scoring.score(vector, paper)
+        assert score >= 0.0
+        if scoring.name in ("weighted_coverage", "paper_coverage"):
+            assert score <= 1.0 + 1e-9
+
+
+@settings(max_examples=120, deadline=None)
+@given(scoring_instances())
+def test_group_score_is_monotone_in_group_membership(case):
+    """Adding a reviewer to a group never lowers the group score (C.2)."""
+    scoring, vectors, paper = case
+    single = scoring.group_score([vectors[0]], paper)
+    pair = scoring.group_score([vectors[0], vectors[1]], paper)
+    triple = scoring.group_score(vectors, paper)
+    assert pair >= single - 1e-9
+    assert triple >= pair - 1e-9
+
+
+@settings(max_examples=120, deadline=None)
+@given(scoring_instances())
+def test_marginal_gains_are_non_negative(case):
+    scoring, vectors, paper = case
+    group_vector = vectors[0]
+    for vector in vectors[1:]:
+        assert scoring.marginal_gain(group_vector, vector, paper) >= -1e-9
+
+
+@settings(max_examples=120, deadline=None)
+@given(scoring_instances())
+def test_submodularity_diminishing_returns(case):
+    """gain(g, r) >= gain(g ∪ {r'}, r): the key inequality behind Theorem 1."""
+    scoring, vectors, paper = case
+    base, extra, new = vectors
+    small_group = base
+    large_group = base.maximum(extra)
+    gain_small = scoring.marginal_gain(small_group, new, paper)
+    gain_large = scoring.marginal_gain(large_group, new, paper)
+    assert gain_small >= gain_large - 1e-9
+
+
+@settings(max_examples=120, deadline=None)
+@given(scoring_instances())
+def test_per_topic_decomposition(case):
+    """The numerator is the sum of independent per-topic contributions (C.1)."""
+    scoring, vectors, paper = case
+    vector = vectors[0]
+    total = scoring.numerator(vector, paper)
+    per_topic = sum(
+        float(
+            scoring.topic_contribution(
+                np.array([vector[t]]), np.array([paper[t]])
+            )[0]
+        )
+        for t in range(paper.num_topics)
+    )
+    assert total == np.float64(per_topic) or abs(total - per_topic) < 1e-9
+
+
+@settings(max_examples=120, deadline=None)
+@given(scoring_instances())
+def test_group_score_equals_score_of_max_vector(case):
+    """Definition 2: the group behaves exactly like its per-topic maximum."""
+    scoring, vectors, paper = case
+    aggregated = TopicVector.group_maximum(vectors)
+    assert scoring.group_score(vectors, paper) == float(
+        np.float64(scoring.score(aggregated, paper))
+    )
+
+
+@settings(max_examples=120, deadline=None)
+@given(weight_lists(), weight_lists())
+def test_weighted_coverage_symmetry_bound(reviewer_weights, paper_weights):
+    """min() is symmetric, so c(r, p) * sum(p) == c(p, r) * sum(r)."""
+    size = min(len(reviewer_weights), len(paper_weights))
+    reviewer = TopicVector(reviewer_weights[:size])
+    paper = TopicVector(paper_weights[:size])
+    scoring = get_scoring_function("weighted_coverage")
+    assert scoring.numerator(reviewer, paper) == scoring.numerator(paper, reviewer)
+
+
+@settings(max_examples=120, deadline=None)
+@given(scoring_instances())
+def test_gain_vector_matches_scalar_definition(case):
+    scoring, vectors, paper = case
+    group = vectors[0]
+    matrix = np.vstack([vector.values for vector in vectors])
+    gains = scoring.gain_vector(group.values, matrix, paper.values)
+    for index, vector in enumerate(vectors):
+        expected = scoring.marginal_gain(group, vector, paper)
+        assert abs(gains[index] - expected) < 1e-9

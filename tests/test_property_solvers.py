@@ -1,0 +1,99 @@
+"""Property-based tests for the JRA and CRA solvers on random instances."""
+
+from __future__ import annotations
+
+import itertools
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.entities import Paper, Reviewer
+from repro.core.problem import JRAProblem
+from repro.cra.greedy import GreedySolver
+from repro.cra.ratio import GREEDY_RATIO, sdga_ratio
+from repro.cra.sdga import StageDeepeningGreedySolver
+from repro.cra.sra import SDGAWithRefinementSolver
+from repro.data.synthetic import make_problem
+from repro.jra.bba import BranchAndBoundSolver
+from repro.jra.brute_force import BruteForceSolver
+from tests.conftest import exhaustive_optimal_assignment
+
+
+@st.composite
+def jra_instances(draw):
+    num_topics = draw(st.integers(min_value=2, max_value=5))
+    num_reviewers = draw(st.integers(min_value=3, max_value=8))
+    group_size = draw(st.integers(min_value=1, max_value=min(3, num_reviewers)))
+    seed = draw(st.integers(min_value=0, max_value=100_000))
+    rng = np.random.default_rng(seed)
+    paper = Paper(id="p", vector=rng.dirichlet(np.full(num_topics, 0.6)))
+    reviewers = [
+        Reviewer(id=f"r{i}", vector=rng.dirichlet(np.full(num_topics, 0.6)))
+        for i in range(num_reviewers)
+    ]
+    scoring = draw(st.sampled_from(["weighted_coverage", "dot_product", "paper_coverage"]))
+    return JRAProblem(paper=paper, reviewers=reviewers, group_size=group_size,
+                      scoring=scoring)
+
+
+@settings(max_examples=40, deadline=None)
+@given(jra_instances())
+def test_bba_is_exact_on_random_instances(problem):
+    bba = BranchAndBoundSolver().solve(problem)
+    best = max(
+        problem.group_score(list(combination))
+        for combination in itertools.combinations(problem.reviewer_ids, problem.group_size)
+    )
+    assert abs(bba.score - best) < 1e-9
+    assert problem.group_score(bba.reviewer_ids) == bba.score
+
+
+@settings(max_examples=25, deadline=None)
+@given(jra_instances())
+def test_bba_and_brute_force_agree(problem):
+    assert abs(
+        BranchAndBoundSolver().solve(problem).score
+        - BruteForceSolver().solve(problem).score
+    ) < 1e-9
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    st.integers(min_value=2, max_value=4),   # papers
+    st.integers(min_value=3, max_value=5),   # reviewers
+    st.integers(min_value=1, max_value=2),   # group size
+    st.integers(min_value=0, max_value=10_000),
+)
+def test_sdga_and_greedy_respect_their_guarantees(num_papers, num_reviewers,
+                                                  group_size, seed):
+    problem = make_problem(
+        num_papers=num_papers,
+        num_reviewers=num_reviewers,
+        num_topics=5,
+        group_size=group_size,
+        seed=seed,
+    )
+    _, optimum = exhaustive_optimal_assignment(problem)
+    sdga = StageDeepeningGreedySolver().solve(problem)
+    greedy = GreedySolver().solve(problem)
+    if group_size >= 2:
+        guarantee = sdga_ratio(problem.group_size, problem.reviewer_workload)
+    else:
+        guarantee = 1.0  # a single one-per-paper stage is solved optimally
+    assert sdga.score >= guarantee * optimum - 1e-9
+    assert greedy.score >= GREEDY_RATIO * optimum - 1e-9
+    assert sdga.score <= optimum + 1e-9
+    assert greedy.score <= optimum + 1e-9
+
+
+@settings(max_examples=10, deadline=None)
+@given(st.integers(min_value=0, max_value=10_000))
+def test_refinement_never_degrades_and_stays_feasible(seed):
+    problem = make_problem(
+        num_papers=8, num_reviewers=6, num_topics=6, group_size=2, seed=seed
+    )
+    sdga = StageDeepeningGreedySolver().solve(problem)
+    refined = SDGAWithRefinementSolver().solve(problem)
+    problem.validate_assignment(refined.assignment)
+    assert refined.score >= sdga.score - 1e-9

@@ -1,0 +1,72 @@
+"""Unit tests for the theoretical approximation ratios (Figure 7)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.cra.ratio import (
+    GREEDY_RATIO,
+    approximation_ratio_table,
+    general_case_ratio,
+    integral_case_ratio,
+    sdga_ratio,
+)
+from repro.exceptions import ConfigurationError
+
+
+class TestFormulas:
+    def test_integral_case_values(self):
+        assert integral_case_ratio(2) == pytest.approx(0.75)
+        assert integral_case_ratio(3) == pytest.approx(1 - (2 / 3) ** 3)
+        # As delta_p grows the bound approaches 1 - 1/e from above.
+        assert integral_case_ratio(1000) == pytest.approx(1 - 1 / math.e, abs=1e-3)
+
+    def test_general_case_values(self):
+        """The paper quotes 1/2 for delta_p=2, 5/9 for 3 and 0.5904 for 5."""
+        assert general_case_ratio(2) == pytest.approx(0.5)
+        assert general_case_ratio(3) == pytest.approx(5.0 / 9.0)
+        assert general_case_ratio(5) == pytest.approx(0.5904, abs=1e-4)
+
+    def test_general_case_is_at_least_one_half(self):
+        for group_size in range(2, 30):
+            assert general_case_ratio(group_size) >= 0.5 - 1e-12
+
+    def test_general_case_is_monotonically_increasing(self):
+        values = [general_case_ratio(k) for k in range(2, 20)]
+        assert values == sorted(values)
+
+    def test_integral_dominates_general_dominates_greedy(self):
+        for group_size in range(2, 12):
+            assert integral_case_ratio(group_size) > general_case_ratio(group_size)
+            assert general_case_ratio(group_size) > GREEDY_RATIO
+
+    def test_sdga_ratio_picks_the_right_case(self):
+        assert sdga_ratio(3, 6) == pytest.approx(integral_case_ratio(3))
+        assert sdga_ratio(3, 7) == pytest.approx(general_case_ratio(3))
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            integral_case_ratio(1)
+        with pytest.raises(ConfigurationError):
+            general_case_ratio(0)
+        with pytest.raises(ConfigurationError):
+            sdga_ratio(3, 0)
+
+
+class TestFigure7Table:
+    def test_default_range(self):
+        table = approximation_ratio_table()
+        assert [point.group_size for point in table] == list(range(2, 11))
+        assert all(point.greedy_baseline == pytest.approx(1 / 3) for point in table)
+        assert all(
+            point.integral_case > point.general_case >= 0.5 - 1e-12 for point in table
+        )
+        assert table[0].limit_one_minus_inverse_e == pytest.approx(1 - 1 / math.e)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            approximation_ratio_table(min_group_size=1)
+        with pytest.raises(ConfigurationError):
+            approximation_ratio_table(min_group_size=5, max_group_size=4)

@@ -1,0 +1,102 @@
+"""Unit tests for the RAP reductions of Section 2.3."""
+
+from __future__ import annotations
+
+import itertools
+
+import pytest
+
+from repro.core.problem import WGRAPProblem
+from repro.core.reductions import (
+    binary_topic_vector,
+    expand_problem_for_pairwise_objective,
+    formulation_table,
+    set_coverage,
+    sgrap_problem_from_topic_sets,
+)
+from repro.core.scoring import WeightedCoverage
+from repro.data.synthetic import make_problem
+from repro.exceptions import ConfigurationError
+
+
+class TestFormulationTable:
+    def test_table2_contents(self):
+        table = {entry.name: entry for entry in formulation_table()}
+        assert set(table) == {"RRAP", "ARAP", "SGRAP", "WGRAP"}
+        assert not table["RRAP"].group_size_constraint
+        assert table["ARAP"].group_size_constraint
+        assert not table["ARAP"].group_based_objective
+        assert table["SGRAP"].group_based_objective
+        assert table["SGRAP"].objective_weighting == "set"
+        assert table["WGRAP"].objective_weighting == "weight"
+        assert all(entry.is_special_case_of_wgrap() for entry in table.values())
+
+
+class TestSGRAPReduction:
+    def test_binary_vector(self):
+        vector = binary_topic_vector({0, 2}, num_topics=4)
+        assert vector.to_list() == [1.0, 0.0, 1.0, 0.0]
+
+    def test_binary_vector_out_of_range(self):
+        with pytest.raises(ConfigurationError):
+            binary_topic_vector({5}, num_topics=3)
+
+    def test_set_coverage_matches_weighted_coverage_on_binary_vectors(self):
+        """Section 2.3: on binary vectors the two coverage notions coincide."""
+        num_topics = 6
+        paper_topics = {0, 1, 3, 5}
+        group_sets = [{0, 2}, {1, 4}, {3}]
+        expected = set_coverage(group_sets, paper_topics)
+
+        scoring = WeightedCoverage()
+        group_vectors = [binary_topic_vector(s, num_topics) for s in group_sets]
+        paper_vector = binary_topic_vector(paper_topics, num_topics)
+        assert scoring.group_score(group_vectors, paper_vector) == pytest.approx(expected)
+
+    def test_set_coverage_of_empty_paper(self):
+        assert set_coverage([{1, 2}], set()) == 0.0
+
+    def test_sgrap_problem_builder(self):
+        problem = sgrap_problem_from_topic_sets(
+            paper_topic_sets={"p1": {0, 1}, "p2": {2, 3}},
+            reviewer_topic_sets={"r1": {0}, "r2": {1, 2}, "r3": {3}},
+            num_topics=4,
+            group_size=2,
+        )
+        assert isinstance(problem, WGRAPProblem)
+        assert problem.num_papers == 2
+        assert problem.num_reviewers == 3
+        # Reviewer r2 covers half of p1's topics.
+        assert problem.pair_score("r2", "p1") == pytest.approx(0.5)
+
+
+class TestPairwiseExpansion:
+    def test_group_score_becomes_scaled_pair_sum(self):
+        """On the expanded instance, group coverage = (1/R) * sum of pair scores."""
+        problem = make_problem(num_papers=3, num_reviewers=4, num_topics=5,
+                               group_size=2, seed=2)
+        expanded = expand_problem_for_pairwise_objective(problem)
+        assert expanded.num_topics == problem.num_topics * problem.num_reviewers
+
+        scoring = problem.scoring
+        for paper, expanded_paper in zip(problem.papers, expanded.papers):
+            for r1, r2 in itertools.combinations(range(problem.num_reviewers), 2):
+                pair_sum = sum(
+                    scoring.score(problem.reviewers[r].vector, paper.vector)
+                    for r in (r1, r2)
+                )
+                group_expanded = scoring.group_score(
+                    [expanded.reviewers[r1].vector, expanded.reviewers[r2].vector],
+                    expanded_paper.vector,
+                )
+                assert group_expanded == pytest.approx(
+                    pair_sum / problem.num_reviewers, abs=1e-9
+                )
+
+    def test_expansion_preserves_constraints(self):
+        problem = make_problem(num_papers=3, num_reviewers=4, num_topics=5,
+                               group_size=2, seed=2)
+        expanded = expand_problem_for_pairwise_objective(problem)
+        assert expanded.group_size == problem.group_size
+        assert expanded.reviewer_workload == problem.reviewer_workload
+        assert expanded.num_papers == problem.num_papers

@@ -1,0 +1,84 @@
+"""Unit tests for the experiment reporting helpers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.experiments.reporting import (
+    ExperimentTable,
+    format_ratio,
+    format_seconds,
+    merge_tables,
+)
+
+
+class TestFormatting:
+    def test_format_seconds_ranges(self):
+        assert format_seconds(5e-4).endswith("us")
+        assert format_seconds(0.02).endswith("ms")
+        assert format_seconds(3.5) == "3.50s"
+        assert format_seconds(300.0).endswith("min")
+
+    def test_format_seconds_rejects_negative(self):
+        with pytest.raises(ConfigurationError):
+            format_seconds(-1.0)
+
+    def test_format_ratio(self):
+        assert format_ratio(0.973) == "97.3%"
+        assert format_ratio(1.0) == "100.0%"
+
+
+class TestExperimentTable:
+    def test_add_row_and_column_access(self):
+        table = ExperimentTable(title="Demo", columns=["method", "score"])
+        table.add_row("SDGA", 0.98)
+        table.add_row("Greedy", 0.96)
+        assert table.column("method") == ["SDGA", "Greedy"]
+        assert table.column("score") == [0.98, 0.96]
+
+    def test_add_row_validates_arity(self):
+        table = ExperimentTable(title="Demo", columns=["a", "b"])
+        with pytest.raises(ConfigurationError):
+            table.add_row(1)
+
+    def test_unknown_column(self):
+        table = ExperimentTable(title="Demo", columns=["a"])
+        with pytest.raises(ConfigurationError):
+            table.column("z")
+
+    def test_text_rendering_contains_everything(self):
+        table = ExperimentTable(title="Figure X", columns=["method", "ratio"])
+        table.add_row("SDGA-SRA", 0.995)
+        text = table.to_text()
+        assert "Figure X" in text
+        assert "SDGA-SRA" in text
+        assert "0.9950" in text
+        assert str(table) == text
+
+    def test_text_rendering_of_empty_table(self):
+        table = ExperimentTable(title="Empty", columns=["only"])
+        assert "Empty" in table.to_text()
+
+    def test_csv_rendering_and_save(self, tmp_path):
+        table = ExperimentTable(title="T", columns=["k", "time"])
+        table.add_row(1, 0.5)
+        table.add_row(10, 1.25)
+        csv = table.to_csv()
+        assert csv.splitlines()[0] == "k,time"
+        assert "10,1.2500" in csv
+        path = table.save_csv(tmp_path / "out.csv")
+        assert path.read_text().startswith("k,time")
+
+    def test_merge_tables(self):
+        first = ExperimentTable(title="a", columns=["x"])
+        first.add_row(1)
+        second = ExperimentTable(title="b", columns=["x"])
+        second.add_row(2)
+        merged = merge_tables("both", [first, second])
+        assert merged.column("x") == [1, 2]
+        with pytest.raises(ConfigurationError):
+            merge_tables("nothing", [])
+        third = ExperimentTable(title="c", columns=["y"])
+        with pytest.raises(ConfigurationError):
+            merge_tables("mismatch", [first, third])

@@ -1,0 +1,78 @@
+"""Tests for the retrieval-based (RRAP) strawman of Definition 4."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.entities import Paper, Reviewer
+from repro.core.problem import WGRAPProblem
+from repro.core.vectors import TopicVector
+from repro.cra.retrieval import solve_retrieval_assignment
+from repro.data.synthetic import make_problem
+from repro.exceptions import ConfigurationError
+
+
+class TestRetrievalAssignment:
+    def test_every_reviewer_gets_their_top_papers(self, small_problem):
+        result = solve_retrieval_assignment(small_problem)
+        for reviewer_id in small_problem.reviewer_ids:
+            assert result.assignment.load(reviewer_id) <= small_problem.reviewer_workload
+        # The RRAP objective equals the sum of the selected pair scores.
+        recomputed = sum(
+            small_problem.pair_score(reviewer_id, paper_id)
+            for reviewer_id, paper_id in result.assignment.pairs()
+        )
+        assert result.pairwise_score == pytest.approx(recomputed)
+
+    def test_respects_conflicts(self):
+        problem = make_problem(
+            num_papers=10, num_reviewers=6, num_topics=8, conflict_ratio=0.1, seed=3
+        )
+        result = solve_retrieval_assignment(problem)
+        for reviewer_id, paper_id in result.assignment.pairs():
+            assert problem.is_feasible_pair(reviewer_id, paper_id)
+
+    def test_workload_override_and_validation(self, small_problem):
+        result = solve_retrieval_assignment(small_problem, reviews_per_reviewer=1)
+        for reviewer_id in small_problem.reviewer_ids:
+            assert result.assignment.load(reviewer_id) <= 1
+        with pytest.raises(ConfigurationError):
+            solve_retrieval_assignment(small_problem, reviews_per_reviewer=0)
+
+    def test_figure_1a_imbalance(self):
+        """The motivating example: popular topics pile up, other papers starve."""
+        # Three papers: two on "spatial" (topic 0), one on "social networks"
+        # (topic 1).  Both reviewers work on spatial topics.
+        papers = [
+            Paper(id="spatial-1", vector=TopicVector([1.0, 0.0])),
+            Paper(id="spatial-2", vector=TopicVector([0.9, 0.1])),
+            Paper(id="social", vector=TopicVector([0.0, 1.0])),
+        ]
+        reviewers = [
+            Reviewer(id="r1", vector=TopicVector([0.95, 0.05])),
+            Reviewer(id="r2", vector=TopicVector([0.85, 0.15])),
+        ]
+        problem = WGRAPProblem(
+            papers=papers, reviewers=reviewers, group_size=1, reviewer_workload=2
+        )
+        result = solve_retrieval_assignment(problem)
+        # The social-networks paper is nobody's top pick: it goes unreviewed.
+        assert "social" in result.unreviewed_papers
+        # While the spatial papers accumulate every review.
+        assert result.assignment.group_size("spatial-1") + result.assignment.group_size(
+            "spatial-2"
+        ) == len(result.assignment)
+
+    def test_group_constrained_methods_fix_the_imbalance(self):
+        """Any feasible WGRAP solver reviews every paper — unlike RRAP."""
+        from repro.cra.sdga import StageDeepeningGreedySolver
+
+        problem = make_problem(num_papers=12, num_reviewers=6, num_topics=6,
+                               group_size=2, seed=9)
+        retrieval = solve_retrieval_assignment(problem)
+        sdga = StageDeepeningGreedySolver().solve(problem)
+        for paper_id in problem.paper_ids:
+            assert sdga.assignment.group_size(paper_id) == problem.group_size
+        # RRAP's pairwise objective can be high even when papers starve,
+        # which is exactly why the paper rejects it as an objective.
+        assert isinstance(retrieval.unreviewed_papers, tuple)

@@ -1,0 +1,37 @@
+"""Tests for the sensitivity-sweep experiments."""
+
+from __future__ import annotations
+
+from repro.experiments.runner import ExperimentConfig
+from repro.experiments.sensitivity import (
+    run_interdisciplinarity_sweep,
+    run_topic_granularity_sweep,
+)
+
+_TINY = ExperimentConfig(scale=0.05, seed=23, num_topics=12, refinement_omega=3)
+_FAST = ("SM", "SDGA", "SDGA-SRA")
+
+
+class TestTopicGranularitySweep:
+    def test_table_shape_and_bounds(self):
+        table = run_topic_granularity_sweep(
+            topic_counts=(6, 12), num_papers=15, num_reviewers=8,
+            methods=_FAST, config=_TINY,
+        )
+        assert table.column("T") == [6, 12]
+        for method in _FAST:
+            for value in table.column(method):
+                assert 0.0 < value <= 1.0 + 1e-9
+        for gap in table.column("SDGA-SRA minus SM"):
+            assert gap >= -1e-9
+
+
+class TestInterdisciplinaritySweep:
+    def test_table_shape_and_bounds(self):
+        table = run_interdisciplinarity_sweep(
+            ratios_of_interdisciplinary_papers=(0.0, 1.0),
+            num_papers=15, num_reviewers=8, methods=_FAST, config=_TINY,
+        )
+        assert table.column("interdisciplinary ratio") == [0.0, 1.0]
+        for gap in table.column("SDGA-SRA minus SM"):
+            assert gap >= -1e-9

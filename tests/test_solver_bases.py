@@ -1,0 +1,109 @@
+"""Tests for the solver base classes, result types and exception hierarchy."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.assignment import Assignment
+from repro.core.problem import JRAProblem, WGRAPProblem
+from repro.cra.base import CRAResult, CRASolver
+from repro.cra.sra import StochasticRefiner
+from repro.exceptions import (
+    ConfigurationError,
+    InfeasibleAssignmentError,
+    InfeasibleProblemError,
+    ReproError,
+    SolverError,
+    UnknownScoringFunctionError,
+)
+from repro.jra.base import JRAResult, JRASolver
+
+
+class TestExceptionHierarchy:
+    def test_all_errors_are_repro_errors(self):
+        for error_class in (
+            ConfigurationError,
+            InfeasibleProblemError,
+            InfeasibleAssignmentError,
+            SolverError,
+            UnknownScoringFunctionError,
+        ):
+            assert issubclass(error_class, ReproError)
+
+    def test_unknown_scoring_function_is_also_a_key_error(self):
+        assert issubclass(UnknownScoringFunctionError, KeyError)
+
+    def test_catching_the_base_class_catches_everything(self, small_problem):
+        with pytest.raises(ReproError):
+            small_problem.validate_assignment(Assignment([("ghost", "paper-0000")]))
+
+
+class _BrokenCRASolver(CRASolver):
+    """A solver that 'forgets' to complete the assignment."""
+
+    name = "Broken"
+
+    def _solve(self, problem: WGRAPProblem):
+        return Assignment(), {}
+
+
+class _CheatingJRASolver(JRASolver):
+    """A solver that returns a group of the wrong size."""
+
+    name = "Cheater"
+
+    def _solve(self, problem: JRAProblem):
+        return (problem.reviewer_ids[:1], 0.0, True, {})
+
+
+class TestBaseClassValidation:
+    def test_cra_base_rejects_incomplete_results(self, small_problem):
+        with pytest.raises(InfeasibleAssignmentError):
+            _BrokenCRASolver().solve(small_problem)
+
+    def test_jra_base_rejects_wrong_group_size(self, tiny_jra_problem):
+        with pytest.raises(InfeasibleAssignmentError):
+            _CheatingJRASolver().solve(tiny_jra_problem)
+
+    def test_repr_of_solvers(self, small_problem):
+        assert "_BrokenCRASolver" in repr(_BrokenCRASolver())
+        assert "_CheatingJRASolver" in repr(_CheatingJRASolver())
+
+
+class TestResultTypes:
+    def test_cra_result_is_immutable(self, small_problem):
+        from repro.cra.sdga import StageDeepeningGreedySolver
+
+        result = StageDeepeningGreedySolver().solve(small_problem)
+        assert isinstance(result, CRAResult)
+        with pytest.raises(AttributeError):
+            result.score = 0.0  # type: ignore[misc]
+        assert result.solver_name == "SDGA"
+        assert result.elapsed_seconds >= 0.0
+
+    def test_jra_result_is_immutable(self, tiny_jra_problem):
+        from repro.jra.bba import BranchAndBoundSolver
+
+        result = BranchAndBoundSolver().solve(tiny_jra_problem)
+        assert isinstance(result, JRAResult)
+        with pytest.raises(AttributeError):
+            result.score = 0.0  # type: ignore[misc]
+
+
+class TestStochasticRefinerProbabilityModels:
+    def test_model_name_validation(self):
+        with pytest.raises(ConfigurationError):
+            StochasticRefiner(probability_model="magic")
+
+    @pytest.mark.parametrize("model", ["uniform", "coverage", "decayed"])
+    def test_every_model_produces_a_feasible_refinement(self, small_problem, model):
+        from repro.cra.sdga import StageDeepeningGreedySolver
+
+        base = StageDeepeningGreedySolver().solve(small_problem)
+        refiner = StochasticRefiner(
+            probability_model=model, convergence_window=3, max_rounds=10, seed=2
+        )
+        refined, stats = refiner.refine(small_problem, base.assignment)
+        small_problem.validate_assignment(refined)
+        assert small_problem.assignment_score(refined) >= base.score - 1e-9
+        assert stats["rounds"] <= 10

@@ -1,0 +1,196 @@
+"""Unit tests for LDA, the Author-Topic Model and EM paper inference."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.synthetic import SyntheticCorpusGenerator
+from repro.exceptions import ConfigurationError
+from repro.topics.atm import AuthorTopicModel
+from repro.topics.corpus import Corpus, Document
+from repro.topics.em import infer_document_vectors, infer_topic_mixture
+from repro.topics.lda import LatentDirichletAllocation
+
+
+@pytest.fixture(scope="module")
+def synthetic_corpus():
+    """A small synthetic corpus with known ground-truth topics."""
+    generator = SyntheticCorpusGenerator(
+        num_topics=4, words_per_topic=12, background_words=10, seed=11
+    )
+    return generator.generate(
+        num_authors=12,
+        publications_per_author=(2, 4),
+        num_submissions=8,
+        tokens_per_document=(40, 70),
+    )
+
+
+class TestLDA:
+    def test_parameter_validation(self):
+        with pytest.raises(ConfigurationError):
+            LatentDirichletAllocation(num_topics=0)
+        with pytest.raises(ConfigurationError):
+            LatentDirichletAllocation(num_topics=3, alpha=0.0)
+        with pytest.raises(ConfigurationError):
+            LatentDirichletAllocation(num_topics=3, iterations=0)
+
+    def test_fit_produces_valid_distributions(self, synthetic_corpus):
+        model = LatentDirichletAllocation(num_topics=4, iterations=30, seed=0).fit(
+            synthetic_corpus.publications
+        )
+        assert model.num_topics == 4
+        assert model.topic_word.shape[1] == synthetic_corpus.publications.num_words
+        assert np.allclose(model.topic_word.sum(axis=1), 1.0)
+        assert np.allclose(model.document_topic.sum(axis=1), 1.0)
+        assert np.all(model.topic_word >= 0)
+        assert len(model.log_likelihood_trace) == 30
+
+    def test_log_likelihood_generally_improves(self, synthetic_corpus):
+        model = LatentDirichletAllocation(num_topics=4, iterations=30, seed=1).fit(
+            synthetic_corpus.publications
+        )
+        trace = model.log_likelihood_trace
+        assert trace[-1] > trace[0]
+
+    def test_topics_separate_signature_words(self, synthetic_corpus):
+        """Each learned topic should be dominated by one ground-truth block."""
+        corpus = synthetic_corpus.publications
+        model = LatentDirichletAllocation(num_topics=4, iterations=60, seed=2).fit(corpus)
+        blocks = set()
+        for topic in range(4):
+            top_words = model.top_words(topic, corpus.vocabulary, count=5)
+            prefixes = [word[:7] for word in top_words if word.startswith("topic")]
+            if prefixes:
+                blocks.add(max(set(prefixes), key=prefixes.count))
+        # The sampler should discover at least three of the four blocks.
+        assert len(blocks) >= 3
+
+    def test_deterministic_given_seed(self, synthetic_corpus):
+        first = LatentDirichletAllocation(num_topics=3, iterations=10, seed=5).fit(
+            synthetic_corpus.publications
+        )
+        second = LatentDirichletAllocation(num_topics=3, iterations=10, seed=5).fit(
+            synthetic_corpus.publications
+        )
+        assert np.allclose(first.topic_word, second.topic_word)
+
+
+class TestAuthorTopicModel:
+    def test_parameter_validation(self):
+        with pytest.raises(ConfigurationError):
+            AuthorTopicModel(num_topics=0)
+        with pytest.raises(ConfigurationError):
+            AuthorTopicModel(num_topics=3, beta=0.0)
+
+    def test_requires_authors(self):
+        corpus = Corpus([Document(id="d", tokens=("alpha", "beta"))])
+        with pytest.raises(ConfigurationError):
+            AuthorTopicModel(num_topics=2, iterations=5).fit(corpus)
+
+    def test_fit_produces_valid_distributions(self, synthetic_corpus):
+        model = AuthorTopicModel(num_topics=4, iterations=30, seed=0).fit(
+            synthetic_corpus.publications
+        )
+        assert model.num_topics == 4
+        assert model.author_topic.shape == (
+            len(synthetic_corpus.publications.authors), 4
+        )
+        assert np.allclose(model.author_topic.sum(axis=1), 1.0, atol=1e-6)
+        assert np.allclose(model.topic_word.sum(axis=1), 1.0, atol=1e-6)
+        assert model.authors == synthetic_corpus.publications.authors
+
+    def test_author_vector_lookup(self, synthetic_corpus):
+        model = AuthorTopicModel(num_topics=4, iterations=20, seed=0).fit(
+            synthetic_corpus.publications
+        )
+        author = synthetic_corpus.publications.authors[0]
+        vector = model.author_vector(author)
+        assert vector.shape == (4,)
+        assert vector.sum() == pytest.approx(1.0, abs=1e-6)
+
+    def test_focused_authors_get_focused_vectors(self, synthetic_corpus):
+        """Authors generated with 1-3 focus topics should not look uniform."""
+        model = AuthorTopicModel(num_topics=4, iterations=60, seed=3).fit(
+            synthetic_corpus.publications
+        )
+        peak_share = model.author_topic.max(axis=1).mean()
+        assert peak_share > 1.5 / 4  # clearly above the uniform 0.25
+
+    def test_top_words(self, synthetic_corpus):
+        corpus = synthetic_corpus.publications
+        model = AuthorTopicModel(num_topics=4, iterations=30, seed=0).fit(corpus)
+        words = model.top_words(0, corpus.vocabulary, count=3)
+        assert len(words) == 3
+        assert all(isinstance(word, str) for word in words)
+
+
+class TestEMInference:
+    def test_recovers_a_pure_topic_document(self):
+        topic_word = np.array([
+            [0.9, 0.05, 0.05],
+            [0.05, 0.9, 0.05],
+        ])
+        word_ids = [1, 1, 1, 1, 1]
+        result = infer_topic_mixture(word_ids, topic_word)
+        assert result.converged
+        assert result.mixture[1] > 0.9
+
+    def test_empty_document_gives_uniform_mixture(self):
+        topic_word = np.ones((3, 4)) / 4
+        result = infer_topic_mixture([], topic_word)
+        assert result.mixture == pytest.approx(np.full(3, 1 / 3))
+
+    def test_mixture_is_normalised(self):
+        rng = np.random.default_rng(0)
+        topic_word = rng.dirichlet(np.ones(6), size=4)
+        result = infer_topic_mixture([0, 3, 5, 2, 2], topic_word)
+        assert result.mixture.sum() == pytest.approx(1.0)
+        assert np.all(result.mixture >= 0)
+
+    def test_log_likelihood_is_monotone_across_iterations(self):
+        rng = np.random.default_rng(1)
+        topic_word = rng.dirichlet(np.ones(8), size=3)
+        words = rng.integers(0, 8, size=30).tolist()
+        short = infer_topic_mixture(words, topic_word, max_iterations=1)
+        long = infer_topic_mixture(words, topic_word, max_iterations=50)
+        assert long.log_likelihood >= short.log_likelihood - 1e-9
+
+    def test_input_validation(self):
+        with pytest.raises(ConfigurationError):
+            infer_topic_mixture([0], np.ones(3))
+        with pytest.raises(ConfigurationError):
+            infer_topic_mixture([5], np.ones((2, 3)) / 3)
+
+    def test_batch_inference(self, synthetic_corpus):
+        vocabulary = synthetic_corpus.publications.vocabulary
+        encoded = [
+            vocabulary.encode(document.tokens)
+            for document in synthetic_corpus.submissions[:4]
+        ]
+        vectors = infer_document_vectors(encoded, synthetic_corpus.topic_word)
+        assert vectors.shape == (4, synthetic_corpus.topic_word.shape[0])
+        assert np.allclose(vectors.sum(axis=1), 1.0)
+
+    def test_em_recovers_submission_mixtures_with_true_topics(self, synthetic_corpus):
+        """With the ground-truth topics, EM should correlate with the truth."""
+        vocabulary = synthetic_corpus.publications.vocabulary
+        # Map the generator's vocabulary (by construction word index order)
+        # onto the corpus vocabulary.
+        words = SyntheticCorpusGenerator(
+            num_topics=4, words_per_topic=12, background_words=10, seed=11
+        ).vocabulary_words
+        correlations = []
+        for index, document in enumerate(synthetic_corpus.submissions):
+            encoded_truth_ids = [
+                words.index(token) for token in document.tokens
+            ]
+            inferred = infer_topic_mixture(
+                encoded_truth_ids, synthetic_corpus.topic_word
+            ).mixture
+            truth = synthetic_corpus.true_submission_mixtures[index]
+            dominant_truth = int(np.argmax(truth))
+            correlations.append(int(np.argmax(inferred)) == dominant_truth)
+            _ = vocabulary  # corpus vocabulary exercised elsewhere
+        assert sum(correlations) >= len(correlations) * 0.7

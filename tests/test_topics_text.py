@@ -1,0 +1,133 @@
+"""Unit tests for tokenisation, vocabularies and corpus containers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import ConfigurationError, VocabularyError
+from repro.topics.corpus import Corpus, Document
+from repro.topics.text import STOP_WORDS, Vocabulary, tokenize
+
+
+class TestTokenize:
+    def test_lowercases_and_filters(self):
+        tokens = tokenize("Efficient Query Processing for Spatial Databases")
+        assert "query" in tokens
+        assert "spatial" in tokens
+        assert "for" not in tokens  # stop word
+        assert all(token == token.lower() for token in tokens)
+
+    def test_minimum_length(self):
+        assert tokenize("an ox is big", min_length=3) == ["big"]
+
+    def test_scientific_stop_words_removed(self):
+        tokens = tokenize("We propose a new method based on results")
+        assert tokens == []
+
+    def test_keeps_hyphenated_and_alphanumeric(self):
+        tokens = tokenize("state-of-the-art top-k query2 answering")
+        assert "top-k" in tokens or "state-of-the-art" in tokens
+        assert "answering" in tokens
+
+    def test_custom_stop_words(self):
+        tokens = tokenize("graph mining", stop_words=frozenset({"graph"}))
+        assert tokens == ["mining"]
+
+    def test_stop_word_list_is_reasonable(self):
+        assert "the" in STOP_WORDS
+        assert "query" not in STOP_WORDS
+
+
+class TestVocabulary:
+    def test_add_and_lookup(self):
+        vocabulary = Vocabulary(["alpha", "beta"])
+        assert len(vocabulary) == 2
+        assert vocabulary.id_of("alpha") == 0
+        assert vocabulary.word_of(1) == "beta"
+        assert "alpha" in vocabulary
+        assert list(vocabulary) == ["alpha", "beta"]
+
+    def test_add_is_idempotent(self):
+        vocabulary = Vocabulary()
+        first = vocabulary.add("alpha")
+        second = vocabulary.add("alpha")
+        assert first == second
+        assert len(vocabulary) == 1
+
+    def test_add_rejects_empty_word(self):
+        with pytest.raises(ConfigurationError):
+            Vocabulary().add("")
+
+    def test_unknown_lookups_raise(self):
+        vocabulary = Vocabulary(["alpha"])
+        with pytest.raises(VocabularyError):
+            vocabulary.id_of("beta")
+        with pytest.raises(VocabularyError):
+            vocabulary.word_of(7)
+
+    def test_encode_skips_unknown_by_default(self):
+        vocabulary = Vocabulary(["alpha", "beta"])
+        assert vocabulary.encode(["alpha", "gamma", "beta"]) == [0, 1]
+        with pytest.raises(VocabularyError):
+            vocabulary.encode(["gamma"], skip_unknown=False)
+
+    def test_from_documents_frequency_pruning(self):
+        documents = [
+            ["common", "rare"],
+            ["common", "unique"],
+            ["common"],
+        ]
+        vocabulary = Vocabulary.from_documents(documents, min_document_frequency=2)
+        assert "common" in vocabulary
+        assert "rare" not in vocabulary
+
+    def test_from_documents_max_ratio_pruning(self):
+        documents = [["everywhere", "specific1"], ["everywhere", "specific2"],
+                     ["everywhere", "specific3"]]
+        vocabulary = Vocabulary.from_documents(documents, max_document_ratio=0.5)
+        assert "everywhere" not in vocabulary
+        assert "specific1" in vocabulary
+
+    def test_from_documents_ratio_validation(self):
+        with pytest.raises(ConfigurationError):
+            Vocabulary.from_documents([["a"]], max_document_ratio=0.0)
+
+
+class TestDocumentAndCorpus:
+    def test_document_from_text(self):
+        document = Document.from_text("d1", "Scalable join processing", authors=["alice"])
+        assert document.id == "d1"
+        assert document.authors == ("alice",)
+        assert "join" in document.tokens
+        assert document.length == len(document.tokens)
+
+    def test_document_requires_id(self):
+        with pytest.raises(ConfigurationError):
+            Document(id="", tokens=("a",))
+
+    def test_corpus_builds_vocabulary_and_indexes_authors(self):
+        documents = [
+            Document(id="d1", tokens=("graph", "mining"), authors=("alice", "bob")),
+            Document(id="d2", tokens=("graph", "query"), authors=("bob",)),
+        ]
+        corpus = Corpus(documents)
+        assert corpus.num_documents == 2
+        assert corpus.num_words == 3
+        assert corpus.num_tokens == 4
+        assert corpus.authors == ("alice", "bob")
+        assert corpus.author_index("bob") == 1
+        assert corpus.author_indices(0) == [0, 1]
+        encoded = corpus.encoded_document(1)
+        assert len(encoded) == 2
+        assert list(corpus.encoded_documents())[0] == corpus.encoded_document(0)
+        assert len(corpus) == 2
+        assert "Corpus" in repr(corpus)
+
+    def test_corpus_requires_documents(self):
+        with pytest.raises(ConfigurationError):
+            Corpus([])
+
+    def test_corpus_unknown_author(self):
+        corpus = Corpus([Document(id="d", tokens=("word", "another"), authors=("alice",))])
+        with pytest.raises(KeyError):
+            corpus.author_index("zoe")

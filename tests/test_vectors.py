@@ -1,0 +1,174 @@
+"""Unit tests for :mod:`repro.core.vectors`."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.vectors import TopicVector, as_topic_vector, stack_vectors
+from repro.exceptions import ConfigurationError, DimensionMismatchError
+
+
+class TestConstruction:
+    def test_from_list(self):
+        vector = TopicVector([0.2, 0.3, 0.5])
+        assert vector.num_topics == 3
+        assert vector[1] == pytest.approx(0.3)
+
+    def test_from_numpy_array_copies(self):
+        source = np.array([0.1, 0.9])
+        vector = TopicVector(source)
+        source[0] = 5.0
+        assert vector[0] == pytest.approx(0.1)
+
+    def test_from_mapping_requires_num_topics(self):
+        with pytest.raises(ConfigurationError):
+            TopicVector({0: 0.5})
+
+    def test_from_mapping(self):
+        vector = TopicVector({1: 0.7, 3: 0.3}, num_topics=5)
+        assert vector.to_list() == pytest.approx([0.0, 0.7, 0.0, 0.3, 0.0])
+
+    def test_from_mapping_out_of_range(self):
+        with pytest.raises(ConfigurationError):
+            TopicVector({7: 1.0}, num_topics=5)
+
+    def test_rejects_negative_weights(self):
+        with pytest.raises(ConfigurationError):
+            TopicVector([0.5, -0.1])
+
+    def test_rejects_nan(self):
+        with pytest.raises(ConfigurationError):
+            TopicVector([0.5, float("nan")])
+
+    def test_rejects_empty(self):
+        with pytest.raises(ConfigurationError):
+            TopicVector([])
+
+    def test_rejects_matrix(self):
+        with pytest.raises(ConfigurationError):
+            TopicVector(np.ones((2, 2)))
+
+    def test_values_are_read_only(self):
+        vector = TopicVector([0.5, 0.5])
+        with pytest.raises(ValueError):
+            vector.values[0] = 1.0
+
+    def test_from_existing_vector(self):
+        first = TopicVector([0.4, 0.6])
+        second = TopicVector(first)
+        assert first == second
+
+
+class TestFactories:
+    def test_zeros(self):
+        assert TopicVector.zeros(4).total() == 0.0
+
+    def test_zeros_rejects_nonpositive(self):
+        with pytest.raises(ConfigurationError):
+            TopicVector.zeros(0)
+
+    def test_uniform(self):
+        vector = TopicVector.uniform(5)
+        assert vector.total() == pytest.approx(1.0)
+        assert vector[0] == pytest.approx(0.2)
+
+    def test_single_topic(self):
+        vector = TopicVector.single_topic(2, num_topics=4, weight=0.8)
+        assert vector.to_dict() == {2: pytest.approx(0.8)}
+
+    def test_group_maximum(self):
+        group = TopicVector.group_maximum(
+            [TopicVector([0.1, 0.7]), TopicVector([0.6, 0.2])]
+        )
+        assert group.to_list() == pytest.approx([0.6, 0.7])
+
+    def test_group_maximum_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            TopicVector.group_maximum([])
+
+
+class TestAlgebra:
+    def test_minimum_and_maximum(self):
+        first = TopicVector([0.2, 0.8, 0.0])
+        second = TopicVector([0.5, 0.1, 0.4])
+        assert first.minimum(second).to_list() == pytest.approx([0.2, 0.1, 0.0])
+        assert first.maximum(second).to_list() == pytest.approx([0.5, 0.8, 0.4])
+
+    def test_dimension_mismatch(self):
+        with pytest.raises(DimensionMismatchError):
+            TopicVector([0.5, 0.5]).minimum(TopicVector([1.0]))
+
+    def test_dot(self):
+        assert TopicVector([0.5, 0.5]).dot(TopicVector([0.2, 0.6])) == pytest.approx(0.4)
+
+    def test_normalized(self):
+        vector = TopicVector([2.0, 2.0]).normalized()
+        assert vector.total() == pytest.approx(1.0)
+        assert vector.is_normalized()
+
+    def test_normalized_zero_vector_unchanged(self):
+        assert TopicVector.zeros(3).normalized() == TopicVector.zeros(3)
+
+    def test_scaled(self):
+        assert TopicVector([0.2, 0.4]).scaled(2.0).to_list() == pytest.approx([0.4, 0.8])
+
+    def test_scaled_rejects_negative(self):
+        with pytest.raises(ConfigurationError):
+            TopicVector([0.2]).scaled(-1.0)
+
+    def test_top_topics(self):
+        vector = TopicVector([0.1, 0.5, 0.4])
+        assert vector.top_topics(2) == [1, 2]
+        assert vector.top_topics(0) == []
+        assert vector.top_topics(10) == [1, 2, 0]
+
+    def test_dominates(self):
+        assert TopicVector([0.5, 0.5]).dominates(TopicVector([0.4, 0.5]))
+        assert not TopicVector([0.5, 0.3]).dominates(TopicVector([0.4, 0.5]))
+
+
+class TestContainerBehaviour:
+    def test_equality_and_hash(self):
+        first = TopicVector([0.3, 0.7])
+        second = TopicVector([0.3, 0.7])
+        assert first == second
+        assert hash(first) == hash(second)
+        assert first != TopicVector([0.7, 0.3])
+
+    def test_equality_with_other_type(self):
+        assert TopicVector([0.3]) != "not a vector"
+
+    def test_len_and_iter(self):
+        vector = TopicVector([0.1, 0.9])
+        assert len(vector) == 2
+        assert list(vector) == pytest.approx([0.1, 0.9])
+
+    def test_repr(self):
+        assert "TopicVector" in repr(TopicVector([0.25, 0.75]))
+
+    def test_to_dict_skips_zeros(self):
+        assert TopicVector([0.0, 0.4, 0.0]).to_dict() == {1: pytest.approx(0.4)}
+        assert len(TopicVector([0.0, 0.4, 0.0]).to_dict(include_zeros=True)) == 3
+
+
+class TestHelpers:
+    def test_as_topic_vector_passthrough(self):
+        vector = TopicVector([0.5, 0.5])
+        assert as_topic_vector(vector) is vector
+
+    def test_as_topic_vector_converts(self):
+        assert isinstance(as_topic_vector([0.5, 0.5]), TopicVector)
+
+    def test_stack_vectors(self):
+        stacked = stack_vectors([TopicVector([0.1, 0.9]), TopicVector([0.4, 0.6])])
+        assert stacked.shape == (2, 2)
+        assert stacked[1, 0] == pytest.approx(0.4)
+
+    def test_stack_vectors_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            stack_vectors([])
+
+    def test_stack_vectors_dimension_mismatch(self):
+        with pytest.raises(DimensionMismatchError):
+            stack_vectors([TopicVector([0.1]), TopicVector([0.2, 0.8])])
