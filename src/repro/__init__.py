@@ -58,9 +58,10 @@ from repro.jra import (
     find_top_k_groups,
 )
 from repro.metrics import optimality_ratio, superiority_ratio
+from repro.service import AssignmentEngine, EngineSession
 from repro.topics import TopicExtractionPipeline
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "__version__",
@@ -93,6 +94,9 @@ __all__ = [
     "ConstraintProgrammingSolver",
     "ILPSolver",
     "find_top_k_groups",
+    # serving
+    "AssignmentEngine",
+    "EngineSession",
     # data and metrics
     "SyntheticWorkloadGenerator",
     "make_problem",

@@ -1,14 +1,22 @@
 """Command-line interface for the WGRAP library.
 
-The ``wgrap`` command exposes the most common workflows:
+The ``wgrap`` command (also installed as ``repro``) exposes the most common
+workflows:
 
 * ``wgrap generate`` — create a synthetic problem file (JSON).
 * ``wgrap solve``    — run a conference-assignment solver on a problem file.
 * ``wgrap journal``  — find the best reviewer group for one paper of a
   problem file (JRA).
 * ``wgrap evaluate`` — score an existing assignment against a problem.
+* ``wgrap serve``    — keep a resident assignment engine and answer
+  JSON-lines requests over stdio (one request per input line, one
+  response per output line).
+* ``wgrap session``  — replay a scripted JSON-lines request file against a
+  fresh engine, with batching, and optionally snapshot the final state.
 
-All files use the JSON formats of :mod:`repro.data.io`.
+All files use the JSON formats of :mod:`repro.data.io`.  Solver names for
+``--method`` / ``--solver`` are validated against the string-keyed solver
+registry of :mod:`repro.service.registry`.
 """
 
 from __future__ import annotations
@@ -16,12 +24,17 @@ from __future__ import annotations
 import argparse
 import sys
 from collections.abc import Sequence
+from pathlib import Path
 
+from repro.cra import available_solvers as available_cra_solvers
 from repro.data.io import load_assignment, load_problem, save_assignment, save_problem
 from repro.data.synthetic import SyntheticWorkloadGenerator
-from repro.experiments.runner import DEFAULT_CRA_METHODS, make_cra_solver
-from repro.jra.bba import BranchAndBoundSolver
+from repro.jra import available_solvers as available_jra_solvers
 from repro.metrics.quality import lowest_coverage_score, optimality_ratio
+from repro.service.engine import AssignmentEngine
+from repro.service.registry import create_solver
+from repro.service.session import EngineSession, serve_stream
+from repro.service.requests import request_from_dict
 
 __all__ = ["main", "build_parser"]
 
@@ -51,8 +64,8 @@ def build_parser() -> argparse.ArgumentParser:
     solve.add_argument(
         "--method",
         default="SDGA-SRA",
-        choices=sorted({*DEFAULT_CRA_METHODS, "SDGA-LS"}),
-        help="assignment method",
+        choices=available_cra_solvers(),
+        help="assignment method (from the solver registry)",
     )
 
     journal = subparsers.add_parser("journal", help="find the best group for one paper")
@@ -60,10 +73,40 @@ def build_parser() -> argparse.ArgumentParser:
     journal.add_argument("paper_id", help="id of the paper to staff")
     journal.add_argument("--group-size", type=int, default=None,
                          help="override the problem's group size")
+    journal.add_argument(
+        "--solver",
+        default="BBA",
+        choices=available_jra_solvers(),
+        help="journal solver (from the solver registry)",
+    )
 
     evaluate = subparsers.add_parser("evaluate", help="score an existing assignment")
     evaluate.add_argument("problem", help="path of the JSON problem file")
     evaluate.add_argument("assignment", help="path of the JSON assignment file")
+
+    serve = subparsers.add_parser(
+        "serve", help="serve JSON-lines requests from a resident engine"
+    )
+    source = serve.add_mutually_exclusive_group(required=True)
+    source.add_argument("--problem", help="path of the JSON problem file to load")
+    source.add_argument("--snapshot", help="path of an engine snapshot to resume from")
+    serve.add_argument(
+        "--warm",
+        action="store_true",
+        help="build the score matrix before serving the first request",
+    )
+
+    session = subparsers.add_parser(
+        "session", help="replay a JSON-lines request script against a fresh engine"
+    )
+    session.add_argument("problem", help="path of the JSON problem file to load")
+    session.add_argument("requests", help="path of the JSON-lines request script")
+    session.add_argument(
+        "--output", default=None, help="write responses to this file instead of stdout"
+    )
+    session.add_argument(
+        "--save-snapshot", default=None, help="save the final engine state to this path"
+    )
 
     return parser
 
@@ -86,7 +129,7 @@ def _command_generate(args: argparse.Namespace) -> int:
 
 def _command_solve(args: argparse.Namespace) -> int:
     problem = load_problem(args.problem)
-    solver = make_cra_solver(args.method)
+    solver = create_solver("cra", args.method)
     result = solver.solve(problem)
     save_assignment(result.assignment, args.output)
     ratio = optimality_ratio(problem, result.assignment)
@@ -102,17 +145,12 @@ def _command_solve(args: argparse.Namespace) -> int:
 
 def _command_journal(args: argparse.Namespace) -> int:
     problem = load_problem(args.problem)
-    jra = problem.to_jra(args.paper_id)
-    if args.group_size is not None:
-        jra = type(jra)(
-            paper=jra.paper,
-            reviewers=jra.reviewers,
-            group_size=args.group_size,
-            scoring=jra.scoring,
-        )
-    result = BranchAndBoundSolver().solve(jra)
-    print(f"best group for paper {args.paper_id!r} (score {result.score:.4f}):")
-    for reviewer_id in result.reviewer_ids:
+    engine = AssignmentEngine(problem)
+    answer = engine.journal_query(
+        args.paper_id, group_size=args.group_size, solver=args.solver
+    )
+    print(f"best group for paper {args.paper_id!r} (score {answer.best.score:.4f}):")
+    for reviewer_id in answer.best.reviewer_ids:
         print(f"  - {reviewer_id}")
     return 0
 
@@ -128,6 +166,54 @@ def _command_evaluate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_serve(args: argparse.Namespace) -> int:
+    if args.snapshot:
+        engine = AssignmentEngine.load(args.snapshot)
+    else:
+        engine = AssignmentEngine(load_problem(args.problem))
+    if args.warm:
+        engine.warm()
+    serve_stream(engine, sys.stdin, sys.stdout)
+    return 0
+
+
+def _command_session(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.exceptions import RequestError
+    from repro.service.requests import Response
+
+    engine = AssignmentEngine(load_problem(args.problem))
+    session = EngineSession(engine)
+    # Parse every line up front, keeping failures as error responses in
+    # script order, so one bad line never loses the whole replay.
+    slots: list[Response | None] = []
+    script = Path(args.requests).read_text(encoding="utf-8")
+    for line in script.splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            session.submit(request_from_dict(json.loads(line)))
+            slots.append(None)
+        except json.JSONDecodeError as exc:
+            slots.append(Response.failure(kind="parse", error=f"invalid JSON: {exc}"))
+        except RequestError as exc:
+            slots.append(Response.failure(kind="parse", error=str(exc)))
+    drained = iter(session.drain())
+    responses = [slot if slot is not None else next(drained) for slot in slots]
+    rendered = "\n".join(json.dumps(response.to_dict()) for response in responses)
+    if args.output:
+        Path(args.output).write_text(rendered + "\n", encoding="utf-8")
+        print(f"wrote {len(responses)} responses to {args.output}")
+    else:
+        print(rendered)
+    if args.save_snapshot:
+        engine.save_snapshot(args.save_snapshot)
+        print(f"saved engine snapshot to {args.save_snapshot}")
+    return 0
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     """Entry point of the ``wgrap`` command."""
     parser = build_parser()
@@ -137,6 +223,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         "solve": _command_solve,
         "journal": _command_journal,
         "evaluate": _command_evaluate,
+        "serve": _command_serve,
+        "session": _command_session,
     }
     return handlers[args.command](args)
 

@@ -9,7 +9,13 @@ to earlier RAP formulations.
 from repro.core.assignment import Assignment
 from repro.core.constraints import ConflictOfInterest, WorkloadConstraints
 from repro.core.entities import Paper, Reviewer, ReviewerGroup
-from repro.core.problem import JRAProblem, WGRAPProblem, minimal_reviewer_workload
+from repro.core.problem import (
+    JRAProblem,
+    MutationListener,
+    ProblemMutation,
+    WGRAPProblem,
+    minimal_reviewer_workload,
+)
 from repro.core.reductions import (
     RAPFormulation,
     binary_topic_vector,
@@ -40,6 +46,8 @@ __all__ = [
     "Reviewer",
     "ReviewerGroup",
     "JRAProblem",
+    "MutationListener",
+    "ProblemMutation",
     "WGRAPProblem",
     "minimal_reviewer_workload",
     "RAPFormulation",

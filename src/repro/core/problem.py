@@ -13,7 +13,8 @@ Assignment) solved exactly in :mod:`repro.jra`.
 from __future__ import annotations
 
 import math
-from collections.abc import Iterable, Sequence
+from collections.abc import Callable, Iterable, Sequence
+from dataclasses import dataclass
 
 import numpy as np
 
@@ -29,7 +30,13 @@ from repro.exceptions import (
     InfeasibleProblemError,
 )
 
-__all__ = ["WGRAPProblem", "JRAProblem", "minimal_reviewer_workload"]
+__all__ = [
+    "WGRAPProblem",
+    "JRAProblem",
+    "ProblemMutation",
+    "MutationListener",
+    "minimal_reviewer_workload",
+]
 
 
 def minimal_reviewer_workload(num_papers: int, num_reviewers: int, group_size: int) -> int:
@@ -43,6 +50,44 @@ def minimal_reviewer_workload(num_papers: int, num_reviewers: int, group_size: i
     if num_reviewers <= 0:
         raise ConfigurationError("there must be at least one reviewer")
     return max(1, math.ceil(num_papers * group_size / num_reviewers))
+
+
+@dataclass(frozen=True)
+class ProblemMutation:
+    """Description of one structural change between two problem instances.
+
+    Emitted by the derived-problem constructors
+    (:meth:`WGRAPProblem.with_additional_paper`,
+    :meth:`WGRAPProblem.without_reviewer`) so that long-lived components —
+    most importantly the score-matrix cache of
+    :class:`repro.service.engine.AssignmentEngine` — can update their state
+    incrementally instead of recomputing everything from the new instance.
+
+    Attributes
+    ----------
+    kind:
+        ``"add_paper"`` or ``"remove_reviewer"``.
+    source:
+        The problem the mutation was applied to.
+    result:
+        The derived problem.
+    papers:
+        Ids of the papers added/affected by the mutation.
+    reviewers:
+        Ids of the reviewers removed/affected by the mutation.
+    """
+
+    kind: str
+    source: "WGRAPProblem"
+    result: "WGRAPProblem"
+    papers: tuple[str, ...] = ()
+    reviewers: tuple[str, ...] = ()
+
+
+#: Callback invoked with a :class:`ProblemMutation` after a derived problem
+#: is constructed.  Listeners are carried over to the derived problem, so a
+#: subscriber keeps observing the whole mutation chain.
+MutationListener = Callable[[ProblemMutation], None]
 
 
 class _EntityIndex:
@@ -139,6 +184,7 @@ class WGRAPProblem:
         self._reviewer_matrix: np.ndarray | None = None
         self._paper_matrix: np.ndarray | None = None
         self._pair_scores: np.ndarray | None = None
+        self._mutation_listeners: list[MutationListener] = []
 
         if validate_capacity:
             self._validate_capacity()
@@ -394,6 +440,111 @@ class WGRAPProblem:
         except InfeasibleAssignmentError:
             return False
         return True
+
+    # ------------------------------------------------------------------
+    # Mutation hooks
+    # ------------------------------------------------------------------
+    def add_mutation_listener(self, listener: MutationListener) -> MutationListener:
+        """Subscribe a callback to structural mutations of this problem.
+
+        Problems are immutable, so a "mutation" is the construction of a
+        derived instance through :meth:`with_additional_paper` or
+        :meth:`without_reviewer`.  Listeners are carried over to the derived
+        instance, so one subscription observes the whole chain of updates.
+        The listener is returned so it can be kept for
+        :meth:`remove_mutation_listener`.
+        """
+        if listener not in self._mutation_listeners:
+            self._mutation_listeners.append(listener)
+        return listener
+
+    def remove_mutation_listener(self, listener: MutationListener) -> None:
+        """Unsubscribe a callback registered with :meth:`add_mutation_listener`."""
+        try:
+            self._mutation_listeners.remove(listener)
+        except ValueError:
+            pass
+
+    def _emit_mutation(self, mutation: ProblemMutation) -> None:
+        mutation.result._mutation_listeners = list(self._mutation_listeners)
+        for listener in list(self._mutation_listeners):
+            listener(mutation)
+
+    def with_additional_paper(
+        self, paper: Paper, reviewer_workload: int | None = None
+    ) -> "WGRAPProblem":
+        """A derived problem with one late-arriving submission appended.
+
+        The new paper is placed last, so index-based caches over the
+        existing papers stay valid and only one column of pairwise scores
+        needs to be computed.  Registered mutation listeners are notified
+        with an ``"add_paper"`` event and carried over to the result.
+
+        Raises
+        ------
+        ConfigurationError
+            If the paper id already exists in the problem.
+        """
+        if paper.id in self._paper_index.positions:
+            raise ConfigurationError(f"paper {paper.id!r} is already part of the problem")
+        workload = (
+            reviewer_workload if reviewer_workload is not None else self.reviewer_workload
+        )
+        derived = WGRAPProblem(
+            papers=[*self._papers, paper],
+            reviewers=self._reviewers,
+            group_size=self.group_size,
+            reviewer_workload=workload,
+            conflicts=self._conflicts,
+            scoring=self._scoring,
+            validate_capacity=False,
+        )
+        self._emit_mutation(
+            ProblemMutation(
+                kind="add_paper", source=self, result=derived, papers=(paper.id,)
+            )
+        )
+        return derived
+
+    def without_reviewer(self, reviewer_id: str) -> "WGRAPProblem":
+        """A derived problem with one reviewer withdrawn from the pool.
+
+        The relative order of the remaining reviewers is preserved, so
+        row-based caches only need to drop a single row.  Registered
+        mutation listeners are notified with a ``"remove_reviewer"`` event
+        and carried over to the result.
+
+        Raises
+        ------
+        KeyError
+            If the reviewer is not part of the problem.
+        InfeasibleProblemError
+            If the reviewer is the only one in the pool.
+        """
+        self.reviewer_index(reviewer_id)  # raises KeyError for unknown reviewers
+        remaining = [
+            reviewer for reviewer in self._reviewers if reviewer.id != reviewer_id
+        ]
+        if not remaining:
+            raise InfeasibleProblemError("cannot withdraw the only reviewer in the pool")
+        derived = WGRAPProblem(
+            papers=self._papers,
+            reviewers=remaining,
+            group_size=self.group_size,
+            reviewer_workload=self.reviewer_workload,
+            conflicts=self._conflicts,
+            scoring=self._scoring,
+            validate_capacity=False,
+        )
+        self._emit_mutation(
+            ProblemMutation(
+                kind="remove_reviewer",
+                source=self,
+                result=derived,
+                reviewers=(reviewer_id,),
+            )
+        )
+        return derived
 
     # ------------------------------------------------------------------
     # Derived problems

@@ -38,7 +38,23 @@ from repro.cra.sdga import StageDeepeningGreedySolver
 from repro.cra.sra import RefinementRound, SDGAWithRefinementSolver, StochasticRefiner
 from repro.cra.stable_matching import StableMatchingSolver
 
+
+def available_solvers() -> list[str]:
+    """Canonical names of every registered conference-assignment solver.
+
+    Solvers are registered in the string-keyed registry of
+    :mod:`repro.service.registry` (imported lazily here to keep this
+    package importable without the service subsystem); the CLI and the
+    serving front end validate their ``--method`` / ``"solver"`` inputs
+    against this list.
+    """
+    from repro.service.registry import available_solvers as _available
+
+    return _available("cra")
+
+
 __all__ = [
+    "available_solvers",
     "CRAResult",
     "CRASolver",
     "BestReviewerGroupGreedySolver",

@@ -10,6 +10,7 @@ command-line interface can operate on files.
 from __future__ import annotations
 
 import json
+from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any
 
@@ -29,9 +30,15 @@ __all__ = [
     "assignment_from_dict",
     "save_assignment",
     "load_assignment",
+    "EngineSnapshot",
+    "engine_snapshot_to_dict",
+    "engine_snapshot_from_dict",
+    "save_engine_snapshot",
+    "load_engine_snapshot",
 ]
 
 _FORMAT_VERSION = 1
+_SNAPSHOT_VERSION = 1
 
 
 # ----------------------------------------------------------------------
@@ -150,3 +157,78 @@ def load_assignment(path: str | Path) -> Assignment:
     """Read an assignment from a JSON file produced by :func:`save_assignment`."""
     payload = json.loads(Path(path).read_text(encoding="utf-8"))
     return assignment_from_dict(payload)
+
+
+# ----------------------------------------------------------------------
+# Assignment-engine snapshots
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class EngineSnapshot:
+    """Deserialised state of a long-lived assignment engine.
+
+    A snapshot bundles everything a resident
+    :class:`~repro.service.engine.AssignmentEngine` needs to resume
+    serving after a restart: the current problem, the current assignment
+    (``None`` when no solve has happened yet), accumulated reviewer bids
+    and free-form metadata (last solver, revision counter, ...).
+    """
+
+    problem: WGRAPProblem
+    assignment: Assignment | None = None
+    bids: tuple[tuple[str, str, float], ...] = ()
+    metadata: dict[str, Any] = field(default_factory=dict)
+
+
+def engine_snapshot_to_dict(
+    problem: WGRAPProblem,
+    assignment: Assignment | None = None,
+    bids: tuple[tuple[str, str, float], ...] = (),
+    metadata: dict[str, Any] | None = None,
+) -> dict[str, Any]:
+    """A JSON-serialisable representation of engine state."""
+    return {
+        "format_version": _SNAPSHOT_VERSION,
+        "problem": problem_to_dict(problem),
+        "assignment": assignment_to_dict(assignment) if assignment is not None else None,
+        "bids": [list(bid) for bid in bids],
+        "metadata": dict(metadata or {}),
+    }
+
+
+def engine_snapshot_from_dict(payload: dict[str, Any]) -> EngineSnapshot:
+    """Rebuild engine state from :func:`engine_snapshot_to_dict` output."""
+    version = payload.get("format_version")
+    if version != _SNAPSHOT_VERSION:
+        raise ConfigurationError(
+            f"unsupported snapshot format version {version!r} "
+            f"(expected {_SNAPSHOT_VERSION})"
+        )
+    raw_problem = payload.get("problem")
+    if raw_problem is None:
+        raise ConfigurationError("an engine snapshot needs a 'problem' section")
+    problem = problem_from_dict(raw_problem)
+    raw_assignment = payload.get("assignment")
+    assignment = assignment_from_dict(raw_assignment) if raw_assignment is not None else None
+    bids = tuple(
+        (str(reviewer_id), str(paper_id), float(value))
+        for reviewer_id, paper_id, value in payload.get("bids", [])
+    )
+    return EngineSnapshot(
+        problem=problem,
+        assignment=assignment,
+        bids=bids,
+        metadata=dict(payload.get("metadata", {})),
+    )
+
+
+def save_engine_snapshot(snapshot: dict[str, Any], path: str | Path) -> Path:
+    """Write an engine snapshot dict to a JSON file; returns the path written."""
+    path = Path(path)
+    path.write_text(json.dumps(snapshot, indent=2), encoding="utf-8")
+    return path
+
+
+def load_engine_snapshot(path: str | Path) -> EngineSnapshot:
+    """Read an engine snapshot produced by :func:`save_engine_snapshot`."""
+    payload = json.loads(Path(path).read_text(encoding="utf-8"))
+    return engine_snapshot_from_dict(payload)

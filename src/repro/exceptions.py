@@ -54,5 +54,13 @@ class UnknownScoringFunctionError(ConfigurationError, KeyError):
     """A scoring function name was not found in the registry."""
 
 
+class UnknownSolverError(ConfigurationError, KeyError):
+    """A solver name was not found in the solver registry."""
+
+
+class RequestError(ReproError):
+    """A request sent to the assignment-engine front end is malformed."""
+
+
 class VocabularyError(ReproError):
     """A token or document refers to a word missing from the vocabulary."""

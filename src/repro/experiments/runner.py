@@ -13,19 +13,9 @@ from dataclasses import dataclass
 
 from repro.core.problem import WGRAPProblem
 from repro.cra.base import CRAResult, CRASolver
-from repro.cra.brgg import BestReviewerGroupGreedySolver
-from repro.cra.greedy import GreedySolver
-from repro.cra.ilp import PairwiseILPSolver
-from repro.cra.local_search import LocalSearchRefiner, SDGAWithLocalSearchSolver
-from repro.cra.sdga import StageDeepeningGreedySolver
-from repro.cra.sra import SDGAWithRefinementSolver, StochasticRefiner
-from repro.cra.stable_matching import StableMatchingSolver
 from repro.exceptions import ConfigurationError
 from repro.jra.base import JRASolver
-from repro.jra.bba import BranchAndBoundSolver
-from repro.jra.brute_force import BruteForceSolver
-from repro.jra.cp import ConstraintProgrammingSolver
-from repro.jra.ilp import ILPSolver
+from repro.service.registry import create_solver
 
 __all__ = [
     "ExperimentConfig",
@@ -78,49 +68,24 @@ DEFAULT_JRA_METHODS: tuple[str, ...] = ("BFS", "ILP", "BBA")
 
 
 def make_cra_solver(name: str, config: ExperimentConfig | None = None) -> CRASolver:
-    """Instantiate a conference-assignment solver by its paper name."""
+    """Instantiate a conference-assignment solver by its paper name.
+
+    Thin wrapper over the string-keyed registry of
+    :mod:`repro.service.registry` that translates the experiment
+    configuration into solver options (only SDGA-SRA consumes them).
+    """
     config = config or ExperimentConfig()
-    key = name.strip().upper()
-    if key == "SM":
-        return StableMatchingSolver()
-    if key == "ILP":
-        return PairwiseILPSolver()
-    if key == "BRGG":
-        return BestReviewerGroupGreedySolver()
-    if key == "GREEDY":
-        return GreedySolver()
-    if key == "SDGA":
-        return StageDeepeningGreedySolver()
-    if key in {"SDGA-SRA", "SRA"}:
-        return SDGAWithRefinementSolver(
-            refiner=StochasticRefiner(
-                convergence_window=config.refinement_omega, seed=config.seed
-            )
-        )
-    if key in {"SDGA-LS", "LS"}:
-        return SDGAWithLocalSearchSolver(refiner=LocalSearchRefiner())
-    raise ConfigurationError(
-        f"unknown CRA method {name!r}; known methods: "
-        f"{', '.join(DEFAULT_CRA_METHODS + ('SDGA-LS',))}"
+    return create_solver(
+        "cra",
+        name,
+        convergence_window=config.refinement_omega,
+        seed=config.seed,
     )
 
 
 def make_jra_solver(name: str, time_limit: float | None = None) -> JRASolver:
     """Instantiate a journal-assignment solver by its paper name."""
-    key = name.strip().upper()
-    if key == "BFS":
-        return BruteForceSolver()
-    if key == "BBA":
-        return BranchAndBoundSolver()
-    if key == "ILP":
-        return ILPSolver(time_limit=time_limit)
-    if key == "CP":
-        return ConstraintProgrammingSolver()
-    if key == "CP-FIRST":
-        return ConstraintProgrammingSolver(first_solution_only=True)
-    raise ConfigurationError(
-        f"unknown JRA method {name!r}; known methods: BFS, BBA, ILP, CP, CP-FIRST"
-    )
+    return create_solver("jra", name, time_limit=time_limit)
 
 
 def run_cra_methods(

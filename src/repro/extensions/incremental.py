@@ -13,8 +13,13 @@ WGRAP machinery:
   the affected papers with a capacitated assignment over the remaining
   spare capacity (the same machinery as an SDGA stage / the repair pass).
 
-Both functions return a *new* problem and a *new* assignment; the inputs
-are never mutated.
+Both operations run *through* a throwaway
+:class:`~repro.service.engine.AssignmentEngine`, which applies them as
+incremental mutations (one score-matrix column appended, one row dropped)
+and reports the resulting delta — so long-running callers get the exact
+set of changed pairs instead of having to diff two assignments.  Both
+functions return a *new* problem and a *new* assignment; the inputs are
+never mutated.
 """
 
 from __future__ import annotations
@@ -23,10 +28,7 @@ from dataclasses import dataclass
 
 from repro.core.assignment import Assignment
 from repro.core.entities import Paper
-from repro.core.problem import JRAProblem, WGRAPProblem
-from repro.cra.repair import complete_assignment
-from repro.exceptions import ConfigurationError, InfeasibleProblemError
-from repro.jra.bba import BranchAndBoundSolver
+from repro.core.problem import WGRAPProblem
 
 __all__ = ["IncrementalUpdate", "assign_additional_paper", "withdraw_reviewer"]
 
@@ -44,11 +46,40 @@ class IncrementalUpdate:
         The updated, feasible assignment for that problem.
     affected_papers:
         Papers whose reviewer group changed during the update.
+    added_pairs:
+        ``(reviewer_id, paper_id)`` pairs present after but not before.
+    removed_pairs:
+        ``(reviewer_id, paper_id)`` pairs present before but not after.
     """
 
     problem: WGRAPProblem
     assignment: Assignment
     affected_papers: tuple[str, ...]
+    added_pairs: tuple[tuple[str, str], ...] = ()
+    removed_pairs: tuple[tuple[str, str], ...] = ()
+
+
+def _run_through_engine(problem: WGRAPProblem, assignment: Assignment, operation):
+    """Apply one mutation via a throwaway engine and wrap its delta.
+
+    The engine copies the assignment and derives a fresh problem, so the
+    caller's objects are never touched; detaching afterwards keeps the
+    caller's problem free of dangling mutation listeners.
+    """
+    from repro.service.engine import AssignmentEngine
+
+    engine = AssignmentEngine(problem, assignment=assignment)
+    try:
+        delta = operation(engine)
+    finally:
+        engine.detach()
+    return IncrementalUpdate(
+        problem=delta.problem,
+        assignment=delta.assignment,
+        affected_papers=delta.affected_papers,
+        added_pairs=delta.added_pairs,
+        removed_pairs=delta.removed_pairs,
+    )
 
 
 def assign_additional_paper(
@@ -80,51 +111,10 @@ def assign_additional_paper(
     InfeasibleProblemError
         If fewer than ``delta_p`` reviewers have spare capacity.
     """
-    if paper.id in problem.paper_ids:
-        raise ConfigurationError(f"paper {paper.id!r} is already part of the problem")
-    problem.validate_assignment(assignment, require_complete=True)
-
-    workload = reviewer_workload if reviewer_workload is not None else problem.reviewer_workload
-    updated_problem = WGRAPProblem(
-        papers=[*problem.papers, paper],
-        reviewers=problem.reviewers,
-        group_size=problem.group_size,
-        reviewer_workload=workload,
-        conflicts=problem.conflicts,
-        scoring=problem.scoring,
-        validate_capacity=False,
-    )
-
-    exhausted = {
-        reviewer_id
-        for reviewer_id in problem.reviewer_ids
-        if assignment.load(reviewer_id) >= workload
-    }
-    excluded = exhausted | set(problem.conflicts.reviewers_conflicting_with(paper.id))
-    available = problem.num_reviewers - len(excluded)
-    if available < problem.group_size:
-        raise InfeasibleProblemError(
-            f"only {available} reviewers have spare capacity for the new paper; "
-            "increase reviewer_workload to absorb it"
-        )
-
-    jra = JRAProblem(
-        paper=paper,
-        reviewers=problem.reviewers,
-        group_size=problem.group_size,
-        excluded_reviewers=excluded,
-        scoring=problem.scoring,
-    )
-    group = BranchAndBoundSolver().solve(jra)
-
-    updated_assignment = assignment.copy()
-    for reviewer_id in group.reviewer_ids:
-        updated_assignment.add(reviewer_id, paper.id)
-    updated_problem.validate_assignment(updated_assignment, require_complete=True)
-    return IncrementalUpdate(
-        problem=updated_problem,
-        assignment=updated_assignment,
-        affected_papers=(paper.id,),
+    return _run_through_engine(
+        problem,
+        assignment,
+        lambda engine: engine.add_paper(paper, reviewer_workload=reviewer_workload),
     )
 
 
@@ -146,33 +136,8 @@ def withdraw_reviewer(
     InfeasibleProblemError
         If the remaining pool cannot cover the vacated slots.
     """
-    problem.reviewer_index(reviewer_id)  # raises KeyError for unknown reviewers
-    problem.validate_assignment(assignment, require_complete=True)
-
-    affected = tuple(sorted(assignment.papers_of(reviewer_id)))
-    remaining_reviewers = [
-        reviewer for reviewer in problem.reviewers if reviewer.id != reviewer_id
-    ]
-    if not remaining_reviewers:
-        raise InfeasibleProblemError("cannot withdraw the only reviewer in the pool")
-
-    updated_problem = WGRAPProblem(
-        papers=problem.papers,
-        reviewers=remaining_reviewers,
-        group_size=problem.group_size,
-        reviewer_workload=problem.reviewer_workload,
-        conflicts=problem.conflicts,
-        scoring=problem.scoring,
-        validate_capacity=False,
-    )
-
-    stripped = Assignment(
-        pair for pair in assignment.pairs() if pair[0] != reviewer_id
-    )
-    repaired = complete_assignment(updated_problem, stripped)
-    updated_problem.validate_assignment(repaired, require_complete=True)
-    return IncrementalUpdate(
-        problem=updated_problem,
-        assignment=repaired,
-        affected_papers=affected,
+    return _run_through_engine(
+        problem,
+        assignment,
+        lambda engine: engine.withdraw_reviewer(reviewer_id),
     )

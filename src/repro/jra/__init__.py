@@ -17,7 +17,23 @@ from repro.jra.cp import ConstraintProgrammingSolver
 from repro.jra.ilp import ILPSolver
 from repro.jra.topk import RankedGroup, find_top_k_groups
 
+
+def available_solvers() -> list[str]:
+    """Canonical names of every registered journal-assignment solver.
+
+    Solvers are registered in the string-keyed registry of
+    :mod:`repro.service.registry` (imported lazily here to keep this
+    package importable without the service subsystem); the CLI and the
+    serving front end validate their ``--solver`` inputs against this
+    list.
+    """
+    from repro.service.registry import available_solvers as _available
+
+    return _available("jra")
+
+
 __all__ = [
+    "available_solvers",
     "JRAResult",
     "JRASolver",
     "BranchAndBoundSolver",

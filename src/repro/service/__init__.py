@@ -1,0 +1,72 @@
+"""Long-lived assignment-engine subsystem.
+
+Everything else in the library is batch: load a problem, solve, exit.
+This package is the resident counterpart, built for serving a stream of
+requests against one problem instance:
+
+* :mod:`repro.service.cache` — the lazily built, incrementally repaired
+  score matrix plus per-paper top-k reviewer indexes.
+* :mod:`repro.service.registry` — string-keyed CRA/JRA solver registry
+  (mirroring the scoring-function registry of :mod:`repro.core.scoring`).
+* :mod:`repro.service.requests` — the typed request/response API with
+  JSON codecs.
+* :mod:`repro.service.engine` — :class:`AssignmentEngine`: the resident
+  problem, cache maintenance driven by core mutation events, journal
+  queries, incremental mutations, evaluation and snapshots.
+* :mod:`repro.service.session` — the queued, batching front end and the
+  JSON-lines ``serve`` loop used by the CLI.
+"""
+
+from repro.service.cache import CacheStats, ScoreMatrixCache
+from repro.service.engine import AssignmentEngine, EngineDelta, JournalAnswer
+from repro.service.registry import (
+    SolverSpec,
+    available_solvers,
+    create_solver,
+    register_solver,
+    solver_spec,
+)
+from repro.service.requests import (
+    AddPaper,
+    Evaluate,
+    JournalQuery,
+    Request,
+    Response,
+    Shutdown,
+    Snapshot,
+    SolveRequest,
+    Stats,
+    UpdateBids,
+    WithdrawReviewer,
+    request_from_dict,
+    request_to_dict,
+)
+from repro.service.session import EngineSession, serve_stream
+
+__all__ = [
+    "AssignmentEngine",
+    "EngineDelta",
+    "JournalAnswer",
+    "CacheStats",
+    "ScoreMatrixCache",
+    "SolverSpec",
+    "available_solvers",
+    "create_solver",
+    "register_solver",
+    "solver_spec",
+    "Request",
+    "SolveRequest",
+    "JournalQuery",
+    "AddPaper",
+    "WithdrawReviewer",
+    "UpdateBids",
+    "Evaluate",
+    "Snapshot",
+    "Stats",
+    "Shutdown",
+    "Response",
+    "request_from_dict",
+    "request_to_dict",
+    "EngineSession",
+    "serve_stream",
+]

@@ -1,0 +1,267 @@
+"""Incrementally maintained pairwise-score cache for the assignment engine.
+
+The most expensive shared input of every request the engine serves is the
+dense ``(R, P)`` matrix of single-reviewer scores ``c(r, p)``: the solvers,
+the per-paper reviewer shortlists and the candidate-pool pruning of journal
+queries all read it.  Rebuilding it from scratch after every mutation — the
+behaviour of the one-shot batch entry points — costs ``R * P`` scoring
+evaluations even when a single paper arrived.
+
+:class:`ScoreMatrixCache` keeps the matrix resident and repairs it
+incrementally instead:
+
+* a **late paper** appends one column, marked dirty and scored lazily on
+  the next read (``R`` evaluations instead of ``R * P``);
+* a **withdrawn reviewer** deletes one row without any re-scoring at all,
+  because pair scores are independent across reviewers;
+* per-paper **top-k reviewer indexes** (descending score order) are built
+  on demand from the cached columns and invalidated only when the column
+  or the reviewer pool changes.
+
+All scoring work funnels through one helper that counts evaluated cells,
+so tests and benchmarks can assert exactly how much scoring a request
+triggered.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+import numpy as np
+
+from repro.core.problem import ProblemMutation, WGRAPProblem
+from repro.exceptions import ConfigurationError
+
+__all__ = ["CacheStats", "ScoreMatrixCache"]
+
+
+@dataclass
+class CacheStats:
+    """Counters describing how much work the score cache has done.
+
+    Attributes
+    ----------
+    full_builds:
+        Times the whole ``(R, P)`` matrix was computed from scratch.
+    partial_updates:
+        Times only the dirty columns were recomputed.
+    score_calls:
+        Calls into the scoring function's vectorised matrix kernel.
+    scored_cells:
+        Total reviewer/paper cells evaluated (the real unit of work).
+    columns_added:
+        Paper columns appended by ``add_paper`` mutations.
+    rows_removed:
+        Reviewer rows dropped by ``remove_reviewer`` mutations.
+    topk_builds:
+        Per-paper reviewer rankings computed.
+    topk_hits:
+        Per-paper reviewer rankings served from cache.
+    """
+
+    full_builds: int = 0
+    partial_updates: int = 0
+    score_calls: int = 0
+    scored_cells: int = 0
+    columns_added: int = 0
+    rows_removed: int = 0
+    topk_builds: int = 0
+    topk_hits: int = 0
+
+    def as_dict(self) -> dict[str, int]:
+        """Plain-dict view (for reports and the ``stats`` request)."""
+        return {
+            "full_builds": self.full_builds,
+            "partial_updates": self.partial_updates,
+            "score_calls": self.score_calls,
+            "scored_cells": self.scored_cells,
+            "columns_added": self.columns_added,
+            "rows_removed": self.rows_removed,
+            "topk_builds": self.topk_builds,
+            "topk_hits": self.topk_hits,
+        }
+
+
+class ScoreMatrixCache:
+    """A lazily built, incrementally repaired ``(R, P)`` score matrix.
+
+    The cache mirrors the entity order of its problem: row ``i`` is
+    ``problem.reviewers[i]`` and column ``j`` is ``problem.papers[j]``.
+    Mutations keep that alignment — appended papers go last, withdrawn
+    reviewers keep the relative order of the survivors — which is exactly
+    what :meth:`WGRAPProblem.with_additional_paper` and
+    :meth:`WGRAPProblem.without_reviewer` guarantee.
+    """
+
+    def __init__(self, problem: WGRAPProblem, stats: CacheStats | None = None) -> None:
+        self._problem = problem
+        self._paper_ids: list[str] = list(problem.paper_ids)
+        self._column_of: dict[str, int] = {
+            paper_id: column for column, paper_id in enumerate(self._paper_ids)
+        }
+        self._matrix: np.ndarray | None = None
+        self._dirty_papers: set[str] = set()
+        #: per-paper descending ranking of reviewer rows (row indices)
+        self._rankings: dict[str, np.ndarray] = {}
+        self.stats = stats if stats is not None else CacheStats()
+
+    # ------------------------------------------------------------------
+    # Accessors
+    # ------------------------------------------------------------------
+    @property
+    def problem(self) -> WGRAPProblem:
+        """The problem instance the cache currently mirrors."""
+        return self._problem
+
+    @property
+    def is_built(self) -> bool:
+        """Whether the dense matrix has been materialised at least once."""
+        return self._matrix is not None
+
+    @property
+    def dirty_papers(self) -> frozenset[str]:
+        """Papers whose column is stale and will be re-scored on next read."""
+        return frozenset(self._dirty_papers)
+
+    def matrix(self) -> np.ndarray:
+        """The up-to-date ``(R, P)`` score matrix (read-only view).
+
+        Builds the whole matrix on first use; afterwards only dirty columns
+        are recomputed.
+        """
+        problem = self._problem
+        if self._matrix is None:
+            self._matrix = self._score_block(problem.reviewer_matrix, problem.paper_matrix)
+            self._dirty_papers.clear()
+            self.stats.full_builds += 1
+        elif self._dirty_papers:
+            columns = sorted(self._column_of[paper_id] for paper_id in self._dirty_papers)
+            block = self._score_block(
+                problem.reviewer_matrix, problem.paper_matrix[columns]
+            )
+            self._matrix[:, columns] = block
+            self._dirty_papers.clear()
+            self.stats.partial_updates += 1
+        view = self._matrix.view()
+        view.setflags(write=False)
+        return view
+
+    def scores_for_paper(self, paper_id: str) -> np.ndarray:
+        """One column of the matrix: every reviewer's score on ``paper_id``."""
+        try:
+            column = self._column_of[paper_id]
+        except KeyError:
+            raise KeyError(f"unknown paper id: {paper_id!r}") from None
+        return self.matrix()[:, column]
+
+    def top_reviewers(
+        self, paper_id: str, k: int, exclude_conflicts: bool = True
+    ) -> list[tuple[str, float]]:
+        """The ``k`` highest-scoring reviewers for one paper, best first.
+
+        Ties are broken by problem order so the ranking is deterministic.
+        Conflicted reviewers are filtered out by default, which makes the
+        result directly usable as a journal-query candidate shortlist.
+        """
+        if k < 1:
+            raise ConfigurationError("k must be at least 1")
+        scores = self.scores_for_paper(paper_id)
+        ranking = self._rankings.get(paper_id)
+        if ranking is None:
+            ranking = np.argsort(-scores, kind="stable")
+            self._rankings[paper_id] = ranking
+            self.stats.topk_builds += 1
+        else:
+            self.stats.topk_hits += 1
+        reviewer_ids = self._problem.reviewer_ids
+        forbidden = (
+            self._problem.conflicts.reviewers_conflicting_with(paper_id)
+            if exclude_conflicts
+            else frozenset()
+        )
+        shortlist: list[tuple[str, float]] = []
+        for row in ranking:
+            reviewer_id = reviewer_ids[int(row)]
+            if reviewer_id in forbidden:
+                continue
+            shortlist.append((reviewer_id, float(scores[int(row)])))
+            if len(shortlist) == k:
+                break
+        return shortlist
+
+    # ------------------------------------------------------------------
+    # Incremental maintenance
+    # ------------------------------------------------------------------
+    def apply_mutation(self, mutation: ProblemMutation) -> None:
+        """Repair the cache after a problem mutation event."""
+        if mutation.kind == "add_paper":
+            for paper_id in mutation.papers:
+                self._add_paper_column(mutation.result, paper_id)
+        elif mutation.kind == "remove_reviewer":
+            for reviewer_id in mutation.reviewers:
+                self._remove_reviewer_row(mutation.source, reviewer_id)
+            self._problem = mutation.result
+        else:  # unknown mutation kinds invalidate everything, conservatively
+            self.invalidate(mutation.result)
+
+    def invalidate(self, problem: WGRAPProblem | None = None) -> None:
+        """Drop every cached value (optionally rebinding to a new problem)."""
+        if problem is not None:
+            self._problem = problem
+        self._paper_ids = list(self._problem.paper_ids)
+        self._column_of = {
+            paper_id: column for column, paper_id in enumerate(self._paper_ids)
+        }
+        self._matrix = None
+        self._dirty_papers.clear()
+        self._rankings.clear()
+
+    def _add_paper_column(self, problem: WGRAPProblem, paper_id: str) -> None:
+        if paper_id in self._column_of:
+            return
+        self._column_of[paper_id] = len(self._paper_ids)
+        self._paper_ids.append(paper_id)
+        self._problem = problem
+        if self._matrix is not None:
+            # Append a placeholder column; it is scored lazily on next read.
+            placeholder = np.zeros((self._matrix.shape[0], 1), dtype=np.float64)
+            self._matrix = np.concatenate([self._matrix, placeholder], axis=1)
+            self._dirty_papers.add(paper_id)
+        self.stats.columns_added += 1
+
+    def _remove_reviewer_row(self, problem: WGRAPProblem, reviewer_id: str) -> None:
+        row = problem.reviewer_index(reviewer_id)
+        if self._matrix is not None:
+            # Pair scores are independent across reviewers, so dropping the
+            # row needs no re-scoring at all.
+            self._matrix = np.delete(self._matrix, row, axis=0)
+        # Every ranking indexes rows, so all of them are stale now.
+        self._rankings.clear()
+        self.stats.rows_removed += 1
+
+    # ------------------------------------------------------------------
+    # Instrumented scoring
+    # ------------------------------------------------------------------
+    def _score_block(
+        self, reviewer_matrix: np.ndarray, paper_matrix: np.ndarray
+    ) -> np.ndarray:
+        """Every scoring evaluation goes through here, so it can be counted."""
+        self.stats.score_calls += 1
+        self.stats.scored_cells += int(reviewer_matrix.shape[0]) * int(
+            paper_matrix.shape[0]
+        )
+        return np.array(
+            self._problem.scoring.score_matrix(reviewer_matrix, paper_matrix),
+            dtype=np.float64,
+        )
+
+    def describe(self) -> dict[str, Any]:
+        """Summary used by the ``stats`` request of the serving front end."""
+        return {
+            "built": self.is_built,
+            "shape": [self._problem.num_reviewers, len(self._paper_ids)],
+            "dirty_papers": sorted(self._dirty_papers),
+            "rankings_cached": len(self._rankings),
+            **self.stats.as_dict(),
+        }

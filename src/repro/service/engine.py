@@ -1,0 +1,689 @@
+"""The long-lived assignment engine.
+
+The batch entry points of the library rebuild the whole problem — and with
+it the full ``(R, P)`` score matrix — on every call.  That is fine for a
+one-shot experiment and wasteful for a service: the paper itself frames
+Journal Reviewer Assignment as an *online* query ("a paper arrives, find
+its best group now"), and a production review system fields a stream of
+such queries interleaved with mutations (late submissions, reviewer
+drop-outs, bid updates).
+
+:class:`AssignmentEngine` is the resident core that amortises the shared
+work across requests:
+
+* it owns one :class:`~repro.core.problem.WGRAPProblem` and subscribes to
+  its mutation events, so the score cache
+  (:class:`~repro.service.cache.ScoreMatrixCache`) is repaired
+  incrementally — one column per late paper, zero re-scoring per
+  withdrawal — instead of rebuilt;
+* journal queries reuse cached per-paper JRA sub-problems and can prune
+  their candidate pool with the cache's top-k reviewer index;
+* conference solves, incremental mutations and evaluation all go through
+  the string-keyed solver registry, so requests can name solvers.
+
+The request-queue front end lives in :mod:`repro.service.session`; this
+module is the synchronous engine underneath it.
+"""
+
+from __future__ import annotations
+
+import time
+import weakref
+from dataclasses import dataclass
+from typing import Any
+
+from repro.core.assignment import Assignment
+from repro.core.entities import Paper
+from repro.core.problem import JRAProblem, ProblemMutation, WGRAPProblem
+from repro.cra.base import CRAResult
+from repro.cra.repair import complete_assignment
+from repro.data.io import (
+    EngineSnapshot,
+    engine_snapshot_to_dict,
+    load_engine_snapshot,
+    save_engine_snapshot,
+)
+from repro.exceptions import ConfigurationError, InfeasibleProblemError
+from repro.extensions.bidding import BidAwareObjective, BidAwareSDGASolver, BidMatrix, bid_satisfaction
+from repro.jra.topk import RankedGroup
+from repro.metrics.quality import lowest_coverage_score, optimality_ratio
+from repro.service.cache import ScoreMatrixCache
+from repro.service.registry import create_solver, solver_spec
+
+__all__ = ["AssignmentEngine", "EngineDelta", "JournalAnswer"]
+
+
+@dataclass(frozen=True)
+class EngineDelta:
+    """What changed when the engine applied one mutation.
+
+    Returning the delta (instead of a rebuilt problem/assignment pair)
+    lets callers — the incremental-maintenance API, the serving front end,
+    downstream notification fan-out — propagate exactly the affected
+    state.
+    """
+
+    kind: str
+    affected_papers: tuple[str, ...]
+    added_pairs: tuple[tuple[str, str], ...]
+    removed_pairs: tuple[tuple[str, str], ...]
+    problem: WGRAPProblem
+    assignment: Assignment | None
+
+    def to_payload(self) -> dict[str, Any]:
+        """JSON-serialisable summary for the serving front end."""
+        return {
+            "kind": self.kind,
+            "affected_papers": list(self.affected_papers),
+            "added_pairs": [list(pair) for pair in self.added_pairs],
+            "removed_pairs": [list(pair) for pair in self.removed_pairs],
+            "num_papers": self.problem.num_papers,
+            "num_reviewers": self.problem.num_reviewers,
+        }
+
+
+@dataclass(frozen=True)
+class JournalAnswer:
+    """Outcome of one journal (single-paper) query.
+
+    Attributes
+    ----------
+    paper_id:
+        The queried paper.
+    groups:
+        The best group(s), ranked from 1; length 1 unless ``top_k > 1``.
+    shortlist:
+        Highest-scoring individual reviewers from the cached score matrix
+        (empty for inline papers that are not part of the problem).
+    cache_hit:
+        Whether the JRA sub-problem came from the engine's cache.
+    solver:
+        Canonical name of the solver that answered the query.
+    elapsed_seconds:
+        Wall-clock time spent answering.
+    """
+
+    paper_id: str
+    groups: tuple[RankedGroup, ...]
+    shortlist: tuple[tuple[str, float], ...]
+    cache_hit: bool
+    solver: str
+    elapsed_seconds: float
+
+    @property
+    def best(self) -> RankedGroup:
+        """The rank-1 group."""
+        return self.groups[0]
+
+    def to_payload(self) -> dict[str, Any]:
+        """JSON-serialisable summary for the serving front end."""
+        return {
+            "paper_id": self.paper_id,
+            "groups": [
+                {
+                    "rank": group.rank,
+                    "reviewer_ids": list(group.reviewer_ids),
+                    "score": group.score,
+                }
+                for group in self.groups
+            ],
+            "shortlist": [[reviewer_id, score] for reviewer_id, score in self.shortlist],
+            "cache_hit": self.cache_hit,
+            "solver": self.solver,
+            "elapsed_seconds": self.elapsed_seconds,
+        }
+
+
+class AssignmentEngine:
+    """A resident WGRAP problem with cached scoring and incremental updates.
+
+    Parameters
+    ----------
+    problem:
+        The loaded problem instance.  The engine subscribes to its mutation
+        events; mutations made through the engine *or* directly through
+        :meth:`WGRAPProblem.with_additional_paper` /
+        :meth:`WGRAPProblem.without_reviewer` keep the caches consistent.
+    assignment:
+        Optional current assignment (copied, never mutated in place).
+    bids:
+        Optional reviewer bids carried into bid-aware solves.
+
+    Notes
+    -----
+    Mutating methods are not transactional against arbitrary failures, but
+    the two built-in mutations either pre-validate everything before
+    touching state (:meth:`add_paper`) or roll the engine back on an
+    infeasible repair (:meth:`withdraw_reviewer`).
+    """
+
+    #: default solver names (overridable per request)
+    DEFAULT_CRA_SOLVER = "SDGA-SRA"
+    DEFAULT_JRA_SOLVER = "BBA"
+
+    def __init__(
+        self,
+        problem: WGRAPProblem,
+        assignment: Assignment | None = None,
+        bids: BidMatrix | None = None,
+    ) -> None:
+        self._problem = problem
+        self._root_problem = problem
+        self._assignment = assignment.copy() if assignment is not None else None
+        self._bids = bids if bids is not None else BidMatrix()
+        self._cache = ScoreMatrixCache(problem)
+        self._jra_cache: dict[tuple[str, int, int | None], JRAProblem] = {}
+        self._revision = 0
+        self._counters: dict[str, int] = {
+            "solves": 0,
+            "journal_queries": 0,
+            "journal_cache_hits": 0,
+            "add_paper": 0,
+            "remove_reviewer": 0,
+            "bid_updates": 0,
+            "evaluations": 0,
+        }
+        self._last_solver: str | None = None
+        self._last_score: float | None = None
+        # The problem must not keep the engine (and its dense score matrix)
+        # alive: subscribe through a weak reference, and let the wrapper
+        # unsubscribe itself once the engine has been collected.
+        engine_ref = weakref.ref(self)
+
+        def listener(mutation: ProblemMutation) -> None:
+            engine = engine_ref()
+            if engine is None:
+                mutation.source.remove_mutation_listener(listener)
+                mutation.result.remove_mutation_listener(listener)
+                return
+            engine._on_mutation(mutation)
+
+        self._listener = listener
+        problem.add_mutation_listener(listener)
+
+    # ------------------------------------------------------------------
+    # State
+    # ------------------------------------------------------------------
+    @property
+    def problem(self) -> WGRAPProblem:
+        """The current problem instance (replaced on every mutation)."""
+        return self._problem
+
+    @property
+    def assignment(self) -> Assignment | None:
+        """The current assignment, or ``None`` before the first solve."""
+        return self._assignment
+
+    @property
+    def bids(self) -> BidMatrix:
+        """Accumulated reviewer bids."""
+        return self._bids
+
+    @property
+    def cache(self) -> ScoreMatrixCache:
+        """The score-matrix cache (exposed for instrumentation)."""
+        return self._cache
+
+    @property
+    def revision(self) -> int:
+        """Monotonic counter, bumped once per applied mutation."""
+        return self._revision
+
+    def warm(self) -> "AssignmentEngine":
+        """Materialise the score matrix now instead of on the first query."""
+        self._cache.matrix()
+        return self
+
+    def detach(self) -> None:
+        """Unsubscribe from the problem's mutation events.
+
+        Call this when discarding a short-lived engine wrapped around a
+        caller-owned problem, so the problem does not keep notifying (and
+        referencing) a dead engine.  Both the problem the engine was
+        constructed around and the current (possibly derived) instance are
+        unsubscribed.
+        """
+        self._root_problem.remove_mutation_listener(self._listener)
+        self._problem.remove_mutation_listener(self._listener)
+
+    def _on_mutation(self, mutation: ProblemMutation) -> None:
+        self._cache.apply_mutation(mutation)
+        self._problem = mutation.result
+        self._revision += 1
+        self._counters[mutation.kind] = self._counters.get(mutation.kind, 0) + 1
+        if mutation.kind == "remove_reviewer":
+            # Candidate pools changed for every paper.
+            self._jra_cache.clear()
+
+    # ------------------------------------------------------------------
+    # Conference solve
+    # ------------------------------------------------------------------
+    def solve(
+        self,
+        solver: str | None = None,
+        bid_tradeoff: float | None = None,
+        **options: Any,
+    ) -> CRAResult:
+        """Run a conference-assignment solver and install its assignment.
+
+        Parameters
+        ----------
+        solver:
+            Registry name (``"SDGA"``, ``"SDGA-SRA"``, ``"Greedy"``, ...).
+        bid_tradeoff:
+            When set (and bids have been recorded), the solve maximises the
+            combined coverage+bid objective with this trade-off ``lambda``
+            using the bid-aware SDGA of :mod:`repro.extensions.bidding`.
+        options:
+            Forwarded to the solver factory (e.g. ``seed``,
+            ``convergence_window`` for SDGA-SRA).
+        """
+        name = solver or self.DEFAULT_CRA_SOLVER
+        if bid_tradeoff is not None:
+            instance = BidAwareSDGASolver(
+                BidAwareObjective(bids=self._bids, tradeoff=bid_tradeoff)
+            )
+            canonical = instance.name
+        else:
+            spec = solver_spec("cra", name)
+            instance = spec.factory(**options)
+            canonical = spec.name
+        result = instance.solve(self._problem)
+        self._assignment = result.assignment
+        self._last_solver = canonical
+        self._last_score = result.score
+        self._counters["solves"] += 1
+        return result
+
+    # ------------------------------------------------------------------
+    # Journal queries
+    # ------------------------------------------------------------------
+    def journal_query(
+        self,
+        paper: str | Paper,
+        group_size: int | None = None,
+        top_k: int = 1,
+        solver: str | None = None,
+        pool_size: int | None = None,
+        shortlist_size: int = 5,
+    ) -> JournalAnswer:
+        """Answer one online JRA query against the resident pool.
+
+        Parameters
+        ----------
+        paper:
+            A paper id of the loaded problem, or an inline :class:`Paper`
+            that is scored against the pool without joining the problem.
+        group_size:
+            Override of the problem's ``delta_p``.
+        top_k:
+            Return the ``k`` best groups instead of only the optimum
+            (supported by the BBA and BFS solvers).
+        solver:
+            Registry name of the JRA solver (default BBA).
+        pool_size:
+            When set, restrict the candidate pool to the top ``pool_size``
+            reviewers of the cached score index — a large speed-up for big
+            pools at a usually negligible quality cost.  Only available for
+            papers of the problem (the cache has no column for inline
+            papers).
+        shortlist_size:
+            How many individually top-scoring reviewers to report alongside
+            the optimal group (0 disables the shortlist).
+        """
+        started = time.perf_counter()
+        spec = solver_spec("jra", solver or self.DEFAULT_JRA_SOLVER)
+        if top_k < 1:
+            raise ConfigurationError("top_k must be at least 1")
+
+        inline = isinstance(paper, Paper)
+        if inline and paper.id in self._problem.paper_ids:
+            # The caller inlined a known paper; serve the problem's copy
+            # from the cache instead.
+            inline = False
+            paper = paper.id
+        if inline:
+            paper_obj = paper
+            paper_id = paper_obj.id
+        else:
+            paper_id = str(paper)
+            paper_obj = self._problem.paper_by_id(paper_id)  # raises KeyError
+
+        size = group_size if group_size is not None else self._problem.group_size
+        if inline and pool_size is not None:
+            raise ConfigurationError(
+                "pool_size pruning needs a cached score column; "
+                "add the paper to the problem first"
+            )
+
+        cache_hit = False
+        if inline:
+            jra = JRAProblem(
+                paper=paper_obj,
+                reviewers=self._problem.reviewers,
+                group_size=size,
+                scoring=self._problem.scoring,
+            )
+        else:
+            key = (paper_id, size, pool_size)
+            cached = self._jra_cache.get(key)
+            if cached is not None:
+                jra = cached
+                cache_hit = True
+            else:
+                jra = self._build_jra(paper_obj, size, pool_size)
+                self._jra_cache[key] = jra
+
+        solver_instance = spec.factory(top_k=top_k)
+        result = solver_instance.solve(jra)
+        ranked_raw = result.stats.get("top_k") if top_k > 1 else None
+        if ranked_raw:
+            groups = tuple(
+                RankedGroup(rank=rank, reviewer_ids=tuple(ids), score=float(score))
+                for rank, (ids, score) in enumerate(ranked_raw[:top_k], start=1)
+            )
+        else:
+            groups = (
+                RankedGroup(rank=1, reviewer_ids=result.reviewer_ids, score=result.score),
+            )
+
+        shortlist: tuple[tuple[str, float], ...] = ()
+        if shortlist_size > 0 and not inline:
+            shortlist = tuple(self._cache.top_reviewers(paper_id, shortlist_size))
+
+        self._counters["journal_queries"] += 1
+        if cache_hit:
+            self._counters["journal_cache_hits"] += 1
+        return JournalAnswer(
+            paper_id=paper_id,
+            groups=groups,
+            shortlist=shortlist,
+            cache_hit=cache_hit,
+            solver=spec.name,
+            elapsed_seconds=time.perf_counter() - started,
+        )
+
+    def _build_jra(
+        self, paper: Paper, group_size: int, pool_size: int | None
+    ) -> JRAProblem:
+        excluded: set[str] = set(
+            self._problem.conflicts.reviewers_conflicting_with(paper.id)
+        )
+        if pool_size is not None:
+            if pool_size < group_size:
+                raise ConfigurationError(
+                    f"pool_size ({pool_size}) must be at least the group size "
+                    f"({group_size})"
+                )
+            keep = {
+                reviewer_id
+                for reviewer_id, _ in self._cache.top_reviewers(paper.id, pool_size)
+            }
+            excluded |= {
+                reviewer_id
+                for reviewer_id in self._problem.reviewer_ids
+                if reviewer_id not in keep
+            }
+        return JRAProblem(
+            paper=paper,
+            reviewers=self._problem.reviewers,
+            group_size=group_size,
+            excluded_reviewers=excluded,
+            scoring=self._problem.scoring,
+        )
+
+    # ------------------------------------------------------------------
+    # Mutations
+    # ------------------------------------------------------------------
+    def add_paper(
+        self,
+        paper: Paper,
+        reviewer_workload: int | None = None,
+        solver: str | None = None,
+    ) -> EngineDelta:
+        """Append a late submission; staff it when an assignment exists.
+
+        Staffing never touches existing groups: the new paper gets an exact
+        JRA group drawn from the reviewers with spare capacity (this is the
+        paper's journal sub-problem applied inside a conference).  The
+        engine's score cache gains one dirty column — the full matrix is
+        *not* recomputed.
+
+        Raises
+        ------
+        ConfigurationError
+            If the paper id already exists in the problem.
+        InfeasibleProblemError
+            If fewer than ``delta_p`` reviewers have spare capacity.
+        """
+        problem = self._problem
+        if paper.id in problem.paper_ids:
+            raise ConfigurationError(f"paper {paper.id!r} is already part of the problem")
+        workload = (
+            reviewer_workload if reviewer_workload is not None else problem.reviewer_workload
+        )
+
+        group_ids: tuple[str, ...] = ()
+        if self._assignment is not None:
+            problem.validate_assignment(self._assignment, require_complete=True)
+            exhausted = {
+                reviewer_id
+                for reviewer_id in problem.reviewer_ids
+                if self._assignment.load(reviewer_id) >= workload
+            }
+            excluded = exhausted | set(
+                problem.conflicts.reviewers_conflicting_with(paper.id)
+            )
+            available = problem.num_reviewers - len(excluded)
+            if available < problem.group_size:
+                raise InfeasibleProblemError(
+                    f"only {available} reviewers have spare capacity for the new "
+                    "paper; increase reviewer_workload to absorb it"
+                )
+            jra = JRAProblem(
+                paper=paper,
+                reviewers=problem.reviewers,
+                group_size=problem.group_size,
+                excluded_reviewers=excluded,
+                scoring=problem.scoring,
+            )
+            staffing = create_solver("jra", solver or self.DEFAULT_JRA_SOLVER)
+            group_ids = staffing.solve(jra).reviewer_ids
+
+        # All checks passed; commit the mutation (the listener repairs the
+        # cache by appending one lazy column) and staff the paper.
+        mutated = problem.with_additional_paper(paper, workload)
+        if self._assignment is not None:
+            for reviewer_id in group_ids:
+                self._assignment.add(reviewer_id, paper.id)
+            mutated.validate_assignment(self._assignment, require_complete=True)
+        return EngineDelta(
+            kind="add_paper",
+            affected_papers=(paper.id,),
+            added_pairs=tuple((reviewer_id, paper.id) for reviewer_id in sorted(group_ids)),
+            removed_pairs=(),
+            problem=mutated,
+            assignment=self._assignment,
+        )
+
+    def withdraw_reviewer(self, reviewer_id: str) -> EngineDelta:
+        """Remove a reviewer; re-staff their papers when an assignment exists.
+
+        The vacated slots are refilled by the repair pass (a capacitated
+        assignment maximising marginal coverage, with augmenting swaps when
+        capacity is tight).  The engine's score cache drops one row — no
+        re-scoring happens at all.  If the remaining pool cannot cover the
+        vacated slots the engine state is rolled back before the error
+        propagates.
+
+        Raises
+        ------
+        KeyError
+            If the reviewer is not part of the problem.
+        InfeasibleProblemError
+            If the remaining pool cannot cover the vacated slots.
+        """
+        problem = self._problem
+        problem.reviewer_index(reviewer_id)  # raises KeyError for unknown reviewers
+        if self._assignment is not None:
+            problem.validate_assignment(self._assignment, require_complete=True)
+
+        affected = (
+            tuple(sorted(self._assignment.papers_of(reviewer_id)))
+            if self._assignment is not None
+            else ()
+        )
+        before_pairs = (
+            set(self._assignment.pairs()) if self._assignment is not None else set()
+        )
+
+        mutated = problem.without_reviewer(reviewer_id)
+        if self._assignment is None:
+            return EngineDelta(
+                kind="remove_reviewer",
+                affected_papers=affected,
+                added_pairs=(),
+                removed_pairs=(),
+                problem=mutated,
+                assignment=None,
+            )
+
+        stripped = Assignment(
+            pair for pair in self._assignment.pairs() if pair[0] != reviewer_id
+        )
+        try:
+            repaired = complete_assignment(mutated, stripped)
+            mutated.validate_assignment(repaired, require_complete=True)
+        except Exception:
+            # Roll the engine back to the pre-mutation problem — including
+            # the revision, counters and row-removal stat the listener
+            # already bumped; the cheap price is a full cache invalidation.
+            mutated.remove_mutation_listener(self._listener)
+            self._problem = problem
+            stats = self._cache.stats
+            stats.rows_removed -= 1
+            self._cache = ScoreMatrixCache(problem, stats=stats)
+            self._jra_cache.clear()
+            self._revision -= 1
+            self._counters["remove_reviewer"] -= 1
+            raise
+
+        after_pairs = set(repaired.pairs())
+        self._assignment = repaired
+        return EngineDelta(
+            kind="remove_reviewer",
+            affected_papers=affected,
+            added_pairs=tuple(sorted(after_pairs - before_pairs)),
+            removed_pairs=tuple(sorted(before_pairs - after_pairs)),
+            problem=mutated,
+            assignment=repaired,
+        )
+
+    def update_bids(self, bids: Any) -> int:
+        """Merge ``(reviewer_id, paper_id, value)`` bid triples.
+
+        Unknown reviewer or paper ids are rejected (with :class:`KeyError`)
+        before anything is applied, so a bad batch never half-commits.
+        Returns the number of bids recorded.
+        """
+        triples = [(str(r), str(p), float(v)) for r, p, v in bids]
+        for reviewer_id, paper_id, _ in triples:
+            self._problem.reviewer_index(reviewer_id)
+            self._problem.paper_index(paper_id)
+        for reviewer_id, paper_id, value in triples:
+            self._bids.set(reviewer_id, paper_id, value)
+        self._counters["bid_updates"] += len(triples)
+        return len(triples)
+
+    # ------------------------------------------------------------------
+    # Evaluation, stats, snapshots
+    # ------------------------------------------------------------------
+    def evaluate(
+        self, include_ratio: bool = True, include_per_paper: bool = False
+    ) -> dict[str, Any]:
+        """Score the current assignment under the problem's scoring function.
+
+        Raises
+        ------
+        ConfigurationError
+            When no assignment has been produced or loaded yet.
+        """
+        if self._assignment is None:
+            raise ConfigurationError(
+                "the engine has no assignment yet; run a solve first"
+            )
+        problem = self._problem
+        score = problem.assignment_score(self._assignment)
+        payload: dict[str, Any] = {
+            "score": score,
+            "mean_coverage": score / problem.num_papers,
+            "lowest_coverage": lowest_coverage_score(problem, self._assignment),
+            "num_papers": problem.num_papers,
+            "num_reviewers": problem.num_reviewers,
+            "num_pairs": len(self._assignment),
+            "solver": self._last_solver,
+        }
+        if include_ratio:
+            payload["optimality_ratio"] = optimality_ratio(problem, self._assignment)
+        if include_per_paper:
+            payload["per_paper"] = problem.paper_scores(self._assignment)
+        if len(self._bids):
+            payload["bid_satisfaction"] = bid_satisfaction(self._assignment, self._bids)
+        self._counters["evaluations"] += 1
+        return payload
+
+    def stats(self) -> dict[str, Any]:
+        """Engine counters plus the cache's work summary."""
+        return {
+            "revision": self._revision,
+            "has_assignment": self._assignment is not None,
+            "last_solver": self._last_solver,
+            "last_score": self._last_score,
+            "num_bids": len(self._bids),
+            "jra_problems_cached": len(self._jra_cache),
+            **self._counters,
+            "cache": self._cache.describe(),
+        }
+
+    def to_snapshot(self) -> dict[str, Any]:
+        """JSON-serialisable snapshot of the resumable engine state."""
+        return engine_snapshot_to_dict(
+            problem=self._problem,
+            assignment=self._assignment,
+            bids=tuple(self._bids.pairs()),
+            metadata={
+                "revision": self._revision,
+                "last_solver": self._last_solver,
+                "last_score": self._last_score,
+            },
+        )
+
+    def save_snapshot(self, path: Any) -> Any:
+        """Write the snapshot to ``path``; returns the path written."""
+        return save_engine_snapshot(self.to_snapshot(), path)
+
+    @classmethod
+    def from_snapshot(cls, snapshot: EngineSnapshot) -> "AssignmentEngine":
+        """Rebuild an engine from a deserialised snapshot."""
+        bids = BidMatrix(
+            {
+                (reviewer_id, paper_id): value
+                for reviewer_id, paper_id, value in snapshot.bids
+            }
+        )
+        engine = cls(snapshot.problem, assignment=snapshot.assignment, bids=bids)
+        engine._last_solver = snapshot.metadata.get("last_solver")
+        engine._last_score = snapshot.metadata.get("last_score")
+        return engine
+
+    @classmethod
+    def load(cls, path: Any) -> "AssignmentEngine":
+        """Rebuild an engine from a snapshot file."""
+        return cls.from_snapshot(load_engine_snapshot(path))
+
+    def __repr__(self) -> str:
+        return (
+            f"AssignmentEngine(P={self._problem.num_papers}, "
+            f"R={self._problem.num_reviewers}, revision={self._revision}, "
+            f"assignment={'yes' if self._assignment is not None else 'no'})"
+        )

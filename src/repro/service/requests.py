@@ -1,0 +1,359 @@
+"""Typed requests and responses for the assignment-engine front end.
+
+Every operation the engine serves has a small frozen dataclass here, plus
+dict codecs so the same request can arrive as a Python object (library
+users, :class:`~repro.service.session.EngineSession`) or as one JSON line
+(the ``wgrap serve`` loop).  Parsing is strict: an unknown kind, a missing
+field or a malformed paper payload raises :class:`RequestError`, which the
+serving loop turns into an ``ok: false`` response instead of dying.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Mapping
+from dataclasses import dataclass, field
+from typing import Any, ClassVar
+
+from repro.core.entities import Paper
+from repro.core.vectors import TopicVector
+from repro.exceptions import RequestError
+
+__all__ = [
+    "Request",
+    "SolveRequest",
+    "JournalQuery",
+    "AddPaper",
+    "WithdrawReviewer",
+    "UpdateBids",
+    "Evaluate",
+    "Snapshot",
+    "Stats",
+    "Shutdown",
+    "Response",
+    "request_from_dict",
+    "request_to_dict",
+    "paper_from_payload",
+    "paper_to_payload",
+]
+
+
+@dataclass(frozen=True)
+class Request:
+    """Base class of every front-end request.
+
+    The optional ``request_id`` is echoed back on the response so clients
+    pipelining several JSON lines can correlate answers with questions.
+    """
+
+    kind: ClassVar[str] = "abstract"
+
+    request_id: str | int | None = None
+
+
+@dataclass(frozen=True)
+class SolveRequest(Request):
+    """Run a conference-assignment solver and install its assignment."""
+
+    kind: ClassVar[str] = "solve"
+
+    solver: str = "SDGA-SRA"
+    options: Mapping[str, Any] = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
+class JournalQuery(Request):
+    """Find the best reviewer group for one paper (the online JRA query).
+
+    Either ``paper_id`` names a paper of the loaded problem, or ``paper``
+    carries an inline submission that is scored against the pool without
+    being added to the problem ("a paper arrives, find its group now").
+    """
+
+    kind: ClassVar[str] = "journal"
+
+    paper_id: str | None = None
+    paper: Paper | None = None
+    group_size: int | None = None
+    top_k: int = 1
+    solver: str = "BBA"
+    pool_size: int | None = None
+
+    def __post_init__(self) -> None:
+        if (self.paper_id is None) == (self.paper is None):
+            raise RequestError(
+                "a journal query needs exactly one of 'paper_id' or 'paper'"
+            )
+
+
+@dataclass(frozen=True)
+class AddPaper(Request):
+    """Append a late submission to the problem and staff it."""
+
+    kind: ClassVar[str] = "add_paper"
+
+    paper: Paper | None = None
+    reviewer_workload: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.paper is None:
+            raise RequestError("an add_paper request needs a 'paper'")
+
+
+@dataclass(frozen=True)
+class WithdrawReviewer(Request):
+    """Remove a reviewer from the pool and re-staff their papers."""
+
+    kind: ClassVar[str] = "withdraw_reviewer"
+
+    reviewer_id: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.reviewer_id:
+            raise RequestError("a withdraw_reviewer request needs a 'reviewer_id'")
+
+
+@dataclass(frozen=True)
+class UpdateBids(Request):
+    """Merge reviewer bids (``(reviewer_id, paper_id, value)`` triples)."""
+
+    kind: ClassVar[str] = "update_bids"
+
+    bids: tuple[tuple[str, str, float], ...] = ()
+
+    def __post_init__(self) -> None:
+        if not self.bids:
+            raise RequestError("an update_bids request needs at least one bid")
+
+
+@dataclass(frozen=True)
+class Evaluate(Request):
+    """Score the engine's current assignment."""
+
+    kind: ClassVar[str] = "evaluate"
+
+    include_ratio: bool = True
+    include_per_paper: bool = False
+
+
+@dataclass(frozen=True)
+class Snapshot(Request):
+    """Persist the engine state to a JSON snapshot file."""
+
+    kind: ClassVar[str] = "snapshot"
+
+    path: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.path:
+            raise RequestError("a snapshot request needs a 'path'")
+
+
+@dataclass(frozen=True)
+class Stats(Request):
+    """Report engine, cache and session counters."""
+
+    kind: ClassVar[str] = "stats"
+
+
+@dataclass(frozen=True)
+class Shutdown(Request):
+    """End a serving loop cleanly."""
+
+    kind: ClassVar[str] = "shutdown"
+
+
+@dataclass(frozen=True)
+class Response:
+    """Outcome of one request.
+
+    ``payload`` is always JSON-serialisable; errors carry the exception
+    message in ``error`` with ``ok`` false and keep the request's kind so
+    clients know which operation failed.
+    """
+
+    kind: str
+    ok: bool
+    payload: Mapping[str, Any] = field(default_factory=dict)
+    error: str | None = None
+    request_id: str | int | None = None
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-serialisable representation (one line of the serve loop)."""
+        result: dict[str, Any] = {"kind": self.kind, "ok": self.ok}
+        if self.request_id is not None:
+            result["id"] = self.request_id
+        if self.ok:
+            result["payload"] = dict(self.payload)
+        else:
+            result["error"] = self.error or "unknown error"
+        return result
+
+    @classmethod
+    def failure(
+        cls, kind: str, error: str, request_id: str | int | None = None
+    ) -> "Response":
+        """Shorthand for an error response."""
+        return cls(kind=kind, ok=False, error=error, request_id=request_id)
+
+
+# ----------------------------------------------------------------------
+# Dict codecs
+# ----------------------------------------------------------------------
+_REQUEST_TYPES: dict[str, type[Request]] = {
+    cls.kind: cls
+    for cls in (
+        SolveRequest,
+        JournalQuery,
+        AddPaper,
+        WithdrawReviewer,
+        UpdateBids,
+        Evaluate,
+        Snapshot,
+        Stats,
+        Shutdown,
+    )
+}
+
+
+def paper_from_payload(payload: Mapping[str, Any]) -> Paper:
+    """Build a :class:`Paper` from its JSON representation.
+
+    The format matches the ``papers`` entries of the problem files written
+    by :mod:`repro.data.io`: ``{"id": ..., "vector": [...], "title": ...}``.
+    """
+    if not isinstance(payload, Mapping):
+        raise RequestError("a paper must be a JSON object")
+    try:
+        paper_id = payload["id"]
+        vector = payload["vector"]
+    except KeyError as missing:
+        raise RequestError(f"a paper payload needs an {missing.args[0]!r} field") from None
+    try:
+        return Paper(
+            id=str(paper_id),
+            vector=TopicVector(vector),
+            title=str(payload.get("title", "")),
+            abstract=str(payload.get("abstract", "")),
+        )
+    except Exception as exc:  # vector shape/type problems become request errors
+        raise RequestError(f"malformed paper payload: {exc}") from exc
+
+
+def paper_to_payload(paper: Paper) -> dict[str, Any]:
+    """Inverse of :func:`paper_from_payload`."""
+    return {
+        "id": paper.id,
+        "title": paper.title,
+        "abstract": paper.abstract,
+        "vector": paper.vector.to_list(),
+    }
+
+
+def _parse_bids(raw: Any) -> tuple[tuple[str, str, float], ...]:
+    if not isinstance(raw, Iterable) or isinstance(raw, (str, bytes, Mapping)):
+        raise RequestError("'bids' must be a list of [reviewer_id, paper_id, value]")
+    bids: list[tuple[str, str, float]] = []
+    for entry in raw:
+        try:
+            reviewer_id, paper_id, value = entry
+            bids.append((str(reviewer_id), str(paper_id), float(value)))
+        except (TypeError, ValueError):
+            raise RequestError(
+                f"malformed bid entry {entry!r}; expected [reviewer_id, paper_id, value]"
+            ) from None
+    return tuple(bids)
+
+
+def request_from_dict(payload: Mapping[str, Any]) -> Request:
+    """Parse one JSON-decoded request object into a typed request.
+
+    Raises
+    ------
+    RequestError
+        For unknown kinds, missing fields or malformed nested payloads.
+    """
+    if not isinstance(payload, Mapping):
+        raise RequestError("a request must be a JSON object")
+    kind = payload.get("kind")
+    if not isinstance(kind, str):
+        raise RequestError("a request needs a string 'kind' field")
+    try:
+        request_type = _REQUEST_TYPES[kind.lower()]
+    except KeyError:
+        raise RequestError(
+            f"unknown request kind {kind!r}; known kinds: {sorted(_REQUEST_TYPES)}"
+        ) from None
+
+    request_id = payload.get("id")
+    fields: dict[str, Any] = {"request_id": request_id}
+    try:
+        if request_type is SolveRequest:
+            fields["solver"] = str(payload.get("solver", "SDGA-SRA"))
+            options = payload.get("options", {})
+            if not isinstance(options, Mapping):
+                raise RequestError("'options' must be a JSON object")
+            fields["options"] = dict(options)
+        elif request_type is JournalQuery:
+            if "paper" in payload:
+                fields["paper"] = paper_from_payload(payload["paper"])
+            if "paper_id" in payload:
+                fields["paper_id"] = str(payload["paper_id"])
+            for name in ("group_size", "top_k", "pool_size"):
+                if payload.get(name) is not None:
+                    fields[name] = int(payload[name])
+            fields["solver"] = str(payload.get("solver", "BBA"))
+        elif request_type is AddPaper:
+            if "paper" not in payload:
+                raise RequestError("an add_paper request needs a 'paper'")
+            fields["paper"] = paper_from_payload(payload["paper"])
+            if payload.get("reviewer_workload") is not None:
+                fields["reviewer_workload"] = int(payload["reviewer_workload"])
+        elif request_type is WithdrawReviewer:
+            fields["reviewer_id"] = str(payload.get("reviewer_id", ""))
+        elif request_type is UpdateBids:
+            fields["bids"] = _parse_bids(payload.get("bids"))
+        elif request_type is Evaluate:
+            fields["include_ratio"] = bool(payload.get("include_ratio", True))
+            fields["include_per_paper"] = bool(payload.get("include_per_paper", False))
+        elif request_type is Snapshot:
+            fields["path"] = str(payload.get("path", ""))
+        return request_type(**fields)
+    except RequestError:
+        raise
+    except (TypeError, ValueError) as exc:
+        raise RequestError(f"malformed {kind!r} request: {exc}") from exc
+
+
+def request_to_dict(request: Request) -> dict[str, Any]:
+    """JSON-serialisable representation of a typed request."""
+    payload: dict[str, Any] = {"kind": request.kind}
+    if request.request_id is not None:
+        payload["id"] = request.request_id
+    if isinstance(request, SolveRequest):
+        payload["solver"] = request.solver
+        if request.options:
+            payload["options"] = dict(request.options)
+    elif isinstance(request, JournalQuery):
+        if request.paper_id is not None:
+            payload["paper_id"] = request.paper_id
+        if request.paper is not None:
+            payload["paper"] = paper_to_payload(request.paper)
+        for name in ("group_size", "top_k", "pool_size"):
+            value = getattr(request, name)
+            if value is not None:
+                payload[name] = value
+        payload["solver"] = request.solver
+    elif isinstance(request, AddPaper):
+        payload["paper"] = paper_to_payload(request.paper)
+        if request.reviewer_workload is not None:
+            payload["reviewer_workload"] = request.reviewer_workload
+    elif isinstance(request, WithdrawReviewer):
+        payload["reviewer_id"] = request.reviewer_id
+    elif isinstance(request, UpdateBids):
+        payload["bids"] = [list(bid) for bid in request.bids]
+    elif isinstance(request, Evaluate):
+        payload["include_ratio"] = request.include_ratio
+        payload["include_per_paper"] = request.include_per_paper
+    elif isinstance(request, Snapshot):
+        payload["path"] = request.path
+    return payload

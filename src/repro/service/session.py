@@ -1,0 +1,223 @@
+"""Request-serving front end over an :class:`AssignmentEngine`.
+
+Two layers live here:
+
+* :class:`EngineSession` — a request queue with typed dispatch.  Queued
+  requests are drained in submission order, but runs of *compatible*
+  journal queries (same group size, solver, top-k and pool settings) are
+  batched: the score matrix is warmed once and the whole run is answered
+  against the same cache generation, which is where a read-heavy journal
+  workload spends its time.
+* :func:`serve_stream` — the JSON-lines loop behind ``wgrap serve``: one
+  request object per input line, one response object per output line.
+  Malformed lines produce ``ok: false`` responses instead of killing the
+  server; a ``{"kind": "shutdown"}`` request ends the loop.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import deque
+from collections.abc import Iterable
+from typing import Any, TextIO
+
+from repro.exceptions import ReproError, RequestError
+from repro.service.engine import AssignmentEngine
+from repro.service.requests import (
+    AddPaper,
+    Evaluate,
+    JournalQuery,
+    Request,
+    Response,
+    Shutdown,
+    Snapshot,
+    SolveRequest,
+    Stats,
+    UpdateBids,
+    WithdrawReviewer,
+    request_from_dict,
+)
+
+__all__ = ["EngineSession", "serve_stream"]
+
+
+class EngineSession:
+    """A queued, batching request front end for one engine.
+
+    The session is the unit a future multi-tenant server would hold per
+    client: it owns ordering, batching and error isolation, while the
+    engine owns state and caches.
+    """
+
+    def __init__(self, engine: AssignmentEngine) -> None:
+        self._engine = engine
+        self._queue: deque[Request] = deque()
+        self._counters: dict[str, int] = {
+            "submitted": 0,
+            "dispatched": 0,
+            "failed": 0,
+            "journal_batches": 0,
+            "batched_queries": 0,
+        }
+
+    @property
+    def engine(self) -> AssignmentEngine:
+        """The engine this session serves."""
+        return self._engine
+
+    @property
+    def pending(self) -> int:
+        """Number of queued, not yet drained requests."""
+        return len(self._queue)
+
+    # ------------------------------------------------------------------
+    # Queueing
+    # ------------------------------------------------------------------
+    def submit(self, request: Request) -> None:
+        """Enqueue a request for the next :meth:`drain`."""
+        self._queue.append(request)
+        self._counters["submitted"] += 1
+
+    def drain(self) -> list[Response]:
+        """Serve every queued request, in order, batching journal runs."""
+        responses: list[Response] = []
+        while self._queue:
+            request = self._queue.popleft()
+            if isinstance(request, JournalQuery):
+                batch = [request]
+                while self._queue and self._is_compatible_journal(
+                    self._queue[0], request
+                ):
+                    batch.append(self._queue.popleft())
+                responses.extend(self._dispatch_journal_batch(batch))
+            else:
+                responses.append(self.dispatch(request))
+        return responses
+
+    @staticmethod
+    def _is_compatible_journal(candidate: Request, reference: JournalQuery) -> bool:
+        return (
+            isinstance(candidate, JournalQuery)
+            and candidate.group_size == reference.group_size
+            and candidate.solver == reference.solver
+            and candidate.top_k == reference.top_k
+            and candidate.pool_size == reference.pool_size
+        )
+
+    def _dispatch_journal_batch(self, batch: list[JournalQuery]) -> list[Response]:
+        if len(batch) > 1:
+            self._counters["journal_batches"] += 1
+            self._counters["batched_queries"] += len(batch)
+            # One warm-up serves the whole run: every query then reads the
+            # same cache generation without re-checking staleness.
+            try:
+                self._engine.warm()
+            except ReproError:
+                pass  # per-query dispatch will surface the error
+        return [self.dispatch(query) for query in batch]
+
+    # ------------------------------------------------------------------
+    # Dispatch
+    # ------------------------------------------------------------------
+    def dispatch(self, request: Request) -> Response:
+        """Serve one request immediately, converting failures to responses."""
+        self._counters["dispatched"] += 1
+        try:
+            payload = self._handle(request)
+        except (ReproError, KeyError, ValueError) as exc:
+            self._counters["failed"] += 1
+            message = exc.args[0] if exc.args else str(exc)
+            return Response.failure(
+                kind=request.kind, error=str(message), request_id=request.request_id
+            )
+        return Response(
+            kind=request.kind, ok=True, payload=payload, request_id=request.request_id
+        )
+
+    def _handle(self, request: Request) -> dict[str, Any]:
+        engine = self._engine
+        if isinstance(request, SolveRequest):
+            result = engine.solve(solver=request.solver, **dict(request.options))
+            return {
+                "solver": result.solver_name,
+                "score": result.score,
+                "elapsed_seconds": result.elapsed_seconds,
+                "assignment": result.assignment.to_dict(),
+            }
+        if isinstance(request, JournalQuery):
+            answer = engine.journal_query(
+                paper=request.paper if request.paper is not None else request.paper_id,
+                group_size=request.group_size,
+                top_k=request.top_k,
+                solver=request.solver,
+                pool_size=request.pool_size,
+            )
+            return answer.to_payload()
+        if isinstance(request, AddPaper):
+            delta = engine.add_paper(
+                request.paper, reviewer_workload=request.reviewer_workload
+            )
+            return delta.to_payload()
+        if isinstance(request, WithdrawReviewer):
+            delta = engine.withdraw_reviewer(request.reviewer_id)
+            return delta.to_payload()
+        if isinstance(request, UpdateBids):
+            recorded = engine.update_bids(request.bids)
+            return {"recorded": recorded, "total_bids": len(engine.bids)}
+        if isinstance(request, Evaluate):
+            return engine.evaluate(
+                include_ratio=request.include_ratio,
+                include_per_paper=request.include_per_paper,
+            )
+        if isinstance(request, Snapshot):
+            path = engine.save_snapshot(request.path)
+            return {"path": str(path)}
+        if isinstance(request, Stats):
+            return self.stats()
+        if isinstance(request, Shutdown):
+            return {"shutdown": True}
+        raise RequestError(f"unhandled request kind {request.kind!r}")
+
+    def stats(self) -> dict[str, Any]:
+        """Session counters merged with the engine's."""
+        return {"session": dict(self._counters), "engine": self._engine.stats()}
+
+
+def serve_stream(
+    engine: AssignmentEngine, lines: Iterable[str], output: TextIO
+) -> int:
+    """Run the JSON-lines request/response loop.
+
+    Reads one JSON request per line from ``lines``, writes one JSON
+    response per line to ``output``, and returns the number of requests
+    served.  The loop survives malformed input and failed requests; it
+    ends on a ``shutdown`` request or when the input is exhausted.
+    """
+    session = EngineSession(engine)
+    served = 0
+
+    def emit(response: Response) -> None:
+        output.write(json.dumps(response.to_dict()) + "\n")
+        output.flush()
+
+    for line in lines:
+        line = line.strip()
+        if not line:
+            continue
+        served += 1
+        try:
+            payload = json.loads(line)
+        except json.JSONDecodeError as exc:
+            emit(Response.failure(kind="parse", error=f"invalid JSON: {exc}"))
+            continue
+        try:
+            request = request_from_dict(payload)
+        except RequestError as exc:
+            request_id = payload.get("id") if isinstance(payload, dict) else None
+            emit(Response.failure(kind="parse", error=str(exc), request_id=request_id))
+            continue
+        response = session.dispatch(request)
+        emit(response)
+        if isinstance(request, Shutdown):
+            break
+    return served

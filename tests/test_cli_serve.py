@@ -1,0 +1,247 @@
+"""Tests for the ``wgrap serve`` / ``wgrap session`` front ends."""
+
+from __future__ import annotations
+
+import io
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.data.io import load_engine_snapshot
+from repro.service.engine import AssignmentEngine
+from repro.service.session import serve_stream
+
+
+@pytest.fixture
+def problem_file(tmp_path):
+    path = tmp_path / "problem.json"
+    exit_code = main(
+        ["generate", str(path), "--papers", "10", "--reviewers", "6",
+         "--topics", "8", "--group-size", "2", "--seed", "3"]
+    )
+    assert exit_code == 0
+    return path
+
+
+def _serve(problem_file, lines):
+    """Run the JSON-lines loop over a scripted input; return decoded responses."""
+    from repro.data.io import load_problem
+
+    engine = AssignmentEngine(load_problem(problem_file))
+    output = io.StringIO()
+    serve_stream(engine, iter(lines), output)
+    return engine, [json.loads(line) for line in output.getvalue().splitlines()]
+
+
+class TestServeStream:
+    def test_generate_solve_journal_evaluate_round_trip(self, problem_file):
+        engine, responses = _serve(
+            problem_file,
+            [
+                json.dumps({"kind": "solve", "solver": "SDGA", "id": 1}),
+                json.dumps({"kind": "journal", "paper_id": "paper-0000", "id": 2}),
+                json.dumps({"kind": "evaluate", "id": 3}),
+                json.dumps({"kind": "shutdown", "id": 4}),
+            ],
+        )
+        assert [r["ok"] for r in responses] == [True, True, True, True]
+        assert [r["id"] for r in responses] == [1, 2, 3, 4]
+
+        solve, journal, evaluate, shutdown = responses
+        assert solve["payload"]["solver"] == "SDGA"
+        assert solve["payload"]["score"] > 0
+        group = journal["payload"]["groups"][0]
+        assert group["rank"] == 1
+        assert len(group["reviewer_ids"]) == engine.problem.group_size
+        assert journal["payload"]["shortlist"]
+        assert evaluate["payload"]["score"] == pytest.approx(
+            solve["payload"]["score"], abs=1e-6
+        )
+        assert shutdown["payload"] == {"shutdown": True}
+
+    def test_mutations_and_stats_over_the_wire(self, problem_file):
+        late = {"id": "late", "vector": [0.2, 0.1, 0.1, 0.1, 0.1, 0.1, 0.2, 0.1]}
+        engine, responses = _serve(
+            problem_file,
+            [
+                json.dumps({"kind": "solve", "solver": "Greedy"}),
+                json.dumps({"kind": "add_paper", "paper": late,
+                            "reviewer_workload": 6}),
+                json.dumps({"kind": "withdraw_reviewer",
+                            "reviewer_id": "reviewer-0000"}),
+                json.dumps({"kind": "stats"}),
+            ],
+        )
+        assert all(r["ok"] for r in responses)
+        add = responses[1]["payload"]
+        assert add["affected_papers"] == ["late"]
+        assert add["num_papers"] == 11
+        withdraw = responses[2]["payload"]
+        assert withdraw["num_reviewers"] == 5
+        stats = responses[3]["payload"]
+        assert stats["engine"]["revision"] == 2
+        assert stats["engine"]["cache"]["full_builds"] <= 1
+        assert engine.problem.num_papers == 11
+
+    def test_shutdown_stops_the_loop(self, problem_file):
+        _, responses = _serve(
+            problem_file,
+            [
+                json.dumps({"kind": "shutdown"}),
+                json.dumps({"kind": "solve", "solver": "SDGA"}),
+            ],
+        )
+        assert len(responses) == 1
+
+    def test_malformed_lines_do_not_kill_the_server(self, problem_file):
+        _, responses = _serve(
+            problem_file,
+            [
+                "this is not json",
+                json.dumps(["a", "list"]),
+                json.dumps({"kind": "teleport"}),
+                json.dumps({"kind": "journal"}),  # neither paper_id nor paper
+                json.dumps({"kind": "journal", "paper_id": "paper-0001"}),
+            ],
+        )
+        assert [r["ok"] for r in responses] == [False, False, False, False, True]
+        assert "invalid JSON" in responses[0]["error"]
+        assert "JSON object" in responses[1]["error"]
+        assert "unknown request kind" in responses[2]["error"]
+        assert "paper_id" in responses[3]["error"]
+
+    def test_domain_errors_become_error_responses(self, problem_file):
+        _, responses = _serve(
+            problem_file,
+            [
+                json.dumps({"kind": "evaluate", "id": "e1"}),  # no assignment yet
+                json.dumps({"kind": "withdraw_reviewer", "reviewer_id": "ghost"}),
+                json.dumps({"kind": "solve", "solver": "MAGIC"}),
+            ],
+        )
+        assert [r["ok"] for r in responses] == [False, False, False]
+        assert responses[0]["id"] == "e1"
+        assert "no assignment" in responses[0]["error"]
+        assert "ghost" in responses[1]["error"]
+        assert "unknown" in responses[2]["error"].lower()
+
+
+class TestServeCommand:
+    def test_serve_reads_stdin_writes_stdout(self, problem_file, monkeypatch, capsys):
+        script = "\n".join(
+            [
+                json.dumps({"kind": "solve", "solver": "SDGA"}),
+                json.dumps({"kind": "shutdown"}),
+            ]
+        )
+        monkeypatch.setattr("sys.stdin", io.StringIO(script + "\n"))
+        exit_code = main(["serve", "--problem", str(problem_file), "--warm"])
+        assert exit_code == 0
+        lines = [json.loads(line) for line in capsys.readouterr().out.splitlines()]
+        assert [r["kind"] for r in lines] == ["solve", "shutdown"]
+        assert all(r["ok"] for r in lines)
+
+    def test_serve_resumes_from_snapshot(self, problem_file, tmp_path, monkeypatch, capsys):
+        snapshot = tmp_path / "engine.json"
+        monkeypatch.setattr(
+            "sys.stdin",
+            io.StringIO(
+                json.dumps({"kind": "solve", "solver": "SDGA"}) + "\n"
+                + json.dumps({"kind": "snapshot", "path": str(snapshot)}) + "\n"
+            ),
+        )
+        assert main(["serve", "--problem", str(problem_file)]) == 0
+        capsys.readouterr()
+        assert load_engine_snapshot(snapshot).assignment is not None
+
+        monkeypatch.setattr(
+            "sys.stdin", io.StringIO(json.dumps({"kind": "evaluate"}) + "\n")
+        )
+        assert main(["serve", "--snapshot", str(snapshot)]) == 0
+        (response,) = [
+            json.loads(line) for line in capsys.readouterr().out.splitlines()
+        ]
+        assert response["ok"]
+        assert response["payload"]["score"] > 0
+
+    def test_serve_requires_a_source(self):
+        parser = build_parser()
+        with pytest.raises(SystemExit):
+            parser.parse_args(["serve"])
+
+
+class TestSessionCommand:
+    def test_replays_a_script_and_saves_a_snapshot(self, problem_file, tmp_path, capsys):
+        script = tmp_path / "requests.jsonl"
+        script.write_text(
+            "\n".join(
+                [
+                    json.dumps({"kind": "solve", "solver": "SDGA"}),
+                    json.dumps({"kind": "journal", "paper_id": "paper-0000"}),
+                    json.dumps({"kind": "journal", "paper_id": "paper-0001"}),
+                    json.dumps({"kind": "evaluate"}),
+                ]
+            )
+            + "\n"
+        )
+        responses_path = tmp_path / "responses.jsonl"
+        snapshot_path = tmp_path / "engine.json"
+        exit_code = main(
+            ["session", str(problem_file), str(script),
+             "--output", str(responses_path), "--save-snapshot", str(snapshot_path)]
+        )
+        assert exit_code == 0
+        responses = [
+            json.loads(line) for line in responses_path.read_text().splitlines()
+        ]
+        assert len(responses) == 4
+        assert all(r["ok"] for r in responses)
+        assert load_engine_snapshot(snapshot_path).assignment is not None
+        summary = capsys.readouterr().out
+        assert "4 responses" in summary
+        assert "snapshot" in summary
+
+    def test_malformed_script_lines_become_error_responses(
+        self, problem_file, tmp_path, capsys
+    ):
+        script = tmp_path / "requests.jsonl"
+        script.write_text(
+            "\n".join(
+                [
+                    json.dumps({"kind": "solve", "solver": "SDGA"}),
+                    "this is not json",
+                    json.dumps({"kind": "journal"}),  # missing paper_id
+                    json.dumps({"kind": "journal", "paper_id": "paper-0000"}),
+                ]
+            )
+            + "\n"
+        )
+        assert main(["session", str(problem_file), str(script)]) == 0
+        responses = [
+            json.loads(line) for line in capsys.readouterr().out.splitlines()
+        ]
+        assert [r["ok"] for r in responses] == [True, False, False, True]
+        assert "invalid JSON" in responses[1]["error"]
+        assert "paper_id" in responses[2]["error"]
+
+    def test_prints_to_stdout_without_output_flag(self, problem_file, tmp_path, capsys):
+        script = tmp_path / "requests.jsonl"
+        script.write_text(json.dumps({"kind": "stats"}) + "\n")
+        assert main(["session", str(problem_file), str(script)]) == 0
+        (line,) = capsys.readouterr().out.splitlines()
+        assert json.loads(line)["ok"]
+
+
+class TestRegistryBackedFlags:
+    def test_solve_rejects_unregistered_method(self):
+        parser = build_parser()
+        with pytest.raises(SystemExit):
+            parser.parse_args(["solve", "p.json", "a.json", "--method", "MAGIC"])
+
+    def test_journal_solver_choices_come_from_registry(self, problem_file, capsys):
+        exit_code = main(
+            ["journal", str(problem_file), "paper-0002", "--solver", "BFS"]
+        )
+        assert exit_code == 0
+        assert "best group" in capsys.readouterr().out
