@@ -15,6 +15,12 @@ Environment knobs
     Comma-separated group sizes for the conference sweeps (default ``3,4,5``).
 ``REPRO_BENCH_SEED``
     Seed of the synthetic data generators (default ``7``).
+``REPRO_BENCH_WORKERS``
+    Worker processes for the parallel execution layer (default ``1`` =
+    serial; ``0`` = one per CPU core).  Methods of one comparison run and
+    independent trials fan out across this many workers; results are
+    identical to the serial run because every trial and solver is seeded
+    deterministically.
 """
 
 from __future__ import annotations
@@ -26,6 +32,7 @@ from pathlib import Path
 from repro.experiments.cra_quality import CRAQualityResult, run_cra_quality
 from repro.experiments.reporting import ExperimentTable
 from repro.experiments.runner import DEFAULT_CRA_METHODS, ExperimentConfig
+from repro.parallel import ParallelConfig
 
 RESULTS_DIR = Path(__file__).resolve().parent / "results"
 
@@ -38,6 +45,19 @@ def bench_scale() -> float:
 def bench_seed() -> int:
     """Seed shared by the benches."""
     return int(os.environ.get("REPRO_BENCH_SEED", "7"))
+
+
+def bench_workers() -> int:
+    """Worker processes requested for the benches (1 = serial)."""
+    return int(os.environ.get("REPRO_BENCH_WORKERS", "1"))
+
+
+def bench_parallel_config() -> ParallelConfig | None:
+    """The ParallelConfig the benches pass down, or ``None`` when serial."""
+    workers = bench_workers()
+    if workers == 1:
+        return None
+    return ParallelConfig(workers=workers)
 
 
 def bench_group_sizes() -> tuple[int, ...]:
@@ -64,6 +84,7 @@ def quality_run(dataset: str, group_size: int) -> CRAQualityResult:
         group_size=group_size,
         methods=DEFAULT_CRA_METHODS,
         config=experiment_config(),
+        parallel=bench_parallel_config(),
     )
 
 

@@ -1,0 +1,97 @@
+"""Parallel-scaling benchmark: sharded score-matrix construction.
+
+Not a figure of the paper — this bench measures the
+:mod:`repro.parallel` execution layer against the serial kernel it wraps
+on a service-scale instance (2000 reviewers × 1000 papers × 30 topics by
+default):
+
+* the **serial baseline** is :meth:`ScoringFunction.score_matrix`, which
+  broadcasts the full ``(R, P, T)`` intermediate (~480 MB at the default
+  size);
+* ``workers=1`` runs the cache-blocked kernel in-process — it must match
+  the baseline **bitwise** while already avoiding the giant intermediate;
+* ``workers=4`` additionally shards the reviewer axis across a process
+  pool.
+
+Acceptance bar (asserted): ≥2× speedup at 4 workers over the serial
+baseline, and exact equality of every parallel variant with the serial
+matrix.
+
+Set ``REPRO_BENCH_PARALLEL_REVIEWERS`` / ``REPRO_BENCH_PARALLEL_PAPERS``
+/ ``REPRO_BENCH_PARALLEL_TOPICS`` to change the instance size.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import numpy as np
+
+from _shared import bench_seed, emit
+from repro.core.scoring import WeightedCoverage
+from repro.experiments.reporting import ExperimentTable
+from repro.parallel import ParallelConfig, sharded_score_matrix
+
+
+def _num_reviewers() -> int:
+    return int(os.environ.get("REPRO_BENCH_PARALLEL_REVIEWERS", "2000"))
+
+
+def _num_papers() -> int:
+    return int(os.environ.get("REPRO_BENCH_PARALLEL_PAPERS", "1000"))
+
+
+def _num_topics() -> int:
+    return int(os.environ.get("REPRO_BENCH_PARALLEL_TOPICS", "30"))
+
+
+def _matrices() -> tuple[np.ndarray, np.ndarray]:
+    rng = np.random.default_rng(bench_seed())
+    reviewers = rng.random((_num_reviewers(), _num_topics()))
+    papers = rng.random((_num_papers(), _num_topics()))
+    return reviewers, papers
+
+
+def run_parallel_scaling() -> tuple[ExperimentTable, dict[str, bool]]:
+    scoring = WeightedCoverage()
+    reviewers, papers = _matrices()
+
+    started = time.perf_counter()
+    serial = scoring.score_matrix(reviewers, papers)
+    serial_elapsed = time.perf_counter() - started
+
+    exact: dict[str, bool] = {}
+    table = ExperimentTable(
+        title=(
+            f"Sharded score-matrix construction, "
+            f"R={_num_reviewers()}, P={_num_papers()}, T={_num_topics()}"
+        ),
+        columns=["variant", "time (s)", "speedup", "bitwise equal"],
+    )
+    table.add_row("serial broadcast (baseline)", serial_elapsed, 1.0, 1)
+
+    for workers in (1, 2, 4):
+        config = ParallelConfig(workers=workers, serial_threshold=0)
+        started = time.perf_counter()
+        matrix = sharded_score_matrix(scoring, reviewers, papers, config)
+        elapsed = time.perf_counter() - started
+        equal = bool(np.array_equal(matrix, serial))
+        exact[f"workers={workers}"] = equal
+        table.add_row(
+            f"sharded, workers={workers}",
+            elapsed,
+            serial_elapsed / max(elapsed, 1e-9),
+            int(equal),
+        )
+    return table, exact
+
+
+def test_parallel_scaling_speedup(benchmark):
+    table, exact = benchmark.pedantic(run_parallel_scaling, rounds=1, iterations=1)
+    emit(table, "parallel_scaling.csv")
+    assert all(exact.values()), f"parallel output diverged from serial: {exact}"
+    speedups = dict(zip(table.column("variant"), table.column("speedup")))
+    # The acceptance bar of the parallel execution layer: 4 workers must
+    # at least halve the serial construction time at service scale.
+    assert speedups["sharded, workers=4"] >= 2.0, speedups

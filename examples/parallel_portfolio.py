@@ -1,0 +1,85 @@
+"""Parallel execution layer: sharded scoring plus a solver portfolio.
+
+Demonstrates the two headline features of :mod:`repro.parallel` on a
+synthetic workload:
+
+1. **Sharded score-matrix construction** — the dense ``(R, P)`` matrix is
+   built by a worker pool (reviewer shards, cache-blocked kernel) and
+   compared bitwise against the serial kernel.
+2. **Solver portfolio** — several registered CRA solvers race on the same
+   problem under a deadline; the best-scoring feasible assignment wins.
+
+Run with::
+
+    python examples/parallel_portfolio.py
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro import ParallelConfig, get_scoring_function, make_problem, run_portfolio
+from repro.parallel import DEFAULT_PORTFOLIO, sharded_score_matrix
+
+
+def demo_sharded_scoring() -> None:
+    # A service-scale scoring workload: 2000 reviewers x 1000 papers.  The
+    # serial kernel broadcasts a ~480 MB (R, P, T) intermediate; the sharded
+    # kernel splits the reviewer axis across workers and walks papers in
+    # cache-sized blocks — same bits, much less memory traffic.
+    rng = np.random.default_rng(7)
+    reviewers = rng.random((2000, 30))
+    papers = rng.random((1000, 30))
+    scoring = get_scoring_function("weighted_coverage")
+
+    started = time.perf_counter()
+    serial = scoring.score_matrix(reviewers, papers)
+    serial_elapsed = time.perf_counter() - started
+
+    config = ParallelConfig(workers=4, serial_threshold=0)
+    started = time.perf_counter()
+    sharded = sharded_score_matrix(scoring, reviewers, papers, config)
+    sharded_elapsed = time.perf_counter() - started
+
+    print("Sharded score-matrix construction (2000 x 1000 x 30):")
+    print(f"  serial broadcast:   {serial_elapsed:6.3f}s")
+    print(f"  sharded, 4 workers: {sharded_elapsed:6.3f}s "
+          f"({serial_elapsed / max(sharded_elapsed, 1e-9):.1f}x)")
+    print(f"  bitwise equal:      {np.array_equal(serial, sharded)}")
+
+
+def demo_portfolio() -> None:
+    # Race the default portfolio (SDGA-SRA, SDGA, Greedy) on one
+    # conference instance with a one-minute budget.  Every member that
+    # finishes competes on coverage score; the engine-facing variant of
+    # this call is AssignmentEngine.solve_portfolio.
+    problem = make_problem(num_papers=80, num_reviewers=30, num_topics=30,
+                           group_size=3, seed=11)
+    outcome = run_portfolio(
+        problem,
+        solvers=DEFAULT_PORTFOLIO,
+        deadline=60.0,
+        config=ParallelConfig(workers=2),
+    )
+
+    print(f"\nPortfolio race on {problem!r}:")
+    for entry in outcome.entries:
+        if entry.status == "ok":
+            print(f"  {entry.solver:10s} score {entry.score:8.3f} "
+                  f"in {entry.elapsed_seconds:6.2f}s")
+        else:
+            print(f"  {entry.solver:10s} {entry.status}")
+    print(f"  winner: {outcome.best_solver} "
+          f"(score {outcome.best.score:.3f}, "
+          f"race took {outcome.elapsed_seconds:.2f}s)")
+
+
+def main() -> None:
+    demo_sharded_scoring()
+    demo_portfolio()
+
+
+if __name__ == "__main__":
+    main()

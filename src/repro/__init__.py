@@ -11,9 +11,15 @@ Reviewer Assignment"* (Kou, U, Mamoulis and Gong, SIGMOD 2015):
   against,
 * the substrates those algorithms need (Hungarian / min-cost-flow linear
   assignment, simplex + branch-and-bound ILP, an Author-Topic-Model
-  pipeline, synthetic DBLP-like data), and
+  pipeline, synthetic DBLP-like data),
 * an experiment harness that regenerates every table and figure of the
-  paper's evaluation.
+  paper's evaluation,
+* a long-lived assignment engine (:mod:`repro.service`) with an
+  incrementally maintained score cache and a JSON-lines serving front
+  end, and
+* a worker-pool execution layer (:mod:`repro.parallel`): sharded
+  score-matrix construction, CRA solver portfolios and deterministic
+  experiment fan-out, all bit-compatible with the serial paths.
 
 Quick start::
 
@@ -58,6 +64,7 @@ from repro.jra import (
     find_top_k_groups,
 )
 from repro.metrics import optimality_ratio, superiority_ratio
+from repro.parallel import ParallelConfig, run_portfolio
 from repro.service import AssignmentEngine, EngineSession
 from repro.topics import TopicExtractionPipeline
 
@@ -94,9 +101,11 @@ __all__ = [
     "ConstraintProgrammingSolver",
     "ILPSolver",
     "find_top_k_groups",
-    # serving
+    # serving and parallel execution
     "AssignmentEngine",
     "EngineSession",
+    "ParallelConfig",
+    "run_portfolio",
     # data and metrics
     "SyntheticWorkloadGenerator",
     "make_problem",

@@ -4,7 +4,9 @@ The ``wgrap`` command (also installed as ``repro``) exposes the most common
 workflows:
 
 * ``wgrap generate`` — create a synthetic problem file (JSON).
-* ``wgrap solve``    — run a conference-assignment solver on a problem file.
+* ``wgrap solve``    — run a conference-assignment solver on a problem
+  file; ``--portfolio`` races several solvers and keeps the best result,
+  ``--deadline`` bounds the race in seconds.
 * ``wgrap journal``  — find the best reviewer group for one paper of a
   problem file (JRA).
 * ``wgrap evaluate`` — score an existing assignment against a problem.
@@ -14,9 +16,15 @@ workflows:
 * ``wgrap session``  — replay a scripted JSON-lines request file against a
   fresh engine, with batching, and optionally snapshot the final state.
 
+``solve``, ``serve`` and ``session`` accept ``--workers N`` to enable the
+worker-pool execution layer of :mod:`repro.parallel` (``0`` = one worker
+per CPU core): score matrices are then built by the sharded kernel and
+portfolio members race in separate processes, with results identical to
+the serial paths.
+
 All files use the JSON formats of :mod:`repro.data.io`.  Solver names for
-``--method`` / ``--solver`` are validated against the string-keyed solver
-registry of :mod:`repro.service.registry`.
+``--method`` / ``--solver`` / ``--portfolio`` are validated against the
+string-keyed solver registry of :mod:`repro.service.registry`.
 """
 
 from __future__ import annotations
@@ -31,6 +39,7 @@ from repro.data.io import load_assignment, load_problem, save_assignment, save_p
 from repro.data.synthetic import SyntheticWorkloadGenerator
 from repro.jra import available_solvers as available_jra_solvers
 from repro.metrics.quality import lowest_coverage_score, optimality_ratio
+from repro.parallel import DEFAULT_PORTFOLIO, ParallelConfig, run_portfolio
 from repro.service.engine import AssignmentEngine
 from repro.service.registry import create_solver
 from repro.service.session import EngineSession, serve_stream
@@ -67,6 +76,25 @@ def build_parser() -> argparse.ArgumentParser:
         choices=available_cra_solvers(),
         help="assignment method (from the solver registry)",
     )
+    solve.add_argument(
+        "--portfolio",
+        nargs="?",
+        const=",".join(DEFAULT_PORTFOLIO),
+        default=None,
+        metavar="SOLVERS",
+        help=(
+            "race several solvers and keep the best assignment; pass a "
+            "comma-separated solver list or omit the value for the default "
+            f"portfolio ({', '.join(DEFAULT_PORTFOLIO)})"
+        ),
+    )
+    solve.add_argument(
+        "--deadline",
+        type=float,
+        default=None,
+        help="wall-clock budget in seconds for the portfolio race",
+    )
+    _add_workers_flag(solve)
 
     journal = subparsers.add_parser("journal", help="find the best group for one paper")
     journal.add_argument("problem", help="path of the JSON problem file")
@@ -95,6 +123,7 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="build the score matrix before serving the first request",
     )
+    _add_workers_flag(serve)
 
     session = subparsers.add_parser(
         "session", help="replay a JSON-lines request script against a fresh engine"
@@ -107,8 +136,28 @@ def build_parser() -> argparse.ArgumentParser:
     session.add_argument(
         "--save-snapshot", default=None, help="save the final engine state to this path"
     )
+    _add_workers_flag(session)
 
     return parser
+
+
+def _add_workers_flag(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help=(
+            "worker processes for the parallel execution layer "
+            "(0 = one per CPU core; omit for fully serial operation)"
+        ),
+    )
+
+
+def _parallel_config(args: argparse.Namespace) -> "ParallelConfig | None":
+    workers = getattr(args, "workers", None)
+    if workers is None:
+        return None
+    return ParallelConfig(workers=workers)
 
 
 def _command_generate(args: argparse.Namespace) -> int:
@@ -129,12 +178,39 @@ def _command_generate(args: argparse.Namespace) -> int:
 
 def _command_solve(args: argparse.Namespace) -> int:
     problem = load_problem(args.problem)
-    solver = create_solver("cra", args.method)
-    result = solver.solve(problem)
+    parallel = _parallel_config(args)
+    races_in_processes = (
+        args.portfolio is not None
+        and parallel is not None
+        and parallel.resolved_workers() > 1
+    )
+    if parallel is not None and not races_in_processes:
+        # Warm the cached pair-score matrix through the sharded kernel so
+        # the solver's scoring stage is already paid for (bitwise-equal).
+        # Pointless before a process race: workers rebuild the problem
+        # from its dict form and never see this cache.
+        problem.warm_pair_scores(parallel=parallel)
+    if args.portfolio is not None:
+        solvers = [name.strip() for name in args.portfolio.split(",") if name.strip()]
+        outcome = run_portfolio(
+            problem, solvers=solvers, deadline=args.deadline, config=parallel
+        )
+        for entry in outcome.entries:
+            detail = (
+                f"score {entry.score:.4f} in {entry.elapsed_seconds:.2f}s"
+                if entry.status == "ok"
+                else entry.status + (f": {entry.error}" if entry.error else "")
+            )
+            print(f"  {entry.solver}: {detail}")
+        result = outcome.best
+        print(f"portfolio winner: {outcome.best_solver}")
+    else:
+        solver = create_solver("cra", args.method)
+        result = solver.solve(problem)
     save_assignment(result.assignment, args.output)
     ratio = optimality_ratio(problem, result.assignment)
     print(
-        f"{solver.name}: coverage score {result.score:.4f}, "
+        f"{result.solver_name}: coverage score {result.score:.4f}, "
         f"optimality ratio {ratio:.4f}, "
         f"lowest coverage {lowest_coverage_score(problem, result.assignment):.4f}, "
         f"time {result.elapsed_seconds:.2f}s"
@@ -167,10 +243,11 @@ def _command_evaluate(args: argparse.Namespace) -> int:
 
 
 def _command_serve(args: argparse.Namespace) -> int:
+    parallel = _parallel_config(args)
     if args.snapshot:
-        engine = AssignmentEngine.load(args.snapshot)
+        engine = AssignmentEngine.load(args.snapshot, parallel=parallel)
     else:
-        engine = AssignmentEngine(load_problem(args.problem))
+        engine = AssignmentEngine(load_problem(args.problem), parallel=parallel)
     if args.warm:
         engine.warm()
     serve_stream(engine, sys.stdin, sys.stdout)
@@ -183,7 +260,7 @@ def _command_session(args: argparse.Namespace) -> int:
     from repro.exceptions import RequestError
     from repro.service.requests import Response
 
-    engine = AssignmentEngine(load_problem(args.problem))
+    engine = AssignmentEngine(load_problem(args.problem), parallel=_parallel_config(args))
     session = EngineSession(engine)
     # Parse every line up front, keeping failures as error responses in
     # script order, so one bad line never loses the whole replay.

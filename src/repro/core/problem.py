@@ -304,8 +304,26 @@ class WGRAPProblem:
         :meth:`is_feasible_pair` separately, since some of them (e.g. the
         stochastic refinement probability model) need the unmasked scores.
         """
+        return self.warm_pair_scores()
+
+    def warm_pair_scores(self, parallel=None) -> np.ndarray:
+        """Materialise (and cache) the pair-score matrix.
+
+        ``parallel`` is an optional :class:`~repro.parallel.ParallelConfig`
+        forwarded to :meth:`ScoringFunction.score_matrix
+        <repro.core.scoring.ScoringFunction.score_matrix>`: large problems
+        are then scored by the sharded worker-pool kernel, which produces
+        a bitwise-identical matrix.  Because the result is cached, warming
+        in parallel up front speeds up every solver that reads
+        :meth:`pair_score_matrix` afterwards.
+        """
         if self._pair_scores is None:
-            scores = self._scoring.score_matrix(self.reviewer_matrix, self.paper_matrix)
+            if parallel is not None:
+                scores = self._scoring.score_matrix(
+                    self.reviewer_matrix, self.paper_matrix, parallel=parallel
+                )
+            else:
+                scores = self._scoring.score_matrix(self.reviewer_matrix, self.paper_matrix)
             scores.setflags(write=False)
             self._pair_scores = scores
         return self._pair_scores

@@ -32,11 +32,15 @@ paper.
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
+from typing import TYPE_CHECKING
 
 import numpy as np
 
 from repro.core.vectors import TopicVector, as_topic_vector
 from repro.exceptions import DimensionMismatchError, UnknownScoringFunctionError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (parallel imports core)
+    from repro.parallel.config import ParallelConfig
 
 __all__ = [
     "ScoringFunction",
@@ -140,7 +144,12 @@ class ScoringFunction(ABC):
     # ------------------------------------------------------------------
     # Vectorised interface used by the solvers
     # ------------------------------------------------------------------
-    def score_matrix(self, reviewer_matrix: np.ndarray, paper_matrix: np.ndarray) -> np.ndarray:
+    def score_matrix(
+        self,
+        reviewer_matrix: np.ndarray,
+        paper_matrix: np.ndarray,
+        parallel: "ParallelConfig | None" = None,
+    ) -> np.ndarray:
         """Pairwise score matrix of shape ``(R, P)``.
 
         Parameters
@@ -149,24 +158,52 @@ class ScoringFunction(ABC):
             Dense ``(R, T)`` matrix of reviewer vectors.
         paper_matrix:
             Dense ``(P, T)`` matrix of paper vectors.
+        parallel:
+            Optional :class:`~repro.parallel.ParallelConfig`.  When given,
+            construction is delegated to the sharded worker-pool kernel of
+            :mod:`repro.parallel.sharding`, which is bitwise-identical to
+            the serial path (problems below the config's serial threshold
+            run the serial path unchanged).
         """
+        if parallel is not None:
+            from repro.parallel.sharding import sharded_score_matrix
+
+            return sharded_score_matrix(self, reviewer_matrix, paper_matrix, parallel)
         reviewer_matrix = np.asarray(reviewer_matrix, dtype=np.float64)
         paper_matrix = np.asarray(paper_matrix, dtype=np.float64)
         if reviewer_matrix.shape[1] != paper_matrix.shape[1]:
             raise DimensionMismatchError(
                 "reviewer and paper matrices must agree on the number of topics"
             )
-        # Broadcast to (R, P, T): may be large but R, P are a few hundreds in
-        # the paper's workloads, so this stays well under typical memory.
-        contributions = self.topic_contribution(
-            reviewer_matrix[:, None, :], paper_matrix[None, :, :]
-        )
-        numerators = contributions.sum(axis=2)
+        # Broadcast to (R, P, T) in one shot.  Fine for the paper's
+        # workloads (R, P in the hundreds); at service scale prefer the
+        # cache-blocked/sharded kernel via the ``parallel`` argument, which
+        # applies the same score_block kernel in cache-sized pieces.
         denominators = paper_matrix.sum(axis=1)
         safe = np.where(denominators > 0.0, denominators, 1.0)
-        scores = numerators / safe[None, :]
+        scores = self.score_block(reviewer_matrix, paper_matrix, safe)
         scores[:, denominators <= 0.0] = 0.0
         return scores
+
+    def score_block(
+        self,
+        reviewer_matrix: np.ndarray,
+        paper_block: np.ndarray,
+        safe_denominators: np.ndarray,
+    ) -> np.ndarray:
+        """Scores of every reviewer against one contiguous block of papers.
+
+        The one shared aggregation behind every matrix builder — the
+        serial :meth:`score_matrix` (single block) and the blocked/sharded
+        kernels of :mod:`repro.parallel.sharding` (many blocks) — so the
+        two paths cannot drift apart.  ``safe_denominators`` is the
+        block's per-paper topic mass with zeros replaced by 1; callers
+        zero out zero-mass columns themselves.
+        """
+        contributions = self.topic_contribution(
+            reviewer_matrix[:, None, :], paper_block[None, :, :]
+        )
+        return contributions.sum(axis=2) / safe_denominators[None, :]
 
     def gain_vector(
         self,
@@ -313,7 +350,14 @@ _DEFAULT = WeightedCoverage()
 
 
 def weighted_coverage(reviewer: TopicVector, paper: TopicVector) -> float:
-    """Weighted coverage of a single reviewer vector over a paper vector."""
+    """Weighted coverage of a single reviewer vector over a paper vector.
+
+    The running example of the paper (reviewer ``r1`` against paper ``p``
+    in Figure 5):
+
+    >>> round(weighted_coverage([0.15, 0.75, 0.1], [0.35, 0.45, 0.2]), 2)
+    0.7
+    """
     return _DEFAULT.score(reviewer, paper)
 
 

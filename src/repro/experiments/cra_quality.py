@@ -24,6 +24,7 @@ from repro.data.synthetic import SyntheticWorkloadGenerator
 from repro.experiments.reporting import ExperimentTable
 from repro.experiments.runner import DEFAULT_CRA_METHODS, ExperimentConfig, run_cra_methods
 from repro.metrics.quality import lowest_coverage_score, superiority_ratio
+from repro.parallel.config import ParallelConfig
 
 __all__ = ["CRAQualityResult", "run_cra_quality", "build_dataset_problem"]
 
@@ -147,13 +148,18 @@ def run_cra_quality(
     methods: Sequence[str] = DEFAULT_CRA_METHODS,
     config: ExperimentConfig | None = None,
     problem: WGRAPProblem | None = None,
+    parallel: "ParallelConfig | None" = None,
 ) -> CRAQualityResult:
-    """Run all requested methods on one dataset/group-size configuration."""
+    """Run all requested methods on one dataset/group-size configuration.
+
+    ``parallel`` fans the methods out across worker processes (seeded
+    solvers make the results identical to a serial run).
+    """
     config = config or ExperimentConfig()
     if problem is None:
         problem = build_dataset_problem(dataset, group_size, config)
     ideal = ideal_assignment(problem)
-    results = run_cra_methods(problem, methods, config)
+    results = run_cra_methods(problem, methods, config, parallel=parallel)
     return CRAQualityResult(
         dataset=dataset,
         group_size=group_size,

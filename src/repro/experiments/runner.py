@@ -2,19 +2,25 @@
 
 The benchmark harness refers to solvers by the short names the paper uses
 ("SM", "ILP", "BRGG", "Greedy", "SDGA", "SDGA-SRA", ...).  This module maps
-those names to configured solver instances and provides the helper that
-runs several of them on the same problem and collects their results.
+those names to configured solver instances and provides the helpers that
+run several of them on the same problem — optionally fanning the methods
+out across worker processes — and that sweep independent seeded trials
+through :func:`repro.parallel.run_trials` with deterministic per-trial
+seeds (a parallel sweep reproduces the serial sweep seed-for-seed).
 """
 
 from __future__ import annotations
 
-from collections.abc import Iterable, Sequence
+from collections.abc import Callable, Iterable, Sequence
 from dataclasses import dataclass
+from typing import Any, TypeVar
 
 from repro.core.problem import WGRAPProblem
 from repro.cra.base import CRAResult, CRASolver
 from repro.exceptions import ConfigurationError
 from repro.jra.base import JRASolver
+from repro.parallel.config import ParallelConfig
+from repro.parallel.trials import run_trials
 from repro.service.registry import create_solver
 
 __all__ = [
@@ -24,7 +30,10 @@ __all__ = [
     "make_cra_solver",
     "make_jra_solver",
     "run_cra_methods",
+    "run_seeded_trials",
 ]
+
+T = TypeVar("T")
 
 
 @dataclass(frozen=True)
@@ -88,14 +97,66 @@ def make_jra_solver(name: str, time_limit: float | None = None) -> JRASolver:
     return create_solver("jra", name, time_limit=time_limit)
 
 
+def _method_job(
+    payload: tuple[dict[str, Any], str, ExperimentConfig],
+) -> CRAResult:
+    """Worker entry point: rebuild the problem and run one named method."""
+    from repro.data.io import problem_from_dict
+
+    problem_payload, method, config = payload
+    return make_cra_solver(method, config).solve(problem_from_dict(problem_payload))
+
+
 def run_cra_methods(
     problem: WGRAPProblem,
     methods: Sequence[str] | Iterable[str] = DEFAULT_CRA_METHODS,
     config: ExperimentConfig | None = None,
+    parallel: ParallelConfig | None = None,
 ) -> dict[str, CRAResult]:
-    """Run several CRA solvers on the same problem; results keyed by method name."""
+    """Run several CRA solvers on the same problem; results keyed by method name.
+
+    With a multi-worker ``parallel`` config the methods run in separate
+    processes (the problem travels in its JSON dict form).  Every solver
+    is seeded from the experiment config either way, so parallel runs
+    return exactly the serial results.
+    """
+    methods = list(methods)
+    config = config or ExperimentConfig()
+    workers = parallel.resolved_workers() if parallel is not None else 1
+    if workers > 1 and len(methods) > 1:
+        from repro.data.io import problem_to_dict
+        from repro.parallel.pool import pool_map
+
+        payload = problem_to_dict(problem)
+        outcomes = pool_map(
+            _method_job, [(payload, method, config) for method in methods], workers
+        )
+        return dict(zip(methods, outcomes))
     results: dict[str, CRAResult] = {}
     for method in methods:
         solver = make_cra_solver(method, config)
         results[method] = solver.solve(problem)
     return results
+
+
+def run_seeded_trials(
+    trial: Callable[[int], T],
+    num_trials: int,
+    base_seed: int | None = None,
+    config: ExperimentConfig | None = None,
+    parallel: ParallelConfig | None = None,
+) -> list[T]:
+    """Sweep ``trial(seed)`` over deterministically derived seeds.
+
+    Thin experiment-facing wrapper over :func:`repro.parallel.run_trials`:
+    the base seed defaults to the experiment config's seed, and per-trial
+    seeds are derived stably from it, so a parallel sweep reproduces the
+    serial sweep seed-for-seed whatever the worker count.
+    """
+    config = config or ExperimentConfig()
+    return run_trials(
+        trial,
+        num_trials=num_trials,
+        base_seed=base_seed if base_seed is not None else config.seed,
+        config=parallel,
+    )

@@ -1,0 +1,41 @@
+"""Shared process-pool plumbing for the parallel entry points.
+
+Every fan-out in this package — score shards, portfolio members,
+experiment trials, method comparisons — uses the same recipe: a
+:class:`~concurrent.futures.ProcessPoolExecutor` on the fork context
+where available (so the NumPy-heavy parent is inherited instead of
+re-imported), sized to ``min(workers, tasks)``, collecting results in
+submission order.  This module is that recipe, written once.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from collections.abc import Callable, Sequence
+from concurrent.futures import ProcessPoolExecutor
+from typing import Any, TypeVar
+
+__all__ = ["pool_context", "pool_map"]
+
+T = TypeVar("T")
+
+
+def pool_context() -> Any:
+    """The multiprocessing context for worker pools (fork when available)."""
+    if "fork" in multiprocessing.get_all_start_methods():
+        return multiprocessing.get_context("fork")
+    return multiprocessing.get_context()
+
+
+def pool_map(
+    fn: Callable[[Any], T], payloads: Sequence[Any], workers: int
+) -> list[T]:
+    """Run ``fn`` over ``payloads`` in worker processes, preserving order.
+
+    ``fn`` and every payload must be picklable.  The pool is sized to
+    ``min(workers, len(payloads))`` and torn down before returning.
+    """
+    with ProcessPoolExecutor(
+        max_workers=min(workers, len(payloads)), mp_context=pool_context()
+    ) as pool:
+        return list(pool.map(fn, payloads))

@@ -1,0 +1,289 @@
+"""Solver portfolio: race several CRA solvers, keep the best assignment.
+
+No single conference solver dominates every instance: SDGA-SRA usually
+wins on quality but its stochastic refinement costs time, plain SDGA is
+fast with a 1/2-guarantee, Greedy is faster still with a 1/3-guarantee.
+A *portfolio* runs several registered solvers on the same problem — in
+worker processes when the config allows — and returns the best-scoring
+feasible assignment found before the deadline.
+
+Solvers are shipped to workers by name (resolved through the registry of
+:mod:`repro.service.registry` inside the worker) and problems travel as
+their JSON dict form from :mod:`repro.data.io`, which sidesteps pickling
+the problem's mutation listeners (live engines register closures on their
+problem; closures do not pickle).
+
+A deadline turns the race into anytime optimisation: solvers that finish
+in time compete on score, solvers that do not are recorded with status
+``"timeout"``.  At least one entry always runs to completion in serial
+mode, so a too-tight deadline degrades to "fastest solver wins" instead
+of failing.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import ProcessPoolExecutor, wait
+from dataclasses import dataclass
+from typing import Any
+
+from repro.core.problem import WGRAPProblem
+from repro.cra.base import CRAResult
+from repro.exceptions import ConfigurationError, SolverError
+from repro.parallel.config import ParallelConfig
+from repro.parallel.pool import pool_context
+
+__all__ = [
+    "DEFAULT_PORTFOLIO",
+    "PortfolioEntry",
+    "PortfolioOutcome",
+    "run_portfolio",
+]
+
+#: Default line-up: the paper's best method, its deterministic backbone
+#: and the fast 1/3-approximation baseline.
+DEFAULT_PORTFOLIO: tuple[str, ...] = ("SDGA-SRA", "SDGA", "Greedy")
+
+
+@dataclass(frozen=True)
+class PortfolioEntry:
+    """How one portfolio member fared.
+
+    ``status`` is ``"ok"`` (finished, scored), ``"timeout"`` (deadline
+    expired first) or ``"error"`` (the solver raised; message in
+    ``error``).  ``result`` is populated only for ``"ok"`` entries.
+    """
+
+    solver: str
+    status: str
+    score: float | None = None
+    elapsed_seconds: float | None = None
+    error: str | None = None
+    result: CRAResult | None = None
+
+    def to_payload(self) -> dict[str, Any]:
+        """JSON-serialisable summary (the assignment itself is omitted)."""
+        payload: dict[str, Any] = {"solver": self.solver, "status": self.status}
+        if self.score is not None:
+            payload["score"] = self.score
+        if self.elapsed_seconds is not None:
+            payload["elapsed_seconds"] = self.elapsed_seconds
+        if self.error is not None:
+            payload["error"] = self.error
+        return payload
+
+
+@dataclass(frozen=True)
+class PortfolioOutcome:
+    """Result of one portfolio race.
+
+    ``best`` is the highest-scoring finished result (ties broken by
+    line-up order, so outcomes are deterministic); ``entries`` records
+    every member in line-up order.
+    """
+
+    best: CRAResult
+    entries: tuple[PortfolioEntry, ...]
+    elapsed_seconds: float
+
+    @property
+    def best_solver(self) -> str:
+        """Canonical name of the winning solver."""
+        return self.best.solver_name
+
+    def to_payload(self) -> dict[str, Any]:
+        """JSON-serialisable summary for the serving front end."""
+        return {
+            "best_solver": self.best_solver,
+            "best_score": self.best.score,
+            "elapsed_seconds": self.elapsed_seconds,
+            "entries": [entry.to_payload() for entry in self.entries],
+        }
+
+
+def _canonical_lineup(solvers: tuple[str, ...] | list[str]) -> list[str]:
+    """Resolve, canonicalise and dedupe the requested solver names."""
+    from repro.service.registry import solver_spec
+
+    lineup: list[str] = []
+    for name in solvers:
+        canonical = solver_spec("cra", name).name
+        if canonical not in lineup:
+            lineup.append(canonical)
+    if not lineup:
+        raise ConfigurationError("a portfolio needs at least one solver")
+    return lineup
+
+
+def _portfolio_job(
+    payload: tuple[dict[str, Any], str, dict[str, Any]],
+) -> CRAResult:
+    """Worker entry point: rebuild the problem, run one named solver."""
+    from repro.data.io import problem_from_dict
+    from repro.service.registry import create_solver
+
+    problem_payload, name, options = payload
+    problem = problem_from_dict(problem_payload)
+    solver = create_solver("cra", name, **options)
+    return solver.solve(problem)
+
+
+def _solve_in_process(
+    problem: WGRAPProblem, name: str, options: dict[str, Any]
+) -> CRAResult:
+    from repro.service.registry import create_solver
+
+    return create_solver("cra", name, **options).solve(problem)
+
+
+def _pick_best(entries: list[PortfolioEntry], started: float) -> PortfolioOutcome:
+    finished = [entry for entry in entries if entry.status == "ok"]
+    if not finished:
+        details = "; ".join(
+            f"{entry.solver}: {entry.status}"
+            + (f" ({entry.error})" if entry.error else "")
+            for entry in entries
+        )
+        raise SolverError(f"no portfolio member produced a feasible assignment — {details}")
+    best = max(finished, key=lambda entry: entry.score or float("-inf"))
+    assert best.result is not None
+    return PortfolioOutcome(
+        best=best.result,
+        entries=tuple(entries),
+        elapsed_seconds=time.perf_counter() - started,
+    )
+
+
+def _run_serial(
+    problem: WGRAPProblem,
+    lineup: list[str],
+    deadline: float | None,
+    options: dict[str, Any],
+    started: float,
+) -> PortfolioOutcome:
+    entries: list[PortfolioEntry] = []
+    for position, name in enumerate(lineup):
+        remaining = None if deadline is None else deadline - (time.perf_counter() - started)
+        if position > 0 and remaining is not None and remaining <= 0.0:
+            entries.append(PortfolioEntry(solver=name, status="timeout"))
+            continue
+        try:
+            result = _solve_in_process(problem, name, options)
+        except Exception as exc:  # solver bugs must not sink the race
+            entries.append(PortfolioEntry(solver=name, status="error", error=str(exc)))
+            continue
+        entries.append(
+            PortfolioEntry(
+                solver=name,
+                status="ok",
+                score=result.score,
+                elapsed_seconds=result.elapsed_seconds,
+                result=result,
+            )
+        )
+    return _pick_best(entries, started)
+
+
+def _run_processes(
+    problem: WGRAPProblem,
+    lineup: list[str],
+    deadline: float | None,
+    options: dict[str, Any],
+    workers: int,
+    started: float,
+) -> PortfolioOutcome:
+    from repro.data.io import problem_to_dict
+
+    problem_payload = problem_to_dict(problem)
+    executor = ProcessPoolExecutor(
+        max_workers=min(workers, len(lineup)), mp_context=pool_context()
+    )
+    futures = {
+        name: executor.submit(_portfolio_job, (problem_payload, name, options))
+        for name in lineup
+    }
+    # The deadline is a wall-clock budget from the start of the race, so
+    # serialisation and pool start-up count against it.
+    remaining = (
+        None if deadline is None else max(0.0, deadline - (time.perf_counter() - started))
+    )
+    wait(list(futures.values()), timeout=remaining)
+    entries: list[PortfolioEntry] = []
+    unfinished = False
+    for name in lineup:
+        future = futures[name]
+        if not future.done():
+            unfinished = True
+            entries.append(PortfolioEntry(solver=name, status="timeout"))
+            continue
+        try:
+            result = future.result()
+        except Exception as exc:
+            entries.append(PortfolioEntry(solver=name, status="error", error=str(exc)))
+            continue
+        entries.append(
+            PortfolioEntry(
+                solver=name,
+                status="ok",
+                score=result.score,
+                elapsed_seconds=result.elapsed_seconds,
+                result=result,
+            )
+        )
+    if unfinished:
+        # Abandon the stragglers: cancel queued tasks and terminate the
+        # worker processes so a blown deadline never blocks shutdown.
+        executor.shutdown(wait=False, cancel_futures=True)
+        try:
+            for process in list(getattr(executor, "_processes", {}).values()):
+                process.terminate()
+        except Exception:
+            pass
+    else:
+        executor.shutdown(wait=True)
+    return _pick_best(entries, started)
+
+
+def run_portfolio(
+    problem: WGRAPProblem,
+    solvers: tuple[str, ...] | list[str] = DEFAULT_PORTFOLIO,
+    deadline: float | None = None,
+    config: ParallelConfig | None = None,
+    **options: Any,
+) -> PortfolioOutcome:
+    """Race several registered CRA solvers on one problem.
+
+    Parameters
+    ----------
+    problem:
+        The conference instance to solve.
+    solvers:
+        Registry names (canonicalised and deduped; order is the
+        tie-breaking order).
+    deadline:
+        Optional wall-clock budget in seconds.  With worker processes the
+        solvers genuinely race and stragglers are abandoned; in serial
+        mode the line-up is walked in order and members whose turn comes
+        after the budget is spent are skipped.  The first member always
+        runs in serial mode, so a result is produced whenever any solver
+        can finish at all.
+    config:
+        Parallelism knobs; ``workers`` decides between the serial walk and
+        the process race.  ``None`` means serial.
+    options:
+        Forwarded to every solver factory (factories ignore options they
+        do not understand, so one blob configures the whole line-up).
+
+    Raises
+    ------
+    SolverError
+        When no member produced a feasible assignment.
+    """
+    if deadline is not None and deadline <= 0.0:
+        raise ConfigurationError("deadline must be positive")
+    lineup = _canonical_lineup(tuple(solvers))
+    started = time.perf_counter()
+    workers = config.resolved_workers() if config is not None else 1
+    if workers <= 1 or len(lineup) == 1:
+        return _run_serial(problem, lineup, deadline, options, started)
+    return _run_processes(problem, lineup, deadline, options, workers, started)

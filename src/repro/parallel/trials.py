@@ -1,0 +1,95 @@
+"""Deterministic fan-out of independent experiment trials.
+
+The experiment sweeps and benchmark harness run many *independent* trials
+— same procedure, different seed — and today they run them one after the
+other.  This module fans them out across worker processes while keeping
+the one property an experiment harness cannot lose: **seed-for-seed
+reproducibility**.  ``run_trials(trial, seeds, config)`` returns exactly
+the list ``[trial(seed) for seed in seeds]`` would, whatever the worker
+count, because
+
+* per-trial seeds are derived *before* dispatch with
+  :func:`trial_seeds` (a :class:`numpy.random.SeedSequence` spawn, so
+  trials are statistically independent and the derivation is stable
+  across platforms and worker counts), and
+* results are collected in submission order (``ProcessPoolExecutor.map``
+  preserves it), never in completion order.
+
+The ``trial`` callable must be picklable (a module-level function) and
+must derive *all* of its randomness from the seed argument.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Sequence
+from typing import Any, TypeVar
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+from repro.parallel.config import ParallelConfig
+from repro.parallel.pool import pool_map
+
+__all__ = ["trial_seeds", "run_trials"]
+
+T = TypeVar("T")
+
+
+def trial_seeds(base_seed: int, num_trials: int) -> tuple[int, ...]:
+    """Derive ``num_trials`` independent, stable per-trial seeds.
+
+    The derivation is a pure function of ``(base_seed, index)``: the same
+    base seed always yields the same seed list, regardless of how many
+    workers later consume it.
+    """
+    if num_trials < 0:
+        raise ConfigurationError("num_trials must be >= 0")
+    children = np.random.SeedSequence(base_seed).spawn(num_trials)
+    return tuple(int(child.generate_state(1, dtype=np.uint64)[0]) for child in children)
+
+
+def _trial_job(payload: tuple[Callable[[int], Any], int]) -> Any:
+    """Worker entry point: run one seeded trial."""
+    trial, seed = payload
+    return trial(seed)
+
+
+def run_trials(
+    trial: Callable[[int], T],
+    seeds: Sequence[int] | None = None,
+    num_trials: int | None = None,
+    base_seed: int = 0,
+    config: ParallelConfig | None = None,
+) -> list[T]:
+    """Run ``trial(seed)`` for every seed, possibly across workers.
+
+    Parameters
+    ----------
+    trial:
+        Module-level callable taking one integer seed.  All of the trial's
+        randomness must flow from that seed.
+    seeds:
+        Explicit seed list; mutually exclusive with ``num_trials``.
+    num_trials:
+        Derive this many seeds from ``base_seed`` via :func:`trial_seeds`.
+    base_seed:
+        Root of the seed derivation when ``num_trials`` is used.
+    config:
+        Parallelism knobs; ``None`` or one resolved worker runs the plain
+        serial loop.
+
+    Returns
+    -------
+    list
+        Trial results in seed order — identical for every worker count.
+    """
+    if (seeds is None) == (num_trials is None):
+        raise ConfigurationError("pass exactly one of 'seeds' or 'num_trials'")
+    if seeds is None:
+        assert num_trials is not None
+        seeds = trial_seeds(base_seed, num_trials)
+    seeds = list(seeds)
+    workers = config.resolved_workers() if config is not None else 1
+    if workers <= 1 or len(seeds) <= 1:
+        return [trial(seed) for seed in seeds]
+    return pool_map(_trial_job, [(trial, seed) for seed in seeds], workers)

@@ -15,12 +15,22 @@ requests against one problem instance:
   queries, incremental mutations, evaluation and snapshots.
 * :mod:`repro.service.session` — the queued, batching front end and the
   JSON-lines ``serve`` loop used by the CLI.
+
+The engine composes with the worker-pool execution layer of
+:mod:`repro.parallel`: construct it with a
+:class:`~repro.parallel.ParallelConfig` to build score matrices through
+the sharded kernel and to race solver portfolios
+(:meth:`AssignmentEngine.solve_portfolio
+<repro.service.engine.AssignmentEngine.solve_portfolio>`) across worker
+processes.  See ``docs/service.md`` for the engine lifecycle and the
+wire protocol, ``docs/architecture.md`` for where the subsystem sits.
 """
 
 from repro.service.cache import CacheStats, ScoreMatrixCache
 from repro.service.engine import AssignmentEngine, EngineDelta, JournalAnswer
 from repro.service.registry import (
     SolverSpec,
+    available_solver_specs,
     available_solvers,
     create_solver,
     register_solver,
@@ -30,6 +40,7 @@ from repro.service.requests import (
     AddPaper,
     Evaluate,
     JournalQuery,
+    PortfolioSolve,
     Request,
     Response,
     Shutdown,
@@ -50,12 +61,14 @@ __all__ = [
     "CacheStats",
     "ScoreMatrixCache",
     "SolverSpec",
+    "available_solver_specs",
     "available_solvers",
     "create_solver",
     "register_solver",
     "solver_spec",
     "Request",
     "SolveRequest",
+    "PortfolioSolve",
     "JournalQuery",
     "AddPaper",
     "WithdrawReviewer",

@@ -32,6 +32,7 @@ import numpy as np
 
 from repro.core.problem import ProblemMutation, WGRAPProblem
 from repro.exceptions import ConfigurationError
+from repro.parallel.config import ParallelConfig
 
 __all__ = ["CacheStats", "ScoreMatrixCache"]
 
@@ -92,10 +93,22 @@ class ScoreMatrixCache:
     reviewers keep the relative order of the survivors — which is exactly
     what :meth:`WGRAPProblem.with_additional_paper` and
     :meth:`WGRAPProblem.without_reviewer` guarantee.
+
+    When a :class:`~repro.parallel.ParallelConfig` is given, full builds
+    large enough to clear its serial threshold go through the sharded
+    worker-pool kernel of :mod:`repro.parallel.sharding` (bitwise-identical
+    results); single-column repairs stay on the serial path automatically
+    because one column is always below the threshold.
     """
 
-    def __init__(self, problem: WGRAPProblem, stats: CacheStats | None = None) -> None:
+    def __init__(
+        self,
+        problem: WGRAPProblem,
+        stats: CacheStats | None = None,
+        parallel: ParallelConfig | None = None,
+    ) -> None:
         self._problem = problem
+        self._parallel = parallel
         self._paper_ids: list[str] = list(problem.paper_ids)
         self._column_of: dict[str, int] = {
             paper_id: column for column, paper_id in enumerate(self._paper_ids)
@@ -251,10 +264,15 @@ class ScoreMatrixCache:
         self.stats.scored_cells += int(reviewer_matrix.shape[0]) * int(
             paper_matrix.shape[0]
         )
-        return np.array(
-            self._problem.scoring.score_matrix(reviewer_matrix, paper_matrix),
-            dtype=np.float64,
-        )
+        # Pass ``parallel`` only when configured, so serial caches keep the
+        # exact historical call shape (tests and callers wrap score_matrix).
+        if self._parallel is not None:
+            scores = self._problem.scoring.score_matrix(
+                reviewer_matrix, paper_matrix, parallel=self._parallel
+            )
+        else:
+            scores = self._problem.scoring.score_matrix(reviewer_matrix, paper_matrix)
+        return np.array(scores, dtype=np.float64)
 
     def describe(self) -> dict[str, Any]:
         """Summary used by the ``stats`` request of the serving front end."""
@@ -263,5 +281,8 @@ class ScoreMatrixCache:
             "shape": [self._problem.num_reviewers, len(self._paper_ids)],
             "dirty_papers": sorted(self._dirty_papers),
             "rankings_cached": len(self._rankings),
+            "parallel_workers": (
+                self._parallel.resolved_workers() if self._parallel is not None else 1
+            ),
             **self.stats.as_dict(),
         }

@@ -47,6 +47,8 @@ from repro.exceptions import ConfigurationError, InfeasibleProblemError
 from repro.extensions.bidding import BidAwareObjective, BidAwareSDGASolver, BidMatrix, bid_satisfaction
 from repro.jra.topk import RankedGroup
 from repro.metrics.quality import lowest_coverage_score, optimality_ratio
+from repro.parallel.config import ParallelConfig
+from repro.parallel.portfolio import DEFAULT_PORTFOLIO, PortfolioOutcome, run_portfolio
 from repro.service.cache import ScoreMatrixCache
 from repro.service.registry import create_solver, solver_spec
 
@@ -148,6 +150,12 @@ class AssignmentEngine:
         Optional current assignment (copied, never mutated in place).
     bids:
         Optional reviewer bids carried into bid-aware solves.
+    parallel:
+        Optional :class:`~repro.parallel.ParallelConfig`.  Score-matrix
+        builds big enough to clear its serial threshold go through the
+        sharded worker-pool kernel (results stay bitwise-identical), and
+        :meth:`solve_portfolio` races its solvers across that many worker
+        processes.
 
     Notes
     -----
@@ -166,16 +174,19 @@ class AssignmentEngine:
         problem: WGRAPProblem,
         assignment: Assignment | None = None,
         bids: BidMatrix | None = None,
+        parallel: ParallelConfig | None = None,
     ) -> None:
         self._problem = problem
         self._root_problem = problem
         self._assignment = assignment.copy() if assignment is not None else None
         self._bids = bids if bids is not None else BidMatrix()
-        self._cache = ScoreMatrixCache(problem)
+        self._parallel = parallel
+        self._cache = ScoreMatrixCache(problem, parallel=parallel)
         self._jra_cache: dict[tuple[str, int, int | None], JRAProblem] = {}
         self._revision = 0
         self._counters: dict[str, int] = {
             "solves": 0,
+            "portfolio_solves": 0,
             "journal_queries": 0,
             "journal_cache_hits": 0,
             "add_paper": 0,
@@ -223,6 +234,11 @@ class AssignmentEngine:
     def cache(self) -> ScoreMatrixCache:
         """The score-matrix cache (exposed for instrumentation)."""
         return self._cache
+
+    @property
+    def parallel(self) -> ParallelConfig | None:
+        """The worker-pool config, or ``None`` for fully serial operation."""
+        return self._parallel
 
     @property
     def revision(self) -> int:
@@ -294,6 +310,44 @@ class AssignmentEngine:
         self._last_score = result.score
         self._counters["solves"] += 1
         return result
+
+    def solve_portfolio(
+        self,
+        solvers: tuple[str, ...] | list[str] | None = None,
+        deadline: float | None = None,
+        **options: Any,
+    ) -> PortfolioOutcome:
+        """Race several CRA solvers and install the best assignment.
+
+        The race runs through :func:`repro.parallel.run_portfolio` with the
+        engine's parallel config: with multiple workers the solvers run in
+        separate processes (the resident problem is shipped in its JSON
+        dict form, so the engine's mutation listeners never cross the
+        process boundary); with one worker the line-up runs in order,
+        respecting the deadline between members.
+
+        Parameters
+        ----------
+        solvers:
+            Registry names; defaults to
+            :data:`repro.parallel.DEFAULT_PORTFOLIO`.
+        deadline:
+            Optional wall-clock budget in seconds.
+        options:
+            Forwarded to every solver factory.
+        """
+        outcome = run_portfolio(
+            self._problem,
+            solvers=tuple(solvers) if solvers is not None else DEFAULT_PORTFOLIO,
+            deadline=deadline,
+            config=self._parallel,
+            **options,
+        )
+        self._assignment = outcome.best.assignment
+        self._last_solver = outcome.best_solver
+        self._last_score = outcome.best.score
+        self._counters["portfolio_solves"] += 1
+        return outcome
 
     # ------------------------------------------------------------------
     # Journal queries
@@ -562,7 +616,7 @@ class AssignmentEngine:
             self._problem = problem
             stats = self._cache.stats
             stats.rows_removed -= 1
-            self._cache = ScoreMatrixCache(problem, stats=stats)
+            self._cache = ScoreMatrixCache(problem, stats=stats, parallel=self._parallel)
             self._jra_cache.clear()
             self._revision -= 1
             self._counters["remove_reviewer"] -= 1
@@ -641,6 +695,9 @@ class AssignmentEngine:
             "last_score": self._last_score,
             "num_bids": len(self._bids),
             "jra_problems_cached": len(self._jra_cache),
+            "parallel_workers": (
+                self._parallel.resolved_workers() if self._parallel is not None else 1
+            ),
             **self._counters,
             "cache": self._cache.describe(),
         }
@@ -663,7 +720,9 @@ class AssignmentEngine:
         return save_engine_snapshot(self.to_snapshot(), path)
 
     @classmethod
-    def from_snapshot(cls, snapshot: EngineSnapshot) -> "AssignmentEngine":
+    def from_snapshot(
+        cls, snapshot: EngineSnapshot, parallel: ParallelConfig | None = None
+    ) -> "AssignmentEngine":
         """Rebuild an engine from a deserialised snapshot."""
         bids = BidMatrix(
             {
@@ -671,15 +730,20 @@ class AssignmentEngine:
                 for reviewer_id, paper_id, value in snapshot.bids
             }
         )
-        engine = cls(snapshot.problem, assignment=snapshot.assignment, bids=bids)
+        engine = cls(
+            snapshot.problem,
+            assignment=snapshot.assignment,
+            bids=bids,
+            parallel=parallel,
+        )
         engine._last_solver = snapshot.metadata.get("last_solver")
         engine._last_score = snapshot.metadata.get("last_score")
         return engine
 
     @classmethod
-    def load(cls, path: Any) -> "AssignmentEngine":
+    def load(cls, path: Any, parallel: ParallelConfig | None = None) -> "AssignmentEngine":
         """Rebuild an engine from a snapshot file."""
-        return cls.from_snapshot(load_engine_snapshot(path))
+        return cls.from_snapshot(load_engine_snapshot(path), parallel=parallel)
 
     def __repr__(self) -> str:
         return (

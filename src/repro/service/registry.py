@@ -10,7 +10,15 @@ Every solver ships with a factory that accepts free-form keyword options
 and ignores the ones it does not understand, so one request schema
 (``{"solver": "SDGA-SRA", "options": {...}}``) can configure any solver.
 Canonical names are the short names the paper uses (``"SDGA"``, ``"BBA"``,
-...); lookups are case-insensitive and accept the registered aliases.
+...); lookups are case-insensitive and accept the registered aliases:
+
+>>> from repro.service.registry import available_solvers, create_solver, solver_spec
+>>> available_solvers("jra")
+['BBA', 'BFS', 'CP', 'CP-FIRST', 'ILP']
+>>> solver_spec("cra", "sra").name          # alias, case-insensitive
+'SDGA-SRA'
+>>> create_solver("jra", "bba").name        # a configured solver instance
+'BBA'
 """
 
 from __future__ import annotations
@@ -41,6 +49,7 @@ __all__ = [
     "create_solver",
     "solver_spec",
     "available_solvers",
+    "available_solver_specs",
 ]
 
 
@@ -114,12 +123,21 @@ def available_solvers(kind: str | None = None) -> list[str]:
 
     Pass ``kind`` (``"cra"`` or ``"jra"``) to restrict the listing.
     """
-    names = {
-        spec.name
-        for (spec_kind, _), spec in _REGISTRY.items()
-        if kind is None or spec_kind == kind
-    }
-    return sorted(names)
+    return sorted({spec.name for spec in available_solver_specs(kind)})
+
+
+def available_solver_specs(kind: str | None = None) -> list[SolverSpec]:
+    """The registered solver specs, unique and sorted by canonical name.
+
+    This is the discovery hook behind ``docs/solvers.md`` and the solver
+    reference test: everything a spec declares (name, aliases,
+    description) is available to generate or validate documentation.
+    """
+    unique: dict[str, SolverSpec] = {}
+    for (spec_kind, _), spec in _REGISTRY.items():
+        if kind is None or spec_kind == kind:
+            unique[f"{spec.kind}:{spec.name}"] = spec
+    return sorted(unique.values(), key=lambda spec: (spec.kind, spec.name))
 
 
 # ----------------------------------------------------------------------

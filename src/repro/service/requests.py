@@ -6,6 +6,22 @@ users, :class:`~repro.service.session.EngineSession`) or as one JSON line
 (the ``wgrap serve`` loop).  Parsing is strict: an unknown kind, a missing
 field or a malformed paper payload raises :class:`RequestError`, which the
 serving loop turns into an ``ok: false`` response instead of dying.
+
+The codecs round-trip, and defaults are made explicit on the way in:
+
+>>> from repro.service.requests import request_from_dict, request_to_dict
+>>> request = request_from_dict({"kind": "journal", "paper_id": "p7", "top_k": 2, "id": 1})
+>>> (request.solver, request.top_k)         # BBA is the journal default
+('BBA', 2)
+>>> request_to_dict(request) == {"kind": "journal", "id": 1,
+...                              "paper_id": "p7", "top_k": 2, "solver": "BBA"}
+True
+>>> request_from_dict({"kind": "nope"})
+Traceback (most recent call last):
+    ...
+repro.exceptions.RequestError: unknown request kind 'nope'; known kinds: \
+['add_paper', 'evaluate', 'journal', 'portfolio', 'shutdown', 'snapshot', \
+'solve', 'stats', 'update_bids', 'withdraw_reviewer']
 """
 
 from __future__ import annotations
@@ -21,6 +37,7 @@ from repro.exceptions import RequestError
 __all__ = [
     "Request",
     "SolveRequest",
+    "PortfolioSolve",
     "JournalQuery",
     "AddPaper",
     "WithdrawReviewer",
@@ -57,6 +74,21 @@ class SolveRequest(Request):
     kind: ClassVar[str] = "solve"
 
     solver: str = "SDGA-SRA"
+    options: Mapping[str, Any] = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
+class PortfolioSolve(Request):
+    """Race several CRA solvers; install the best-scoring assignment.
+
+    ``solvers`` is the line-up (registry names; empty means the default
+    portfolio) and ``deadline`` an optional wall-clock budget in seconds.
+    """
+
+    kind: ClassVar[str] = "portfolio"
+
+    solvers: tuple[str, ...] = ()
+    deadline: float | None = None
     options: Mapping[str, Any] = field(default_factory=dict)
 
 
@@ -203,6 +235,7 @@ _REQUEST_TYPES: dict[str, type[Request]] = {
     cls.kind: cls
     for cls in (
         SolveRequest,
+        PortfolioSolve,
         JournalQuery,
         AddPaper,
         WithdrawReviewer,
@@ -293,6 +326,17 @@ def request_from_dict(payload: Mapping[str, Any]) -> Request:
             if not isinstance(options, Mapping):
                 raise RequestError("'options' must be a JSON object")
             fields["options"] = dict(options)
+        elif request_type is PortfolioSolve:
+            solvers = payload.get("solvers", [])
+            if isinstance(solvers, (str, bytes)) or not isinstance(solvers, Iterable):
+                raise RequestError("'solvers' must be a list of solver names")
+            fields["solvers"] = tuple(str(name) for name in solvers)
+            if payload.get("deadline") is not None:
+                fields["deadline"] = float(payload["deadline"])
+            options = payload.get("options", {})
+            if not isinstance(options, Mapping):
+                raise RequestError("'options' must be a JSON object")
+            fields["options"] = dict(options)
         elif request_type is JournalQuery:
             if "paper" in payload:
                 fields["paper"] = paper_from_payload(payload["paper"])
@@ -331,6 +375,13 @@ def request_to_dict(request: Request) -> dict[str, Any]:
         payload["id"] = request.request_id
     if isinstance(request, SolveRequest):
         payload["solver"] = request.solver
+        if request.options:
+            payload["options"] = dict(request.options)
+    elif isinstance(request, PortfolioSolve):
+        if request.solvers:
+            payload["solvers"] = list(request.solvers)
+        if request.deadline is not None:
+            payload["deadline"] = request.deadline
         if request.options:
             payload["options"] = dict(request.options)
     elif isinstance(request, JournalQuery):

@@ -27,6 +27,7 @@ from repro.service.requests import (
     AddPaper,
     Evaluate,
     JournalQuery,
+    PortfolioSolve,
     Request,
     Response,
     Shutdown,
@@ -144,6 +145,15 @@ class EngineSession:
                 "elapsed_seconds": result.elapsed_seconds,
                 "assignment": result.assignment.to_dict(),
             }
+        if isinstance(request, PortfolioSolve):
+            outcome = engine.solve_portfolio(
+                solvers=request.solvers or None,
+                deadline=request.deadline,
+                **dict(request.options),
+            )
+            payload = outcome.to_payload()
+            payload["assignment"] = outcome.best.assignment.to_dict()
+            return payload
         if isinstance(request, JournalQuery):
             answer = engine.journal_query(
                 paper=request.paper if request.paper is not None else request.paper_id,

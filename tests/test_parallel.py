@@ -1,0 +1,355 @@
+"""Tests for the worker-pool execution layer (:mod:`repro.parallel`).
+
+The load-bearing property throughout is *determinism*: whatever the
+worker count, the parallel paths must reproduce the serial paths — score
+matrices bitwise, trial sweeps seed-for-seed, portfolio winners
+tie-broken stably.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.scoring import (
+    WeightedCoverage,
+    available_scoring_functions,
+    get_scoring_function,
+)
+from repro.data.synthetic import make_problem
+from repro.exceptions import ConfigurationError, DimensionMismatchError, SolverError
+from repro.experiments.runner import ExperimentConfig, run_cra_methods, run_seeded_trials
+from repro.parallel import (
+    DEFAULT_PORTFOLIO,
+    ParallelConfig,
+    blocked_score_matrix,
+    run_portfolio,
+    run_trials,
+    sharded_score_matrix,
+    trial_seeds,
+)
+from repro.service.engine import AssignmentEngine
+from repro.service.requests import PortfolioSolve, request_from_dict, request_to_dict
+from repro.service.session import EngineSession
+
+
+def _random_matrices(num_reviewers=57, num_papers=43, num_topics=11, seed=1):
+    rng = np.random.default_rng(seed)
+    reviewers = rng.random((num_reviewers, num_topics))
+    papers = rng.random((num_papers, num_topics))
+    papers[5] = 0.0  # a zero-mass paper must stay a zero column everywhere
+    return reviewers, papers
+
+
+class TestParallelConfig:
+    def test_defaults_resolve_to_at_least_one_worker(self):
+        assert ParallelConfig().resolved_workers() >= 1
+        assert ParallelConfig(workers=3).resolved_workers() == 3
+
+    def test_invalid_values_are_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ParallelConfig(workers=-1)
+        with pytest.raises(ConfigurationError):
+            ParallelConfig(shard_size=0)
+        with pytest.raises(ConfigurationError):
+            ParallelConfig(paper_block=0)
+        with pytest.raises(ConfigurationError):
+            ParallelConfig(serial_threshold=-1)
+
+    def test_serial_threshold_gates_parallelism(self):
+        config = ParallelConfig(workers=4, serial_threshold=100)
+        assert not config.should_parallelise(99)
+        assert config.should_parallelise(100)
+        assert not ParallelConfig(workers=1).should_parallelise(10**9)
+
+    def test_shard_bounds_cover_all_rows_contiguously(self):
+        config = ParallelConfig(workers=4)
+        bounds = config.shard_bounds(10)
+        assert bounds[0][0] == 0 and bounds[-1][1] == 10
+        for (_, stop), (start, _) in zip(bounds, bounds[1:]):
+            assert stop == start
+        assert ParallelConfig(workers=4).shard_bounds(0) == []
+        assert ParallelConfig(workers=4, shard_size=3).shard_bounds(7) == [
+            (0, 3),
+            (3, 6),
+            (6, 7),
+        ]
+
+
+class TestShardedScoreMatrix:
+    @pytest.mark.parametrize("name", available_scoring_functions())
+    def test_blocked_kernel_is_bitwise_equal(self, name):
+        scoring = get_scoring_function(name)
+        reviewers, papers = _random_matrices()
+        serial = scoring.score_matrix(reviewers, papers)
+        for block in (1, 7, 64, 1000):
+            blocked = blocked_score_matrix(scoring, reviewers, papers, block)
+            assert np.array_equal(serial, blocked)
+
+    @pytest.mark.parametrize("name", available_scoring_functions())
+    def test_worker_pool_is_bitwise_equal(self, name):
+        scoring = get_scoring_function(name)
+        reviewers, papers = _random_matrices()
+        serial = scoring.score_matrix(reviewers, papers)
+        config = ParallelConfig(workers=3, serial_threshold=0, paper_block=7)
+        assert np.array_equal(serial, sharded_score_matrix(scoring, reviewers, papers, config))
+
+    def test_single_worker_matches_serial_exactly(self):
+        scoring = WeightedCoverage()
+        reviewers, papers = _random_matrices()
+        serial = scoring.score_matrix(reviewers, papers)
+        for threshold in (0, 10**9):  # blocked kernel and serial fallback
+            config = ParallelConfig(workers=1, serial_threshold=threshold)
+            assert np.array_equal(
+                serial, sharded_score_matrix(scoring, reviewers, papers, config)
+            )
+
+    def test_small_problems_use_the_serial_path(self, monkeypatch):
+        scoring = WeightedCoverage()
+        reviewers, papers = _random_matrices()
+        import repro.parallel.sharding as sharding
+
+        def boom(*args, **kwargs):  # pragma: no cover - must not be reached
+            raise AssertionError("worker pool used below the serial threshold")
+
+        monkeypatch.setattr(sharding, "_score_shard_job", boom)
+        config = ParallelConfig(workers=4, serial_threshold=10**9)
+        serial = scoring.score_matrix(reviewers, papers)
+        assert np.array_equal(
+            serial, sharded_score_matrix(scoring, reviewers, papers, config)
+        )
+
+    def test_score_matrix_accepts_parallel_config(self):
+        scoring = WeightedCoverage()
+        reviewers, papers = _random_matrices()
+        config = ParallelConfig(workers=2, serial_threshold=0)
+        assert np.array_equal(
+            scoring.score_matrix(reviewers, papers),
+            scoring.score_matrix(reviewers, papers, parallel=config),
+        )
+
+    def test_dimension_mismatch_is_rejected(self):
+        scoring = WeightedCoverage()
+        with pytest.raises(DimensionMismatchError):
+            sharded_score_matrix(
+                scoring, np.ones((4, 3)), np.ones((4, 5)), ParallelConfig(workers=2)
+            )
+
+    def test_shard_size_override_still_exact(self):
+        scoring = WeightedCoverage()
+        reviewers, papers = _random_matrices()
+        config = ParallelConfig(workers=2, shard_size=5, serial_threshold=0)
+        assert np.array_equal(
+            scoring.score_matrix(reviewers, papers),
+            sharded_score_matrix(scoring, reviewers, papers, config),
+        )
+
+
+class TestEngineWithParallelConfig:
+    def test_cache_matrix_is_bitwise_equal_to_serial_engine(self):
+        problem = make_problem(num_papers=20, num_reviewers=10, group_size=3, seed=5)
+        serial_engine = AssignmentEngine(problem)
+        parallel_engine = AssignmentEngine(
+            problem, parallel=ParallelConfig(workers=2, serial_threshold=0)
+        )
+        assert np.array_equal(
+            serial_engine.cache.matrix(), parallel_engine.cache.matrix()
+        )
+        assert parallel_engine.stats()["parallel_workers"] == 2
+        assert serial_engine.stats()["parallel_workers"] == 1
+        serial_engine.detach()
+        parallel_engine.detach()
+
+    def test_warm_pair_scores_parallel_is_bitwise_equal(self):
+        serial = make_problem(num_papers=20, num_reviewers=10, group_size=3, seed=5)
+        parallel = make_problem(num_papers=20, num_reviewers=10, group_size=3, seed=5)
+        parallel.warm_pair_scores(
+            parallel=ParallelConfig(workers=2, serial_threshold=0)
+        )
+        assert np.array_equal(serial.pair_score_matrix(), parallel.pair_score_matrix())
+
+
+class TestPortfolio:
+    def test_serial_race_returns_best_scoring_member(self, small_problem):
+        outcome = run_portfolio(small_problem, solvers=("SDGA", "Greedy"))
+        assert {entry.solver for entry in outcome.entries} == {"SDGA", "Greedy"}
+        assert all(entry.status == "ok" for entry in outcome.entries)
+        assert outcome.best.score == max(entry.score for entry in outcome.entries)
+        assert outcome.best_solver in {"SDGA", "Greedy"}
+
+    def test_aliases_are_canonicalised_and_deduped(self, small_problem):
+        outcome = run_portfolio(small_problem, solvers=("sdga", "SDGA"))
+        assert [entry.solver for entry in outcome.entries] == ["SDGA"]
+
+    def test_process_race_matches_serial_outcome(self, small_problem):
+        serial = run_portfolio(small_problem, solvers=("SDGA", "Greedy"))
+        raced = run_portfolio(
+            small_problem,
+            solvers=("SDGA", "Greedy"),
+            config=ParallelConfig(workers=2),
+        )
+        assert raced.best_solver == serial.best_solver
+        assert raced.best.score == pytest.approx(serial.best.score)
+
+    def test_serial_deadline_skips_late_members_but_runs_first(self, small_problem, monkeypatch):
+        import time as time_module
+
+        import repro.parallel.portfolio as portfolio_module
+
+        real_solve = portfolio_module._solve_in_process
+
+        def slow_solve(problem, name, options):
+            result = real_solve(problem, name, options)
+            time_module.sleep(0.05)
+            return result
+
+        monkeypatch.setattr(portfolio_module, "_solve_in_process", slow_solve)
+        outcome = run_portfolio(
+            small_problem, solvers=("SDGA", "Greedy"), deadline=0.01
+        )
+        statuses = {entry.solver: entry.status for entry in outcome.entries}
+        assert statuses["SDGA"] == "ok"  # the first member always runs
+        assert statuses["Greedy"] == "timeout"
+        assert outcome.best_solver == "SDGA"
+
+    def test_all_members_failing_raises_solver_error(self, small_problem, monkeypatch):
+        import repro.parallel.portfolio as portfolio_module
+
+        def broken(problem, name, options):
+            raise RuntimeError("boom")
+
+        monkeypatch.setattr(portfolio_module, "_solve_in_process", broken)
+        with pytest.raises(SolverError, match="no portfolio member"):
+            run_portfolio(small_problem, solvers=("SDGA",))
+
+    def test_invalid_inputs(self, small_problem):
+        with pytest.raises(ConfigurationError):
+            run_portfolio(small_problem, solvers=())
+        with pytest.raises(ConfigurationError):
+            run_portfolio(small_problem, deadline=0.0)
+
+    def test_engine_solve_portfolio_installs_best_assignment(self, small_problem):
+        engine = AssignmentEngine(small_problem)
+        outcome = engine.solve_portfolio(solvers=("SDGA", "Greedy"))
+        assert engine.assignment is not None
+        assert set(engine.assignment.pairs()) == set(outcome.best.assignment.pairs())
+        stats = engine.stats()
+        assert stats["portfolio_solves"] == 1
+        assert stats["last_solver"] == outcome.best_solver
+        assert stats["last_score"] == pytest.approx(outcome.best.score)
+        engine.detach()
+
+    def test_portfolio_request_roundtrip_and_dispatch(self, small_problem):
+        request = request_from_dict(
+            {"kind": "portfolio", "solvers": ["SDGA", "Greedy"], "id": 9}
+        )
+        assert isinstance(request, PortfolioSolve)
+        assert request.solvers == ("SDGA", "Greedy")
+        assert request_to_dict(request)["solvers"] == ["SDGA", "Greedy"]
+
+        session = EngineSession(AssignmentEngine(small_problem))
+        response = session.dispatch(request)
+        assert response.ok, response.error
+        assert response.payload["best_solver"] in {"SDGA", "Greedy"}
+        assert {entry["solver"] for entry in response.payload["entries"]} == {
+            "SDGA",
+            "Greedy",
+        }
+        assert "assignment" in response.payload
+        session.engine.detach()
+
+    def test_default_portfolio_names_are_registered(self):
+        from repro.service.registry import solver_spec
+
+        for name in DEFAULT_PORTFOLIO:
+            assert solver_spec("cra", name).kind == "cra"
+
+
+def _square_trial(seed: int) -> tuple[int, float]:
+    """Module-level trial function (picklable) whose output is seed-driven."""
+    rng = np.random.default_rng(seed)
+    return seed, float(rng.random())
+
+
+class TestTrials:
+    def test_seed_derivation_is_stable_and_distinct(self):
+        assert trial_seeds(7, 5) == trial_seeds(7, 5)
+        assert len(set(trial_seeds(7, 64))) == 64
+        assert trial_seeds(7, 3) != trial_seeds(8, 3)
+        with pytest.raises(ConfigurationError):
+            trial_seeds(7, -1)
+
+    def test_parallel_trials_reproduce_serial_seed_for_seed(self):
+        serial = run_trials(_square_trial, num_trials=6, base_seed=7)
+        fanned = run_trials(
+            _square_trial,
+            num_trials=6,
+            base_seed=7,
+            config=ParallelConfig(workers=3),
+        )
+        assert fanned == serial
+
+    def test_explicit_seeds_preserve_order(self):
+        seeds = [11, 3, 7]
+        results = run_trials(
+            _square_trial, seeds=seeds, config=ParallelConfig(workers=2)
+        )
+        assert [seed for seed, _ in results] == seeds
+
+    def test_exactly_one_seed_source_is_required(self):
+        with pytest.raises(ConfigurationError):
+            run_trials(_square_trial)
+        with pytest.raises(ConfigurationError):
+            run_trials(_square_trial, seeds=[1], num_trials=1)
+
+    def test_run_seeded_trials_defaults_to_experiment_seed(self):
+        config = ExperimentConfig(seed=13)
+        assert run_seeded_trials(_square_trial, num_trials=4, config=config) == run_trials(
+            _square_trial, num_trials=4, base_seed=13
+        )
+
+
+class TestParallelExperiments:
+    def test_parallel_methods_reproduce_serial_results(self, small_problem):
+        config = ExperimentConfig(seed=7)
+        serial = run_cra_methods(small_problem, ("SDGA", "Greedy"), config)
+        fanned = run_cra_methods(
+            small_problem,
+            ("SDGA", "Greedy"),
+            config,
+            parallel=ParallelConfig(workers=2),
+        )
+        assert set(serial) == set(fanned)
+        for method in serial:
+            assert fanned[method].score == pytest.approx(serial[method].score)
+            assert set(fanned[method].assignment.pairs()) == set(
+                serial[method].assignment.pairs()
+            )
+
+
+class TestCLI:
+    def test_solve_with_workers_flag(self, tmp_path):
+        from repro.cli import main
+        from repro.data.io import load_assignment
+
+        problem_path = tmp_path / "problem.json"
+        out_path = tmp_path / "assignment.json"
+        assert main(["generate", str(problem_path), "--papers", "15",
+                     "--reviewers", "8", "--seed", "3"]) == 0
+        assert main(["solve", str(problem_path), str(out_path),
+                     "--method", "SDGA", "--workers", "2"]) == 0
+        assert len(load_assignment(out_path)) > 0
+
+    def test_solve_portfolio_flag(self, tmp_path, capsys):
+        from repro.cli import main
+        from repro.data.io import load_assignment
+
+        problem_path = tmp_path / "problem.json"
+        out_path = tmp_path / "assignment.json"
+        assert main(["generate", str(problem_path), "--papers", "15",
+                     "--reviewers", "8", "--seed", "3"]) == 0
+        assert main(["solve", str(problem_path), str(out_path),
+                     "--portfolio", "SDGA,Greedy"]) == 0
+        captured = capsys.readouterr().out
+        assert "portfolio winner:" in captured
+        assert len(load_assignment(out_path)) > 0
