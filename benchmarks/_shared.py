@@ -25,9 +25,12 @@ Environment knobs
 
 from __future__ import annotations
 
+import json
 import os
+import platform
 from functools import lru_cache
 from pathlib import Path
+from typing import Any
 
 from repro.experiments.cra_quality import CRAQualityResult, run_cra_quality
 from repro.experiments.reporting import ExperimentTable
@@ -95,3 +98,23 @@ def emit(table: ExperimentTable, filename: str) -> ExperimentTable:
     print(table.to_text())
     table.save_csv(RESULTS_DIR / filename)
     return table
+
+
+def emit_bench_json(payload: dict[str, Any], filename: str) -> Path:
+    """Persist a machine-readable benchmark record under ``benchmarks/results/``.
+
+    The payload is written as one pretty-printed JSON document, annotated
+    with the interpreter/platform so BENCH trajectory entries (see the
+    repo-root ``BENCH.md``) can be compared across machines.  Returns the
+    written path.
+    """
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    record = {
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        **payload,
+    }
+    path = RESULTS_DIR / filename
+    path.write_text(json.dumps(record, indent=2, sort_keys=True) + "\n", encoding="utf-8")
+    print(f"\nwrote {path}")
+    return path

@@ -1,10 +1,12 @@
-"""Ablation: lazy-heap greedy vs. naive re-scan greedy.
+"""Ablation: lazy (dense argmax) greedy vs. naive re-scan greedy.
 
 The pair-greedy baseline can either re-evaluate every feasible pair at each
-iteration (the textbook description) or keep gains in a lazy max-heap
-(what a production implementation does).  Both return the same assignment —
-submodularity makes the lazy evaluation exact — but the heap version is
-asymptotically cheaper.  The bench measures both and checks the agreement.
+iteration (the textbook description) or maintain the current gains
+incrementally — per-paper column maxima over the dense gain matrix,
+refreshing one column per assignment.  Both make the same true-argmax
+selection (bitwise, pinned by the test suite), but the incremental version
+does asymptotically less gain work.  The bench measures both and checks
+the agreement.
 """
 
 from __future__ import annotations
@@ -35,14 +37,15 @@ def test_ablation_greedy_lazy_heap(benchmark):
         title="Ablation: greedy gain evaluation strategy",
         columns=["strategy", "coverage score", "time (s)", "gain evaluations"],
     )
-    table.add_row("lazy heap", lazy_result.score, lazy_result.elapsed_seconds,
-                  lazy_result.stats.get("heap_reinsertions", 0))
+    # Report both strategies in the same unit (evaluated gain cells):
+    # one column refresh evaluates R reviewer gains.
+    lazy_cells = lazy_result.stats["column_refreshes"] * problem.num_reviewers
+    table.add_row("lazy (dense argmax)", lazy_result.score, lazy_result.elapsed_seconds,
+                  lazy_cells)
     table.add_row("naive re-scan", naive_result.score, naive_elapsed,
                   naive_result.stats.get("gain_evaluations", 0))
     emit(table, "ablation_greedy_heap.csv")
 
     # Same answer, and the lazy version does far less gain work.
-    assert abs(lazy_result.score - naive_result.score) < 1e-9
-    assert lazy_result.stats.get("heap_reinsertions", 0) <= naive_result.stats.get(
-        "gain_evaluations", 1
-    )
+    assert lazy_result.score == naive_result.score
+    assert lazy_cells < naive_result.stats["gain_evaluations"]

@@ -8,6 +8,7 @@ to earlier RAP formulations.
 
 from repro.core.assignment import Assignment
 from repro.core.constraints import ConflictOfInterest, WorkloadConstraints
+from repro.core.dense import DenseProblem
 from repro.core.entities import Paper, Reviewer, ReviewerGroup
 from repro.core.problem import (
     JRAProblem,
@@ -41,6 +42,7 @@ from repro.core.vectors import TopicVector, as_topic_vector, stack_vectors
 __all__ = [
     "Assignment",
     "ConflictOfInterest",
+    "DenseProblem",
     "WorkloadConstraints",
     "Paper",
     "Reviewer",

@@ -25,18 +25,29 @@ class ConflictOfInterest:
     same institution, personal ties, ...).
     """
 
-    __slots__ = ("_pairs", "_by_reviewer", "_by_paper")
+    __slots__ = ("_pairs", "_by_reviewer", "_by_paper", "_version")
 
     def __init__(self, pairs: Iterable[tuple[str, str]] = ()) -> None:
         self._pairs: set[tuple[str, str]] = set()
         self._by_reviewer: dict[str, set[str]] = {}
         self._by_paper: dict[str, set[str]] = {}
+        self._version = 0
         for reviewer_id, paper_id in pairs:
             self.add(reviewer_id, paper_id)
 
     # ------------------------------------------------------------------
     # Mutation
     # ------------------------------------------------------------------
+    @property
+    def version(self) -> int:
+        """Monotonic counter bumped by every effective mutation.
+
+        Compiled views of the conflict set (most importantly the
+        feasibility mask of :class:`repro.core.dense.DenseProblem`) record
+        the version they were built against and rebuild when it moves.
+        """
+        return self._version
+
     def add(self, reviewer_id: str, paper_id: str) -> None:
         """Declare that ``reviewer_id`` must never review ``paper_id``."""
         if not reviewer_id or not paper_id:
@@ -47,6 +58,7 @@ class ConflictOfInterest:
         self._pairs.add(pair)
         self._by_reviewer.setdefault(reviewer_id, set()).add(paper_id)
         self._by_paper.setdefault(paper_id, set()).add(reviewer_id)
+        self._version += 1
 
     def discard(self, reviewer_id: str, paper_id: str) -> None:
         """Remove a conflict if present (no error if absent)."""
@@ -56,6 +68,7 @@ class ConflictOfInterest:
         self._pairs.discard(pair)
         self._by_reviewer[reviewer_id].discard(paper_id)
         self._by_paper[paper_id].discard(reviewer_id)
+        self._version += 1
 
     # ------------------------------------------------------------------
     # Queries

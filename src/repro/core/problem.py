@@ -15,6 +15,7 @@ from __future__ import annotations
 import math
 from collections.abc import Callable, Iterable, Sequence
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 import numpy as np
 
@@ -29,6 +30,9 @@ from repro.exceptions import (
     InfeasibleAssignmentError,
     InfeasibleProblemError,
 )
+
+if TYPE_CHECKING:  # pragma: no cover - circular import guard
+    from repro.core.dense import DenseProblem
 
 __all__ = [
     "WGRAPProblem",
@@ -184,6 +188,7 @@ class WGRAPProblem:
         self._reviewer_matrix: np.ndarray | None = None
         self._paper_matrix: np.ndarray | None = None
         self._pair_scores: np.ndarray | None = None
+        self._dense_view: "DenseProblem | None" = None
         self._mutation_listeners: list[MutationListener] = []
 
         if validate_capacity:
@@ -335,6 +340,59 @@ class WGRAPProblem:
                 self.reviewer_index(reviewer_id), self.paper_index(paper_id)
             ]
         )
+
+    @property
+    def cached_pair_scores(self) -> np.ndarray | None:
+        """The pair-score matrix if it has been materialised, else ``None``.
+
+        Long-lived components (the engine's score cache) use this to avoid
+        re-scoring a problem some solver already warmed.
+        """
+        return self._pair_scores
+
+    def adopt_pair_scores(self, scores: np.ndarray) -> None:
+        """Seed the pair-score cache with an externally computed matrix.
+
+        Used by :class:`repro.service.cache.ScoreMatrixCache` after a build
+        or an incremental repair so solvers reading
+        :meth:`pair_score_matrix` afterwards reuse the engine's matrix
+        instead of re-scoring all ``R * P`` cells.  A read-only copy is
+        stored (the cache keeps mutating its own buffer).  No-op when this
+        problem already has a matrix; raises for a wrong shape.
+        """
+        if self._pair_scores is not None:
+            return
+        adopted = np.array(scores, dtype=np.float64)
+        if adopted.shape != (self.num_reviewers, self.num_papers):
+            raise DimensionMismatchError(
+                f"pair-score matrix of shape {adopted.shape} does not fit a problem "
+                f"with {self.num_reviewers} reviewers and {self.num_papers} papers"
+            )
+        adopted.setflags(write=False)
+        self._pair_scores = adopted
+
+    def dense_view(self) -> "DenseProblem":
+        """The cached index-space compilation of this problem.
+
+        Builds a :class:`repro.core.dense.DenseProblem` on first use and
+        returns the same view afterwards, so every solver and every engine
+        request shares one feasibility mask and one set of contiguous
+        matrices per instance.  Papers, reviewers and constraints are
+        immutable, but the conflict set is a live container
+        (``problem.conflicts.add(...)`` is public API), so the view records
+        the conflict
+        :attr:`~repro.core.constraints.ConflictOfInterest.version` it
+        compiled against and is rebuilt when the conflicts have changed
+        since.
+        """
+        if (
+            self._dense_view is None
+            or self._dense_view.conflict_version != self._conflicts.version
+        ):
+            from repro.core.dense import DenseProblem
+
+            self._dense_view = DenseProblem(self)
+        return self._dense_view
 
     # ------------------------------------------------------------------
     # Feasibility

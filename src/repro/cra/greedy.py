@@ -16,6 +16,24 @@ Two implementations are provided behind one class:
 * ``use_lazy_heap=False`` — the naive re-scan of every feasible pair at
   every iteration; kept for the ablation benchmark that shows why the heap
   matters.
+
+The default path runs on the :class:`~repro.core.dense.DenseProblem`
+index-space view and replaces the heap with incrementally maintained
+per-paper column maxima over the ``(R, P)`` gain matrix: the initial
+gains come straight from the pair-score matrix and the compiled
+feasibility mask (no per-pair ``is_feasible_pair`` string calls), and
+each step refreshes exactly one column (one dense kernel) plus the
+column maxima invalidated by a saturated reviewer.  Every step selects
+the feasible pair with the largest *current* marginal gain, ties broken
+by smallest ``(reviewer, paper)`` — exactly the naive greedy's
+selection, which ``tests/test_dense_kernels.py`` pins bit for bit,
+including ties.  (The lazy heap selects on *recorded* gains refreshed
+only when popped; floating-point rounding can leave a stale record an
+ulp below the true current gain, so in exact-tie regimes — e.g. a group
+that already covers a paper's residual — the heap's pick can differ from
+the true argmax by tie order.  The dense path is faithful to the true
+selection; ``use_dense=False`` keeps the historical heap as reference
+and benchmark baseline.)
 """
 
 from __future__ import annotations
@@ -34,22 +52,149 @@ __all__ = ["GreedySolver"]
 
 
 class GreedySolver(CRASolver):
-    """Pair-by-pair greedy assignment (the 1/3-approximation baseline)."""
+    """Pair-by-pair greedy assignment (the 1/3-approximation baseline).
+
+    Parameters
+    ----------
+    use_lazy_heap:
+        Choose between the lazy-heap greedy (default) and the naive
+        full re-scan (ablation only).
+    use_dense:
+        Only meaningful for the lazy path: ``False`` selects the
+        historical object-path lazy heap, kept as the dense-kernel
+        benchmark baseline.  The heap makes the identical assignment
+        except in exact-gain-tie regimes, where its ulp-stale records can
+        reorder the tie (see the module docstring) — the dense path
+        matches the *naive* selection bit for bit everywhere.  The naive
+        ablation path (``use_lazy_heap=False``) always runs on the dense
+        kernels; its gains are bitwise-equal to the pre-refactor per-pair
+        staging (pinned by the kernel tests), so no object-path naive
+        variant is kept.
+    """
 
     name = "Greedy"
 
-    def __init__(self, use_lazy_heap: bool = True) -> None:
+    def __init__(self, use_lazy_heap: bool = True, use_dense: bool = True) -> None:
         self._use_lazy_heap = use_lazy_heap
+        self._use_dense = use_dense
 
     def _solve(self, problem: WGRAPProblem) -> tuple[Assignment, dict[str, Any]]:
         if self._use_lazy_heap:
-            return self._solve_lazy(problem)
+            if self._use_dense:
+                return self._solve_lazy(problem)
+            return self._solve_lazy_object(problem)
         return self._solve_naive(problem)
 
     # ------------------------------------------------------------------
-    # Lazy-heap greedy
+    # Lazy greedy (dense kernels)
     # ------------------------------------------------------------------
     def _solve_lazy(self, problem: WGRAPProblem) -> tuple[Assignment, dict[str, Any]]:
+        """Greedy via incrementally maintained per-paper column maxima.
+
+        Selects, at every step, the feasible pair with the largest
+        *current* marginal gain, ties broken by the smallest
+        ``(reviewer, paper)`` index pair — bitwise the same selection as
+        the naive full re-scan (pinned by the equivalence tests), at a
+        fraction of its cost: instead of recomputing every gain each
+        round (or popping millions of stale heap tuples), the current
+        gains live in one ``(R, P)`` array; assigning a pair refreshes
+        only that paper's column (one dense kernel) and, when the
+        reviewer saturates, the maxima of the columns that pointed at it
+        — everything else is already up to date.
+        """
+        dense = problem.dense_view()
+        reviewer_matrix = dense.reviewer_matrix
+        num_papers = dense.num_papers
+        num_reviewers = dense.num_reviewers
+        reviewer_ids = problem.reviewer_ids
+        paper_ids = problem.paper_ids
+        group_size = dense.group_size
+        reviewer_workload = dense.reviewer_workload
+
+        assignment = Assignment()
+        group_vectors = np.zeros((num_papers, dense.num_topics), dtype=np.float64)
+        group_sizes = np.zeros(num_papers, dtype=np.int64)
+        loads = np.zeros(num_reviewers, dtype=np.int64)
+        members: list[list[int]] = [[] for _ in range(num_papers)]
+
+        gains = np.array(dense.pair_scores())
+        gains[~dense.feasible] = -np.inf
+        column_max = gains.max(axis=0)
+        column_arg = gains.argmax(axis=0)  # first maximum = smallest reviewer
+
+        target_pairs = num_papers * group_size
+        iterations = 0
+        column_refreshes = 0
+
+        while len(assignment) < target_pairs:
+            best = column_max.max()
+            if not np.isfinite(best):
+                break  # no feasible pair left
+            tied = np.flatnonzero(column_max == best)
+            if tied.size == 1:
+                paper_idx = int(tied[0])
+            else:
+                # Heap tie order: smallest (reviewer, paper) among the tied
+                # column bests.
+                paper_idx = int(tied[np.lexsort((tied, column_arg[tied]))[0]])
+            reviewer_idx = int(column_arg[paper_idx])
+
+            assignment.add(reviewer_ids[reviewer_idx], paper_ids[paper_idx])
+            np.maximum(
+                group_vectors[paper_idx],
+                reviewer_matrix[reviewer_idx],
+                out=group_vectors[paper_idx],
+            )
+            members[paper_idx].append(reviewer_idx)
+            group_sizes[paper_idx] += 1
+            loads[reviewer_idx] += 1
+            iterations += 1
+            saturated = loads[reviewer_idx] >= reviewer_workload
+
+            if group_sizes[paper_idx] >= group_size:
+                column_max[paper_idx] = -np.inf
+            else:
+                # Refresh the paper's gains against its new group vector.
+                column = dense.gains_for_paper(group_vectors[paper_idx], paper_idx)
+                column[~dense.feasible[:, paper_idx]] = -np.inf
+                column[loads >= reviewer_workload] = -np.inf
+                column[members[paper_idx]] = -np.inf
+                gains[:, paper_idx] = column
+                column_max[paper_idx] = column.max()
+                column_arg[paper_idx] = column.argmax()
+                column_refreshes += 1
+
+            if saturated:
+                gains[reviewer_idx, :] = -np.inf
+                stale = np.flatnonzero(
+                    (column_arg == reviewer_idx) & np.isfinite(column_max)
+                )
+                for stale_idx in stale.tolist():
+                    column = gains[:, stale_idx]
+                    column_max[stale_idx] = column.max()
+                    column_arg[stale_idx] = column.argmax()
+                column_refreshes += int(stale.size)
+
+        repaired = False
+        if len(assignment) < target_pairs:
+            # Extremely tight capacity plus conflicts can strand a few slots;
+            # top the assignment up (greedy itself has no backtracking).
+            assignment = complete_assignment(problem, assignment)
+            repaired = True
+        return assignment, {
+            "iterations": iterations,
+            "column_refreshes": column_refreshes,
+            "strategy": "dense_argmax",
+            "repaired": repaired,
+        }
+
+    # ------------------------------------------------------------------
+    # Lazy-heap greedy (object-path reference)
+    # ------------------------------------------------------------------
+    def _solve_lazy_object(
+        self, problem: WGRAPProblem
+    ) -> tuple[Assignment, dict[str, Any]]:
+        """The pre-dense implementation, kept as a pinned baseline."""
         scoring = problem.scoring
         reviewer_matrix = problem.reviewer_matrix
         paper_matrix = problem.paper_matrix
@@ -60,8 +205,6 @@ class GreedySolver(CRASolver):
         group_vectors = np.zeros((num_papers, problem.num_topics), dtype=np.float64)
         group_sizes = np.zeros(num_papers, dtype=np.int64)
         loads = np.zeros(num_reviewers, dtype=np.int64)
-        #: per-paper "version": bumped whenever the paper's group changes, so
-        #: stale heap entries can be detected cheaply.
         versions = np.zeros(num_papers, dtype=np.int64)
 
         initial_gains = problem.pair_score_matrix()
@@ -93,8 +236,6 @@ class GreedySolver(CRASolver):
                 continue
 
             if version != versions[paper_idx]:
-                # The paper's group changed since this gain was computed:
-                # refresh it and push it back (lazy evaluation).
                 gain = float(
                     scoring.gain_vector(
                         group_vectors[paper_idx],
@@ -119,8 +260,6 @@ class GreedySolver(CRASolver):
 
         repaired = False
         if len(assignment) < target_pairs:
-            # Extremely tight capacity plus conflicts can strand a few slots;
-            # top the assignment up (greedy itself has no backtracking).
             assignment = complete_assignment(problem, assignment)
             repaired = True
         return assignment, {
@@ -134,44 +273,38 @@ class GreedySolver(CRASolver):
     # Naive greedy (ablation)
     # ------------------------------------------------------------------
     def _solve_naive(self, problem: WGRAPProblem) -> tuple[Assignment, dict[str, Any]]:
-        scoring = problem.scoring
-        reviewer_matrix = problem.reviewer_matrix
-        paper_matrix = problem.paper_matrix
-        num_papers = problem.num_papers
-        num_reviewers = problem.num_reviewers
+        dense = problem.dense_view()
+        num_papers = dense.num_papers
+        num_reviewers = dense.num_reviewers
 
         assignment = Assignment()
-        group_vectors = np.zeros((num_papers, problem.num_topics), dtype=np.float64)
+        group_vectors = np.zeros((num_papers, dense.num_topics), dtype=np.float64)
         group_sizes = np.zeros(num_papers, dtype=np.int64)
         loads = np.zeros(num_reviewers, dtype=np.int64)
+        # Compiled masks replace the per-iteration string scans: conflicts
+        # come from the dense view, assigned pairs are flipped as they are
+        # chosen (the old code re-walked assignment.pairs() every round —
+        # quadratic in the assignment size — and resolved ids with linear
+        # tuple lookups while building its conflict mask).
+        infeasible = ~dense.feasible
+        assigned = np.zeros((num_reviewers, num_papers), dtype=bool)
 
-        conflict_mask = np.zeros((num_reviewers, num_papers), dtype=bool)
-        for paper_idx, paper_id in enumerate(problem.paper_ids):
-            for reviewer_id in problem.conflicts.reviewers_conflicting_with(paper_id):
-                if reviewer_id in problem.reviewer_ids:
-                    conflict_mask[problem.reviewer_index(reviewer_id), paper_idx] = True
-
-        target_pairs = num_papers * problem.group_size
+        target_pairs = num_papers * dense.group_size
         iterations = 0
         evaluations = 0
 
         while len(assignment) < target_pairs:
-            # Recompute the gain of every feasible pair.
+            # Recompute the gain of every feasible pair (the point of the
+            # ablation), in one batched kernel over the open papers.
             gains = np.full((num_reviewers, num_papers), -np.inf, dtype=np.float64)
-            for paper_idx in range(num_papers):
-                if group_sizes[paper_idx] >= problem.group_size:
-                    continue
-                paper_gains = scoring.gain_vector(
-                    group_vectors[paper_idx], reviewer_matrix, paper_matrix[paper_idx]
-                )
-                gains[:, paper_idx] = paper_gains
-                evaluations += num_reviewers
-            gains[loads >= problem.reviewer_workload, :] = -np.inf
-            gains[conflict_mask] = -np.inf
-            for reviewer_id, paper_id in assignment.pairs():
-                gains[
-                    problem.reviewer_index(reviewer_id), problem.paper_index(paper_id)
-                ] = -np.inf
+            open_papers = np.flatnonzero(group_sizes < dense.group_size)
+            gains[:, open_papers] = dense.gain_matrix(
+                group_vectors[open_papers], open_papers
+            ).T
+            evaluations += num_reviewers * len(open_papers)
+            gains[loads >= dense.reviewer_workload, :] = -np.inf
+            gains[infeasible] = -np.inf
+            gains[assigned] = -np.inf
 
             reviewer_idx, paper_idx = np.unravel_index(np.argmax(gains), gains.shape)
             if not np.isfinite(gains[reviewer_idx, paper_idx]):
@@ -179,8 +312,9 @@ class GreedySolver(CRASolver):
             reviewer_id = problem.reviewer_ids[int(reviewer_idx)]
             paper_id = problem.paper_ids[int(paper_idx)]
             assignment.add(reviewer_id, paper_id)
+            assigned[reviewer_idx, paper_idx] = True
             group_vectors[paper_idx] = np.maximum(
-                group_vectors[paper_idx], reviewer_matrix[reviewer_idx]
+                group_vectors[paper_idx], dense.reviewer_matrix[reviewer_idx]
             )
             group_sizes[paper_idx] += 1
             loads[reviewer_idx] += 1

@@ -14,6 +14,21 @@ Two kinds of moves are considered:
   papers.
 
 Both moves preserve feasibility by construction.
+
+The default implementation runs on the
+:class:`~repro.core.dense.DenseProblem` index-space view: for every
+member of a paper's group the scores of *all* replace candidates come from
+one :meth:`~repro.core.dense.DenseProblem.candidate_scores` broadcast and
+the scores of *all* exchange partners from one
+:meth:`~repro.core.dense.DenseProblem.scores_with_reviewer` kernel over
+the maintained leave-one-out group vectors, instead of ``O(R + P·delta_p)``
+object-path ``paper_score`` calls.  The move *selection* replays the exact
+first-strict-improvement scan of the object path over the precomputed gain
+vectors, so the chosen moves — and the refined assignment — are identical
+(``use_dense=False`` keeps the object path as the pinned reference and
+benchmark baseline; the only normalisation is that exchange partners are
+visited in sorted-id order, where the object path historically used
+unspecified set order).
 """
 
 from __future__ import annotations
@@ -21,12 +36,203 @@ from __future__ import annotations
 import time
 from typing import Any
 
+import numpy as np
+
 from repro.core.assignment import Assignment
+from repro.core.dense import DenseProblem
 from repro.core.problem import WGRAPProblem
 from repro.cra.base import CRAResult, CRASolver
 from repro.cra.sdga import StageDeepeningGreedySolver
+from repro.exceptions import ConfigurationError
 
 __all__ = ["LocalSearchRefiner", "SDGAWithLocalSearchSolver"]
+
+#: minimum improvement for a move to be accepted
+_TOLERANCE = 1e-12
+
+
+def _scan_accepts(gains: np.ndarray, best: float) -> tuple[float, int]:
+    """Replay the sequential first-strict-improvement scan over ``gains``.
+
+    Returns the updated running best and the index of the last accepted
+    entry (``-1`` if none).  Entries that do not beat the *initial* best by
+    the tolerance can never be accepted (the running best only grows), so
+    only the small improving subset is visited in Python.
+    """
+    chosen = -1
+    for index in np.flatnonzero(gains > best + _TOLERANCE).tolist():
+        gain = gains[index]
+        if gain > best + _TOLERANCE:
+            best = float(gain)
+            chosen = index
+    return best, chosen
+
+
+class _DenseSearchState:
+    """Incrementally maintained index-space mirror of the current assignment.
+
+    Keeps, per paper: the member rows in sorted-id order, the aggregated
+    group vector, the current coverage score, and one *leave-one-out*
+    group vector per member (the exchange kernel's input, flattened to
+    ``(P * delta_p, T)`` slot arrays).  A move touches at most two papers,
+    so repairs are O(``delta_p``) — the kernels stay hot while the
+    bookkeeping stays cheap.
+    """
+
+    def __init__(self, dense: DenseProblem, assignment: Assignment) -> None:
+        self.dense = dense
+        self.assignment = assignment
+        problem = dense.problem
+        num_papers = dense.num_papers
+        group_size = dense.group_size
+        self.members: list[list[int]] = [
+            dense.sorted_member_rows(assignment, paper_id)
+            for paper_id in problem.paper_ids
+        ]
+        self.member_mask = np.zeros((dense.num_reviewers, num_papers), dtype=bool)
+        for paper_idx, rows in enumerate(self.members):
+            self.member_mask[rows, paper_idx] = True
+        self.loads = dense.loads(assignment)
+        self.group_vectors = dense.group_vectors(assignment, self.members)
+        self.scores = dense.paper_scores(self.group_vectors)
+        self.slot_paper = np.repeat(np.arange(num_papers, dtype=np.int64), group_size)
+        self.slot_member = np.empty(num_papers * group_size, dtype=np.int64)
+        self.slot_loo = np.empty(
+            (num_papers * group_size, dense.num_topics), dtype=np.float64
+        )
+        for paper_idx in range(num_papers):
+            self._rebuild_slots(paper_idx)
+
+    # ------------------------------------------------------------------
+    # Maintenance
+    # ------------------------------------------------------------------
+    def _rebuild_slots(self, paper_idx: int) -> None:
+        dense = self.dense
+        rows = self.members[paper_idx]
+        base = paper_idx * dense.group_size
+        for offset, member in enumerate(rows):
+            others = rows[:offset] + rows[offset + 1 :]
+            slot = base + offset
+            self.slot_member[slot] = member
+            if others:
+                np.max(dense.reviewer_matrix[others], axis=0, out=self.slot_loo[slot])
+            else:
+                self.slot_loo[slot] = 0.0
+
+    def _refresh_paper(self, paper_idx: int) -> None:
+        dense = self.dense
+        rows = self.members[paper_idx]
+        rank = dense.id_rank
+        rows.sort(key=rank.__getitem__)
+        if rows:
+            np.max(
+                dense.reviewer_matrix[rows], axis=0, out=self.group_vectors[paper_idx]
+            )
+        else:
+            self.group_vectors[paper_idx] = 0.0
+        self.scores[paper_idx] = dense.paper_score(
+            self.group_vectors[paper_idx], paper_idx
+        )
+        self._rebuild_slots(paper_idx)
+
+    def apply(self, move: tuple) -> None:
+        """Apply a move to both the index state and the id assignment."""
+        dense = self.dense
+        reviewer_ids = dense.problem.reviewer_ids
+        paper_ids = dense.problem.paper_ids
+        if move[0] == "replace":
+            _, paper_idx, out_row, in_row = move
+            self.assignment.remove(reviewer_ids[out_row], paper_ids[paper_idx])
+            self.assignment.add(reviewer_ids[in_row], paper_ids[paper_idx])
+            members = self.members[paper_idx]
+            members.remove(out_row)
+            members.append(in_row)
+            self.member_mask[out_row, paper_idx] = False
+            self.member_mask[in_row, paper_idx] = True
+            self.loads[out_row] -= 1
+            self.loads[in_row] += 1
+            self._refresh_paper(paper_idx)
+        else:
+            _, paper_a, row_a, paper_b, row_b = move
+            self.assignment.remove(reviewer_ids[row_a], paper_ids[paper_a])
+            self.assignment.remove(reviewer_ids[row_b], paper_ids[paper_b])
+            self.assignment.add(reviewer_ids[row_b], paper_ids[paper_a])
+            self.assignment.add(reviewer_ids[row_a], paper_ids[paper_b])
+            self.members[paper_a].remove(row_a)
+            self.members[paper_a].append(row_b)
+            self.members[paper_b].remove(row_b)
+            self.members[paper_b].append(row_a)
+            self.member_mask[row_a, paper_a] = False
+            self.member_mask[row_b, paper_a] = True
+            self.member_mask[row_b, paper_b] = False
+            self.member_mask[row_a, paper_b] = True
+            self._refresh_paper(paper_a)
+            self._refresh_paper(paper_b)
+
+    # ------------------------------------------------------------------
+    # Move search
+    # ------------------------------------------------------------------
+    def best_move(
+        self, paper_idx: int, do_replace: bool, do_exchange: bool
+    ) -> tuple[float, tuple | None]:
+        """The best improving move touching ``paper_idx`` (or ``None``).
+
+        Replays the object path's scan order — for each member (sorted by
+        id): all replace candidates in reviewer order, then all exchange
+        partners in (paper, sorted member) order — against batch-computed
+        gain vectors.
+        """
+        dense = self.dense
+        current_score = float(self.scores[paper_idx])
+        best_gain = 0.0
+        best_move: tuple | None = None
+        base = paper_idx * dense.group_size
+
+        for offset in range(len(self.members[paper_idx])):
+            slot = base + offset
+            out_row = int(self.slot_member[slot])
+            leave_one_out = self.slot_loo[slot]
+            # Scores of the group with ``out_row`` swapped for each
+            # candidate — shared by replace gains and the exchange "a" side.
+            swapped_scores = dense.candidate_scores(leave_one_out, paper_idx)
+
+            if do_replace:
+                gains = swapped_scores - current_score
+                allowed = (
+                    ~self.member_mask[:, paper_idx]
+                    & (self.loads < dense.reviewer_workload)
+                    & dense.feasible[:, paper_idx]
+                )
+                gains[~allowed] = -np.inf
+                new_best, chosen = _scan_accepts(gains, best_gain)
+                if chosen >= 0:
+                    best_gain = new_best
+                    best_move = ("replace", paper_idx, out_row, chosen)
+
+            if do_exchange:
+                partner_scores = dense.scores_with_reviewer(
+                    self.slot_loo, self.slot_paper, out_row
+                )
+                after = swapped_scores[self.slot_member] + partner_scores
+                before = current_score + self.scores[self.slot_paper]
+                gains = after - before
+                allowed = self.slot_paper != paper_idx
+                allowed &= ~self.member_mask[self.slot_member, paper_idx]
+                allowed &= ~self.member_mask[out_row, self.slot_paper]
+                allowed &= dense.feasible[self.slot_member, paper_idx]
+                allowed &= dense.feasible[out_row, self.slot_paper]
+                gains[~allowed] = -np.inf
+                new_best, chosen = _scan_accepts(gains, best_gain)
+                if chosen >= 0:
+                    best_gain = new_best
+                    best_move = (
+                        "exchange",
+                        paper_idx,
+                        out_row,
+                        int(self.slot_paper[chosen]),
+                        int(self.slot_member[chosen]),
+                    )
+        return best_gain, best_move
 
 
 class LocalSearchRefiner:
@@ -38,17 +244,89 @@ class LocalSearchRefiner:
         Maximum number of full passes over the papers.
     time_budget:
         Optional wall-clock budget in seconds.
+    moves:
+        Which move kinds to consider: ``"all"`` (default), ``"replace"``
+        or ``"exchange"``.
+    use_dense:
+        Search with the batched dense kernels (default).  ``False`` keeps
+        the historical object-path implementation, which selects the
+        identical moves and exists as the reference for the equivalence
+        tests and the dense-kernel benchmark baseline.
     """
 
-    def __init__(self, max_rounds: int = 100, time_budget: float | None = None) -> None:
+    def __init__(
+        self,
+        max_rounds: int = 100,
+        time_budget: float | None = None,
+        moves: str = "all",
+        use_dense: bool = True,
+    ) -> None:
+        if moves not in {"all", "replace", "exchange"}:
+            raise ConfigurationError("moves must be 'all', 'replace' or 'exchange'")
         self._max_rounds = max_rounds
         self._time_budget = time_budget
+        self._moves = moves
+        self._use_dense = use_dense
 
     def refine(
         self, problem: WGRAPProblem, assignment: Assignment
     ) -> tuple[Assignment, dict[str, Any]]:
         """Hill-climb from ``assignment``; returns the local optimum reached."""
         problem.validate_assignment(assignment, require_complete=True)
+        if self._use_dense:
+            return self._refine_dense(problem, assignment)
+        return self._refine_object(problem, assignment)
+
+    # ------------------------------------------------------------------
+    # Dense search
+    # ------------------------------------------------------------------
+    def _refine_dense(
+        self, problem: WGRAPProblem, assignment: Assignment
+    ) -> tuple[Assignment, dict[str, Any]]:
+        dense = problem.dense_view()
+        state = _DenseSearchState(dense, assignment.copy())
+        current_score = float(sum(state.scores.tolist()))
+        do_replace = self._moves in {"all", "replace"}
+        do_exchange = self._moves in {"all", "exchange"}
+        started = time.perf_counter()
+        history: list[tuple[float, float]] = [(0.0, current_score)]
+        moves_applied = 0
+
+        for _ in range(self._max_rounds):
+            if self._time_budget is not None:
+                if time.perf_counter() - started >= self._time_budget:
+                    break
+            improved = False
+
+            for paper_idx in range(dense.num_papers):
+                if self._time_budget is not None:
+                    if time.perf_counter() - started >= self._time_budget:
+                        break
+                gain, move = state.best_move(paper_idx, do_replace, do_exchange)
+                if move is not None and gain > _TOLERANCE:
+                    state.apply(move)
+                    current_score += gain
+                    moves_applied += 1
+                    improved = True
+                    history.append((time.perf_counter() - started, current_score))
+
+            if not improved:
+                break
+
+        stats: dict[str, Any] = {
+            "moves_applied": moves_applied,
+            "final_score": current_score,
+            "history": history,
+        }
+        return state.assignment, stats
+
+    # ------------------------------------------------------------------
+    # Object-path reference
+    # ------------------------------------------------------------------
+    def _refine_object(
+        self, problem: WGRAPProblem, assignment: Assignment
+    ) -> tuple[Assignment, dict[str, Any]]:
+        """The pre-dense implementation, kept as a pinned baseline."""
         current = assignment.copy()
         current_score = problem.assignment_score(current)
         started = time.perf_counter()
@@ -66,7 +344,7 @@ class LocalSearchRefiner:
                     if time.perf_counter() - started >= self._time_budget:
                         break
                 gain, move = self._best_move_for_paper(problem, current, paper_id)
-                if move is not None and gain > 1e-12:
+                if move is not None and gain > _TOLERANCE:
                     self._apply_move(current, move)
                     current_score += gain
                     moves_applied += 1
@@ -84,7 +362,7 @@ class LocalSearchRefiner:
         return current, stats
 
     # ------------------------------------------------------------------
-    # Move generation
+    # Move generation (object path)
     # ------------------------------------------------------------------
     def _best_move_for_paper(
         self, problem: WGRAPProblem, assignment: Assignment, paper_id: str
@@ -94,45 +372,49 @@ class LocalSearchRefiner:
         best_move: tuple | None = None
         current_score = problem.paper_score(assignment, paper_id)
         members = sorted(assignment.reviewers_of(paper_id))
+        do_replace = self._moves in {"all", "replace"}
+        do_exchange = self._moves in {"all", "exchange"}
 
         for reviewer_id in members:
             # Replace moves: bring in a reviewer with spare capacity.
-            for candidate_id in problem.reviewer_ids:
-                if candidate_id in members:
-                    continue
-                if assignment.load(candidate_id) >= problem.reviewer_workload:
-                    continue
-                if not problem.is_feasible_pair(candidate_id, paper_id):
-                    continue
-                gain = self._replace_gain(
-                    problem, assignment, paper_id, reviewer_id, candidate_id, current_score
-                )
-                if gain > best_gain + 1e-12:
-                    best_gain = gain
-                    best_move = ("replace", paper_id, reviewer_id, candidate_id)
+            if do_replace:
+                for candidate_id in problem.reviewer_ids:
+                    if candidate_id in members:
+                        continue
+                    if assignment.load(candidate_id) >= problem.reviewer_workload:
+                        continue
+                    if not problem.is_feasible_pair(candidate_id, paper_id):
+                        continue
+                    gain = self._replace_gain(
+                        problem, assignment, paper_id, reviewer_id, candidate_id, current_score
+                    )
+                    if gain > best_gain + _TOLERANCE:
+                        best_gain = gain
+                        best_move = ("replace", paper_id, reviewer_id, candidate_id)
 
             # Exchange moves: trade reviewers with another paper.
-            for other_paper_id in problem.paper_ids:
-                if other_paper_id == paper_id:
-                    continue
-                for other_reviewer_id in assignment.reviewers_of(other_paper_id):
-                    gain = self._exchange_gain(
-                        problem,
-                        assignment,
-                        paper_id,
-                        reviewer_id,
-                        other_paper_id,
-                        other_reviewer_id,
-                    )
-                    if gain is not None and gain > best_gain + 1e-12:
-                        best_gain = gain
-                        best_move = (
-                            "exchange",
+            if do_exchange:
+                for other_paper_id in problem.paper_ids:
+                    if other_paper_id == paper_id:
+                        continue
+                    for other_reviewer_id in sorted(assignment.reviewers_of(other_paper_id)):
+                        gain = self._exchange_gain(
+                            problem,
+                            assignment,
                             paper_id,
                             reviewer_id,
                             other_paper_id,
                             other_reviewer_id,
                         )
+                        if gain is not None and gain > best_gain + _TOLERANCE:
+                            best_gain = gain
+                            best_move = (
+                                "exchange",
+                                paper_id,
+                                reviewer_id,
+                                other_paper_id,
+                                other_reviewer_id,
+                            )
         return best_gain, best_move
 
     @staticmethod

@@ -92,23 +92,30 @@ def _refill_inputs(
     missing: list[str],
     capacities: np.ndarray,
 ) -> tuple[np.ndarray, np.ndarray]:
-    """Gain matrix and forbidden mask for one refill round."""
-    gains = np.zeros((len(missing), problem.num_reviewers), dtype=np.float64)
-    forbidden = np.zeros_like(gains, dtype=bool)
+    """Gain matrix and forbidden mask for one refill round.
+
+    Runs on the dense view: marginal gains of all missing papers come from
+    one batched :meth:`~repro.core.dense.DenseProblem.gain_matrix` call and
+    the forbidden mask is composed from the compiled feasibility mask
+    instead of per-pair ``is_feasible_pair`` string checks.
+    """
+    dense = problem.dense_view()
+    paper_indices = np.array(
+        [dense.paper_pos[paper_id] for paper_id in missing], dtype=np.int64
+    )
+    group_vectors = np.zeros((len(missing), dense.num_topics), dtype=np.float64)
+    member_rows: list[list[int]] = []
     for row, paper_id in enumerate(missing):
-        paper_idx = problem.paper_index(paper_id)
-        group_vector = problem.group_vector(assignment, paper_id)
-        gains[row] = problem.scoring.gain_vector(
-            group_vector, problem.reviewer_matrix, problem.paper_matrix[paper_idx]
-        )
-        current = assignment.reviewers_of(paper_id)
-        for col, reviewer_id in enumerate(problem.reviewer_ids):
-            if (
-                reviewer_id in current
-                or capacities[col] <= 0
-                or not problem.is_feasible_pair(reviewer_id, paper_id)
-            ):
-                forbidden[row, col] = True
+        rows = [dense.reviewer_pos[rid] for rid in assignment.reviewers_of(paper_id)]
+        member_rows.append(rows)
+        if rows:
+            np.max(dense.reviewer_matrix[rows], axis=0, out=group_vectors[row])
+    gains = dense.gain_matrix(group_vectors, paper_indices)
+    forbidden = ~dense.feasible.T[paper_indices]
+    forbidden |= (capacities <= 0)[None, :]
+    for row, rows in enumerate(member_rows):
+        if rows:
+            forbidden[row, rows] = True
     return gains, forbidden
 
 

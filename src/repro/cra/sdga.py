@@ -81,50 +81,16 @@ class StageDeepeningGreedySolver(CRASolver):
         """Build the per-stage gain matrix, forbidden mask and capacities.
 
         * Gains are marginal coverage gains relative to the groups formed in
-          earlier stages (Equation 5).
-        * Forbidden pairs are conflicts of interest and reviewers already in
-          the paper's group.
+          earlier stages (Equation 5), from one batched
+          :meth:`~repro.core.dense.DenseProblem.gain_matrix` kernel.
+        * Forbidden pairs are conflicts of interest (the compiled
+          feasibility mask) and reviewers already in the paper's group.
         * Per-reviewer capacity is the stage workload
           ``ceil(delta_r / delta_p)``, additionally clipped by the remaining
           global workload so the general (non-integral) case never exceeds
-          ``delta_r`` in total.
+          ``delta_r`` in total; when the clip leaves too little headroom for
+          one reviewer per paper (possible in the non-integral case's final
+          stage), the global remainder is the binding constraint
+          (Section 4.3.2) and is used instead.
         """
-        num_papers = problem.num_papers
-        num_reviewers = problem.num_reviewers
-        reviewer_matrix = problem.reviewer_matrix
-        paper_matrix = problem.paper_matrix
-        scoring = problem.scoring
-
-        gains = np.zeros((num_papers, num_reviewers), dtype=np.float64)
-        forbidden = np.zeros((num_papers, num_reviewers), dtype=bool)
-        for paper_idx, paper_id in enumerate(problem.paper_ids):
-            group_vector = problem.group_vector(assignment, paper_id)
-            gains[paper_idx] = scoring.gain_vector(
-                group_vector, reviewer_matrix, paper_matrix[paper_idx]
-            )
-            current_group = assignment.reviewers_of(paper_id)
-            conflicted = problem.conflicts.reviewers_conflicting_with(paper_id)
-            if current_group or conflicted:
-                for reviewer_idx, reviewer_id in enumerate(problem.reviewer_ids):
-                    if reviewer_id in current_group or reviewer_id in conflicted:
-                        forbidden[paper_idx, reviewer_idx] = True
-
-        remaining_global = np.maximum(
-            np.array(
-                [
-                    problem.reviewer_workload - assignment.load(reviewer_id)
-                    for reviewer_id in problem.reviewer_ids
-                ],
-                dtype=np.int64,
-            ),
-            0,
-        )
-        capacities = np.minimum(problem.stage_workload, remaining_global)
-        if int(capacities.sum()) < num_papers:
-            # In the general (non-integral) case the per-stage cap can leave
-            # too little headroom for the final stage; the global workload is
-            # the binding constraint there, so fall back to it.  The
-            # approximation analysis only relies on the cap for the first
-            # delta_p - 1 stages (Section 4.3.2).
-            capacities = remaining_global
-        return gains, forbidden, capacities
+        return problem.dense_view().stage_inputs(assignment, stage_capped=True)

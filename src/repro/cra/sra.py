@@ -29,6 +29,7 @@ import numpy as np
 
 from repro.assignment.transportation import solve_capacitated_assignment
 from repro.core.assignment import Assignment
+from repro.core.dense import DenseProblem
 from repro.core.problem import WGRAPProblem
 from repro.cra.base import CRAResult, CRASolver
 from repro.cra.sdga import StageDeepeningGreedySolver
@@ -115,7 +116,8 @@ class StochasticRefiner:
         """Run the stochastic refinement and return the best assignment found."""
         problem.validate_assignment(assignment, require_complete=True)
         rng = np.random.default_rng(self._seed)
-        pair_scores = problem.pair_score_matrix()
+        dense = problem.dense_view()
+        pair_scores = dense.pair_scores()
         # Denominator of Equation 9: how strongly each reviewer scores
         # across *all* papers (reviewers good everywhere are penalised).
         reviewer_mass = pair_scores.sum(axis=1)
@@ -123,7 +125,7 @@ class StochasticRefiner:
 
         current = assignment.copy()
         best = assignment.copy()
-        best_score = problem.assignment_score(best)
+        best_score = dense.assignment_score(best)
         rounds_without_improvement = 0
         history: list[RefinementRound] = []
         started = time.perf_counter()
@@ -135,11 +137,11 @@ class StochasticRefiner:
             if rounds_without_improvement >= self._omega:
                 break
 
-            self._remove_one_reviewer_per_paper(problem, current, pair_scores,
+            self._remove_one_reviewer_per_paper(dense, current, pair_scores,
                                                 reviewer_mass, round_index, rng)
-            self._refill(problem, current)
+            self._refill(dense, current)
 
-            current_score = problem.assignment_score(current)
+            current_score = dense.assignment_score(current)
             if current_score > best_score + 1e-12:
                 best = current.copy()
                 best_score = current_score
@@ -169,38 +171,40 @@ class StochasticRefiner:
     # ------------------------------------------------------------------
     def _remove_one_reviewer_per_paper(
         self,
-        problem: WGRAPProblem,
+        dense: "DenseProblem",
         assignment: Assignment,
         pair_scores: np.ndarray,
         reviewer_mass: np.ndarray,
         round_index: int,
         rng: np.random.Generator,
     ) -> None:
-        """Equation 10 removals: drop one reviewer from every paper in place."""
-        num_reviewers = problem.num_reviewers
-        uniform_floor = 1.0 / num_reviewers
+        """Equation 10 removals: drop one reviewer from every paper in place.
+
+        The per-member keep probabilities come from one fancy-indexed slice
+        of the pair-score matrix per paper (the same elementwise arithmetic
+        as the historical per-member scalar loop, so the sampled victims —
+        and the consumed random stream — are identical under a fixed seed).
+        """
+        problem = dense.problem
+        uniform_floor = 1.0 / dense.num_reviewers
         if self._probability_model == "decayed":
             decay_factor = float(np.exp(-self._decay * round_index))
         else:
             decay_factor = 1.0
+        reviewer_pos = dense.reviewer_pos
 
-        for paper_id in problem.paper_ids:
+        for paper_idx, paper_id in enumerate(problem.paper_ids):
             members = sorted(assignment.reviewers_of(paper_id))
             if not members:
                 continue
-            paper_idx = problem.paper_index(paper_id)
-            keep_probabilities = np.empty(len(members), dtype=np.float64)
-            for position, reviewer_id in enumerate(members):
-                reviewer_idx = problem.reviewer_index(reviewer_id)
-                if self._probability_model == "uniform":
-                    keep_probabilities[position] = uniform_floor
-                    continue
-                data_driven = (
-                    decay_factor
-                    * pair_scores[reviewer_idx, paper_idx]
-                    / reviewer_mass[reviewer_idx]
+            rows = [reviewer_pos[reviewer_id] for reviewer_id in members]
+            if self._probability_model == "uniform":
+                keep_probabilities = np.full(len(members), uniform_floor)
+            else:
+                keep_probabilities = np.maximum(
+                    uniform_floor,
+                    decay_factor * pair_scores[rows, paper_idx] / reviewer_mass[rows],
                 )
-                keep_probabilities[position] = max(uniform_floor, data_driven)
 
             removal_weights = 1.0 - keep_probabilities / keep_probabilities.sum()
             if removal_weights.sum() <= 0.0:
@@ -210,34 +214,12 @@ class StochasticRefiner:
             victim = rng.choice(len(members), p=removal_weights)
             assignment.remove(members[int(victim)], paper_id)
 
-    def _refill(self, problem: WGRAPProblem, assignment: Assignment) -> None:
+    def _refill(self, dense: "DenseProblem", assignment: Assignment) -> None:
         """One Stage-WGRAP step that gives every paper one reviewer back."""
-        num_papers = problem.num_papers
-        num_reviewers = problem.num_reviewers
-        gains = np.zeros((num_papers, num_reviewers), dtype=np.float64)
-        forbidden = np.zeros((num_papers, num_reviewers), dtype=bool)
-
-        for paper_idx, paper_id in enumerate(problem.paper_ids):
-            group_vector = problem.group_vector(assignment, paper_id)
-            gains[paper_idx] = problem.scoring.gain_vector(
-                group_vector, problem.reviewer_matrix, problem.paper_matrix[paper_idx]
-            )
-            current_group = assignment.reviewers_of(paper_id)
-            conflicted = problem.conflicts.reviewers_conflicting_with(paper_id)
-            if current_group or conflicted:
-                for reviewer_idx, reviewer_id in enumerate(problem.reviewer_ids):
-                    if reviewer_id in current_group or reviewer_id in conflicted:
-                        forbidden[paper_idx, reviewer_idx] = True
-
-        capacities = np.array(
-            [
-                problem.reviewer_workload - assignment.load(reviewer_id)
-                for reviewer_id in problem.reviewer_ids
-            ],
-            dtype=np.int64,
-        )
+        gains, forbidden, capacities = dense.stage_inputs(assignment, stage_capped=False)
+        problem = dense.problem
         result = solve_capacitated_assignment(
-            gains, np.maximum(capacities, 0), forbidden=forbidden, backend=self._backend
+            gains, capacities, forbidden=forbidden, backend=self._backend
         )
         for paper_idx, reviewer_idx in enumerate(result.row_to_col):
             assignment.add(problem.reviewer_ids[reviewer_idx], problem.paper_ids[paper_idx])

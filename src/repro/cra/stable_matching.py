@@ -31,22 +31,19 @@ class StableMatchingSolver(CRASolver):
     name = "SM"
 
     def _solve(self, problem: WGRAPProblem) -> tuple[Assignment, dict[str, Any]]:
-        pair_scores = problem.pair_score_matrix()  # (R, P)
-        num_papers = problem.num_papers
-        num_reviewers = problem.num_reviewers
+        dense = problem.dense_view()
+        pair_scores = dense.pair_scores()  # (R, P)
+        num_papers = dense.num_papers
+        num_reviewers = dense.num_reviewers
 
         # Preference lists of every paper: reviewer indices by descending score,
-        # conflicts of interest removed up front.
+        # conflicts of interest masked out in index space (the compiled
+        # feasibility mask replaces the per-reviewer id/frozenset checks).
         preference_lists: list[list[int]] = []
-        for paper_idx, paper_id in enumerate(problem.paper_ids):
+        feasible = dense.feasible
+        for paper_idx in range(num_papers):
             order = np.argsort(-pair_scores[:, paper_idx], kind="stable")
-            forbidden = problem.conflicts.reviewers_conflicting_with(paper_id)
-            preferences = [
-                int(reviewer_idx)
-                for reviewer_idx in order
-                if problem.reviewer_ids[reviewer_idx] not in forbidden
-            ]
-            preference_lists.append(preferences)
+            preference_lists.append(order[feasible[order, paper_idx]].tolist())
 
         next_proposal = [0] * num_papers
         seats_needed = [problem.group_size] * num_papers

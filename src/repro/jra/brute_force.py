@@ -58,31 +58,46 @@ class BruteForceSolver(JRASolver):
         # Min-heap of (score, tiebreak, group) used only when top_k > 1.
         top_heap: list[tuple[float, int, tuple[int, ...]]] = []
 
-        # Depth-first enumeration with the running group maximum carried along.
+        # Depth-first enumeration with the running group maximum carried
+        # along.  The innermost level — completing a group of depth
+        # ``delta_p - 1`` with every remaining candidate — is scored as one
+        # vectorised batch instead of one leaf node per candidate; the
+        # candidates are then visited in the same (descending) order the
+        # LIFO stack would have popped them, so ``evaluated`` counts, heap
+        # tie-breaks and the returned group are unchanged.
         stack: list[tuple[int, tuple[int, ...], np.ndarray]] = [
             (0, (), np.zeros(problem.num_topics, dtype=np.float64))
         ]
         while stack:
             start, members, group_vector = stack.pop()
             depth = len(members)
-            if depth == group_size:
+            if depth == group_size - 1:
+                if start >= num_reviewers:
+                    continue
+                extended = np.maximum(
+                    group_vector[None, :], reviewer_matrix[start:]
+                )
                 if denominator > 0.0:
-                    numerator = float(
-                        scoring.topic_contribution(group_vector, paper_vector).sum()
+                    scores = (
+                        scoring.topic_contribution(extended, paper_vector[None, :]).sum(
+                            axis=1
+                        )
+                        / denominator
                     )
-                    score = numerator / denominator
                 else:
-                    score = 0.0
-                evaluated += 1
-                if score > best_score:
-                    best_score = score
-                    best_group = members
-                if self._top_k > 1:
-                    entry = (score, evaluated, members)
-                    if len(top_heap) < self._top_k:
-                        heapq.heappush(top_heap, entry)
-                    elif score > top_heap[0][0]:
-                        heapq.heapreplace(top_heap, entry)
+                    scores = np.zeros(num_reviewers - start, dtype=np.float64)
+                for position in range(num_reviewers - start - 1, -1, -1):
+                    score = float(scores[position])
+                    evaluated += 1
+                    if score > best_score:
+                        best_score = score
+                        best_group = members + (start + position,)
+                    if self._top_k > 1:
+                        entry = (score, evaluated, members + (start + position,))
+                        if len(top_heap) < self._top_k:
+                            heapq.heappush(top_heap, entry)
+                        elif score > top_heap[0][0]:
+                            heapq.heapreplace(top_heap, entry)
                 continue
             # There must remain enough reviewers to complete the group.
             last_start = num_reviewers - (group_size - depth) + 1

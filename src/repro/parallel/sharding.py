@@ -43,6 +43,7 @@ def blocked_score_matrix(
     reviewer_matrix: np.ndarray,
     paper_matrix: np.ndarray,
     paper_block: int = 64,
+    paper_totals: np.ndarray | None = None,
 ) -> np.ndarray:
     """Serial, cache-blocked equivalent of :meth:`ScoringFunction.score_matrix`.
 
@@ -50,6 +51,12 @@ def blocked_score_matrix(
     broadcast intermediate is ``(R, paper_block, T)`` instead of
     ``(R, P, T)``.  The result is bitwise-identical to the naive kernel:
     the topic axis — the only axis that is reduced — is never split.
+
+    ``paper_totals`` optionally supplies the precomputed per-paper topic
+    masses (``paper_matrix.sum(axis=1)``) so callers that already hold them
+    — a :class:`~repro.core.dense.DenseProblem`, or the sharded builder
+    fanning one computation out to every worker — don't re-derive them per
+    call.
     """
     reviewer_matrix = np.asarray(reviewer_matrix, dtype=np.float64)
     paper_matrix = np.asarray(paper_matrix, dtype=np.float64)
@@ -59,7 +66,9 @@ def blocked_score_matrix(
         )
     num_reviewers = reviewer_matrix.shape[0]
     num_papers = paper_matrix.shape[0]
-    denominators = paper_matrix.sum(axis=1)
+    denominators = (
+        paper_matrix.sum(axis=1) if paper_totals is None else paper_totals
+    )
     safe = np.where(denominators > 0.0, denominators, 1.0)
     scores = np.empty((num_reviewers, num_papers), dtype=np.float64)
     for start in range(0, num_papers, paper_block):
@@ -72,11 +81,13 @@ def blocked_score_matrix(
 
 
 def _score_shard_job(
-    payload: tuple[ScoringFunction, np.ndarray, np.ndarray, int],
+    payload: tuple[ScoringFunction, np.ndarray, np.ndarray, int, np.ndarray],
 ) -> np.ndarray:
     """Worker entry point: score one reviewer shard against all papers."""
-    scoring, reviewer_shard, paper_matrix, paper_block = payload
-    return blocked_score_matrix(scoring, reviewer_shard, paper_matrix, paper_block)
+    scoring, reviewer_shard, paper_matrix, paper_block, paper_totals = payload
+    return blocked_score_matrix(
+        scoring, reviewer_shard, paper_matrix, paper_block, paper_totals
+    )
 
 
 def sharded_score_matrix(
@@ -84,6 +95,7 @@ def sharded_score_matrix(
     reviewer_matrix: np.ndarray,
     paper_matrix: np.ndarray,
     config: ParallelConfig | None = None,
+    paper_totals: np.ndarray | None = None,
 ) -> np.ndarray:
     """Build the ``(R, P)`` score matrix, fanning reviewer shards out.
 
@@ -112,13 +124,24 @@ def sharded_score_matrix(
     cells = int(reviewer_matrix.shape[0]) * int(paper_matrix.shape[0])
     if cells < config.serial_threshold:
         return scoring.score_matrix(reviewer_matrix, paper_matrix)
+    # The per-paper topic masses are shared by every shard: compute them
+    # once here (or accept a dense view's precomputed array) instead of
+    # once per worker.
+    if paper_totals is None:
+        paper_totals = paper_matrix.sum(axis=1)
     bounds = config.shard_bounds(reviewer_matrix.shape[0])
     if not config.should_parallelise(cells) or len(bounds) <= 1:
         return blocked_score_matrix(
-            scoring, reviewer_matrix, paper_matrix, config.paper_block
+            scoring, reviewer_matrix, paper_matrix, config.paper_block, paper_totals
         )
     payloads = [
-        (scoring, reviewer_matrix[start:stop], paper_matrix, config.paper_block)
+        (
+            scoring,
+            reviewer_matrix[start:stop],
+            paper_matrix,
+            config.paper_block,
+            paper_totals,
+        )
         for start, stop in bounds
     ]
     shards = pool_map(_score_shard_job, payloads, config.resolved_workers())

@@ -44,7 +44,11 @@ class CacheStats:
     Attributes
     ----------
     full_builds:
-        Times the whole ``(R, P)`` matrix was computed from scratch.
+        Times the whole ``(R, P)`` matrix was materialised (computed from
+        scratch or adopted).
+    adopted_builds:
+        Full builds that reused a matrix the problem had already warmed
+        (no scoring work at all).
     partial_updates:
         Times only the dirty columns were recomputed.
     score_calls:
@@ -62,6 +66,7 @@ class CacheStats:
     """
 
     full_builds: int = 0
+    adopted_builds: int = 0
     partial_updates: int = 0
     score_calls: int = 0
     scored_cells: int = 0
@@ -74,6 +79,7 @@ class CacheStats:
         """Plain-dict view (for reports and the ``stats`` request)."""
         return {
             "full_builds": self.full_builds,
+            "adopted_builds": self.adopted_builds,
             "partial_updates": self.partial_updates,
             "score_calls": self.score_calls,
             "scored_cells": self.scored_cells,
@@ -141,11 +147,29 @@ class ScoreMatrixCache:
         """The up-to-date ``(R, P)`` score matrix (read-only view).
 
         Builds the whole matrix on first use; afterwards only dirty columns
-        are recomputed.
+        are recomputed.  The matrix is shared both ways with the problem's
+        own cache: a matrix some solver already warmed through
+        :meth:`WGRAPProblem.warm_pair_scores` is reused instead of
+        re-scored (``stats.adopted_builds``), and every read seeds the
+        currently bound problem via
+        :meth:`WGRAPProblem.adopt_pair_scores` (a no-op once it holds one,
+        skipped while dirty columns make the shapes disagree), so engine
+        requests that run solvers on the same problem stop
+        re-materialising it.
         """
         problem = self._problem
         if self._matrix is None:
-            self._matrix = self._score_block(problem.reviewer_matrix, problem.paper_matrix)
+            warmed = problem.cached_pair_scores
+            if warmed is not None and warmed.shape == (
+                problem.num_reviewers,
+                len(self._paper_ids),
+            ):
+                self._matrix = np.array(warmed, dtype=np.float64)
+                self.stats.adopted_builds += 1
+            else:
+                self._matrix = self._score_block(
+                    problem.reviewer_matrix, problem.paper_matrix
+                )
             self._dirty_papers.clear()
             self.stats.full_builds += 1
         elif self._dirty_papers:
@@ -156,6 +180,11 @@ class ScoreMatrixCache:
             self._matrix[:, columns] = block
             self._dirty_papers.clear()
             self.stats.partial_updates += 1
+        if self._matrix.shape == (problem.num_reviewers, problem.num_papers):
+            # Seed the (possibly rebound, post-mutation) problem so solvers
+            # reading pair_score_matrix() afterwards reuse this matrix; a
+            # no-op once the problem holds one.
+            problem.adopt_pair_scores(self._matrix)
         view = self._matrix.view()
         view.setflags(write=False)
         return view

@@ -7,9 +7,16 @@ every token is resampled from its conditional distribution given all other
 assignments, and the converged counts yield the topic-word and
 document-topic distributions.
 
-The sampler is written with per-token Python loops over vectorised numpy
-probability computations — ample for the corpus sizes of the reviewer
-assignment pipeline (hundreds of abstracts).
+The sampler keeps the live word-topic counts transposed — ``(V, T)``
+instead of the textbook ``(T, V)`` — so the per-token topic distribution
+of word ``w`` reads a zero-copy contiguous row view instead of gathering a
+strided column, and computes each token's conditional distribution with
+in-place vector operations over preallocated buffers — no per-token
+temporaries.  Initialisation counts are accumulated with batched
+scatter-adds per document.  The arithmetic is identical, elementwise and
+reduction-for-reduction, to the textbook per-token formulation, so the
+sampler consumes the random stream the same way and produces bit-identical
+models under a fixed seed (pinned by ``tests/test_topic_models.py``).
 """
 
 from __future__ import annotations
@@ -96,52 +103,78 @@ class LatentDirichletAllocation:
         num_topics = self._num_topics
         num_words = corpus.num_words
         num_documents = corpus.num_documents
+        alpha = self._alpha
+        beta = self._beta
+        beta_mass = self._beta * num_words
 
         documents = [np.asarray(corpus.encoded_document(d), dtype=np.int64)
                      for d in range(num_documents)]
 
         document_topic_counts = np.zeros((num_documents, num_topics), dtype=np.float64)
-        topic_word_counts = np.zeros((num_topics, num_words), dtype=np.float64)
+        # Transposed layout: word_topic_counts[w] is the contiguous live
+        # topic distribution of word w (the hot read of the inner loop).
+        word_topic_counts = np.zeros((num_words, num_topics), dtype=np.float64)
         topic_totals = np.zeros(num_topics, dtype=np.float64)
         assignments: list[np.ndarray] = []
 
-        # Random initialisation.
+        # Random initialisation (one batched scatter-add per document; the
+        # topic draws are the same as the historical per-token loop).
         for document_index, words in enumerate(documents):
             topics = rng.integers(0, num_topics, size=words.size)
             assignments.append(topics)
-            for word, topic in zip(words, topics):
-                document_topic_counts[document_index, topic] += 1
-                topic_word_counts[topic, word] += 1
-                topic_totals[topic] += 1
+            np.add.at(document_topic_counts[document_index], topics, 1.0)
+            np.add.at(word_topic_counts, (words, topics), 1.0)
+            np.add.at(topic_totals, topics, 1.0)
 
+        weights = np.empty(num_topics, dtype=np.float64)
+        scratch = np.empty(num_topics, dtype=np.float64)
+        cumulative = np.empty(num_topics, dtype=np.float64)
         trace: list[float] = []
         for _ in range(self._iterations):
             for document_index, words in enumerate(documents):
                 topics = assignments[document_index]
+                topic_list = topics.tolist()
+                word_list = words.tolist()
+                doc_counts = document_topic_counts[document_index]
+                # Every conditional is strictly positive (alpha, beta > 0),
+                # so each token consumes exactly one uniform draw; one
+                # batched draw per document is stream-identical to the
+                # historical per-token rng.random() calls.
+                randoms = rng.random(words.size).tolist()
                 for position in range(words.size):
-                    word = words[position]
-                    old_topic = topics[position]
+                    word = word_list[position]
+                    old_topic = topic_list[position]
+                    word_row = word_topic_counts[word]
                     # Remove the token from the counts.
-                    document_topic_counts[document_index, old_topic] -= 1
-                    topic_word_counts[old_topic, word] -= 1
+                    doc_counts[old_topic] -= 1
+                    word_row[old_topic] -= 1
                     topic_totals[old_topic] -= 1
-                    # Conditional distribution over topics.
-                    weights = (
-                        (document_topic_counts[document_index] + self._alpha)
-                        * (topic_word_counts[:, word] + self._beta)
-                        / (topic_totals + self._beta * num_words)
-                    )
-                    new_topic = _sample_index(weights, rng)
-                    topics[position] = new_topic
-                    document_topic_counts[document_index, new_topic] += 1
-                    topic_word_counts[new_topic, word] += 1
+                    # Conditional distribution over topics — elementwise
+                    # identical to
+                    # (doc + alpha) * (word + beta) / (totals + beta * V).
+                    np.add(doc_counts, alpha, out=weights)
+                    np.add(word_row, beta, out=scratch)
+                    np.multiply(weights, scratch, out=weights)
+                    np.add(topic_totals, beta_mass, out=scratch)
+                    np.divide(weights, scratch, out=weights)
+                    # Inlined _sample_index (positive-total path).
+                    threshold = randoms[position] * weights.sum()
+                    np.cumsum(weights, out=cumulative)
+                    new_topic = int(np.searchsorted(cumulative, threshold))
+                    topic_list[position] = new_topic
+                    doc_counts[new_topic] += 1
+                    word_row[new_topic] += 1
                     topic_totals[new_topic] += 1
+                topics[:] = topic_list
             trace.append(
                 _joint_log_likelihood(
-                    document_topic_counts, topic_word_counts, topic_totals,
+                    document_topic_counts,
+                    np.ascontiguousarray(word_topic_counts.T),
+                    topic_totals,
                     self._alpha, self._beta,
                 )
             )
+        topic_word_counts = np.ascontiguousarray(word_topic_counts.T)
 
         topic_word = (topic_word_counts + self._beta) / (
             topic_totals[:, None] + self._beta * num_words

@@ -148,8 +148,10 @@ class TestGreedyDetails:
 
     def test_stats_reflect_strategy(self, small_problem):
         lazy = GreedySolver(use_lazy_heap=True).solve(small_problem)
+        heap = GreedySolver(use_lazy_heap=True, use_dense=False).solve(small_problem)
         naive = GreedySolver(use_lazy_heap=False).solve(small_problem)
-        assert lazy.stats["strategy"] == "lazy_heap"
+        assert lazy.stats["strategy"] == "dense_argmax"
+        assert heap.stats["strategy"] == "lazy_heap"
         assert naive.stats["strategy"] == "naive"
         assert lazy.stats["iterations"] == small_problem.num_papers * small_problem.group_size
 

@@ -26,7 +26,13 @@ from repro.service.requests import _REQUEST_TYPES
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 DOCS_DIR = REPO_ROOT / "docs"
-DOC_PAGES = ("architecture.md", "service.md", "solvers.md", "parallel.md")
+DOC_PAGES = (
+    "architecture.md",
+    "service.md",
+    "solvers.md",
+    "parallel.md",
+    "performance.md",
+)
 
 _LINK = re.compile(r"\[[^\]]+\]\(([^)\s]+)\)")
 _BACKTICKED = re.compile(r"`([^`]+)`")

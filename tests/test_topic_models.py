@@ -76,6 +76,75 @@ class TestLDA:
         )
         assert np.allclose(first.topic_word, second.topic_word)
 
+    @pytest.mark.parametrize("seed", [0, 13])
+    def test_sampler_identical_to_textbook_reference(self, synthetic_corpus, seed):
+        """The batched sampler is bit-identical to the per-token formulation.
+
+        The reference below is the pre-optimisation textbook collapsed
+        Gibbs loop (per-token gathers, fresh temporaries, one rng.random()
+        call per token).  The production sampler reorganises the arithmetic
+        — transposed counts, preallocated buffers, batched initialisation
+        and per-document uniform draws — but must consume the random
+        stream the same way and round identically at every step.
+        """
+        corpus = synthetic_corpus.publications
+        model = LatentDirichletAllocation(num_topics=4, iterations=8, seed=seed).fit(
+            corpus
+        )
+        reference_topic_word, reference_document_topic = _reference_lda(
+            corpus, num_topics=4, alpha=0.1, beta=0.01, iterations=8, seed=seed
+        )
+        assert np.array_equal(model.topic_word, reference_topic_word)
+        assert np.array_equal(model.document_topic, reference_document_topic)
+
+
+def _reference_lda(corpus, num_topics, alpha, beta, iterations, seed):
+    """Textbook per-token collapsed Gibbs sampler (the pinned reference)."""
+    rng = np.random.default_rng(seed)
+    num_words = corpus.num_words
+    documents = [
+        np.asarray(corpus.encoded_document(d), dtype=np.int64)
+        for d in range(corpus.num_documents)
+    ]
+    document_topic_counts = np.zeros((corpus.num_documents, num_topics))
+    topic_word_counts = np.zeros((num_topics, num_words))
+    topic_totals = np.zeros(num_topics)
+    assignments = []
+    for document_index, words in enumerate(documents):
+        topics = rng.integers(0, num_topics, size=words.size)
+        assignments.append(topics)
+        for word, topic in zip(words, topics):
+            document_topic_counts[document_index, topic] += 1
+            topic_word_counts[topic, word] += 1
+            topic_totals[topic] += 1
+    for _ in range(iterations):
+        for document_index, words in enumerate(documents):
+            topics = assignments[document_index]
+            for position in range(words.size):
+                word = words[position]
+                old_topic = topics[position]
+                document_topic_counts[document_index, old_topic] -= 1
+                topic_word_counts[old_topic, word] -= 1
+                topic_totals[old_topic] -= 1
+                weights = (
+                    (document_topic_counts[document_index] + alpha)
+                    * (topic_word_counts[:, word] + beta)
+                    / (topic_totals + beta * num_words)
+                )
+                threshold = rng.random() * weights.sum()
+                new_topic = int(np.searchsorted(np.cumsum(weights), threshold))
+                topics[position] = new_topic
+                document_topic_counts[document_index, new_topic] += 1
+                topic_word_counts[new_topic, word] += 1
+                topic_totals[new_topic] += 1
+    topic_word = (topic_word_counts + beta) / (
+        topic_totals[:, None] + beta * num_words
+    )
+    document_topic = (document_topic_counts + alpha) / (
+        document_topic_counts.sum(axis=1, keepdims=True) + alpha * num_topics
+    )
+    return topic_word, document_topic
+
 
 class TestAuthorTopicModel:
     def test_parameter_validation(self):
