@@ -8,12 +8,14 @@ to earlier RAP formulations.
 
 from repro.core.assignment import Assignment
 from repro.core.constraints import ConflictOfInterest, WorkloadConstraints
+from repro.core.delta import PrunedCandidateGenerator, ViewStats
 from repro.core.dense import DenseProblem
 from repro.core.entities import Paper, Reviewer, ReviewerGroup
 from repro.core.problem import (
     JRAProblem,
     MutationListener,
     ProblemMutation,
+    ProblemVersions,
     WGRAPProblem,
     minimal_reviewer_workload,
 )
@@ -43,6 +45,8 @@ __all__ = [
     "Assignment",
     "ConflictOfInterest",
     "DenseProblem",
+    "PrunedCandidateGenerator",
+    "ViewStats",
     "WorkloadConstraints",
     "Paper",
     "Reviewer",
@@ -50,6 +54,7 @@ __all__ = [
     "JRAProblem",
     "MutationListener",
     "ProblemMutation",
+    "ProblemVersions",
     "WGRAPProblem",
     "minimal_reviewer_workload",
     "RAPFormulation",

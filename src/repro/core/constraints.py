@@ -25,13 +25,26 @@ class ConflictOfInterest:
     same institution, personal ties, ...).
     """
 
-    __slots__ = ("_pairs", "_by_reviewer", "_by_paper", "_version")
+    __slots__ = ("_pairs", "_by_reviewer", "_by_paper", "_version", "_log", "_log_start")
+
+    #: keep at most this many changelog entries (beyond a per-size floor);
+    #: older entries are dropped and views that fell further behind simply
+    #: recompile, so a long-lived service never accumulates an unbounded log
+    _LOG_LIMIT = 4096
 
     def __init__(self, pairs: Iterable[tuple[str, str]] = ()) -> None:
         self._pairs: set[tuple[str, str]] = set()
         self._by_reviewer: dict[str, set[str]] = {}
         self._by_paper: dict[str, set[str]] = {}
         self._version = 0
+        #: changelog of effective mutations, one ``(reviewer_id, paper_id,
+        #: is_conflict)`` entry per version step; compiled views replay the
+        #: tail of this log to patch themselves in place instead of
+        #: recompiling their whole feasibility relation.  Compacted once it
+        #: outgrows ``_LOG_LIMIT`` (``_log_start`` tracks the version of
+        #: the oldest retained entry).
+        self._log: list[tuple[str, str, bool]] = []
+        self._log_start = 0
         for reviewer_id, paper_id in pairs:
             self.add(reviewer_id, paper_id)
 
@@ -44,9 +57,45 @@ class ConflictOfInterest:
 
         Compiled views of the conflict set (most importantly the
         feasibility mask of :class:`repro.core.dense.DenseProblem`) record
-        the version they were built against and rebuild when it moves.
+        the version they were built against and patch themselves with
+        :meth:`changes_since` when it moves.
         """
         return self._version
+
+    def changes_since(self, version: int) -> tuple[tuple[str, str, bool], ...] | None:
+        """The effective mutations applied after ``version``, oldest first.
+
+        Each entry is ``(reviewer_id, paper_id, is_conflict)`` with
+        ``is_conflict`` the state of the pair *after* the mutation, so a
+        compiled ``(R, P)`` feasibility mask can be repaired by replaying
+        the entries in order — work proportional to the number of edits,
+        not to ``R * P``.
+
+        Returns ``None`` when ``version`` predates the compacted changelog
+        (the caller must recompile its view from the current state).
+
+        Raises
+        ------
+        ConfigurationError
+            If ``version`` is ahead of this container (it can only have
+            come from a different container).
+        """
+        if version < 0 or version > self._version:
+            raise ConfigurationError(
+                f"version {version} was never produced by this conflict set "
+                f"(current version: {self._version})"
+            )
+        if version < self._log_start:
+            return None
+        return tuple(self._log[version - self._log_start :])
+
+    def _record(self, reviewer_id: str, paper_id: str, is_conflict: bool) -> None:
+        self._log.append((reviewer_id, paper_id, is_conflict))
+        self._version += 1
+        if len(self._log) > self._LOG_LIMIT:
+            dropped = len(self._log) // 2
+            del self._log[:dropped]
+            self._log_start += dropped
 
     def add(self, reviewer_id: str, paper_id: str) -> None:
         """Declare that ``reviewer_id`` must never review ``paper_id``."""
@@ -58,7 +107,7 @@ class ConflictOfInterest:
         self._pairs.add(pair)
         self._by_reviewer.setdefault(reviewer_id, set()).add(paper_id)
         self._by_paper.setdefault(paper_id, set()).add(reviewer_id)
-        self._version += 1
+        self._record(reviewer_id, paper_id, True)
 
     def discard(self, reviewer_id: str, paper_id: str) -> None:
         """Remove a conflict if present (no error if absent)."""
@@ -68,7 +117,7 @@ class ConflictOfInterest:
         self._pairs.discard(pair)
         self._by_reviewer[reviewer_id].discard(paper_id)
         self._by_paper[paper_id].discard(reviewer_id)
-        self._version += 1
+        self._record(reviewer_id, paper_id, False)
 
     # ------------------------------------------------------------------
     # Queries

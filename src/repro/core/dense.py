@@ -80,12 +80,19 @@ class DenseProblem:
         "zero_mass",
         "reviewer_pos",
         "paper_pos",
-        "conflict_version",
+        "versions",
+        "view_stats",
         "_id_rank",
+        "_empty_stage_exact",
     )
 
     def __init__(self, problem: "WGRAPProblem") -> None:
         self.problem = problem
+        #: shared maintenance counters (see :class:`repro.core.delta.ViewStats`);
+        #: a full compile through this constructor is a "recompile", the
+        #: delta constructors of :mod:`repro.core.delta` bypass it.
+        self.view_stats = problem.view_stats
+        self.view_stats.recompiles += 1
         self.num_reviewers = problem.num_reviewers
         self.num_papers = problem.num_papers
         self.num_topics = problem.num_topics
@@ -104,9 +111,11 @@ class DenseProblem:
 
         feasible = np.ones((self.num_reviewers, self.num_papers), dtype=bool)
         conflicts = problem.conflicts
-        #: conflict-set version this mask was compiled against; dense_view()
-        #: rebuilds the view when the live conflict set has moved past it.
-        self.conflict_version = conflicts.version
+        #: the problem versions this view reflects; dense_view() keys its
+        #: maintenance on them (conflict moves -> in-place mask patch,
+        #: paper/reviewer moves -> recompile, though those cannot happen on
+        #: one immutable instance through the public API).
+        self.versions = problem.versions
         if conflicts:
             for paper_idx, paper_id in enumerate(problem.paper_ids):
                 for reviewer_id in conflicts.reviewers_conflicting_with(paper_id):
@@ -116,6 +125,12 @@ class DenseProblem:
         feasible.setflags(write=False)
         self.feasible = feasible
         self._id_rank: np.ndarray | None = None
+        self._empty_stage_exact: bool | None = None
+
+    @property
+    def conflict_version(self) -> int:
+        """The conflict-set version the feasibility mask currently reflects."""
+        return self.versions.conflicts
 
     # ------------------------------------------------------------------
     # Id/index helpers
@@ -228,6 +243,28 @@ class DenseProblem:
             group_vector, self.reviewer_matrix, self.paper_matrix[paper_idx]
         )
 
+    def gains_for_rows(
+        self, group_vector: np.ndarray, paper_idx: int, rows: np.ndarray
+    ) -> np.ndarray:
+        """Marginal gains of a *subset* of reviewers for one paper.
+
+        Entry ``i`` is bitwise-equal to ``gains_for_paper(...)[rows[i]]``:
+        the kernel performs the same elementwise operations and the same
+        per-row topic reduction as :meth:`ScoringFunction.gain_vector
+        <repro.core.scoring.ScoringFunction.gain_vector>`, only gathered to
+        the requested rows — the evaluation kernel behind the exact pruned
+        candidate generator of :mod:`repro.core.delta`.
+        """
+        paper_vector = self.paper_matrix[paper_idx]
+        denominator = float(paper_vector.sum())
+        if denominator <= 0.0:
+            return np.zeros(len(rows), dtype=np.float64)
+        scoring = self.problem.scoring
+        current = float(scoring.topic_contribution(group_vector, paper_vector).sum())
+        extended = np.maximum(group_vector[None, :], self.reviewer_matrix[rows])
+        numerators = scoring.topic_contribution(extended, paper_vector[None, :]).sum(axis=1)
+        return (numerators - current) / denominator
+
     def gain_matrix(
         self,
         group_vectors: np.ndarray,
@@ -299,6 +336,26 @@ class DenseProblem:
         ).sum(axis=1)
         return numerators / float(total)
 
+    def candidate_scores_for_rows(
+        self, group_vector: np.ndarray, paper_idx: int, rows: np.ndarray
+    ) -> np.ndarray:
+        """:meth:`candidate_scores` restricted to a subset of candidates.
+
+        Entry ``i`` is bitwise-equal to ``candidate_scores(...)[rows[i]]``
+        (same elementwise operations, same per-row reduction) — used by the
+        pruned replace-move search of the local-search refiner to score
+        only the candidates whose admissible upper bound survives.
+        """
+        total = self.paper_totals[paper_idx]
+        if total <= 0.0:
+            return np.zeros(len(rows), dtype=np.float64)
+        scoring = self.problem.scoring
+        extended = np.maximum(group_vector[None, :], self.reviewer_matrix[rows])
+        numerators = scoring.topic_contribution(
+            extended, self.paper_matrix[paper_idx][None, :]
+        ).sum(axis=1)
+        return numerators / float(total)
+
     def scores_with_reviewer(
         self,
         group_vectors: np.ndarray,
@@ -334,9 +391,20 @@ class DenseProblem:
         optionally clipped to the SDGA per-stage workload
         (``stage_capped``), falling back to the global remainder when the
         clip leaves too little capacity for one reviewer per paper.
+
+        When the assignment is still empty (the first SDGA stage — 1/delta_p
+        of every solve), the marginal gain of a reviewer equals their pair
+        score exactly, so the gains are served from the shared (and
+        delta-maintained) pair-score matrix instead of re-running the gain
+        kernel.  The shortcut is taken only when it is provably bitwise-equal
+        (non-negative reviewer vectors, zero contribution of the empty
+        group — see :meth:`_empty_stage_gains`).
         """
         member_rows = self.member_rows(assignment)
-        gains = self.gain_matrix(self.group_vectors(assignment, member_rows))
+        if not any(member_rows):
+            gains = self._empty_stage_gains()
+        else:
+            gains = self.gain_matrix(self.group_vectors(assignment, member_rows))
         forbidden = np.array(~self.feasible.T)
         loads = np.zeros(self.num_reviewers, dtype=np.int64)
         for paper_idx, rows in enumerate(member_rows):
@@ -354,3 +422,32 @@ class DenseProblem:
         else:
             capacities = remaining
         return gains, forbidden, capacities
+
+    def _empty_stage_gains(self) -> np.ndarray:
+        """``(P, R)`` gains of the empty-group stage, from the pair scores.
+
+        With an empty group, ``gain_matrix`` evaluates
+        ``(f(max(0, r), p).sum() - f(0, p).sum()) / total`` per pair.  When
+        every reviewer value is non-negative (``max(0, r) == r``) and the
+        empty group contributes exactly ``0.0`` to every paper, that is the
+        pair score cell for cell — same elementwise kernel, same topic
+        reduction, a subtraction of exact ``0.0`` — so the shared matrix
+        can be transposed into place without any scoring work.  Both
+        preconditions are checked once per view; scoring functions that
+        violate them (none of the registered ones do) fall back to the
+        gain kernel.
+        """
+        if self._empty_stage_exact is None:
+            scoring = self.problem.scoring
+            zero_group = np.zeros((1, self.num_topics), dtype=np.float64)
+            empty_contribution = scoring.topic_contribution(
+                zero_group, self.paper_matrix
+            ).sum(axis=1)
+            self._empty_stage_exact = bool(
+                np.all(empty_contribution == 0.0)
+                and (self.num_reviewers == 0 or float(self.reviewer_matrix.min()) >= 0.0)
+            )
+        if not self._empty_stage_exact:
+            zero_vectors = np.zeros((self.num_papers, self.num_topics), dtype=np.float64)
+            return self.gain_matrix(zero_vectors)
+        return np.ascontiguousarray(self.pair_scores().T)

@@ -15,7 +15,7 @@ from __future__ import annotations
 import math
 from collections.abc import Callable, Iterable, Sequence
 from dataclasses import dataclass
-from typing import TYPE_CHECKING
+from typing import TYPE_CHECKING, NamedTuple
 
 import numpy as np
 
@@ -33,14 +33,36 @@ from repro.exceptions import (
 
 if TYPE_CHECKING:  # pragma: no cover - circular import guard
     from repro.core.dense import DenseProblem
+    from repro.core.delta import ViewStats
 
 __all__ = [
     "WGRAPProblem",
     "JRAProblem",
     "ProblemMutation",
+    "ProblemVersions",
     "MutationListener",
     "minimal_reviewer_workload",
 ]
+
+
+class ProblemVersions(NamedTuple):
+    """Per-kind version counters of one problem instance.
+
+    Papers and reviewers are immutable on a given instance, so their
+    counters move only across derived problems (``with_additional_paper``
+    bumps ``papers``, ``without_reviewer`` bumps ``reviewers``); the
+    conflict counter tracks the live
+    :class:`~repro.core.constraints.ConflictOfInterest` container.
+    Compiled views key their delta maintenance on these counters: a view
+    whose recorded versions match needs no work, a moved conflict counter
+    is absorbed by an in-place mask patch, and moved paper/reviewer
+    counters are absorbed at derivation time by the delta constructors of
+    :mod:`repro.core.delta`.
+    """
+
+    papers: int
+    reviewers: int
+    conflicts: int
 
 
 def minimal_reviewer_workload(num_papers: int, num_reviewers: int, group_size: int) -> int:
@@ -188,8 +210,13 @@ class WGRAPProblem:
         self._reviewer_matrix: np.ndarray | None = None
         self._paper_matrix: np.ndarray | None = None
         self._pair_scores: np.ndarray | None = None
+        #: backing arena when the pair scores live in a chain-shared buffer
+        self._pair_arena = None
         self._dense_view: "DenseProblem | None" = None
         self._mutation_listeners: list[MutationListener] = []
+        self._papers_version = 0
+        self._reviewers_version = 0
+        self._view_stats: "ViewStats | None" = None
 
         if validate_capacity:
             self._validate_capacity()
@@ -251,6 +278,30 @@ class WGRAPProblem:
     def stage_workload(self) -> int:
         """Per-stage reviewer workload ``ceil(delta_r / delta_p)`` for SDGA."""
         return self._constraints.stage_workload
+
+    @property
+    def versions(self) -> ProblemVersions:
+        """Per-kind version counters keying delta view maintenance."""
+        return ProblemVersions(
+            papers=self._papers_version,
+            reviewers=self._reviewers_version,
+            conflicts=self._conflicts.version,
+        )
+
+    @property
+    def view_stats(self) -> "ViewStats":
+        """Shared compiled-view maintenance counters.
+
+        The same object is carried along the whole mutation chain (like
+        mutation listeners), so a long-lived engine observes cumulative
+        ``recompiles`` / ``delta_applies`` / prune counters across every
+        derived instance it has served.
+        """
+        if self._view_stats is None:
+            from repro.core.delta import ViewStats
+
+            self._view_stats = ViewStats()
+        return self._view_stats
 
     # ------------------------------------------------------------------
     # Id <-> index mapping
@@ -377,22 +428,56 @@ class WGRAPProblem:
         Builds a :class:`repro.core.dense.DenseProblem` on first use and
         returns the same view afterwards, so every solver and every engine
         request shares one feasibility mask and one set of contiguous
-        matrices per instance.  Papers, reviewers and constraints are
-        immutable, but the conflict set is a live container
-        (``problem.conflicts.add(...)`` is public API), so the view records
-        the conflict
-        :attr:`~repro.core.constraints.ConflictOfInterest.version` it
-        compiled against and is rebuilt when the conflicts have changed
-        since.
-        """
-        if (
-            self._dense_view is None
-            or self._dense_view.conflict_version != self._conflicts.version
-        ):
-            from repro.core.dense import DenseProblem
+        matrices per instance.  Derived problems receive their view by
+        delta from the source's (see :mod:`repro.core.delta`), so the
+        compile normally happens once per problem *chain*, not once per
+        mutation.
 
-            self._dense_view = DenseProblem(self)
-        return self._dense_view
+        Papers, reviewers and constraints are immutable, but the conflict
+        set is a live container (``problem.conflicts.add(...)`` is public
+        API), so the view records the conflict
+        :attr:`~repro.core.constraints.ConflictOfInterest.version` it
+        compiled against; when the conflicts have moved since, the tail of
+        the conflict changelog is replayed *in place* into the compiled
+        feasibility mask — the same view object stays current, at a cost
+        proportional to the number of edits.
+        """
+        view = self._dense_view
+        current = self.versions
+        if view is not None and view.versions[:2] == current[:2]:
+            if view.versions.conflicts == current.conflicts:
+                return view
+            changes = self._conflicts.changes_since(view.versions.conflicts)
+            # Patch only while the tail is available (not compacted away)
+            # and cheaper than the O(R * P) recompile it replaces.
+            if changes is not None and len(changes) <= max(
+                1024, (self.num_reviewers * self.num_papers) // 64
+            ):
+                from repro.core.delta import patch_conflicts_in_place
+
+                return patch_conflicts_in_place(view, changes, current.conflicts)
+        # No view yet, a compacted/oversized conflict tail, or moved
+        # paper/reviewer counters (impossible on one immutable instance
+        # through the public API — a defensive recompile trigger).
+        from repro.core.dense import DenseProblem
+
+        view = DenseProblem(self)
+        self._dense_view = view
+        return view
+
+    def invalidate_caches(self) -> None:
+        """Drop every lazily built matrix and compiled view of this problem.
+
+        The caches rebuild transparently on next use, so results are
+        unaffected — this hook exists for benchmarks and tests that need a
+        full-recompile baseline to compare the delta-maintenance path
+        against.
+        """
+        self._reviewer_matrix = None
+        self._paper_matrix = None
+        self._pair_scores = None
+        self._pair_arena = None
+        self._dense_view = None
 
     # ------------------------------------------------------------------
     # Feasibility
@@ -547,14 +632,28 @@ class WGRAPProblem:
             listener(mutation)
 
     def with_additional_paper(
-        self, paper: Paper, reviewer_workload: int | None = None
+        self,
+        paper: Paper,
+        reviewer_workload: int | None = None,
+        pair_score_column: np.ndarray | None = None,
     ) -> "WGRAPProblem":
         """A derived problem with one late-arriving submission appended.
 
         The new paper is placed last, so index-based caches over the
         existing papers stay valid and only one column of pairwise scores
-        needs to be computed.  Registered mutation listeners are notified
-        with an ``"add_paper"`` event and carried over to the result.
+        needs to be computed — and the source's caches are carried over by
+        delta: a cached pair-score matrix gains one freshly scored column
+        (``R`` evaluations instead of ``R * P``), a compiled dense view is
+        derived through :func:`repro.core.delta.dense_view_with_paper`, and
+        the reviewer matrix is shared outright.  Every carried array is
+        bitwise-equal to a cold rebuild.  Registered mutation listeners are
+        notified with an ``"add_paper"`` event and carried over to the
+        result.
+
+        ``pair_score_column`` optionally supplies the new paper's ``(R,)``
+        pair scores when the caller already computed them through the
+        scoring kernel (the engine's staffing shortlist does), so the
+        delta append does not score the column a second time.
 
         Raises
         ------
@@ -575,6 +674,10 @@ class WGRAPProblem:
             scoring=self._scoring,
             validate_capacity=False,
         )
+        derived._papers_version = self._papers_version + 1
+        derived._reviewers_version = self._reviewers_version
+        derived._view_stats = self.view_stats
+        self._apply_add_paper_delta(derived, paper, pair_score_column)
         self._emit_mutation(
             ProblemMutation(
                 kind="add_paper", source=self, result=derived, papers=(paper.id,)
@@ -582,11 +685,52 @@ class WGRAPProblem:
         )
         return derived
 
+    def _apply_add_paper_delta(
+        self,
+        derived: "WGRAPProblem",
+        paper: Paper,
+        pair_score_column: np.ndarray | None = None,
+    ) -> None:
+        """Carry this problem's caches over to an add-paper derivation."""
+        carried = False
+        if self._reviewer_matrix is not None:
+            derived._reviewer_matrix = self._reviewer_matrix  # identical rows, read-only
+            carried = True
+        if self._paper_matrix is not None:
+            matrix = np.vstack([self._paper_matrix, paper.vector.values])
+            matrix.setflags(write=False)
+            derived._paper_matrix = matrix
+            carried = True
+        if self._pair_scores is not None:
+            from repro.core.delta import appended_score_column
+
+            derived._pair_scores, derived._pair_arena = appended_score_column(
+                derived, self._pair_scores, self._pair_arena, paper,
+                column=pair_score_column,
+            )
+            carried = True
+        if self._dense_view is not None:
+            from repro.core.delta import dense_view_with_paper
+
+            # dense_view() first, so pending conflict edits are patched in
+            # before the mask is extended.
+            derived._dense_view = dense_view_with_paper(
+                self.dense_view(), derived, paper
+            )
+            carried = True
+        if carried:
+            self.view_stats.delta_applies += 1
+
     def without_reviewer(self, reviewer_id: str) -> "WGRAPProblem":
         """A derived problem with one reviewer withdrawn from the pool.
 
         The relative order of the remaining reviewers is preserved, so
-        row-based caches only need to drop a single row.  Registered
+        row-based caches only need to drop a single row — which is exactly
+        how the source's caches are carried over: the cached pair-score
+        matrix and the compiled dense view lose one row with **zero**
+        re-scoring (pair relations are independent across reviewers), and
+        the paper-side arrays are shared outright (see
+        :func:`repro.core.delta.dense_view_without_reviewer`).  Registered
         mutation listeners are notified with a ``"remove_reviewer"`` event
         and carried over to the result.
 
@@ -597,7 +741,7 @@ class WGRAPProblem:
         InfeasibleProblemError
             If the reviewer is the only one in the pool.
         """
-        self.reviewer_index(reviewer_id)  # raises KeyError for unknown reviewers
+        row = self.reviewer_index(reviewer_id)  # raises KeyError for unknown reviewers
         remaining = [
             reviewer for reviewer in self._reviewers if reviewer.id != reviewer_id
         ]
@@ -612,6 +756,10 @@ class WGRAPProblem:
             scoring=self._scoring,
             validate_capacity=False,
         )
+        derived._papers_version = self._papers_version
+        derived._reviewers_version = self._reviewers_version + 1
+        derived._view_stats = self.view_stats
+        self._apply_remove_reviewer_delta(derived, reviewer_id, row)
         self._emit_mutation(
             ProblemMutation(
                 kind="remove_reviewer",
@@ -621,6 +769,34 @@ class WGRAPProblem:
             )
         )
         return derived
+
+    def _apply_remove_reviewer_delta(
+        self, derived: "WGRAPProblem", reviewer_id: str, row: int
+    ) -> None:
+        """Carry this problem's caches over to a remove-reviewer derivation."""
+        carried = False
+        if self._paper_matrix is not None:
+            derived._paper_matrix = self._paper_matrix  # identical rows, read-only
+            carried = True
+        if self._reviewer_matrix is not None:
+            matrix = np.delete(self._reviewer_matrix, row, axis=0)
+            matrix.setflags(write=False)
+            derived._reviewer_matrix = matrix
+            carried = True
+        if self._pair_scores is not None:
+            scores = np.delete(self._pair_scores, row, axis=0)
+            scores.setflags(write=False)
+            derived._pair_scores = scores
+            carried = True
+        if self._dense_view is not None:
+            from repro.core.delta import dense_view_without_reviewer
+
+            derived._dense_view = dense_view_without_reviewer(
+                self.dense_view(), derived, reviewer_id
+            )
+            carried = True
+        if carried:
+            self.view_stats.delta_applies += 1
 
     # ------------------------------------------------------------------
     # Derived problems

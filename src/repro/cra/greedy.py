@@ -22,10 +22,16 @@ index-space view and replaces the heap with incrementally maintained
 per-paper column maxima over the ``(R, P)`` gain matrix: the initial
 gains come straight from the pair-score matrix and the compiled
 feasibility mask (no per-pair ``is_feasible_pair`` string calls), and
-each step refreshes exactly one column (one dense kernel) plus the
-column maxima invalidated by a saturated reviewer.  Every step selects
-the feasible pair with the largest *current* marginal gain, ties broken
-by smallest ``(reviewer, paper)`` — exactly the naive greedy's
+each step refreshes exactly one column plus the column maxima
+invalidated by a saturated reviewer.  Column refreshes go through the
+exact pruned candidate generator of :mod:`repro.core.delta`: only the
+top-``width`` candidates by pair score (an admissible upper bound on the
+marginal gain) are evaluated, and the winner is certified against the
+next candidate's bound — falling back to the full column whenever the
+bound cannot certify the argmax, so the refresh is ``O(width * T)``
+instead of ``O(R * T)`` without changing a single selection.  Every step
+selects the feasible pair with the largest *current* marginal gain, ties
+broken by smallest ``(reviewer, paper)`` — exactly the naive greedy's
 selection, which ``tests/test_dense_kernels.py`` pins bit for bit,
 including ties.  (The lazy heap selects on *recorded* gains refreshed
 only when popped; floating-point rounding can leave a stale record an
@@ -44,6 +50,7 @@ from typing import Any
 import numpy as np
 
 from repro.core.assignment import Assignment
+from repro.core.delta import PrunedCandidateGenerator
 from repro.core.problem import WGRAPProblem
 from repro.cra.base import CRASolver
 from repro.cra.repair import complete_assignment
@@ -70,13 +77,29 @@ class GreedySolver(CRASolver):
         kernels; its gains are bitwise-equal to the pre-refactor per-pair
         staging (pinned by the kernel tests), so no object-path naive
         variant is kept.
+    prune:
+        Refresh columns through the exact pruned candidate generator
+        (default).  Pruning is result-preserving — every certification
+        failure falls back to the full column — so disabling it only
+        changes the running time.
+    prune_width:
+        Shortlist width of the generator; ``None`` picks the default
+        scaled to the group size.
     """
 
     name = "Greedy"
 
-    def __init__(self, use_lazy_heap: bool = True, use_dense: bool = True) -> None:
+    def __init__(
+        self,
+        use_lazy_heap: bool = True,
+        use_dense: bool = True,
+        prune: bool = True,
+        prune_width: int | None = None,
+    ) -> None:
         self._use_lazy_heap = use_lazy_heap
         self._use_dense = use_dense
+        self._prune = prune
+        self._prune_width = prune_width
 
     def _solve(self, problem: WGRAPProblem) -> tuple[Assignment, dict[str, Any]]:
         if self._use_lazy_heap:
@@ -96,11 +119,15 @@ class GreedySolver(CRASolver):
         ``(reviewer, paper)`` index pair — bitwise the same selection as
         the naive full re-scan (pinned by the equivalence tests), at a
         fraction of its cost: instead of recomputing every gain each
-        round (or popping millions of stale heap tuples), the current
-        gains live in one ``(R, P)`` array; assigning a pair refreshes
-        only that paper's column (one dense kernel) and, when the
-        reviewer saturates, the maxima of the columns that pointed at it
-        — everything else is already up to date.
+        round (or popping millions of stale heap tuples), only each
+        paper's current column maximum and argmax are maintained;
+        assigning a pair refreshes that paper's column through the exact
+        pruned candidate generator (top-``width`` shortlist by pair-score
+        bound, certified, full-column fallback) and, when the reviewer
+        saturates, the maxima of the columns that pointed at it —
+        everything else is already up to date.  A column's gains change
+        only when its own group changes, so a re-evaluation between
+        refreshes reproduces the stored values exactly.
         """
         dense = problem.dense_view()
         reviewer_matrix = dense.reviewer_matrix
@@ -110,6 +137,13 @@ class GreedySolver(CRASolver):
         paper_ids = problem.paper_ids
         group_size = dense.group_size
         reviewer_workload = dense.reviewer_workload
+        feasible = dense.feasible
+        generator = PrunedCandidateGenerator(
+            dense,
+            width=self._prune_width if self._prune else num_reviewers,
+        )
+        certified_before = dense.view_stats.prune_certified
+        fallbacks_before = dense.view_stats.prune_fallbacks
 
         assignment = Assignment()
         group_vectors = np.zeros((num_papers, dense.num_topics), dtype=np.float64)
@@ -117,14 +151,25 @@ class GreedySolver(CRASolver):
         loads = np.zeros(num_reviewers, dtype=np.int64)
         members: list[list[int]] = [[] for _ in range(num_papers)]
 
-        gains = np.array(dense.pair_scores())
-        gains[~dense.feasible] = -np.inf
-        column_max = gains.max(axis=0)
-        column_arg = gains.argmax(axis=0)  # first maximum = smallest reviewer
+        initial = np.where(feasible, dense.pair_scores(), -np.inf)
+        column_max = initial.max(axis=0)
+        column_arg = initial.argmax(axis=0)  # first maximum = smallest reviewer
+        del initial
 
         target_pairs = num_papers * group_size
         iterations = 0
         column_refreshes = 0
+
+        def refresh(refresh_idx: int) -> None:
+            eligible = feasible[:, refresh_idx] & (loads < reviewer_workload)
+            rows = members[refresh_idx]
+            if rows:
+                eligible[rows] = False
+            value, row = generator.column_argmax(
+                refresh_idx, group_vectors[refresh_idx], eligible
+            )
+            column_max[refresh_idx] = value
+            column_arg[refresh_idx] = row if row >= 0 else 0
 
         while len(assignment) < target_pairs:
             best = column_max.max()
@@ -155,24 +200,18 @@ class GreedySolver(CRASolver):
                 column_max[paper_idx] = -np.inf
             else:
                 # Refresh the paper's gains against its new group vector.
-                column = dense.gains_for_paper(group_vectors[paper_idx], paper_idx)
-                column[~dense.feasible[:, paper_idx]] = -np.inf
-                column[loads >= reviewer_workload] = -np.inf
-                column[members[paper_idx]] = -np.inf
-                gains[:, paper_idx] = column
-                column_max[paper_idx] = column.max()
-                column_arg[paper_idx] = column.argmax()
+                refresh(paper_idx)
                 column_refreshes += 1
 
             if saturated:
-                gains[reviewer_idx, :] = -np.inf
+                # Columns whose recorded argmax was the saturated reviewer
+                # must re-resolve; all other maxima are attained by still
+                # eligible reviewers whose gains have not changed.
                 stale = np.flatnonzero(
                     (column_arg == reviewer_idx) & np.isfinite(column_max)
                 )
                 for stale_idx in stale.tolist():
-                    column = gains[:, stale_idx]
-                    column_max[stale_idx] = column.max()
-                    column_arg[stale_idx] = column.argmax()
+                    refresh(int(stale_idx))
                 column_refreshes += int(stale.size)
 
         repaired = False
@@ -185,6 +224,10 @@ class GreedySolver(CRASolver):
             "iterations": iterations,
             "column_refreshes": column_refreshes,
             "strategy": "dense_argmax",
+            "pruned": self._prune,
+            "prune_width": generator.width,
+            "prune_certified": dense.view_stats.prune_certified - certified_before,
+            "prune_fallbacks": dense.view_stats.prune_fallbacks - fallbacks_before,
             "repaired": repaired,
         }
 

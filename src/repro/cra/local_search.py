@@ -17,18 +17,24 @@ Both moves preserve feasibility by construction.
 
 The default implementation runs on the
 :class:`~repro.core.dense.DenseProblem` index-space view: for every
-member of a paper's group the scores of *all* replace candidates come from
-one :meth:`~repro.core.dense.DenseProblem.candidate_scores` broadcast and
+member of a paper's group the scores of replace candidates come from one
+:meth:`~repro.core.dense.DenseProblem.candidate_scores` broadcast and
 the scores of *all* exchange partners from one
 :meth:`~repro.core.dense.DenseProblem.scores_with_reviewer` kernel over
 the maintained leave-one-out group vectors, instead of ``O(R + P·delta_p)``
-object-path ``paper_score`` calls.  The move *selection* replays the exact
-first-strict-improvement scan of the object path over the precomputed gain
-vectors, so the chosen moves — and the refined assignment — are identical
-(``use_dense=False`` keeps the object path as the pinned reference and
-benchmark baseline; the only normalisation is that exchange partners are
-visited in sorted-id order, where the object path historically used
-unspecified set order).
+object-path ``paper_score`` calls.  Replace candidates are additionally
+*pruned* with an admissible upper bound (submodularity:
+``score(loo + {c}) <= score(loo) + c(c, p)``, so the replace gain is
+bounded by ``score(loo) + pair_score - current``): only candidates whose
+bound clears the running best — usually a small minority once refinement
+is underway — are evaluated exactly; skipped candidates provably cannot
+be accepted by the scan, so the selected moves are unchanged.  The move
+*selection* replays the exact first-strict-improvement scan of the object
+path over the precomputed gain vectors, so the chosen moves — and the
+refined assignment — are identical (``use_dense=False`` keeps the object
+path as the pinned reference and benchmark baseline; the only
+normalisation is that exchange partners are visited in sorted-id order,
+where the object path historically used unspecified set order).
 """
 
 from __future__ import annotations
@@ -39,6 +45,7 @@ from typing import Any
 import numpy as np
 
 from repro.core.assignment import Assignment
+from repro.core.delta import PRUNE_MARGIN
 from repro.core.dense import DenseProblem
 from repro.core.problem import WGRAPProblem
 from repro.cra.base import CRAResult, CRASolver
@@ -79,12 +86,16 @@ class _DenseSearchState:
     bookkeeping stays cheap.
     """
 
-    def __init__(self, dense: DenseProblem, assignment: Assignment) -> None:
+    def __init__(
+        self, dense: DenseProblem, assignment: Assignment, prune: bool = True
+    ) -> None:
         self.dense = dense
         self.assignment = assignment
+        self.prune = prune
         problem = dense.problem
         num_papers = dense.num_papers
         group_size = dense.group_size
+        self.pair_scores = dense.pair_scores() if prune else None
         self.members: list[list[int]] = [
             dense.sorted_member_rows(assignment, paper_id)
             for paper_id in problem.paper_ids
@@ -100,6 +111,9 @@ class _DenseSearchState:
         self.slot_loo = np.empty(
             (num_papers * group_size, dense.num_topics), dtype=np.float64
         )
+        #: score of each slot's leave-one-out group — the base of the
+        #: admissible replace-gain bound
+        self.slot_score = np.zeros(num_papers * group_size, dtype=np.float64)
         for paper_idx in range(num_papers):
             self._rebuild_slots(paper_idx)
 
@@ -118,6 +132,10 @@ class _DenseSearchState:
                 np.max(dense.reviewer_matrix[others], axis=0, out=self.slot_loo[slot])
             else:
                 self.slot_loo[slot] = 0.0
+            if self.prune:
+                self.slot_score[slot] = dense.paper_score(
+                    self.slot_loo[slot], paper_idx
+                )
 
     def _refresh_paper(self, paper_idx: int) -> None:
         dense = self.dense
@@ -192,17 +210,20 @@ class _DenseSearchState:
             slot = base + offset
             out_row = int(self.slot_member[slot])
             leave_one_out = self.slot_loo[slot]
+            allowed = (
+                ~self.member_mask[:, paper_idx]
+                & (self.loads < dense.reviewer_workload)
+                & dense.feasible[:, paper_idx]
+            )
             # Scores of the group with ``out_row`` swapped for each
             # candidate — shared by replace gains and the exchange "a" side.
-            swapped_scores = dense.candidate_scores(leave_one_out, paper_idx)
+            swapped_scores = self._swapped_scores(
+                paper_idx, slot, leave_one_out, allowed, current_score,
+                best_gain, do_replace, do_exchange,
+            )
 
             if do_replace:
                 gains = swapped_scores - current_score
-                allowed = (
-                    ~self.member_mask[:, paper_idx]
-                    & (self.loads < dense.reviewer_workload)
-                    & dense.feasible[:, paper_idx]
-                )
                 gains[~allowed] = -np.inf
                 new_best, chosen = _scan_accepts(gains, best_gain)
                 if chosen >= 0:
@@ -234,6 +255,69 @@ class _DenseSearchState:
                     )
         return best_gain, best_move
 
+    def _swapped_scores(
+        self,
+        paper_idx: int,
+        slot: int,
+        leave_one_out: np.ndarray,
+        allowed: np.ndarray,
+        current_score: float,
+        best_gain: float,
+        do_replace: bool,
+        do_exchange: bool,
+    ) -> np.ndarray:
+        """Scores of ``loo + {candidate}``, pruned to the candidates that matter.
+
+        With pruning on, a candidate's replace gain is bounded by
+        ``slot_score + pair_score - current_score`` (admissible:
+        submodularity caps the candidate's contribution to the
+        leave-one-out group by its solo score).  Only candidates whose
+        bound clears the running acceptance threshold — plus, when
+        exchange moves are on, every current group member anywhere (the
+        exchange kernel reads those entries) — are evaluated exactly,
+        through a row-gathered kernel that is bitwise-equal to the full
+        broadcast.  Skipped entries are ``-inf``: their true gain is below
+        the threshold, so the first-strict-improvement scan could never
+        have accepted them.
+
+        When exchange moves force a near-dense gather anyway (assigned
+        reviewers approach the pool size, true of every
+        capacity-saturated instance), there is nothing to prune: the full
+        kernel runs directly, without the bound work and without touching
+        the prune counters.  ``prune_fallbacks`` therefore counts only
+        genuinely attempted-but-uncertified prunes.
+        """
+        dense = self.dense
+        if not self.prune:
+            return dense.candidate_scores(leave_one_out, paper_idx)
+        num_reviewers = dense.num_reviewers
+        if do_exchange and self.slot_member.size * 2 >= num_reviewers:
+            # The exchange side alone needs (an upper bound of) most of the
+            # column: pruning is inapplicable here, not failed.
+            return dense.candidate_scores(leave_one_out, paper_idx)
+        if do_replace:
+            bound = self.slot_score[slot] + self.pair_scores[:, paper_idx]
+            surviving = np.flatnonzero(
+                allowed
+                & (bound - current_score + PRUNE_MARGIN > best_gain + _TOLERANCE)
+            )
+        else:
+            surviving = np.empty(0, dtype=np.int64)
+        if do_exchange:
+            rows = np.union1d(surviving, self.slot_member)
+        else:
+            rows = surviving
+        if rows.size * 2 >= num_reviewers:
+            # Bound too loose to pay for the gather: evaluate everything.
+            dense.view_stats.prune_fallbacks += 1
+            return dense.candidate_scores(leave_one_out, paper_idx)
+        dense.view_stats.prune_certified += 1
+        swapped = np.full(num_reviewers, -np.inf, dtype=np.float64)
+        swapped[rows] = dense.candidate_scores_for_rows(
+            leave_one_out, paper_idx, rows
+        )
+        return swapped
+
 
 class LocalSearchRefiner:
     """Greedy hill-climbing over replace/exchange moves.
@@ -252,6 +336,11 @@ class LocalSearchRefiner:
         the historical object-path implementation, which selects the
         identical moves and exists as the reference for the equivalence
         tests and the dense-kernel benchmark baseline.
+    prune:
+        Evaluate replace candidates through the admissible upper bound
+        (default; dense path only).  Pruning is result-preserving — the
+        skipped candidates provably cannot be accepted — so disabling it
+        only changes the running time.
     """
 
     def __init__(
@@ -260,6 +349,7 @@ class LocalSearchRefiner:
         time_budget: float | None = None,
         moves: str = "all",
         use_dense: bool = True,
+        prune: bool = True,
     ) -> None:
         if moves not in {"all", "replace", "exchange"}:
             raise ConfigurationError("moves must be 'all', 'replace' or 'exchange'")
@@ -267,6 +357,7 @@ class LocalSearchRefiner:
         self._time_budget = time_budget
         self._moves = moves
         self._use_dense = use_dense
+        self._prune = prune
 
     def refine(
         self, problem: WGRAPProblem, assignment: Assignment
@@ -284,7 +375,7 @@ class LocalSearchRefiner:
         self, problem: WGRAPProblem, assignment: Assignment
     ) -> tuple[Assignment, dict[str, Any]]:
         dense = problem.dense_view()
-        state = _DenseSearchState(dense, assignment.copy())
+        state = _DenseSearchState(dense, assignment.copy(), prune=self._prune)
         current_score = float(sum(state.scores.tolist()))
         do_replace = self._moves in {"all", "replace"}
         do_exchange = self._moves in {"all", "exchange"}

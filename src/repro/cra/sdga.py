@@ -82,7 +82,13 @@ class StageDeepeningGreedySolver(CRASolver):
 
         * Gains are marginal coverage gains relative to the groups formed in
           earlier stages (Equation 5), from one batched
-          :meth:`~repro.core.dense.DenseProblem.gain_matrix` kernel.
+          :meth:`~repro.core.dense.DenseProblem.gain_matrix` kernel.  The
+          first stage (empty groups, where the gain of a reviewer *is*
+          their pair score) is served straight from the shared — and,
+          across mutations, delta-maintained — pair-score matrix, so a
+          freshly mutated problem starts its first stage without any
+          scoring work (bitwise-equal shortcut, see
+          :meth:`~repro.core.dense.DenseProblem.stage_inputs`).
         * Forbidden pairs are conflicts of interest (the compiled
           feasibility mask) and reviewers already in the paper's group.
         * Per-reviewer capacity is the stage workload

@@ -215,7 +215,14 @@ class StochasticRefiner:
             assignment.remove(members[int(victim)], paper_id)
 
     def _refill(self, dense: "DenseProblem", assignment: Assignment) -> None:
-        """One Stage-WGRAP step that gives every paper one reviewer back."""
+        """One Stage-WGRAP step that gives every paper one reviewer back.
+
+        Stage inputs come from :meth:`DenseProblem.stage_inputs
+        <repro.core.dense.DenseProblem.stage_inputs>`, which reads the
+        shared (delta-maintained) pair-score matrix through the problem's
+        cache chain — after an engine mutation the refill pays only the
+        gain kernel, never a full re-score.
+        """
         gains, forbidden, capacities = dense.stage_inputs(assignment, stage_capped=False)
         problem = dense.problem
         result = solve_capacitated_assignment(

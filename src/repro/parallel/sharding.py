@@ -35,7 +35,11 @@ from repro.exceptions import DimensionMismatchError
 from repro.parallel.config import ParallelConfig
 from repro.parallel.pool import pool_map
 
-__all__ = ["blocked_score_matrix", "sharded_score_matrix"]
+__all__ = [
+    "blocked_score_matrix",
+    "score_appended_columns",
+    "sharded_score_matrix",
+]
 
 
 def blocked_score_matrix(
@@ -78,6 +82,36 @@ def blocked_score_matrix(
         )
     scores[:, denominators <= 0.0] = 0.0
     return scores
+
+
+def score_appended_columns(
+    scoring: ScoringFunction,
+    reviewer_matrix: np.ndarray,
+    new_papers: np.ndarray,
+    config: ParallelConfig | None = None,
+) -> np.ndarray:
+    """Score only the appended paper columns of a delta-repaired matrix.
+
+    The delta-maintenance layer (:mod:`repro.core.delta`, the engine's
+    :class:`~repro.service.cache.ScoreMatrixCache`) repairs a resident
+    ``(R, P)`` matrix by scoring just the late papers' columns — ``R * K``
+    cells for ``K`` new papers instead of ``R * (P + K)``.  This is the
+    one entry point for that repair: the serial path runs the cache-blocked
+    kernel (bitwise-identical to the naive broadcast, and it never
+    materialises an ``(R, K, T)`` intermediate larger than a block), and a
+    :class:`~repro.parallel.ParallelConfig` routes repairs that clear its
+    serial threshold — bulk adds against very large reviewer pools —
+    through the sharded worker pool, equally bitwise-identical.
+    """
+    new_papers = np.asarray(new_papers, dtype=np.float64)
+    if config is not None:
+        return sharded_score_matrix(scoring, reviewer_matrix, new_papers, config)
+    if new_papers.shape[0] <= 64:
+        # Up to one block the naive kernel *is* the blocked kernel (same
+        # single broadcast); keep the exact historical call shape so
+        # instrumented callers observe one ``score_matrix`` per repair.
+        return scoring.score_matrix(reviewer_matrix, new_papers)
+    return blocked_score_matrix(scoring, reviewer_matrix, new_papers)
 
 
 def _score_shard_job(

@@ -50,13 +50,17 @@ class CacheStats:
         Full builds that reused a matrix the problem had already warmed
         (no scoring work at all).
     partial_updates:
-        Times only the dirty columns were recomputed.
+        Times only the dirty columns were repaired (by re-scoring or by
+        adopting delta-maintained columns from the problem).
     score_calls:
         Calls into the scoring function's vectorised matrix kernel.
     scored_cells:
         Total reviewer/paper cells evaluated (the real unit of work).
     columns_added:
         Paper columns appended by ``add_paper`` mutations.
+    columns_adopted:
+        Dirty columns repaired by adopting the problem's delta-maintained
+        matrix instead of re-scoring (no scoring work at all).
     rows_removed:
         Reviewer rows dropped by ``remove_reviewer`` mutations.
     topk_builds:
@@ -71,6 +75,7 @@ class CacheStats:
     score_calls: int = 0
     scored_cells: int = 0
     columns_added: int = 0
+    columns_adopted: int = 0
     rows_removed: int = 0
     topk_builds: int = 0
     topk_hits: int = 0
@@ -84,6 +89,7 @@ class CacheStats:
             "score_calls": self.score_calls,
             "scored_cells": self.scored_cells,
             "columns_added": self.columns_added,
+            "columns_adopted": self.columns_adopted,
             "rows_removed": self.rows_removed,
             "topk_builds": self.topk_builds,
             "topk_hits": self.topk_hits,
@@ -164,7 +170,10 @@ class ScoreMatrixCache:
                 problem.num_reviewers,
                 len(self._paper_ids),
             ):
-                self._matrix = np.array(warmed, dtype=np.float64)
+                # Zero-copy adoption; every later write reallocates first
+                # (np.delete / placeholder concat), so the problem's
+                # read-only matrix is never touched.
+                self._matrix = np.asarray(warmed)
                 self.stats.adopted_builds += 1
             else:
                 self._matrix = self._score_block(
@@ -174,10 +183,22 @@ class ScoreMatrixCache:
             self.stats.full_builds += 1
         elif self._dirty_papers:
             columns = sorted(self._column_of[paper_id] for paper_id in self._dirty_papers)
-            block = self._score_block(
-                problem.reviewer_matrix, problem.paper_matrix[columns]
-            )
-            self._matrix[:, columns] = block
+            warmed = problem.cached_pair_scores
+            if warmed is not None and warmed.shape == (
+                problem.num_reviewers,
+                len(self._paper_ids),
+            ):
+                # The problem already carries a delta-maintained matrix in
+                # which these columns are scored (same kernel, bitwise-equal
+                # — see repro.core.delta.appended_score_column): adopt the
+                # columns instead of scoring them a second time.
+                self._matrix[:, columns] = warmed[:, columns]
+                self.stats.columns_adopted += len(columns)
+            else:
+                block = self._score_block(
+                    problem.reviewer_matrix, problem.paper_matrix[columns]
+                )
+                self._matrix[:, columns] = block
             self._dirty_papers.clear()
             self.stats.partial_updates += 1
         if self._matrix.shape == (problem.num_reviewers, problem.num_papers):
@@ -266,10 +287,29 @@ class ScoreMatrixCache:
         self._paper_ids.append(paper_id)
         self._problem = problem
         if self._matrix is not None:
-            # Append a placeholder column; it is scored lazily on next read.
-            placeholder = np.zeros((self._matrix.shape[0], 1), dtype=np.float64)
-            self._matrix = np.concatenate([self._matrix, placeholder], axis=1)
-            self._dirty_papers.add(paper_id)
+            warmed = problem.cached_pair_scores
+            if warmed is not None and warmed.shape == (
+                problem.num_reviewers,
+                len(self._paper_ids),
+            ):
+                # The delta layer already carried the matrix over to the
+                # derived problem with the new column scored (bitwise-equal
+                # kernel): share it by reference instead of copying the
+                # whole matrix for a placeholder.  Later writes (dirty
+                # repairs, row drops) always allocate a fresh array first,
+                # so the shared read-only matrix is never mutated.  Any
+                # leftover dirty columns are covered by the adopted matrix
+                # (it is exact for *every* column), so they are clean now —
+                # and must be cleared, or the next read would try to repair
+                # them in place on the read-only array.
+                self._matrix = np.asarray(warmed)
+                self.stats.columns_adopted += 1 + len(self._dirty_papers)
+                self._dirty_papers.clear()
+            else:
+                # Append a placeholder column; scored lazily on next read.
+                placeholder = np.zeros((self._matrix.shape[0], 1), dtype=np.float64)
+                self._matrix = np.concatenate([self._matrix, placeholder], axis=1)
+                self._dirty_papers.add(paper_id)
         self.stats.columns_added += 1
 
     def _remove_reviewer_row(self, problem: WGRAPProblem, reviewer_id: str) -> None:

@@ -32,6 +32,8 @@ import weakref
 from dataclasses import dataclass
 from typing import Any
 
+import numpy as np
+
 from repro.core.assignment import Assignment
 from repro.core.entities import Paper
 from repro.core.problem import JRAProblem, ProblemMutation, WGRAPProblem
@@ -43,9 +45,13 @@ from repro.data.io import (
     load_engine_snapshot,
     save_engine_snapshot,
 )
-from repro.exceptions import ConfigurationError, InfeasibleProblemError
+from repro.exceptions import (
+    ConfigurationError,
+    InfeasibleAssignmentError,
+    InfeasibleProblemError,
+)
 from repro.extensions.bidding import BidAwareObjective, BidAwareSDGASolver, BidMatrix, bid_satisfaction
-from repro.jra.topk import RankedGroup
+from repro.jra.topk import RankedGroup, find_top_k_groups
 from repro.metrics.quality import lowest_coverage_score, optimality_ratio
 from repro.parallel.config import ParallelConfig
 from repro.parallel.portfolio import DEFAULT_PORTFOLIO, PortfolioOutcome, run_portfolio
@@ -163,6 +169,14 @@ class AssignmentEngine:
     the two built-in mutations either pre-validate everything before
     touching state (:meth:`add_paper`) or roll the engine back on an
     infeasible repair (:meth:`withdraw_reviewer`).
+
+    Assignments the engine produced itself (solves, staffed additions,
+    validated repairs) are trusted across subsequent mutations instead of
+    being re-validated on every request — an ``O(P * delta_p)`` saving per
+    mutation on the serving hot path.  An externally supplied assignment
+    (constructor, snapshot) is validated once, the first time a mutation
+    needs the guarantee.  Mutating :attr:`assignment` in place from the
+    outside voids that warranty.
     """
 
     #: default solver names (overridable per request)
@@ -179,10 +193,21 @@ class AssignmentEngine:
         self._problem = problem
         self._root_problem = problem
         self._assignment = assignment.copy() if assignment is not None else None
+        #: conflict-set version at which the installed assignment was last
+        #: known-feasible, or ``None`` — engine-produced assignments
+        #: (solves, staffed mutations, validated repairs) are marked valid;
+        #: externally supplied ones are validated once, on the first
+        #: mutation that needs the guarantee.  Keying on the conflict
+        #: version means live conflict edits automatically force a
+        #: re-validation (a newly added conflict can invalidate any
+        #: assigned pair).
+        self._assignment_valid_at: int | None = None
         self._bids = bids if bids is not None else BidMatrix()
         self._parallel = parallel
         self._cache = ScoreMatrixCache(problem, parallel=parallel)
         self._jra_cache: dict[tuple[str, int, int | None], JRAProblem] = {}
+        #: conflict version the JRA sub-problem cache is valid for
+        self._jra_cache_version = problem.conflicts.version
         self._revision = 0
         self._counters: dict[str, int] = {
             "solves": 0,
@@ -250,6 +275,20 @@ class AssignmentEngine:
         self._cache.matrix()
         return self
 
+    def _mark_assignment_valid(self) -> None:
+        """Record that the installed assignment is feasible *now*."""
+        self._assignment_valid_at = self._problem.conflicts.version
+
+    def _assignment_known_valid(self) -> bool:
+        """Whether the feasibility guarantee still stands.
+
+        A moved conflict version voids it: a newly added conflict can
+        invalidate any assigned pair, so the next mutation re-validates in
+        full (and raises, exactly like the historical unconditional
+        validation did).
+        """
+        return self._assignment_valid_at == self._problem.conflicts.version
+
     def detach(self) -> None:
         """Unsubscribe from the problem's mutation events.
 
@@ -267,9 +306,15 @@ class AssignmentEngine:
         self._problem = mutation.result
         self._revision += 1
         self._counters[mutation.kind] = self._counters.get(mutation.kind, 0) + 1
+        # The feasibility guarantee does not survive a problem swap; the
+        # engine's own mutation paths re-establish it after their targeted
+        # validation, while mutations made directly through the problem API
+        # leave it void until the next full validation.
+        self._assignment_valid_at = None
         if mutation.kind == "remove_reviewer":
             # Candidate pools changed for every paper.
             self._jra_cache.clear()
+            self._jra_cache_version = self._problem.conflicts.version
 
     # ------------------------------------------------------------------
     # Conference solve
@@ -306,6 +351,7 @@ class AssignmentEngine:
             canonical = spec.name
         result = instance.solve(self._problem)
         self._assignment = result.assignment
+        self._mark_assignment_valid()
         self._last_solver = canonical
         self._last_score = result.score
         self._counters["solves"] += 1
@@ -344,6 +390,7 @@ class AssignmentEngine:
             **options,
         )
         self._assignment = outcome.best.assignment
+        self._mark_assignment_valid()
         self._last_solver = outcome.best_solver
         self._last_score = outcome.best.score
         self._counters["portfolio_solves"] += 1
@@ -360,6 +407,7 @@ class AssignmentEngine:
         solver: str | None = None,
         pool_size: int | None = None,
         shortlist_size: int = 5,
+        prune: int | None = None,
     ) -> JournalAnswer:
         """Answer one online JRA query against the resident pool.
 
@@ -381,6 +429,16 @@ class AssignmentEngine:
             pools at a usually negligible quality cost.  Only available for
             papers of the problem (the cache has no column for inline
             papers).
+        prune:
+            When set, answer through the *exact* pruned candidate pool of
+            :func:`repro.jra.topk.find_top_k_groups`: solve on the top
+            ``prune`` candidates (ranked by the cached score column) and
+            certify the answer with the admissible bound, falling back to
+            the full pool when the bound cannot certify it.  Unlike
+            ``pool_size`` this never changes the answer; certification
+            outcomes are counted in the engine's delta stats
+            (``prune_certified`` / ``prune_fallbacks``).  Supported for
+            the BBA and BFS solvers.
         shortlist_size:
             How many individually top-scoring reviewers to report alongside
             the optimal group (0 disables the shortlist).
@@ -389,6 +447,11 @@ class AssignmentEngine:
         spec = solver_spec("jra", solver or self.DEFAULT_JRA_SOLVER)
         if top_k < 1:
             raise ConfigurationError("top_k must be at least 1")
+        if prune is not None and spec.name.lower() not in {"bba", "bfs"}:
+            raise ConfigurationError(
+                f"exact pruning is supported for the BBA and BFS solvers, "
+                f"not {spec.name!r}"
+            )
 
         inline = isinstance(paper, Paper)
         if inline and paper.id in self._problem.paper_ids:
@@ -419,6 +482,13 @@ class AssignmentEngine:
                 scoring=self._problem.scoring,
             )
         else:
+            # Conflict edits on the live container change candidate pools,
+            # and a stale sub-problem would silently keep serving the old
+            # exclusions — drop the whole cache when the version moved
+            # (bounded memory: entries for dead versions never linger).
+            if self._jra_cache_version != self._problem.conflicts.version:
+                self._jra_cache.clear()
+                self._jra_cache_version = self._problem.conflicts.version
             key = (paper_id, size, pool_size)
             cached = self._jra_cache.get(key)
             if cached is not None:
@@ -428,18 +498,34 @@ class AssignmentEngine:
                 jra = self._build_jra(paper_obj, size, pool_size)
                 self._jra_cache[key] = jra
 
-        solver_instance = spec.factory(top_k=top_k)
-        result = solver_instance.solve(jra)
-        ranked_raw = result.stats.get("top_k") if top_k > 1 else None
-        if ranked_raw:
+        if prune is not None:
             groups = tuple(
-                RankedGroup(rank=rank, reviewer_ids=tuple(ids), score=float(score))
-                for rank, (ids, score) in enumerate(ranked_raw[:top_k], start=1)
+                find_top_k_groups(
+                    jra,
+                    top_k,
+                    method=spec.name.lower(),
+                    prune=prune,
+                    candidate_scores=(
+                        None if inline else self._candidate_scores_for(jra, paper_id)
+                    ),
+                    stats=self._problem.view_stats,
+                )
             )
         else:
-            groups = (
-                RankedGroup(rank=1, reviewer_ids=result.reviewer_ids, score=result.score),
-            )
+            solver_instance = spec.factory(top_k=top_k)
+            result = solver_instance.solve(jra)
+            ranked_raw = result.stats.get("top_k") if top_k > 1 else None
+            if ranked_raw:
+                groups = tuple(
+                    RankedGroup(rank=rank, reviewer_ids=tuple(ids), score=float(score))
+                    for rank, (ids, score) in enumerate(ranked_raw[:top_k], start=1)
+                )
+            else:
+                groups = (
+                    RankedGroup(
+                        rank=1, reviewer_ids=result.reviewer_ids, score=result.score
+                    ),
+                )
 
         shortlist: tuple[tuple[str, float], ...] = ()
         if shortlist_size > 0 and not inline:
@@ -456,6 +542,18 @@ class AssignmentEngine:
             solver=spec.name,
             elapsed_seconds=time.perf_counter() - started,
         )
+
+    def _candidate_scores_for(self, jra: JRAProblem, paper_id: str) -> Any:
+        """The cached score-column entries aligned with a JRA candidate pool.
+
+        Feeds the exact pruned top-k path without any re-scoring: the
+        cache column holds the same pair scores the pruned solver would
+        compute (same kernel, bitwise-equal).
+        """
+        column = self._cache.scores_for_paper(paper_id)
+        problem = self._problem
+        rows = [problem.reviewer_index(rid) for rid in jra.reviewer_ids]
+        return column[rows]
 
     def _build_jra(
         self, paper: Paper, group_size: int, pool_size: int | None
@@ -494,6 +592,7 @@ class AssignmentEngine:
         paper: Paper,
         reviewer_workload: int | None = None,
         solver: str | None = None,
+        pool_size: int | None = None,
     ) -> EngineDelta:
         """Append a late submission; staff it when an assignment exists.
 
@@ -502,6 +601,13 @@ class AssignmentEngine:
         paper's journal sub-problem applied inside a conference).  The
         engine's score cache gains one dirty column — the full matrix is
         *not* recomputed.
+
+        ``pool_size`` restricts the staffing candidates to the top
+        ``pool_size`` reviewers by score on the new paper (one ``R x T``
+        scoring pass — the matrix column does not exist yet), mirroring
+        the journal-query knob of the same name: at service scale an exact
+        search over a 50-reviewer shortlist is orders of magnitude faster
+        than over the whole pool, at a usually negligible quality cost.
 
         Raises
         ------
@@ -518,8 +624,26 @@ class AssignmentEngine:
         )
 
         group_ids: tuple[str, ...] = ()
+        pair_score_column: Any = None
         if self._assignment is not None:
-            problem.validate_assignment(self._assignment, require_complete=True)
+            if not self._assignment_known_valid():
+                problem.validate_assignment(self._assignment, require_complete=True)
+                self._mark_assignment_valid()
+            if workload < problem.reviewer_workload:
+                # A tightened workload can invalidate *existing* loads; catch
+                # that here, before anything is committed (the historical
+                # full post-validation raised only after the mutation).
+                overloaded = [
+                    reviewer_id
+                    for reviewer_id in problem.reviewer_ids
+                    if self._assignment.load(reviewer_id) > workload
+                ]
+                if overloaded:
+                    raise InfeasibleAssignmentError(
+                        "lowering reviewer_workload to "
+                        f"{workload} would overload reviewers "
+                        f"{overloaded[:5]!r}"
+                    )
             exhausted = {
                 reviewer_id
                 for reviewer_id in problem.reviewer_ids
@@ -534,6 +658,32 @@ class AssignmentEngine:
                     f"only {available} reviewers have spare capacity for the new "
                     "paper; increase reviewer_workload to absorb it"
                 )
+            if pool_size is not None and available > pool_size:
+                if pool_size < problem.group_size:
+                    raise ConfigurationError(
+                        f"pool_size ({pool_size}) must be at least the group "
+                        f"size ({problem.group_size})"
+                    )
+                # One scoring pass serves both the shortlist and, through
+                # with_additional_paper below, the delta column append.
+                pair_score_column = problem.scoring.score_matrix(
+                    problem.reviewer_matrix,
+                    np.asarray(paper.vector.values, dtype=np.float64)[None, :],
+                )[:, 0]
+                ranking = np.argsort(-pair_score_column, kind="stable")
+                keep: set[str] = set()
+                for row in ranking:
+                    reviewer_id = problem.reviewer_ids[int(row)]
+                    if reviewer_id in excluded:
+                        continue
+                    keep.add(reviewer_id)
+                    if len(keep) == pool_size:
+                        break
+                excluded = {
+                    reviewer_id
+                    for reviewer_id in problem.reviewer_ids
+                    if reviewer_id not in keep
+                }
             jra = JRAProblem(
                 paper=paper,
                 reviewers=problem.reviewers,
@@ -546,11 +696,18 @@ class AssignmentEngine:
 
         # All checks passed; commit the mutation (the listener repairs the
         # cache by appending one lazy column) and staff the paper.
-        mutated = problem.with_additional_paper(paper, workload)
+        mutated = problem.with_additional_paper(
+            paper, workload, pair_score_column=pair_score_column
+        )
         if self._assignment is not None:
             for reviewer_id in group_ids:
                 self._assignment.add(reviewer_id, paper.id)
-            mutated.validate_assignment(self._assignment, require_complete=True)
+            # Targeted validation: the pre-state was engine-validated and
+            # staffing only added the new paper's group, so checking those
+            # delta_p pairs (instead of re-walking all P * delta_p) keeps
+            # the guarantee at delta cost.
+            self._validate_staffed_group(mutated, paper.id, group_ids, workload)
+            self._mark_assignment_valid()
         return EngineDelta(
             kind="add_paper",
             affected_papers=(paper.id,),
@@ -559,6 +716,39 @@ class AssignmentEngine:
             problem=mutated,
             assignment=self._assignment,
         )
+
+    def _validate_staffed_group(
+        self,
+        problem: WGRAPProblem,
+        paper_id: str,
+        group_ids: tuple[str, ...],
+        workload: int,
+    ) -> None:
+        """Check the freshly staffed group against the derived problem.
+
+        Raises :class:`~repro.exceptions.InfeasibleAssignmentError` exactly
+        like the full :meth:`WGRAPProblem.validate_assignment` would for a
+        defect in these pairs.
+        """
+        violations: list[str] = []
+        if self._assignment.group_size(paper_id) != problem.group_size:
+            violations.append(
+                f"paper {paper_id!r} has {self._assignment.group_size(paper_id)} "
+                f"reviewers, expected delta_p={problem.group_size}"
+            )
+        for reviewer_id in group_ids:
+            if problem.conflicts.is_conflict(reviewer_id, paper_id):
+                violations.append(
+                    f"conflict of interest: reviewer {reviewer_id!r} on paper "
+                    f"{paper_id!r}"
+                )
+            if self._assignment.load(reviewer_id) > workload:
+                violations.append(
+                    f"reviewer {reviewer_id!r} has {self._assignment.load(reviewer_id)} "
+                    f"papers, more than delta_r={workload}"
+                )
+        if violations:
+            raise InfeasibleAssignmentError("; ".join(violations))
 
     def withdraw_reviewer(self, reviewer_id: str) -> EngineDelta:
         """Remove a reviewer; re-staff their papers when an assignment exists.
@@ -579,8 +769,9 @@ class AssignmentEngine:
         """
         problem = self._problem
         problem.reviewer_index(reviewer_id)  # raises KeyError for unknown reviewers
-        if self._assignment is not None:
+        if self._assignment is not None and not self._assignment_known_valid():
             problem.validate_assignment(self._assignment, require_complete=True)
+            self._mark_assignment_valid()
 
         affected = (
             tuple(sorted(self._assignment.papers_of(reviewer_id)))
@@ -624,6 +815,7 @@ class AssignmentEngine:
 
         after_pairs = set(repaired.pairs())
         self._assignment = repaired
+        self._mark_assignment_valid()
         return EngineDelta(
             kind="remove_reviewer",
             affected_papers=affected,
@@ -687,7 +879,13 @@ class AssignmentEngine:
         return payload
 
     def stats(self) -> dict[str, Any]:
-        """Engine counters plus the cache's work summary."""
+        """Engine counters plus the cache's and the view layer's summaries.
+
+        The ``delta`` block carries the compiled-view maintenance counters
+        (``delta_applies``, ``recompiles``, ``conflict_patches``) and the
+        exact-pruning outcomes (``prune_certified``, ``prune_fallbacks``)
+        accumulated across the whole mutation chain the engine has served.
+        """
         return {
             "revision": self._revision,
             "has_assignment": self._assignment is not None,
@@ -700,6 +898,7 @@ class AssignmentEngine:
             ),
             **self._counters,
             "cache": self._cache.describe(),
+            "delta": self._problem.view_stats.as_dict(),
         }
 
     def to_snapshot(self) -> dict[str, Any]:

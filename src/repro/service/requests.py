@@ -109,6 +109,9 @@ class JournalQuery(Request):
     top_k: int = 1
     solver: str = "BBA"
     pool_size: int | None = None
+    #: exact pruned-pool width (certified, result-preserving) — distinct
+    #: from the heuristic ``pool_size`` restriction
+    prune: int | None = None
 
     def __post_init__(self) -> None:
         if (self.paper_id is None) == (self.paper is None):
@@ -125,6 +128,8 @@ class AddPaper(Request):
 
     paper: Paper | None = None
     reviewer_workload: int | None = None
+    #: staffing shortlist width (top reviewers by score on the new paper)
+    pool_size: int | None = None
 
     def __post_init__(self) -> None:
         if self.paper is None:
@@ -342,7 +347,7 @@ def request_from_dict(payload: Mapping[str, Any]) -> Request:
                 fields["paper"] = paper_from_payload(payload["paper"])
             if "paper_id" in payload:
                 fields["paper_id"] = str(payload["paper_id"])
-            for name in ("group_size", "top_k", "pool_size"):
+            for name in ("group_size", "top_k", "pool_size", "prune"):
                 if payload.get(name) is not None:
                     fields[name] = int(payload[name])
             fields["solver"] = str(payload.get("solver", "BBA"))
@@ -350,8 +355,9 @@ def request_from_dict(payload: Mapping[str, Any]) -> Request:
             if "paper" not in payload:
                 raise RequestError("an add_paper request needs a 'paper'")
             fields["paper"] = paper_from_payload(payload["paper"])
-            if payload.get("reviewer_workload") is not None:
-                fields["reviewer_workload"] = int(payload["reviewer_workload"])
+            for name in ("reviewer_workload", "pool_size"):
+                if payload.get(name) is not None:
+                    fields[name] = int(payload[name])
         elif request_type is WithdrawReviewer:
             fields["reviewer_id"] = str(payload.get("reviewer_id", ""))
         elif request_type is UpdateBids:
@@ -389,7 +395,7 @@ def request_to_dict(request: Request) -> dict[str, Any]:
             payload["paper_id"] = request.paper_id
         if request.paper is not None:
             payload["paper"] = paper_to_payload(request.paper)
-        for name in ("group_size", "top_k", "pool_size"):
+        for name in ("group_size", "top_k", "pool_size", "prune"):
             value = getattr(request, name)
             if value is not None:
                 payload[name] = value
@@ -398,6 +404,8 @@ def request_to_dict(request: Request) -> dict[str, Any]:
         payload["paper"] = paper_to_payload(request.paper)
         if request.reviewer_workload is not None:
             payload["reviewer_workload"] = request.reviewer_workload
+        if request.pool_size is not None:
+            payload["pool_size"] = request.pool_size
     elif isinstance(request, WithdrawReviewer):
         payload["reviewer_id"] = request.reviewer_id
     elif isinstance(request, UpdateBids):

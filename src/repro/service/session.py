@@ -103,6 +103,7 @@ class EngineSession:
             and candidate.solver == reference.solver
             and candidate.top_k == reference.top_k
             and candidate.pool_size == reference.pool_size
+            and candidate.prune == reference.prune
         )
 
     def _dispatch_journal_batch(self, batch: list[JournalQuery]) -> list[Response]:
@@ -161,11 +162,14 @@ class EngineSession:
                 top_k=request.top_k,
                 solver=request.solver,
                 pool_size=request.pool_size,
+                prune=request.prune,
             )
             return answer.to_payload()
         if isinstance(request, AddPaper):
             delta = engine.add_paper(
-                request.paper, reviewer_workload=request.reviewer_workload
+                request.paper,
+                reviewer_workload=request.reviewer_workload,
+                pool_size=request.pool_size,
             )
             return delta.to_payload()
         if isinstance(request, WithdrawReviewer):

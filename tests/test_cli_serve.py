@@ -84,6 +84,36 @@ class TestServeStream:
         assert stats["engine"]["cache"]["full_builds"] <= 1
         assert engine.problem.num_papers == 11
 
+    def test_delta_and_prune_stats_over_the_wire(self, problem_file):
+        """The stats payload exposes the view-maintenance and prune counters."""
+        late = {"id": "late", "vector": [0.2, 0.1, 0.1, 0.1, 0.1, 0.1, 0.2, 0.1]}
+        engine, responses = _serve(
+            problem_file,
+            [
+                json.dumps({"kind": "solve", "solver": "Greedy"}),
+                json.dumps({"kind": "add_paper", "paper": late,
+                            "reviewer_workload": 6}),
+                json.dumps({"kind": "solve", "solver": "Greedy"}),
+                json.dumps({"kind": "journal", "paper_id": "paper-0003",
+                            "prune": 4}),
+                json.dumps({"kind": "stats"}),
+            ],
+        )
+        assert all(r["ok"] for r in responses)
+        delta = responses[-1]["payload"]["engine"]["delta"]
+        assert set(delta) == {
+            "recompiles", "delta_applies", "conflict_patches",
+            "prune_certified", "prune_fallbacks",
+        }
+        # the warmed solve -> add_paper -> solve path is delta-maintained:
+        # one compile for the chain, one delta apply for the late paper
+        assert delta["recompiles"] == 1
+        assert delta["delta_applies"] == 1
+        # the pruned journal query resolved one way or the other, and the
+        # pruned greedy columns were certified along the way
+        assert delta["prune_certified"] + delta["prune_fallbacks"] > 0
+        assert delta == engine.stats()["delta"]
+
     def test_shutdown_stops_the_loop(self, problem_file):
         _, responses = _serve(
             problem_file,

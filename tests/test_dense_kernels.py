@@ -384,25 +384,56 @@ class TestDenseViewSharing:
         assert problem.dense_view() is problem.dense_view()
 
     def test_dense_view_tracks_live_conflict_mutations(self):
-        """problem.conflicts is a live container; the compiled mask follows it."""
+        """problem.conflicts is a live container; the compiled mask follows it.
+
+        Since the delta-maintenance layer (``repro.core.delta``), conflict
+        edits are replayed *in place* into the compiled feasibility mask:
+        the view object stays the same, only the affected cells flip.
+        """
         problem = _instance(0, conflict_ratio=0.0)
         first = problem.dense_view()
         reviewer_id, paper_id = problem.reviewer_ids[0], problem.paper_ids[0]
         assert bool(first.feasible[0, 0])
+        patches_before = problem.view_stats.conflict_patches
+        recompiles_before = problem.view_stats.recompiles
 
         problem.conflicts.add(reviewer_id, paper_id)
-        rebuilt = problem.dense_view()
-        assert rebuilt is not first
-        assert not bool(rebuilt.feasible[0, 0])
+        patched = problem.dense_view()
+        assert patched is first  # maintained in place, not recompiled
+        assert not bool(patched.feasible[0, 0])
+        assert problem.view_stats.conflict_patches == patches_before + 1
+        assert problem.view_stats.recompiles == recompiles_before
         # a solver running after the mutation must respect the new conflict
         result = GreedySolver().solve(problem)
         assert not result.assignment.contains(reviewer_id, paper_id)
 
         problem.conflicts.discard(reviewer_id, paper_id)
         assert bool(problem.dense_view().feasible[0, 0])
-        # no-op mutations do not invalidate the cache
+        # no-op mutations do not touch the mask
         problem.conflicts.discard(reviewer_id, paper_id)
-        assert problem.dense_view() is problem.dense_view()
+        patches_now = problem.view_stats.conflict_patches
+        assert problem.dense_view() is first
+        assert problem.view_stats.conflict_patches == patches_now
+
+    def test_patched_mask_matches_full_recompile(self):
+        """After arbitrary edit sequences the patched mask equals the oracle."""
+        problem = _instance(1, conflict_ratio=0.1)
+        view = problem.dense_view()
+        rng = np.random.default_rng(5)
+        for _ in range(30):
+            reviewer_id = problem.reviewer_ids[int(rng.integers(problem.num_reviewers))]
+            paper_id = problem.paper_ids[int(rng.integers(problem.num_papers))]
+            if rng.random() < 0.5:
+                problem.conflicts.add(reviewer_id, paper_id)
+            else:
+                problem.conflicts.discard(reviewer_id, paper_id)
+        patched = problem.dense_view()
+        assert patched is view
+        from repro.core.dense import DenseProblem
+
+        oracle = DenseProblem(problem)
+        assert np.array_equal(patched.feasible, oracle.feasible)
+        assert patched.conflict_version == problem.conflicts.version
 
     def test_cache_build_seeds_the_problem(self):
         problem = _instance(0)

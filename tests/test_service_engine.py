@@ -134,12 +134,16 @@ class TestScoreCacheInvalidation:
         solved_engine.warm()
         calls = self._count_scoring_calls(monkeypatch)
         solved_engine.add_paper(_late_paper(solved_engine.problem))
-        # Reading the matrix after the mutation repairs only the new column.
+        # The delta layer scores exactly the new column at mutation time;
+        # the cache adopts the carried matrix by reference instead of
+        # re-scoring (or even copying) anything.
         solved_engine.journal_query("late-submission")
         num_reviewers = solved_engine.problem.num_reviewers
         assert calls == [(num_reviewers, 1)]
         assert solved_engine.cache.stats.full_builds == 1
-        assert solved_engine.cache.stats.partial_updates == 1
+        assert solved_engine.cache.stats.columns_adopted == 1
+        assert solved_engine.cache.stats.partial_updates == 0
+        assert not solved_engine.cache.dirty_papers
 
     def test_withdraw_reviewer_scores_nothing(self, monkeypatch, solved_engine):
         solved_engine.warm()
