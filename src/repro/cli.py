@@ -84,8 +84,9 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="SOLVERS",
         help=(
             "race several solvers and keep the best assignment; pass a "
-            "comma-separated solver list or omit the value for the default "
-            f"portfolio ({', '.join(DEFAULT_PORTFOLIO)})"
+            "comma-separated solver list, 'all' for every registered "
+            "solver (exponential-time members excluded), or omit the "
+            f"value for the default portfolio ({', '.join(DEFAULT_PORTFOLIO)})"
         ),
     )
     solve.add_argument(

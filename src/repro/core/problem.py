@@ -894,6 +894,7 @@ class JRAProblem:
         self._scoring = get_scoring_function(scoring)
         self._index = _EntityIndex([reviewer.id for reviewer in candidates], "reviewer")
         self._reviewer_matrix: np.ndarray | None = None
+        self._sorted_topic_lists: tuple[np.ndarray, np.ndarray] | None = None
 
     # ------------------------------------------------------------------
     # Accessors
@@ -959,6 +960,26 @@ class JRAProblem:
     def paper_vector(self) -> np.ndarray:
         """The paper's topic weights as a plain array."""
         return self._paper.vector.values
+
+    def sorted_topic_lists(self) -> tuple[np.ndarray, np.ndarray]:
+        """The T sorted reviewer lists of BBA (Section 3), cached.
+
+        Returns ``(sorted_reviewers, sorted_values)``: for every topic
+        ``t``, ``sorted_reviewers[t]`` lists reviewer indices by expertise
+        on ``t`` in descending order (stable, so ties keep index order)
+        and ``sorted_values[t]`` the corresponding weights.  Cached on the
+        instance because the engine's JRA sub-problem cache re-solves the
+        same instance across journal queries — the ``O(T * R log R)``
+        pre-sort is then paid once, not per query.
+        """
+        if self._sorted_topic_lists is None:
+            order = np.argsort(-self.reviewer_matrix, axis=0, kind="stable").T
+            sorted_reviewers = np.ascontiguousarray(order)
+            sorted_values = np.take_along_axis(
+                self.reviewer_matrix.T, sorted_reviewers, axis=1
+            )
+            self._sorted_topic_lists = (sorted_reviewers, sorted_values)
+        return self._sorted_topic_lists
 
     # ------------------------------------------------------------------
     # Evaluation

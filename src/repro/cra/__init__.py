@@ -26,13 +26,14 @@ from repro.cra.ilp import PairwiseILPSolver
 from repro.cra.local_search import LocalSearchRefiner, SDGAWithLocalSearchSolver
 from repro.cra.ratio import (
     GREEDY_RATIO,
+    RatioGreedySolver,
     RatioPoint,
     approximation_ratio_table,
     general_case_ratio,
     integral_case_ratio,
     sdga_ratio,
 )
-from repro.cra.repair import complete_assignment
+from repro.cra.repair import RefillRepairSolver, complete_assignment
 from repro.cra.retrieval import RetrievalAssignment, solve_retrieval_assignment
 from repro.cra.sdga import StageDeepeningGreedySolver
 from repro.cra.sra import RefinementRound, SDGAWithRefinementSolver, StochasticRefiner
@@ -66,12 +67,14 @@ __all__ = [
     "LocalSearchRefiner",
     "SDGAWithLocalSearchSolver",
     "GREEDY_RATIO",
+    "RatioGreedySolver",
     "RatioPoint",
     "approximation_ratio_table",
     "general_case_ratio",
     "integral_case_ratio",
     "sdga_ratio",
     "complete_assignment",
+    "RefillRepairSolver",
     "RetrievalAssignment",
     "solve_retrieval_assignment",
     "StageDeepeningGreedySolver",

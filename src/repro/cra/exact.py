@@ -72,13 +72,20 @@ class ExhaustiveSolver(CRASolver):
         group_scores = scoring.score_matrix(group_vectors, paper_matrix)  # (G, P)
 
         # Forbid groups containing a conflicted reviewer for each paper.
+        # The conflict container travels along mutation chains by id, so it
+        # can name reviewers that have since been withdrawn from the pool;
+        # entries for unknown ids are skipped (they cannot appear in any
+        # group of this problem) instead of crashing the index lookup.
+        positions = {reviewer_id: row for row, reviewer_id in enumerate(reviewer_ids)}
         allowed = np.ones_like(group_scores, dtype=bool)
         for paper_idx, paper_id in enumerate(problem.paper_ids):
             conflicted = problem.conflicts.reviewers_conflicting_with(paper_id)
             if not conflicted:
                 continue
             conflicted_rows = {
-                problem.reviewer_index(reviewer_id) for reviewer_id in conflicted
+                positions[reviewer_id]
+                for reviewer_id in conflicted
+                if reviewer_id in positions
             }
             for group_idx, group in enumerate(groups):
                 if conflicted_rows.intersection(group):

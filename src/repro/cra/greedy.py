@@ -67,16 +67,18 @@ class GreedySolver(CRASolver):
         Choose between the lazy-heap greedy (default) and the naive
         full re-scan (ablation only).
     use_dense:
-        Only meaningful for the lazy path: ``False`` selects the
-        historical object-path lazy heap, kept as the dense-kernel
-        benchmark baseline.  The heap makes the identical assignment
-        except in exact-gain-tie regimes, where its ulp-stale records can
-        reorder the tie (see the module docstring) — the dense path
-        matches the *naive* selection bit for bit everywhere.  The naive
-        ablation path (``use_lazy_heap=False``) always runs on the dense
-        kernels; its gains are bitwise-equal to the pre-refactor per-pair
-        staging (pinned by the kernel tests), so no object-path naive
-        variant is kept.
+        For the lazy path, ``False`` selects the historical object-path
+        lazy heap, kept as the dense-kernel benchmark baseline.  The heap
+        makes the identical assignment except in exact-gain-tie regimes,
+        where its ulp-stale records can reorder the tie (see the module
+        docstring) — the dense path matches the *naive* selection bit for
+        bit everywhere, which is why the cross-solver conformance harness
+        uses the naive object path (``use_lazy_heap=False,
+        use_dense=False``), not the heap, as Greedy's object oracle.  For
+        the naive path, ``False`` evaluates every gain through the object
+        layer (per-paper ``group_vector`` + ``gain_vector`` calls,
+        ``is_feasible_pair`` string checks) with the identical true-argmax
+        selection.
     prune:
         Refresh columns through the exact pruned candidate generator
         (default).  Pruning is result-preserving — every certification
@@ -106,7 +108,9 @@ class GreedySolver(CRASolver):
             if self._use_dense:
                 return self._solve_lazy(problem)
             return self._solve_lazy_object(problem)
-        return self._solve_naive(problem)
+        if self._use_dense:
+            return self._solve_naive(problem)
+        return self._solve_naive_object(problem)
 
     # ------------------------------------------------------------------
     # Lazy greedy (dense kernels)
@@ -371,5 +375,72 @@ class GreedySolver(CRASolver):
             "iterations": iterations,
             "gain_evaluations": evaluations,
             "strategy": "naive",
+            "repaired": repaired,
+        }
+
+    def _solve_naive_object(
+        self, problem: WGRAPProblem
+    ) -> tuple[Assignment, dict[str, Any]]:
+        """The naive greedy evaluated entirely through the object layer.
+
+        Same true-argmax selection (ties on the smallest
+        ``(reviewer, paper)`` pair) as :meth:`_solve_naive`, but gains come
+        from per-paper :meth:`~repro.core.problem.WGRAPProblem.group_vector`
+        + :meth:`~repro.core.scoring.ScoringFunction.gain_vector` calls and
+        feasibility from per-pair ``is_feasible_pair`` checks — the
+        conformance-harness oracle for both dense greedy paths.  (The lazy
+        heap is *not* that oracle: its stale records reorder exact-gain
+        ties, a documented historical divergence pinned by
+        ``tests/conformance``.)
+        """
+        scoring = problem.scoring
+        reviewer_matrix = problem.reviewer_matrix
+        paper_matrix = problem.paper_matrix
+        num_papers = problem.num_papers
+        num_reviewers = problem.num_reviewers
+
+        assignment = Assignment()
+        loads = np.zeros(num_reviewers, dtype=np.int64)
+        target_pairs = num_papers * problem.group_size
+        iterations = 0
+        evaluations = 0
+
+        while len(assignment) < target_pairs:
+            gains = np.full((num_reviewers, num_papers), -np.inf, dtype=np.float64)
+            for paper_idx, paper_id in enumerate(problem.paper_ids):
+                if assignment.group_size(paper_id) >= problem.group_size:
+                    continue
+                group_vector = problem.group_vector(assignment, paper_id)
+                gains[:, paper_idx] = scoring.gain_vector(
+                    group_vector, reviewer_matrix, paper_matrix[paper_idx]
+                )
+                evaluations += num_reviewers
+                members = assignment.reviewers_of(paper_id)
+                for reviewer_idx, reviewer_id in enumerate(problem.reviewer_ids):
+                    if (
+                        loads[reviewer_idx] >= problem.reviewer_workload
+                        or reviewer_id in members
+                        or not problem.is_feasible_pair(reviewer_id, paper_id)
+                    ):
+                        gains[reviewer_idx, paper_idx] = -np.inf
+
+            reviewer_idx, paper_idx = np.unravel_index(np.argmax(gains), gains.shape)
+            if not np.isfinite(gains[reviewer_idx, paper_idx]):
+                break
+            assignment.add(
+                problem.reviewer_ids[int(reviewer_idx)],
+                problem.paper_ids[int(paper_idx)],
+            )
+            loads[reviewer_idx] += 1
+            iterations += 1
+
+        repaired = False
+        if len(assignment) < target_pairs:
+            assignment = complete_assignment(problem, assignment, use_dense=False)
+            repaired = True
+        return assignment, {
+            "iterations": iterations,
+            "gain_evaluations": evaluations,
+            "strategy": "naive_object",
             "repaired": repaired,
         }

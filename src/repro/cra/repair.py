@@ -15,22 +15,40 @@ This module completes such assignments:
 
 When the assignment is already complete the repair is a no-op.  The input
 assignment is never modified; a completed copy is returned.
+
+Applied to an *empty* assignment the repair pass is itself a constructive
+solver: ``delta_p`` rounds of capacitated one-reviewer-per-paper refills
+under the global workload — SDGA without the per-stage caps.
+:class:`RefillRepairSolver` registers exactly that as the ``Repair``
+baseline, so the refill machinery every other solver leans on is itself
+exercised (and conformance-checked) as a first-class solver.
+
+Refill inputs are built on the dense view by default; ``use_dense=False``
+keeps the object path (per-paper ``gain_vector`` over ``is_feasible_pair``
+string checks) as the conformance oracle — both produce bitwise-identical
+gains and masks, hence identical completions.
 """
 
 from __future__ import annotations
+
+from typing import Any
 
 import numpy as np
 
 from repro.assignment.transportation import solve_capacitated_assignment
 from repro.core.assignment import Assignment
 from repro.core.problem import WGRAPProblem
+from repro.cra.base import CRASolver
 from repro.exceptions import InfeasibleProblemError
 
-__all__ = ["complete_assignment"]
+__all__ = ["complete_assignment", "RefillRepairSolver"]
 
 
 def complete_assignment(
-    problem: WGRAPProblem, assignment: Assignment, backend: str = "hungarian"
+    problem: WGRAPProblem,
+    assignment: Assignment,
+    backend: str = "hungarian",
+    use_dense: bool = True,
 ) -> Assignment:
     """Fill every under-staffed paper up to ``delta_p`` reviewers.
 
@@ -65,7 +83,12 @@ def complete_assignment(
                 "not enough remaining reviewer capacity to complete the assignment"
             )
 
-        gains, forbidden = _refill_inputs(problem, completed, missing, capacities)
+        if use_dense:
+            gains, forbidden = _refill_inputs(problem, completed, missing, capacities)
+        else:
+            gains, forbidden = _refill_inputs_object(
+                problem, completed, missing, capacities
+            )
 
         deadlocked = [missing[row] for row in np.flatnonzero(forbidden.all(axis=1))]
         if deadlocked:
@@ -119,6 +142,34 @@ def _refill_inputs(
     return gains, forbidden
 
 
+def _refill_inputs_object(
+    problem: WGRAPProblem,
+    assignment: Assignment,
+    missing: list[str],
+    capacities: np.ndarray,
+) -> tuple[np.ndarray, np.ndarray]:
+    """The same refill inputs through the object path (conformance oracle)."""
+    scoring = problem.scoring
+    reviewer_matrix = problem.reviewer_matrix
+    paper_matrix = problem.paper_matrix
+    num_reviewers = problem.num_reviewers
+    gains = np.empty((len(missing), num_reviewers), dtype=np.float64)
+    forbidden = np.zeros((len(missing), num_reviewers), dtype=bool)
+    for row, paper_id in enumerate(missing):
+        group_vector = problem.group_vector(assignment, paper_id)
+        gains[row] = scoring.gain_vector(
+            group_vector, reviewer_matrix, paper_matrix[problem.paper_index(paper_id)]
+        )
+        for reviewer_idx, reviewer_id in enumerate(problem.reviewer_ids):
+            if capacities[reviewer_idx] <= 0:
+                forbidden[row, reviewer_idx] = True
+            elif not problem.is_feasible_pair(reviewer_id, paper_id):
+                forbidden[row, reviewer_idx] = True
+        for reviewer_id in assignment.reviewers_of(paper_id):
+            forbidden[row, problem.reviewer_index(reviewer_id)] = True
+    return gains, forbidden
+
+
 def _resolve_deadlock(
     problem: WGRAPProblem, assignment: Assignment, paper_id: str
 ) -> bool:
@@ -153,3 +204,35 @@ def _resolve_deadlock(
                 assignment.add(spare, other_paper)
                 return True
     return False
+
+
+class RefillRepairSolver(CRASolver):
+    """The repair pass run from an empty assignment, as a solver.
+
+    ``delta_p`` rounds of capacitated one-reviewer-per-paper refills under
+    the *global* workload (no per-stage caps): structurally SDGA's
+    machinery minus the Theorem 1/2 stage discipline, which makes it a
+    useful ablation baseline — and puts :func:`complete_assignment`, the
+    path every constructive solver falls back on, under direct
+    conformance coverage.
+
+    Parameters
+    ----------
+    backend:
+        Assignment backend for each refill round.
+    use_dense:
+        ``False`` builds the refill inputs through the object path (the
+        conformance oracle); results are identical either way.
+    """
+
+    name = "Repair"
+
+    def __init__(self, backend: str = "hungarian", use_dense: bool = True) -> None:
+        self._backend = backend
+        self._use_dense = use_dense
+
+    def _solve(self, problem: WGRAPProblem) -> tuple[Assignment, dict[str, Any]]:
+        assignment = complete_assignment(
+            problem, Assignment(), backend=self._backend, use_dense=self._use_dense
+        )
+        return assignment, {"backend": self._backend, "rounds": problem.group_size}

@@ -77,6 +77,15 @@ class StochasticRefiner:
           mentions and rejects.
 
         The alternatives exist for the ablation benchmark.
+    use_dense:
+        ``False`` evaluates the per-round scores through
+        :meth:`WGRAPProblem.assignment_score
+        <repro.core.problem.WGRAPProblem.assignment_score>` and builds the
+        refill inputs through SDGA's object path instead of the compiled
+        kernels (the removal sampling shares one code path — it reads the
+        same cached pair-score matrix either way).  Both paths consume the
+        identical random stream and produce the identical refinement, the
+        conformance oracle for SDGA-SRA's refinement stage.
     """
 
     def __init__(
@@ -88,6 +97,7 @@ class StochasticRefiner:
         backend: str = "hungarian",
         seed: int | None = 0,
         probability_model: str = "decayed",
+        use_dense: bool = True,
     ) -> None:
         if convergence_window < 1:
             raise ConfigurationError("convergence_window (omega) must be at least 1")
@@ -106,6 +116,7 @@ class StochasticRefiner:
         self._backend = backend
         self._seed = seed
         self._probability_model = probability_model
+        self._use_dense = use_dense
 
     # ------------------------------------------------------------------
     # Public API
@@ -116,8 +127,13 @@ class StochasticRefiner:
         """Run the stochastic refinement and return the best assignment found."""
         problem.validate_assignment(assignment, require_complete=True)
         rng = np.random.default_rng(self._seed)
-        dense = problem.dense_view()
-        pair_scores = dense.pair_scores()
+        if self._use_dense:
+            dense = problem.dense_view()
+            score_of = dense.assignment_score
+        else:
+            dense = None
+            score_of = problem.assignment_score
+        pair_scores = problem.pair_score_matrix()
         # Denominator of Equation 9: how strongly each reviewer scores
         # across *all* papers (reviewers good everywhere are penalised).
         reviewer_mass = pair_scores.sum(axis=1)
@@ -125,7 +141,7 @@ class StochasticRefiner:
 
         current = assignment.copy()
         best = assignment.copy()
-        best_score = dense.assignment_score(best)
+        best_score = score_of(best)
         rounds_without_improvement = 0
         history: list[RefinementRound] = []
         started = time.perf_counter()
@@ -137,11 +153,11 @@ class StochasticRefiner:
             if rounds_without_improvement >= self._omega:
                 break
 
-            self._remove_one_reviewer_per_paper(dense, current, pair_scores,
+            self._remove_one_reviewer_per_paper(problem, current, pair_scores,
                                                 reviewer_mass, round_index, rng)
-            self._refill(dense, current)
+            self._refill(problem, dense, current)
 
-            current_score = dense.assignment_score(current)
+            current_score = score_of(current)
             if current_score > best_score + 1e-12:
                 best = current.copy()
                 best_score = current_score
@@ -171,7 +187,7 @@ class StochasticRefiner:
     # ------------------------------------------------------------------
     def _remove_one_reviewer_per_paper(
         self,
-        dense: "DenseProblem",
+        problem: WGRAPProblem,
         assignment: Assignment,
         pair_scores: np.ndarray,
         reviewer_mass: np.ndarray,
@@ -184,20 +200,20 @@ class StochasticRefiner:
         of the pair-score matrix per paper (the same elementwise arithmetic
         as the historical per-member scalar loop, so the sampled victims —
         and the consumed random stream — are identical under a fixed seed).
+        One shared code path for both refiner modes: the sampling reads
+        only the cached pair-score matrix and the problem's id order.
         """
-        problem = dense.problem
-        uniform_floor = 1.0 / dense.num_reviewers
+        uniform_floor = 1.0 / problem.num_reviewers
         if self._probability_model == "decayed":
             decay_factor = float(np.exp(-self._decay * round_index))
         else:
             decay_factor = 1.0
-        reviewer_pos = dense.reviewer_pos
 
         for paper_idx, paper_id in enumerate(problem.paper_ids):
             members = sorted(assignment.reviewers_of(paper_id))
             if not members:
                 continue
-            rows = [reviewer_pos[reviewer_id] for reviewer_id in members]
+            rows = [problem.reviewer_index(reviewer_id) for reviewer_id in members]
             if self._probability_model == "uniform":
                 keep_probabilities = np.full(len(members), uniform_floor)
             else:
@@ -214,17 +230,32 @@ class StochasticRefiner:
             victim = rng.choice(len(members), p=removal_weights)
             assignment.remove(members[int(victim)], paper_id)
 
-    def _refill(self, dense: "DenseProblem", assignment: Assignment) -> None:
+    def _refill(
+        self,
+        problem: WGRAPProblem,
+        dense: "DenseProblem | None",
+        assignment: Assignment,
+    ) -> None:
         """One Stage-WGRAP step that gives every paper one reviewer back.
 
-        Stage inputs come from :meth:`DenseProblem.stage_inputs
+        On the dense path the stage inputs come from
+        :meth:`DenseProblem.stage_inputs
         <repro.core.dense.DenseProblem.stage_inputs>`, which reads the
         shared (delta-maintained) pair-score matrix through the problem's
         cache chain — after an engine mutation the refill pays only the
-        gain kernel, never a full re-score.
+        gain kernel, never a full re-score.  The object path builds the
+        bitwise-identical inputs through SDGA's per-pair oracle.
         """
-        gains, forbidden, capacities = dense.stage_inputs(assignment, stage_capped=False)
-        problem = dense.problem
+        if dense is not None:
+            gains, forbidden, capacities = dense.stage_inputs(
+                assignment, stage_capped=False
+            )
+        else:
+            gains, forbidden, capacities = (
+                StageDeepeningGreedySolver._stage_inputs_object(
+                    problem, assignment, stage_capped=False
+                )
+            )
         result = solve_capacitated_assignment(
             gains, capacities, forbidden=forbidden, backend=self._backend
         )

@@ -8,6 +8,19 @@ proposals, always keeping the papers it scores highest on.  The result is
 stable with respect to the pairwise scores but — as the paper's experiments
 show — ignores the *group* composition, so interdisciplinary papers often
 end up with narrow groups.
+
+The default path builds the preference lists in index space: one stable
+argsort per paper over the shared (delta-maintained) pair-score matrix,
+conflicts masked out through the compiled feasibility mask of
+:class:`~repro.core.dense.DenseProblem`.  Because the mask is obtained
+through :meth:`WGRAPProblem.dense_view
+<repro.core.problem.WGRAPProblem.dense_view>` *inside the solve*, live
+conflict edits are patched in before any preference list is built — a
+mid-session ``problem.conflicts.add(...)`` is observed, never a stale
+snapshot (pinned by ``tests/conformance``).  ``use_dense=False`` keeps the
+object path — Python sorts over per-pair ``is_feasible_pair`` checks — as
+the conformance-harness oracle; both paths produce identical preference
+lists (stable sort, same tie order) and therefore identical matchings.
 """
 
 from __future__ import annotations
@@ -26,25 +39,29 @@ __all__ = ["StableMatchingSolver"]
 
 
 class StableMatchingSolver(CRASolver):
-    """Deferred acceptance between papers (proposers) and reviewers."""
+    """Deferred acceptance between papers (proposers) and reviewers.
+
+    Parameters
+    ----------
+    use_dense:
+        ``False`` selects the object-path preference-list construction
+        (kept as the conformance baseline); the matching loop is shared.
+    """
 
     name = "SM"
 
+    def __init__(self, use_dense: bool = True) -> None:
+        self._use_dense = use_dense
+
     def _solve(self, problem: WGRAPProblem) -> tuple[Assignment, dict[str, Any]]:
-        dense = problem.dense_view()
-        pair_scores = dense.pair_scores()  # (R, P)
-        num_papers = dense.num_papers
-        num_reviewers = dense.num_reviewers
+        pair_scores = problem.pair_score_matrix()  # (R, P), shared cache
+        if self._use_dense:
+            preference_lists = self._preferences_dense(problem, pair_scores)
+        else:
+            preference_lists = self._preferences_object(problem, pair_scores)
 
-        # Preference lists of every paper: reviewer indices by descending score,
-        # conflicts of interest masked out in index space (the compiled
-        # feasibility mask replaces the per-reviewer id/frozenset checks).
-        preference_lists: list[list[int]] = []
-        feasible = dense.feasible
-        for paper_idx in range(num_papers):
-            order = np.argsort(-pair_scores[:, paper_idx], kind="stable")
-            preference_lists.append(order[feasible[order, paper_idx]].tolist())
-
+        num_papers = problem.num_papers
+        num_reviewers = problem.num_reviewers
         next_proposal = [0] * num_papers
         seats_needed = [problem.group_size] * num_papers
         #: for every reviewer, the held papers as a list of (score, paper_idx)
@@ -97,7 +114,9 @@ class StableMatchingSolver(CRASolver):
         ):
             # Dense conflicts can exhaust a paper's preference list; top the
             # assignment up with the repair pass (rare in practice).
-            assignment = complete_assignment(problem, assignment)
+            assignment = complete_assignment(
+                problem, assignment, use_dense=self._use_dense
+            )
             repaired = True
 
         return assignment, {
@@ -105,3 +124,46 @@ class StableMatchingSolver(CRASolver):
             "rejections": rejections,
             "repaired": repaired,
         }
+
+    # ------------------------------------------------------------------
+    # Preference lists
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _preferences_dense(
+        problem: WGRAPProblem, pair_scores: np.ndarray
+    ) -> list[list[int]]:
+        """Reviewer indices by descending score, conflicts masked in index space.
+
+        The feasibility mask comes from ``dense_view()`` *here*, at solve
+        time, so pending in-place conflict patches are applied before the
+        lists are built.
+        """
+        dense = problem.dense_view()
+        feasible = dense.feasible
+        preference_lists: list[list[int]] = []
+        for paper_idx in range(problem.num_papers):
+            order = np.argsort(-pair_scores[:, paper_idx], kind="stable")
+            preference_lists.append(order[feasible[order, paper_idx]].tolist())
+        return preference_lists
+
+    @staticmethod
+    def _preferences_object(
+        problem: WGRAPProblem, pair_scores: np.ndarray
+    ) -> list[list[int]]:
+        """The same lists via Python sorts and per-pair feasibility checks."""
+        reviewer_ids = problem.reviewer_ids
+        preference_lists: list[list[int]] = []
+        for paper_id in problem.paper_ids:
+            paper_idx = problem.paper_index(paper_id)
+            column = pair_scores[:, paper_idx]
+            order = sorted(
+                range(problem.num_reviewers), key=lambda row: -float(column[row])
+            )
+            preference_lists.append(
+                [
+                    row
+                    for row in order
+                    if problem.is_feasible_pair(reviewer_ids[row], paper_id)
+                ]
+            )
+        return preference_lists

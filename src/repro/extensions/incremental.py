@@ -20,6 +20,19 @@ and reports the resulting delta — so long-running callers get the exact
 set of changed pairs instead of having to diff two assignments.  Both
 functions return a *new* problem and a *new* assignment; the inputs are
 never mutated.
+
+Conflict-version discipline (audited in PR 5, the same staleness class
+fixed in the engine's JRA sub-problem cache in PR 4): every cached input
+this path consumes is keyed on :attr:`WGRAPProblem.versions
+<repro.core.problem.WGRAPProblem.versions>` — the engine validates the
+incoming assignment against the *current* conflict version before
+mutating (a live ``conflicts.add`` between two incremental calls that
+invalidates an assigned pair raises instead of committing), and the
+repair's refill inputs read the feasibility mask through
+``dense_view()``, which patches pending conflict edits in place before
+any slot is filled.  ``tests/test_extensions.py``
+(``TestIncrementalConflictVersionStaleness``) pins both behaviours with
+conflict edits interleaved between calls.
 """
 
 from __future__ import annotations

@@ -21,6 +21,18 @@ quantify how much each contributes.
 
 A ``top_k`` mode keeps the ``k`` best groups in a heap instead of a single
 incumbent (Figure 15); pruning then compares against the k-th best score.
+
+The default path runs the candidate front in index space: the T sorted
+lists come pre-computed (and cached across solves) from
+:meth:`JRAProblem.sorted_topic_lists
+<repro.core.problem.JRAProblem.sorted_topic_lists>`, the per-node cursor
+advance checks all T fronts in one gather and falls into the per-topic
+walk only for the cursors actually blocked by a visited reviewer, and the
+candidate set is deduplicated with one ``np.unique`` in first-occurrence
+order.  ``use_dense=False`` keeps the historical per-topic cursor loops
+as the conformance oracle; both paths visit the identical search tree
+(same candidate order, same gains, same bounds) and return bitwise-equal
+results.
 """
 
 from __future__ import annotations
@@ -51,6 +63,10 @@ class BranchAndBoundSolver(JRASolver):
     use_gain_ordering:
         Disable to pick candidates in arbitrary (topic) order instead of by
         marginal gain (ablation only).
+    use_dense:
+        ``False`` selects the historical per-topic cursor loops instead of
+        the vectorised candidate front (conformance oracle; identical
+        search tree either way).
     """
 
     name = "BBA"
@@ -60,12 +76,14 @@ class BranchAndBoundSolver(JRASolver):
         top_k: int = 1,
         use_bound: bool = True,
         use_gain_ordering: bool = True,
+        use_dense: bool = True,
     ) -> None:
         if top_k < 1:
             raise ValueError("top_k must be at least 1")
         self._top_k = top_k
         self._use_bound = use_bound
         self._use_gain_ordering = use_gain_ordering
+        self._use_dense = use_dense
 
     # ------------------------------------------------------------------
     # Core search
@@ -82,12 +100,9 @@ class BranchAndBoundSolver(JRASolver):
         denominator = float(paper_vector.sum())
 
         # T sorted lists: sorted_reviewers[t] lists reviewer indices by
-        # expertise on topic t, descending; sorted_values[t] the weights.
-        order = np.argsort(-reviewer_matrix, axis=0, kind="stable").T
-        sorted_reviewers = np.ascontiguousarray(order)
-        sorted_values = np.take_along_axis(
-            reviewer_matrix.T, sorted_reviewers, axis=1
-        )
+        # expertise on topic t, descending; sorted_values[t] the weights —
+        # cached on the problem so repeat solves skip the pre-sort.
+        sorted_reviewers, sorted_values = problem.sorted_topic_lists()
 
         def contribution(vector: np.ndarray) -> float:
             if denominator <= 0.0:
@@ -134,21 +149,14 @@ class BranchAndBoundSolver(JRASolver):
             group_vector = group_vectors[stage]
 
             # Advance every cursor of this stage past infeasible reviewers.
-            candidates: list[int] = []
-            candidate_set: set[int] = set()
-            for topic in range(num_topics):
-                position = cursor[topic]
-                while (
-                    position < num_reviewers
-                    and visited_stage[sorted_reviewers[topic, position]] != 0
-                ):
-                    position += 1
-                cursor[topic] = position
-                if position < num_reviewers:
-                    reviewer = int(sorted_reviewers[topic, position])
-                    if reviewer not in candidate_set:
-                        candidate_set.add(reviewer)
-                        candidates.append(reviewer)
+            if self._use_dense:
+                candidates = self._advance_front_vectorized(
+                    cursor, visited_stage, sorted_reviewers, num_reviewers
+                )
+            else:
+                candidates = self._advance_front_loops(
+                    cursor, visited_stage, sorted_reviewers, num_reviewers, num_topics
+                )
 
             if not candidates:
                 stage = self._backtrack(stage, visited_stage, members)
@@ -222,6 +230,69 @@ class BranchAndBoundSolver(JRASolver):
     # ------------------------------------------------------------------
     # Helpers
     # ------------------------------------------------------------------
+    @staticmethod
+    def _advance_front_loops(
+        cursor: np.ndarray,
+        visited_stage: np.ndarray,
+        sorted_reviewers: np.ndarray,
+        num_reviewers: int,
+        num_topics: int,
+    ) -> list[int]:
+        """The historical per-topic cursor walk (conformance oracle)."""
+        candidates: list[int] = []
+        candidate_set: set[int] = set()
+        for topic in range(num_topics):
+            position = cursor[topic]
+            while (
+                position < num_reviewers
+                and visited_stage[sorted_reviewers[topic, position]] != 0
+            ):
+                position += 1
+            cursor[topic] = position
+            if position < num_reviewers:
+                reviewer = int(sorted_reviewers[topic, position])
+                if reviewer not in candidate_set:
+                    candidate_set.add(reviewer)
+                    candidates.append(reviewer)
+        return candidates
+
+    @staticmethod
+    def _advance_front_vectorized(
+        cursor: np.ndarray,
+        visited_stage: np.ndarray,
+        sorted_reviewers: np.ndarray,
+        num_reviewers: int,
+    ) -> list[int]:
+        """The same candidate front with one gather instead of T Python loops.
+
+        Only cursors whose front reviewer is currently visited fall into
+        the per-topic walk (at most a handful per node: a cursor can only
+        be blocked by a reviewer visited since the cursor array was
+        copied).  Deduplication keeps first-occurrence topic order —
+        exactly the list the loop oracle builds, so gain argmax
+        tie-breaking and the ablation's ``candidates[0]`` pick are
+        unchanged.
+        """
+        live = np.flatnonzero(cursor < num_reviewers)
+        if live.size:
+            front = sorted_reviewers[live, cursor[live]]
+            blocked = live[visited_stage[front] != 0]
+            for topic in blocked.tolist():
+                position = cursor[topic]
+                while (
+                    position < num_reviewers
+                    and visited_stage[sorted_reviewers[topic, position]] != 0
+                ):
+                    position += 1
+                cursor[topic] = position
+            if blocked.size:
+                live = np.flatnonzero(cursor < num_reviewers)
+        if live.size == 0:
+            return []
+        rows = sorted_reviewers[live, cursor[live]]
+        # dict preserves insertion order = first-occurrence topic order.
+        return list(dict.fromkeys(rows.tolist()))
+
     @staticmethod
     def _backtrack(
         stage: int, visited_stage: np.ndarray, members: np.ndarray

@@ -29,6 +29,7 @@ See ``docs/parallel.md`` for the architecture discussion and
 from repro.parallel.config import DEFAULT_SERIAL_THRESHOLD, ParallelConfig
 from repro.parallel.portfolio import (
     DEFAULT_PORTFOLIO,
+    full_portfolio,
     PortfolioEntry,
     PortfolioOutcome,
     run_portfolio,
@@ -40,6 +41,7 @@ __all__ = [
     "ParallelConfig",
     "DEFAULT_SERIAL_THRESHOLD",
     "DEFAULT_PORTFOLIO",
+    "full_portfolio",
     "PortfolioEntry",
     "PortfolioOutcome",
     "run_portfolio",

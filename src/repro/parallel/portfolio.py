@@ -37,12 +37,40 @@ __all__ = [
     "DEFAULT_PORTFOLIO",
     "PortfolioEntry",
     "PortfolioOutcome",
+    "full_portfolio",
     "run_portfolio",
 ]
 
 #: Default line-up: the paper's best method, its deterministic backbone
 #: and the fast 1/3-approximation baseline.
 DEFAULT_PORTFOLIO: tuple[str, ...] = ("SDGA-SRA", "SDGA", "Greedy")
+
+
+def full_portfolio() -> tuple[str, ...]:
+    """Every registered CRA solver that is safe to race.
+
+    The line-up is read from the live solver registry, so a newly
+    registered solver joins the race without this module changing; only
+    solvers tagged ``"exponential"`` (Exhaustive, the pairwise ILP) are
+    excluded — a deadline cannot rescue a serial race from a member that
+    may never finish.  Resolvable everywhere a solver list is accepted via
+    the pseudo-name ``"all"`` (CLI ``--portfolio all``, the ``portfolio``
+    request kind, :meth:`AssignmentEngine.solve_portfolio
+    <repro.service.engine.AssignmentEngine.solve_portfolio>`).
+
+    Note that the line-up includes ``Bid-SDGA``, whose bid matrix is
+    empty unless the race's ``options`` carry ``bids`` triples (options
+    are forwarded to every factory) — with no bids its solve degenerates
+    to plain SDGA's stage problems, so pass bids when they exist or trim
+    the line-up when racing under a tight serial deadline.
+    """
+    from repro.service.registry import available_solver_specs
+
+    return tuple(
+        spec.name
+        for spec in available_solver_specs("cra")
+        if "exponential" not in spec.tags
+    )
 
 
 @dataclass(frozen=True)
@@ -102,14 +130,22 @@ class PortfolioOutcome:
 
 
 def _canonical_lineup(solvers: tuple[str, ...] | list[str]) -> list[str]:
-    """Resolve, canonicalise and dedupe the requested solver names."""
+    """Resolve, canonicalise and dedupe the requested solver names.
+
+    The pseudo-name ``"all"`` expands in place to :func:`full_portfolio`
+    (the whole registry minus the exponential-time members).
+    """
     from repro.service.registry import solver_spec
 
     lineup: list[str] = []
     for name in solvers:
-        canonical = solver_spec("cra", name).name
-        if canonical not in lineup:
-            lineup.append(canonical)
+        expanded = (
+            full_portfolio() if name.strip().lower() == "all" else (name,)
+        )
+        for member in expanded:
+            canonical = solver_spec("cra", member).name
+            if canonical not in lineup:
+                lineup.append(canonical)
     if not lineup:
         raise ConfigurationError("a portfolio needs at least one solver")
     return lineup

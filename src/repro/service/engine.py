@@ -649,8 +649,12 @@ class AssignmentEngine:
                 for reviewer_id in problem.reviewer_ids
                 if self._assignment.load(reviewer_id) >= workload
             }
-            excluded = exhausted | set(
-                problem.conflicts.reviewers_conflicting_with(paper.id)
+            # Conflicts can be declared for a paper id before the paper
+            # arrives; keep only entries naming reviewers still in the pool
+            # so the availability count below stays exact.
+            known = set(problem.reviewer_ids)
+            excluded = exhausted | (
+                set(problem.conflicts.reviewers_conflicting_with(paper.id)) & known
             )
             available = problem.num_reviewers - len(excluded)
             if available < problem.group_size:

@@ -204,14 +204,28 @@ class Response:
     """Outcome of one request.
 
     ``payload`` is always JSON-serialisable; errors carry the exception
-    message in ``error`` with ``ok`` false and keep the request's kind so
-    clients know which operation failed.
+    message in ``error`` with ``ok`` false, keep the request's kind so
+    clients know which operation failed, and classify the failure in
+    ``error_type`` so clients can branch without parsing messages:
+
+    * ``"request"`` — malformed input (bad JSON, unknown kind, missing or
+      ill-typed fields);
+    * ``"unknown_solver"`` — a solver name not present in the registry;
+    * ``"unknown_id"`` — a paper/reviewer id not part of the problem;
+    * ``"infeasible"`` — the instance (or the requested mutation) admits
+      no feasible assignment;
+    * ``"configuration"`` — inconsistent options (bad ``top_k``, bad
+      ``pool_size``, ...);
+    * ``"solver"`` — a solver failed to produce a result;
+    * ``"internal"`` — an unexpected failure; the serving loop reports
+      the exception class and message instead of leaking a traceback.
     """
 
     kind: str
     ok: bool
     payload: Mapping[str, Any] = field(default_factory=dict)
     error: str | None = None
+    error_type: str | None = None
     request_id: str | int | None = None
 
     def to_dict(self) -> dict[str, Any]:
@@ -223,14 +237,25 @@ class Response:
             result["payload"] = dict(self.payload)
         else:
             result["error"] = self.error or "unknown error"
+            result["error_type"] = self.error_type or "internal"
         return result
 
     @classmethod
     def failure(
-        cls, kind: str, error: str, request_id: str | int | None = None
+        cls,
+        kind: str,
+        error: str,
+        request_id: str | int | None = None,
+        error_type: str = "request",
     ) -> "Response":
         """Shorthand for an error response."""
-        return cls(kind=kind, ok=False, error=error, request_id=request_id)
+        return cls(
+            kind=kind,
+            ok=False,
+            error=error,
+            error_type=error_type,
+            request_id=request_id,
+        )
 
 
 # ----------------------------------------------------------------------

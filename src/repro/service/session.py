@@ -21,7 +21,16 @@ from collections import deque
 from collections.abc import Iterable
 from typing import Any, TextIO
 
-from repro.exceptions import ReproError, RequestError
+from repro.exceptions import (
+    ConfigurationError,
+    InfeasibleAssignmentError,
+    InfeasibleProblemError,
+    ReproError,
+    RequestError,
+    SolverError,
+    UnknownScoringFunctionError,
+    UnknownSolverError,
+)
 from repro.service.engine import AssignmentEngine
 from repro.service.requests import (
     AddPaper,
@@ -39,7 +48,34 @@ from repro.service.requests import (
     request_from_dict,
 )
 
-__all__ = ["EngineSession", "serve_stream"]
+__all__ = ["EngineSession", "classify_error", "serve_stream"]
+
+
+def classify_error(exc: BaseException) -> str:
+    """Map an exception to the structured ``error_type`` of the wire protocol.
+
+    Ordered most-specific first (``UnknownSolverError`` subclasses both
+    :class:`~repro.exceptions.ConfigurationError` and :class:`KeyError`).
+    The serving loop attaches the result to every failed response so
+    clients can branch on a stable code instead of parsing messages.
+    """
+    if isinstance(exc, UnknownSolverError):
+        return "unknown_solver"
+    if isinstance(exc, UnknownScoringFunctionError):
+        return "configuration"  # a scoring name, not a solver name
+    if isinstance(exc, (InfeasibleProblemError, InfeasibleAssignmentError)):
+        return "infeasible"
+    if isinstance(exc, RequestError):
+        return "request"
+    if isinstance(exc, SolverError):
+        return "solver"
+    if isinstance(exc, ConfigurationError):
+        return "configuration"
+    if isinstance(exc, KeyError):
+        return "unknown_id"
+    if isinstance(exc, (ReproError, ValueError)):
+        return "request"
+    return "internal"
 
 
 class EngineSession:
@@ -122,7 +158,14 @@ class EngineSession:
     # Dispatch
     # ------------------------------------------------------------------
     def dispatch(self, request: Request) -> Response:
-        """Serve one request immediately, converting failures to responses."""
+        """Serve one request immediately, converting failures to responses.
+
+        *Every* exception becomes a structured ``ok: false`` response —
+        domain errors with their specific ``error_type``, unexpected ones
+        as ``"internal"`` with the exception class named in the message.
+        The serving loop therefore never leaks a traceback to the client
+        and never dies on a single bad request.
+        """
         self._counters["dispatched"] += 1
         try:
             payload = self._handle(request)
@@ -130,7 +173,18 @@ class EngineSession:
             self._counters["failed"] += 1
             message = exc.args[0] if exc.args else str(exc)
             return Response.failure(
-                kind=request.kind, error=str(message), request_id=request.request_id
+                kind=request.kind,
+                error=str(message),
+                request_id=request.request_id,
+                error_type=classify_error(exc),
+            )
+        except Exception as exc:  # noqa: BLE001 — the loop must survive anything
+            self._counters["failed"] += 1
+            return Response.failure(
+                kind=request.kind,
+                error=f"{type(exc).__name__}: {exc}",
+                request_id=request.request_id,
+                error_type="internal",
             )
         return Response(
             kind=request.kind, ok=True, payload=payload, request_id=request.request_id

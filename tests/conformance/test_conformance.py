@@ -1,0 +1,154 @@
+"""The cross-solver differential conformance tests.
+
+Every registered solver runs on the shared grid (see the package
+docstring) under three strict invariants: dense == object bitwise,
+delta-maintained == cold-recompile bitwise, and validity under a cold
+clone.  CI runs this file at smoke scale (the grid as defined); the
+assertions themselves are never relaxed.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.service.registry import available_solver_specs, available_solvers, create_solver
+from tests.conformance import (
+    CHAINS,
+    GRID,
+    TINY,
+    apply_chain,
+    cold_clone,
+    make_instance,
+)
+
+CRA_SPECS = available_solver_specs("cra")
+JRA_SPECS = available_solver_specs("jra")
+FAST_CRA = [spec for spec in CRA_SPECS if "exponential" not in spec.tags]
+EXPONENTIAL_CRA = [spec for spec in CRA_SPECS if "exponential" in spec.tags]
+DENSE_CRA = [spec for spec in CRA_SPECS if "dense" in spec.tags]
+
+
+def _ids(specs):
+    return [spec.name for spec in specs]
+
+
+class TestRegistryCoverage:
+    """The harness must cover the whole registry — by construction."""
+
+    def test_every_cra_solver_is_in_exactly_one_speed_class(self):
+        assert sorted(_ids(FAST_CRA) + _ids(EXPONENTIAL_CRA)) == available_solvers("cra")
+
+    def test_every_dense_tagged_solver_accepts_the_oracle_switch(self):
+        problem = make_instance(TINY)
+        for spec in DENSE_CRA:
+            solver = create_solver("cra", spec.name, use_dense=False)
+            result = solver.solve(problem)
+            cold_clone(problem).validate_assignment(result.assignment)
+
+    def test_jra_dense_tagged_solver_accepts_the_oracle_switch(self):
+        problem = make_instance(TINY).to_jra(make_instance(TINY).paper_ids[0])
+        for spec in JRA_SPECS:
+            if "dense" in spec.tags:
+                create_solver("jra", spec.name, use_dense=False).solve(problem)
+
+
+class TestDenseEqualsObjectBitwise:
+    """Every dense-tagged CRA solver: fast path == object oracle, bitwise."""
+
+    @pytest.mark.parametrize("instance_id", sorted(GRID))
+    @pytest.mark.parametrize("spec", DENSE_CRA, ids=_ids(DENSE_CRA))
+    def test_cra_dense_object_equivalence(self, spec, instance_id):
+        problem = make_instance(GRID[instance_id])
+        dense = create_solver("cra", spec.name, use_dense=True).solve(problem)
+        oracle = create_solver("cra", spec.name, use_dense=False).solve(problem)
+        assert dense.assignment == oracle.assignment, (
+            f"{spec.name} diverged from its object oracle on {instance_id!r}"
+        )
+        assert dense.score == oracle.score  # bitwise, not approx
+
+    @pytest.mark.parametrize("instance_id", sorted(GRID))
+    def test_bba_dense_object_equivalence(self, instance_id):
+        problem = make_instance(GRID[instance_id])
+        for paper_id in (problem.paper_ids[0], problem.paper_ids[-1]):
+            jra = problem.to_jra(paper_id)
+            dense = create_solver("jra", "BBA", use_dense=True, top_k=3).solve(jra)
+            oracle = create_solver("jra", "BBA", use_dense=False, top_k=3).solve(jra)
+            assert dense.reviewer_ids == oracle.reviewer_ids
+            assert dense.score == oracle.score
+            # identical search tree: node counts and the ranked top-k too
+            assert dict(dense.stats) == dict(oracle.stats)
+
+
+class TestDeltaEqualsColdRecompileBitwise:
+    """Solving on delta-maintained state == solving on a cold recompile."""
+
+    @pytest.mark.parametrize("chain_id", [c for c in sorted(CHAINS) if c != "unmutated"])
+    @pytest.mark.parametrize("instance_id", ["compact", "wide-groups", "tie-heavy-reviewer-coverage"])
+    @pytest.mark.parametrize("spec", FAST_CRA, ids=_ids(FAST_CRA))
+    def test_cra_chain_equals_cold(self, spec, instance_id, chain_id):
+        mutated = apply_chain(make_instance(GRID[instance_id]), chain_id)
+        cold = cold_clone(mutated)
+        fast = create_solver("cra", spec.name).solve(mutated)
+        reference = create_solver("cra", spec.name).solve(cold)
+        assert fast.assignment == reference.assignment, (
+            f"{spec.name} result depends on delta-maintained state "
+            f"({instance_id!r}, chain {chain_id!r})"
+        )
+        assert fast.score == reference.score
+        # Validity under cold semantics (not just the delta-patched view).
+        cold.validate_assignment(fast.assignment, require_complete=True)
+
+    @pytest.mark.parametrize("chain_id", [c for c in sorted(CHAINS) if c != "unmutated"])
+    @pytest.mark.parametrize("spec", EXPONENTIAL_CRA, ids=_ids(EXPONENTIAL_CRA))
+    def test_exponential_cra_chain_equals_cold(self, spec, chain_id):
+        mutated = apply_chain(make_instance(TINY), chain_id)
+        cold = cold_clone(mutated)
+        fast = create_solver("cra", spec.name).solve(mutated)
+        reference = create_solver("cra", spec.name).solve(cold)
+        assert fast.assignment == reference.assignment
+        assert fast.score == reference.score
+        cold.validate_assignment(fast.assignment, require_complete=True)
+
+    @pytest.mark.parametrize("chain_id", [c for c in sorted(CHAINS) if c != "unmutated"])
+    @pytest.mark.parametrize("spec", JRA_SPECS, ids=_ids(JRA_SPECS))
+    def test_jra_chain_equals_cold(self, spec, chain_id):
+        mutated = apply_chain(
+            make_instance(
+                dict(
+                    num_papers=6, num_reviewers=11, num_topics=6, group_size=3,
+                    reviewer_workload=5, conflict_ratio=0.1, seed=7,
+                )
+            ),
+            chain_id,
+        )
+        cold = cold_clone(mutated)
+        for paper_id in (mutated.paper_ids[0], mutated.paper_ids[-1]):
+            fast = create_solver("jra", spec.name).solve(mutated.to_jra(paper_id))
+            reference = create_solver("jra", spec.name).solve(cold.to_jra(paper_id))
+            assert fast.reviewer_ids == reference.reviewer_ids
+            assert fast.score == reference.score
+
+
+class TestCrossSolverAgreement:
+    """All exact JRA solvers find the same optimum on every grid cell."""
+
+    @pytest.mark.parametrize("instance_id", sorted(GRID))
+    def test_exact_jra_solvers_agree_on_the_optimum(self, instance_id):
+        problem = make_instance(GRID[instance_id])
+        for paper_id in (problem.paper_ids[0], problem.paper_ids[-1]):
+            jra = problem.to_jra(paper_id)
+            reference = jra.group_score(
+                create_solver("jra", "BFS").solve(jra).reviewer_ids
+            )
+            for spec in JRA_SPECS:
+                result = create_solver("jra", spec.name).solve(jra)
+                value = jra.group_score(result.reviewer_ids)
+                # The solver's reported score must match its own group...
+                assert result.score == pytest.approx(value, abs=1e-12)
+                # ...and every solver claiming optimality must reach the
+                # BFS optimum (CP-FIRST reports is_optimal=False by design).
+                if result.is_optimal:
+                    assert value == pytest.approx(reference, abs=1e-12), (
+                        f"{spec.name} returned a sub-optimal group on "
+                        f"{instance_id!r}/{paper_id!r}"
+                    )

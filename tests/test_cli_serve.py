@@ -157,6 +157,91 @@ class TestServeStream:
         assert "unknown" in responses[2]["error"].lower()
 
 
+class TestStructuredErrors:
+    """PR-5 satellite: ``wgrap serve`` classifies every failure with a
+    stable ``error_type`` code instead of leaking tracebacks."""
+
+    def test_unknown_solver_name_is_classified(self, problem_file):
+        _, responses = _serve(
+            problem_file,
+            [
+                json.dumps({"kind": "solve", "solver": "MAGIC"}),
+                json.dumps({"kind": "journal", "paper_id": "paper-0000",
+                            "solver": "MAGIC"}),
+                json.dumps({"kind": "portfolio", "solvers": ["MAGIC"]}),
+            ],
+        )
+        assert [r["ok"] for r in responses] == [False, False, False]
+        assert {r["error_type"] for r in responses} == {"unknown_solver"}
+
+    def test_malformed_requests_are_classified(self, problem_file):
+        _, responses = _serve(
+            problem_file,
+            [
+                "this is not json",
+                json.dumps({"kind": "teleport"}),
+                json.dumps({"kind": "journal"}),  # neither paper_id nor paper
+            ],
+        )
+        assert [r["error_type"] for r in responses] == ["request"] * 3
+
+    def test_infeasible_instances_are_classified(self, problem_file):
+        # Adding a paper with a workload too low for the existing loads.
+        late = {"id": "late", "vector": [0.2, 0.1, 0.1, 0.1, 0.1, 0.1, 0.2, 0.1]}
+        _, responses = _serve(
+            problem_file,
+            [
+                json.dumps({"kind": "solve", "solver": "Greedy"}),
+                json.dumps({"kind": "add_paper", "paper": late,
+                            "reviewer_workload": 1}),
+            ],
+        )
+        assert responses[0]["ok"]
+        assert not responses[1]["ok"]
+        assert responses[1]["error_type"] == "infeasible"
+
+    def test_unknown_ids_are_classified(self, problem_file):
+        _, responses = _serve(
+            problem_file,
+            [
+                json.dumps({"kind": "withdraw_reviewer", "reviewer_id": "ghost"}),
+                json.dumps({"kind": "journal", "paper_id": "ghost-paper"}),
+            ],
+        )
+        assert [r["error_type"] for r in responses] == ["unknown_id"] * 2
+
+    def test_unexpected_exceptions_do_not_kill_the_loop(self, problem_file, monkeypatch):
+        """A solver blowing up with a non-domain exception must yield a
+        structured ``internal`` error (class + message, no traceback) and
+        leave the loop serving subsequent requests."""
+        from repro.cra.sdga import StageDeepeningGreedySolver
+
+        def explode(self, problem):
+            raise ZeroDivisionError("synthetic failure")
+
+        monkeypatch.setattr(StageDeepeningGreedySolver, "_solve", explode)
+        _, responses = _serve(
+            problem_file,
+            [
+                json.dumps({"kind": "solve", "solver": "SDGA", "id": 1}),
+                json.dumps({"kind": "solve", "solver": "Greedy", "id": 2}),
+            ],
+        )
+        assert not responses[0]["ok"]
+        assert responses[0]["error_type"] == "internal"
+        assert "ZeroDivisionError" in responses[0]["error"]
+        assert "Traceback" not in responses[0]["error"]
+        assert responses[1]["ok"]
+
+    def test_successful_responses_carry_no_error_fields(self, problem_file):
+        _, responses = _serve(
+            problem_file, [json.dumps({"kind": "stats"})]
+        )
+        assert responses[0]["ok"]
+        assert "error" not in responses[0]
+        assert "error_type" not in responses[0]
+
+
 class TestServeCommand:
     def test_serve_reads_stdin_writes_stdout(self, problem_file, monkeypatch, capsys):
         script = "\n".join(

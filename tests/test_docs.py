@@ -111,6 +111,23 @@ class TestSolverReferenceTables:
                     f"alias {alias!r} does not resolve to {canonical!r}"
                 )
 
+    @pytest.mark.parametrize(
+        "heading,kind",
+        [("## Conference (CRA) solvers", "cra"), ("## Journal (JRA) solvers", "jra")],
+    )
+    def test_fast_path_column_matches_registry_tags(self, solvers_page, heading, kind):
+        """The dense/delta support a row claims must equal the solver's
+        registry tags — the conformance harness enforces the tags, this
+        test keeps the human-readable table from drifting away from them."""
+        for row in _table_rows(solvers_page, heading):
+            canonical = _first_name(row)
+            documented = set(_names_in_cell(row[2])) & {"dense", "delta"}
+            registered = set(solver_spec(kind, canonical).tags) & {"dense", "delta"}
+            assert documented == registered, (
+                f"{canonical}: fast-path cell says {sorted(documented)!r} but the "
+                f"registry tags say {sorted(registered)!r}"
+            )
+
     def test_documented_scoring_aliases_resolve(self, solvers_page):
         for row in _table_rows(solvers_page, "## Scoring functions"):
             canonical = _first_name(row)

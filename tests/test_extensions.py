@@ -199,3 +199,70 @@ class TestReviewerWithdrawal:
         withdraw_reviewer(problem, assignment, victim)
         assert set(assignment.pairs()) == before_pairs
         assert victim in problem.reviewer_ids
+
+
+class TestIncrementalConflictVersionStaleness:
+    """PR-5 audit of the incremental pair-delta path (the same
+    conflict-version staleness class fixed in the JRA sub-problem cache in
+    PR 4): conflict edits made *between* incremental calls must be
+    observed by the next call, because the delta pipeline keys every
+    consumer on ``WGRAPProblem.versions``."""
+
+    def _staffed(self, seed: int = 5):
+        problem = make_problem(num_papers=8, num_reviewers=8, num_topics=6,
+                               group_size=2, reviewer_workload=4, seed=seed,
+                               conflict_ratio=0.0)
+        assignment = StageDeepeningGreedySolver().solve(problem).assignment
+        return problem, assignment
+
+    def test_conflict_edit_between_calls_steers_the_repair(self):
+        problem, assignment = self._staffed()
+        rng = np.random.default_rng(0)
+        late = Paper(id="late", vector=TopicVector(rng.dirichlet(np.full(6, 0.7))))
+        update = assign_additional_paper(problem, assignment, late)
+
+        # Live conflict edit between the two incremental calls: forbid an
+        # outsider on paper-0000, then withdraw one of its reviewers.  The
+        # refill must not hand the slot to the newly conflicted reviewer.
+        group = update.assignment.reviewers_of("paper-0000")
+        banned = next(
+            rid for rid in update.problem.reviewer_ids if rid not in group
+        )
+        update.problem.conflicts.add(banned, "paper-0000")
+        victim = sorted(group)[0]
+        second = withdraw_reviewer(update.problem, update.assignment, victim)
+
+        assert banned not in second.assignment.reviewers_of("paper-0000")
+        second.problem.validate_assignment(second.assignment)
+        # The version counters are what the pipeline keys on; the edit
+        # must be reflected there, not just in the container contents.
+        assert second.problem.conflicts.is_conflict(banned, "paper-0000")
+
+    def test_conflict_edit_invalidating_a_pair_fails_the_next_call(self):
+        from repro.exceptions import InfeasibleAssignmentError
+
+        problem, assignment = self._staffed(seed=6)
+        reviewer_id, paper_id = sorted(assignment.pairs())[0]
+        problem.conflicts.add(reviewer_id, paper_id)
+        rng = np.random.default_rng(1)
+        late = Paper(id="late", vector=TopicVector(rng.dirichlet(np.full(6, 0.7))))
+        with pytest.raises(InfeasibleAssignmentError):
+            assign_additional_paper(problem, assignment, late)
+
+    def test_pair_delta_is_exact_after_conflict_edits(self):
+        """The reported added/removed pair delta must describe exactly the
+        difference between the input and output assignments, conflict
+        edits in between notwithstanding."""
+        problem, assignment = self._staffed(seed=7)
+        group = assignment.reviewers_of(problem.paper_ids[0])
+        banned = next(rid for rid in problem.reviewer_ids if rid not in group)
+        problem.conflicts.add(banned, problem.paper_ids[0])
+        victim = sorted(group)[0]
+        update = withdraw_reviewer(problem, assignment, victim)
+
+        before = set(assignment.pairs())
+        after = set(update.assignment.pairs())
+        assert set(update.added_pairs) == after - before
+        assert set(update.removed_pairs) == before - after
+        assert all(paper in update.affected_papers or reviewer != victim
+                   for reviewer, paper in update.removed_pairs)

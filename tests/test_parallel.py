@@ -264,6 +264,36 @@ class TestPortfolio:
         for name in DEFAULT_PORTFOLIO:
             assert solver_spec("cra", name).kind == "cra"
 
+    def test_full_portfolio_covers_the_registry_minus_exponential(self):
+        from repro.parallel.portfolio import full_portfolio
+        from repro.service.registry import available_solver_specs
+
+        lineup = full_portfolio()
+        expected = {
+            spec.name
+            for spec in available_solver_specs("cra")
+            if "exponential" not in spec.tags
+        }
+        assert set(lineup) == expected
+        assert "Exhaustive" not in lineup
+        assert "ILP" not in lineup
+        # the PR-5 long-tail solvers are in the race
+        for name in ("SM", "BRGG", "Ratio-Greedy", "Repair", "Bid-SDGA"):
+            assert name in lineup
+
+    def test_all_pseudo_name_races_the_full_registry(self, small_problem):
+        from repro.parallel.portfolio import full_portfolio
+
+        outcome = run_portfolio(small_problem, solvers=("all",))
+        assert [entry.solver for entry in outcome.entries] == list(full_portfolio())
+        assert all(entry.status == "ok" for entry in outcome.entries)
+        best = max(
+            (entry for entry in outcome.entries if entry.score is not None),
+            key=lambda entry: entry.score,
+        )
+        assert outcome.best.score == best.score
+        small_problem.validate_assignment(outcome.best.assignment)
+
 
 def _square_trial(seed: int) -> tuple[int, float]:
     """Module-level trial function (picklable) whose output is seed-driven."""
