@@ -35,6 +35,7 @@ from typing import Any
 from repro.experiments.cra_quality import CRAQualityResult, run_cra_quality
 from repro.experiments.reporting import ExperimentTable
 from repro.experiments.runner import DEFAULT_CRA_METHODS, ExperimentConfig
+from repro.obs.metrics import get_registry
 from repro.parallel import ParallelConfig
 
 RESULTS_DIR = Path(__file__).resolve().parent / "results"
@@ -104,14 +105,19 @@ def emit_bench_json(payload: dict[str, Any], filename: str) -> Path:
     """Persist a machine-readable benchmark record under ``benchmarks/results/``.
 
     The payload is written as one pretty-printed JSON document, annotated
-    with the interpreter/platform so BENCH trajectory entries (see the
-    repo-root ``BENCH.md``) can be compared across machines.  Returns the
-    written path.
+    with the interpreter/platform/CPU count so BENCH trajectory entries
+    (see the repo-root ``BENCH.md``) can be compared across machines, plus
+    the process-global metric snapshot (solver wall-time histograms with
+    p50/p95/p99) accumulated while the bench ran.  Returns the written
+    path.
     """
     RESULTS_DIR.mkdir(parents=True, exist_ok=True)
     record = {
         "python": platform.python_version(),
+        "implementation": platform.python_implementation(),
         "platform": platform.platform(),
+        "cpu_count": os.cpu_count(),
+        "metrics": get_registry().snapshot(),
         **payload,
     }
     path = RESULTS_DIR / filename

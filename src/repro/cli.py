@@ -95,6 +95,11 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="wall-clock budget in seconds for the portfolio race",
     )
+    solve.add_argument(
+        "--trace",
+        action="store_true",
+        help="record spans and print the solve's timing tree afterwards",
+    )
     _add_workers_flag(solve)
 
     journal = subparsers.add_parser("journal", help="find the best group for one paper")
@@ -123,6 +128,21 @@ def build_parser() -> argparse.ArgumentParser:
         "--warm",
         action="store_true",
         help="build the score matrix before serving the first request",
+    )
+    serve.add_argument(
+        "--trace",
+        action="store_true",
+        help="record a span tree per request (fetchable via the 'trace' kind)",
+    )
+    serve.add_argument(
+        "--slow-ms",
+        type=float,
+        default=None,
+        help=(
+            "emit a JSON diagnostics line on stderr for every request "
+            "slower than this many milliseconds (span tree attached when "
+            "--trace is on)"
+        ),
     )
     _add_workers_flag(serve)
 
@@ -178,6 +198,10 @@ def _command_generate(args: argparse.Namespace) -> int:
 
 
 def _command_solve(args: argparse.Namespace) -> int:
+    if args.trace:
+        from repro.obs.trace import get_tracer
+
+        get_tracer().enabled = True
     problem = load_problem(args.problem)
     parallel = _parallel_config(args)
     races_in_processes = (
@@ -208,6 +232,12 @@ def _command_solve(args: argparse.Namespace) -> int:
     else:
         solver = create_solver("cra", args.method)
         result = solver.solve(problem)
+    solve_trace = None
+    if args.trace:
+        from repro.obs.trace import get_tracer
+
+        # Snapshot now: the evaluation below records traces of its own.
+        solve_trace = get_tracer().last_trace()
     save_assignment(result.assignment, args.output)
     ratio = optimality_ratio(problem, result.assignment)
     print(
@@ -217,6 +247,10 @@ def _command_solve(args: argparse.Namespace) -> int:
         f"time {result.elapsed_seconds:.2f}s"
     )
     print(f"wrote assignment to {args.output}")
+    if solve_trace is not None:
+        trace_id, root = solve_trace
+        print(f"trace {trace_id}:")
+        print(root.format_tree())
     return 0
 
 
@@ -251,7 +285,18 @@ def _command_serve(args: argparse.Namespace) -> int:
         engine = AssignmentEngine(load_problem(args.problem), parallel=parallel)
     if args.warm:
         engine.warm()
-    serve_stream(engine, sys.stdin, sys.stdout)
+    if args.trace:
+        from repro.obs.trace import get_tracer
+
+        get_tracer().enabled = True
+    slow_threshold = None if args.slow_ms is None else args.slow_ms / 1000.0
+    serve_stream(
+        engine,
+        sys.stdin,
+        sys.stdout,
+        slow_threshold=slow_threshold,
+        diagnostics=sys.stderr,
+    )
     return 0
 
 

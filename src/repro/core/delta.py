@@ -50,6 +50,9 @@ from typing import TYPE_CHECKING
 import numpy as np
 
 from repro.core.dense import DenseProblem
+from repro.obs.trace import get_tracer
+
+TRACER = get_tracer()
 
 if TYPE_CHECKING:  # pragma: no cover - circular import guard
     from repro.core.entities import Paper
@@ -226,6 +229,13 @@ def dense_view_with_paper(
     feasibility mask gains one column built from the new paper's conflicts
     only.  Every array matches a full compile of ``problem`` bitwise.
     """
+    with TRACER.span("delta.append_paper", paper=paper.id):
+        return _dense_view_with_paper(parent, problem, paper)
+
+
+def _dense_view_with_paper(
+    parent: DenseProblem, problem: "WGRAPProblem", paper: "Paper"
+) -> DenseProblem:
     view = _blank_view(problem)
     view.reviewer_matrix = parent.reviewer_matrix
     view.reviewer_pos = parent.reviewer_pos
@@ -265,6 +275,13 @@ def dense_view_without_reviewer(
     relations are independent across reviewers); the id ranks are rebuilt
     lazily since relative ranks shift past the removed reviewer.
     """
+    with TRACER.span("delta.drop_reviewer", reviewer=reviewer_id):
+        return _dense_view_without_reviewer(parent, problem, reviewer_id)
+
+
+def _dense_view_without_reviewer(
+    parent: DenseProblem, problem: "WGRAPProblem", reviewer_id: str
+) -> DenseProblem:
     row = parent.reviewer_pos[reviewer_id]
     view = _blank_view(problem)
     view.paper_matrix = parent.paper_matrix
@@ -298,6 +315,13 @@ def patch_conflicts_in_place(
     caller obtained from it earlier — stays the same; only the mask cells
     change.
     """
+    with TRACER.span("delta.conflict_patch", edits=len(changes)):
+        return _patch_conflicts_in_place(view, changes, version)
+
+
+def _patch_conflicts_in_place(
+    view: DenseProblem, changes: tuple[tuple[str, str, bool], ...], version: int
+) -> DenseProblem:
     feasible = view.feasible
     feasible.setflags(write=True)
     try:

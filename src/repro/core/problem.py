@@ -460,8 +460,14 @@ class WGRAPProblem:
         # paper/reviewer counters (impossible on one immutable instance
         # through the public API — a defensive recompile trigger).
         from repro.core.dense import DenseProblem
+        from repro.obs.trace import get_tracer
 
-        view = DenseProblem(self)
+        with get_tracer().span(
+            "dense.recompile",
+            reviewers=self.num_reviewers,
+            papers=self.num_papers,
+        ):
+            view = DenseProblem(self)
         self._dense_view = view
         return view
 

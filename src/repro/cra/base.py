@@ -17,6 +17,10 @@ from typing import Any
 
 from repro.core.assignment import Assignment
 from repro.core.problem import WGRAPProblem
+from repro.obs.metrics import get_registry
+from repro.obs.trace import get_tracer
+
+TRACER = get_tracer()
 
 __all__ = ["CRAResult", "CRASolver"]
 
@@ -60,8 +64,13 @@ class CRASolver(ABC):
     def solve(self, problem: WGRAPProblem) -> CRAResult:
         """Produce a complete, feasible assignment for ``problem``."""
         started = time.perf_counter()
-        assignment, stats = self._solve(problem)
-        elapsed = time.perf_counter() - started
+        with TRACER.span(f"solver.{self.name}", kind="cra") as span:
+            assignment, stats = self._solve(problem)
+            elapsed = time.perf_counter() - started
+            span.set(elapsed=round(elapsed, 6))
+        get_registry().histogram(
+            f"solver.{self.name}.seconds", "per-solver wall time"
+        ).observe(elapsed)
         problem.validate_assignment(assignment, require_complete=True)
         score = problem.assignment_score(assignment)
         return CRAResult(

@@ -54,6 +54,9 @@ from repro.core.delta import PrunedCandidateGenerator
 from repro.core.problem import WGRAPProblem
 from repro.cra.base import CRASolver
 from repro.cra.repair import complete_assignment
+from repro.obs.trace import get_tracer
+
+TRACER = get_tracer()
 
 __all__ = ["GreedySolver"]
 
@@ -175,48 +178,50 @@ class GreedySolver(CRASolver):
             column_max[refresh_idx] = value
             column_arg[refresh_idx] = row if row >= 0 else 0
 
-        while len(assignment) < target_pairs:
-            best = column_max.max()
-            if not np.isfinite(best):
-                break  # no feasible pair left
-            tied = np.flatnonzero(column_max == best)
-            if tied.size == 1:
-                paper_idx = int(tied[0])
-            else:
-                # Heap tie order: smallest (reviewer, paper) among the tied
-                # column bests.
-                paper_idx = int(tied[np.lexsort((tied, column_arg[tied]))[0]])
-            reviewer_idx = int(column_arg[paper_idx])
+        with TRACER.span("greedy.select_loop") as select_span:
+            while len(assignment) < target_pairs:
+                best = column_max.max()
+                if not np.isfinite(best):
+                    break  # no feasible pair left
+                tied = np.flatnonzero(column_max == best)
+                if tied.size == 1:
+                    paper_idx = int(tied[0])
+                else:
+                    # Heap tie order: smallest (reviewer, paper) among the tied
+                    # column bests.
+                    paper_idx = int(tied[np.lexsort((tied, column_arg[tied]))[0]])
+                reviewer_idx = int(column_arg[paper_idx])
 
-            assignment.add(reviewer_ids[reviewer_idx], paper_ids[paper_idx])
-            np.maximum(
-                group_vectors[paper_idx],
-                reviewer_matrix[reviewer_idx],
-                out=group_vectors[paper_idx],
-            )
-            members[paper_idx].append(reviewer_idx)
-            group_sizes[paper_idx] += 1
-            loads[reviewer_idx] += 1
-            iterations += 1
-            saturated = loads[reviewer_idx] >= reviewer_workload
-
-            if group_sizes[paper_idx] >= group_size:
-                column_max[paper_idx] = -np.inf
-            else:
-                # Refresh the paper's gains against its new group vector.
-                refresh(paper_idx)
-                column_refreshes += 1
-
-            if saturated:
-                # Columns whose recorded argmax was the saturated reviewer
-                # must re-resolve; all other maxima are attained by still
-                # eligible reviewers whose gains have not changed.
-                stale = np.flatnonzero(
-                    (column_arg == reviewer_idx) & np.isfinite(column_max)
+                assignment.add(reviewer_ids[reviewer_idx], paper_ids[paper_idx])
+                np.maximum(
+                    group_vectors[paper_idx],
+                    reviewer_matrix[reviewer_idx],
+                    out=group_vectors[paper_idx],
                 )
-                for stale_idx in stale.tolist():
-                    refresh(int(stale_idx))
-                column_refreshes += int(stale.size)
+                members[paper_idx].append(reviewer_idx)
+                group_sizes[paper_idx] += 1
+                loads[reviewer_idx] += 1
+                iterations += 1
+                saturated = loads[reviewer_idx] >= reviewer_workload
+
+                if group_sizes[paper_idx] >= group_size:
+                    column_max[paper_idx] = -np.inf
+                else:
+                    # Refresh the paper's gains against its new group vector.
+                    refresh(paper_idx)
+                    column_refreshes += 1
+
+                if saturated:
+                    # Columns whose recorded argmax was the saturated reviewer
+                    # must re-resolve; all other maxima are attained by still
+                    # eligible reviewers whose gains have not changed.
+                    stale = np.flatnonzero(
+                        (column_arg == reviewer_idx) & np.isfinite(column_max)
+                    )
+                    for stale_idx in stale.tolist():
+                        refresh(int(stale_idx))
+                    column_refreshes += int(stale.size)
+            select_span.set(iterations=iterations, column_refreshes=column_refreshes)
 
         repaired = False
         if len(assignment) < target_pairs:

@@ -51,6 +51,9 @@ from repro.core.problem import WGRAPProblem
 from repro.cra.base import CRAResult, CRASolver
 from repro.cra.sdga import StageDeepeningGreedySolver
 from repro.exceptions import ConfigurationError
+from repro.obs.trace import get_tracer
+
+TRACER = get_tracer()
 
 __all__ = ["LocalSearchRefiner", "SDGAWithLocalSearchSolver"]
 
@@ -383,23 +386,26 @@ class LocalSearchRefiner:
         history: list[tuple[float, float]] = [(0.0, current_score)]
         moves_applied = 0
 
-        for _ in range(self._max_rounds):
+        for round_index in range(self._max_rounds):
             if self._time_budget is not None:
                 if time.perf_counter() - started >= self._time_budget:
                     break
             improved = False
 
-            for paper_idx in range(dense.num_papers):
-                if self._time_budget is not None:
-                    if time.perf_counter() - started >= self._time_budget:
-                        break
-                gain, move = state.best_move(paper_idx, do_replace, do_exchange)
-                if move is not None and gain > _TOLERANCE:
-                    state.apply(move)
-                    current_score += gain
-                    moves_applied += 1
-                    improved = True
-                    history.append((time.perf_counter() - started, current_score))
+            with TRACER.span("local_search.round", round=round_index) as round_span:
+                moves_before = moves_applied
+                for paper_idx in range(dense.num_papers):
+                    if self._time_budget is not None:
+                        if time.perf_counter() - started >= self._time_budget:
+                            break
+                    gain, move = state.best_move(paper_idx, do_replace, do_exchange)
+                    if move is not None and gain > _TOLERANCE:
+                        state.apply(move)
+                        current_score += gain
+                        moves_applied += 1
+                        improved = True
+                        history.append((time.perf_counter() - started, current_score))
+                round_span.set(moves=moves_applied - moves_before)
 
             if not improved:
                 break
@@ -424,23 +430,26 @@ class LocalSearchRefiner:
         history: list[tuple[float, float]] = [(0.0, current_score)]
         moves_applied = 0
 
-        for _ in range(self._max_rounds):
+        for round_index in range(self._max_rounds):
             if self._time_budget is not None:
                 if time.perf_counter() - started >= self._time_budget:
                     break
             improved = False
 
-            for paper_id in problem.paper_ids:
-                if self._time_budget is not None:
-                    if time.perf_counter() - started >= self._time_budget:
-                        break
-                gain, move = self._best_move_for_paper(problem, current, paper_id)
-                if move is not None and gain > _TOLERANCE:
-                    self._apply_move(current, move)
-                    current_score += gain
-                    moves_applied += 1
-                    improved = True
-                    history.append((time.perf_counter() - started, current_score))
+            with TRACER.span("local_search.round", round=round_index) as round_span:
+                moves_before = moves_applied
+                for paper_id in problem.paper_ids:
+                    if self._time_budget is not None:
+                        if time.perf_counter() - started >= self._time_budget:
+                            break
+                    gain, move = self._best_move_for_paper(problem, current, paper_id)
+                    if move is not None and gain > _TOLERANCE:
+                        self._apply_move(current, move)
+                        current_score += gain
+                        moves_applied += 1
+                        improved = True
+                        history.append((time.perf_counter() - started, current_score))
+                round_span.set(moves=moves_applied - moves_before)
 
             if not improved:
                 break

@@ -28,6 +28,9 @@ from repro.assignment.transportation import solve_capacitated_assignment
 from repro.core.assignment import Assignment
 from repro.core.problem import WGRAPProblem
 from repro.cra.base import CRASolver
+from repro.obs.trace import get_tracer
+
+TRACER = get_tracer()
 
 __all__ = ["StageDeepeningGreedySolver"]
 
@@ -59,7 +62,9 @@ class StageDeepeningGreedySolver(CRASolver):
         assignment = Assignment()
         stage_gains: list[float] = []
         for stage in range(problem.group_size):
-            gain = self._run_stage(problem, assignment)
+            with TRACER.span("sdga.stage", stage=stage) as stage_span:
+                gain = self._run_stage(problem, assignment)
+                stage_span.set(gain=round(gain, 6))
             stage_gains.append(gain)
         return assignment, {
             "stages": problem.group_size,

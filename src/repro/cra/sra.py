@@ -34,6 +34,9 @@ from repro.core.problem import WGRAPProblem
 from repro.cra.base import CRAResult, CRASolver
 from repro.cra.sdga import StageDeepeningGreedySolver
 from repro.exceptions import ConfigurationError
+from repro.obs.trace import get_tracer
+
+TRACER = get_tracer()
 
 __all__ = ["RefinementRound", "StochasticRefiner", "SDGAWithRefinementSolver"]
 
@@ -153,9 +156,10 @@ class StochasticRefiner:
             if rounds_without_improvement >= self._omega:
                 break
 
-            self._remove_one_reviewer_per_paper(problem, current, pair_scores,
-                                                reviewer_mass, round_index, rng)
-            self._refill(problem, dense, current)
+            with TRACER.span("sra.round", round=round_index):
+                self._remove_one_reviewer_per_paper(problem, current, pair_scores,
+                                                    reviewer_mass, round_index, rng)
+                self._refill(problem, dense, current)
 
             current_score = score_of(current)
             if current_score > best_score + 1e-12:

@@ -16,6 +16,10 @@ from dataclasses import dataclass, field
 from typing import Any
 
 from repro.core.problem import JRAProblem
+from repro.obs.metrics import get_registry
+from repro.obs.trace import get_tracer
+
+TRACER = get_tracer()
 
 __all__ = ["JRAResult", "JRASolver"]
 
@@ -64,8 +68,13 @@ class JRASolver(ABC):
     def solve(self, problem: JRAProblem) -> JRAResult:
         """Find a reviewer group of size ``problem.group_size``."""
         started = time.perf_counter()
-        reviewer_ids, score, is_optimal, stats = self._solve(problem)
-        elapsed = time.perf_counter() - started
+        with TRACER.span(f"solver.{self.name}", kind="jra") as span:
+            reviewer_ids, score, is_optimal, stats = self._solve(problem)
+            elapsed = time.perf_counter() - started
+            span.set(elapsed=round(elapsed, 6))
+        get_registry().histogram(
+            f"solver.{self.name}.seconds", "per-solver wall time"
+        ).observe(elapsed)
         problem.validate_group(reviewer_ids)
         return JRAResult(
             reviewer_ids=tuple(reviewer_ids),

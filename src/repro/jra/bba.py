@@ -44,6 +44,9 @@ import numpy as np
 
 from repro.core.problem import JRAProblem
 from repro.jra.base import JRASolver
+from repro.obs.trace import get_tracer
+
+TRACER = get_tracer()
 
 __all__ = ["BranchAndBoundSolver"]
 
@@ -144,67 +147,69 @@ class BranchAndBoundSolver(JRASolver):
                 heapq.heapreplace(incumbents, entry)
 
         stage = 1
-        while stage >= 1:
-            cursor = cursors[stage]
-            group_vector = group_vectors[stage]
+        with TRACER.span("bba.search", group_size=group_size) as search_span:
+            while stage >= 1:
+                cursor = cursors[stage]
+                group_vector = group_vectors[stage]
 
-            # Advance every cursor of this stage past infeasible reviewers.
-            if self._use_dense:
-                candidates = self._advance_front_vectorized(
-                    cursor, visited_stage, sorted_reviewers, num_reviewers
-                )
-            else:
-                candidates = self._advance_front_loops(
-                    cursor, visited_stage, sorted_reviewers, num_reviewers, num_topics
-                )
+                # Advance every cursor of this stage past infeasible reviewers.
+                if self._use_dense:
+                    candidates = self._advance_front_vectorized(
+                        cursor, visited_stage, sorted_reviewers, num_reviewers
+                    )
+                else:
+                    candidates = self._advance_front_loops(
+                        cursor, visited_stage, sorted_reviewers, num_reviewers, num_topics
+                    )
 
-            if not candidates:
-                stage = self._backtrack(stage, visited_stage, members)
-                continue
-
-            # Bounding: optimistic completion uses the best remaining value
-            # per topic (the value under each cursor).
-            if self._use_bound:
-                cursor_values = np.where(
-                    cursor < num_reviewers,
-                    sorted_values[np.arange(num_topics), np.minimum(cursor, num_reviewers - 1)],
-                    0.0,
-                )
-                upper_vector = np.maximum(group_vector, cursor_values)
-                if contribution(upper_vector) <= incumbent_threshold() + 1e-15:
-                    prunings += 1
+                if not candidates:
                     stage = self._backtrack(stage, visited_stage, members)
                     continue
 
-            # Branching: evaluate the marginal gain of each candidate and
-            # pick the best (or simply the first candidate when ordering is
-            # disabled for the ablation study).
-            if self._use_gain_ordering:
-                gains = scoring.gain_vector(
-                    group_vector, reviewer_matrix[candidates], paper_vector
-                )
-                chosen = candidates[int(np.argmax(gains))]
-            else:
-                chosen = candidates[0]
+                # Bounding: optimistic completion uses the best remaining value
+                # per topic (the value under each cursor).
+                if self._use_bound:
+                    cursor_values = np.where(
+                        cursor < num_reviewers,
+                        sorted_values[np.arange(num_topics), np.minimum(cursor, num_reviewers - 1)],
+                        0.0,
+                    )
+                    upper_vector = np.maximum(group_vector, cursor_values)
+                    if contribution(upper_vector) <= incumbent_threshold() + 1e-15:
+                        prunings += 1
+                        stage = self._backtrack(stage, visited_stage, members)
+                        continue
 
-            nodes_expanded += 1
-            visited_stage[chosen] = stage
-            members[stage] = chosen
-            extended_vector = np.maximum(group_vector, reviewer_matrix[chosen])
+                # Branching: evaluate the marginal gain of each candidate and
+                # pick the best (or simply the first candidate when ordering is
+                # disabled for the ablation study).
+                if self._use_gain_ordering:
+                    gains = scoring.gain_vector(
+                        group_vector, reviewer_matrix[candidates], paper_vector
+                    )
+                    chosen = candidates[int(np.argmax(gains))]
+                else:
+                    chosen = candidates[0]
 
-            if stage == group_size:
-                complete_groups += 1
-                score = contribution(extended_vector)
-                group = tuple(int(members[s]) for s in range(1, group_size + 1))
-                if score > incumbent_threshold() or len(incumbents) < self._top_k:
-                    record_group(group, score)
-                # Stay at this stage and try the next candidate; the chosen
-                # reviewer remains visited at this stage so it is not retried.
-                members[stage] = -1
-            else:
-                group_vectors[stage + 1] = extended_vector
-                cursors[stage + 1] = cursor.copy()
-                stage += 1
+                nodes_expanded += 1
+                visited_stage[chosen] = stage
+                members[stage] = chosen
+                extended_vector = np.maximum(group_vector, reviewer_matrix[chosen])
+
+                if stage == group_size:
+                    complete_groups += 1
+                    score = contribution(extended_vector)
+                    group = tuple(int(members[s]) for s in range(1, group_size + 1))
+                    if score > incumbent_threshold() or len(incumbents) < self._top_k:
+                        record_group(group, score)
+                    # Stay at this stage and try the next candidate; the chosen
+                    # reviewer remains visited at this stage so it is not retried.
+                    members[stage] = -1
+                else:
+                    group_vectors[stage + 1] = extended_vector
+                    cursors[stage + 1] = cursor.copy()
+                    stage += 1
+            search_span.set(nodes_expanded=nodes_expanded, prunings=prunings)
 
         if not incumbents:
             # Degenerate but possible when group_size > 0 and the paper has

@@ -1,0 +1,50 @@
+"""Observability substrate: span tracing and a metrics registry.
+
+``repro.obs`` is stdlib-only and dependency-free inside the package
+(it imports nothing from the rest of :mod:`repro`), so every layer —
+core, solvers, parallel, service — can instrument itself without
+creating import cycles.
+
+Two primitives live here:
+
+* :class:`~repro.obs.trace.Tracer` — nestable, thread-safe wall-time
+  span trees with a bounded ring buffer of finished traces.  Recording
+  is **off by default**; the disabled fast path is a single attribute
+  check returning a shared no-op span.
+* :class:`~repro.obs.metrics.MetricsRegistry` — counters, gauges and
+  fixed-bucket latency histograms (p50/p95/p99 without sample
+  retention), exported as JSON snapshots and Prometheus text
+  exposition.
+
+:mod:`repro.obs.names` is the documentation contract: every span and
+metric name emitted by the codebase appears there, and
+``tests/test_docs.py`` keeps ``docs/observability.md`` honest against
+it.
+"""
+
+from repro.obs.metrics import (
+    DEFAULT_LATENCY_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    get_registry,
+)
+from repro.obs.names import METRIC_NAMES, SPAN_NAMES, matches_name
+from repro.obs.trace import NOOP_SPAN, Span, Tracer, get_tracer
+
+__all__ = [
+    "DEFAULT_LATENCY_BUCKETS",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "METRIC_NAMES",
+    "MetricsRegistry",
+    "NOOP_SPAN",
+    "SPAN_NAMES",
+    "Span",
+    "Tracer",
+    "get_registry",
+    "get_tracer",
+    "matches_name",
+]

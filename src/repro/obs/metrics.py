@@ -1,0 +1,337 @@
+"""Counters, gauges and fixed-bucket latency histograms.
+
+The registry is the single namespace every timing field in the repo
+routes through (``engine.*``, ``service.*``, ``solver.*`` and the
+absorbed ``cache.*``/``delta.*`` counters).  Histograms retain **no
+samples**: observations land in a fixed set of buckets, percentiles are
+linearly interpolated inside the target bucket, and shard-local
+histograms with identical bounds merge by adding bucket counts — the
+properties a sharded or multi-process deployment needs.
+
+Everything here is thread-safe; individual metric operations take a
+per-metric lock, registry get-or-create takes a registry lock.  The
+costs are small enough to leave metrics always-on (they are only
+touched at request/solve granularity, never in inner loops).
+"""
+
+from __future__ import annotations
+
+import re
+import threading
+from bisect import bisect_left
+from typing import Any
+
+__all__ = [
+    "DEFAULT_LATENCY_BUCKETS",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "get_registry",
+]
+
+#: Geometric-ish latency buckets from 100 µs to 60 s (upper bounds, in
+#: seconds).  Wide enough for a journal query (~ms) and a cold portfolio
+#: solve (~tens of seconds) to both land in informative buckets.
+DEFAULT_LATENCY_BUCKETS: tuple[float, ...] = (
+    0.0001,
+    0.00025,
+    0.0005,
+    0.001,
+    0.0025,
+    0.005,
+    0.01,
+    0.025,
+    0.05,
+    0.1,
+    0.25,
+    0.5,
+    1.0,
+    2.5,
+    5.0,
+    10.0,
+    30.0,
+    60.0,
+)
+
+_INVALID_PROM_CHARS = re.compile(r"[^a-zA-Z0-9_:]")
+
+
+def _prometheus_name(name: str) -> str:
+    sanitized = _INVALID_PROM_CHARS.sub("_", name)
+    if sanitized and sanitized[0].isdigit():
+        sanitized = "_" + sanitized
+    return sanitized
+
+
+class Counter:
+    """A monotonic-by-convention counter (negative increments allowed).
+
+    The engine's rollback path decrements ``engine.remove_reviewer``
+    when an infeasible withdraw is rolled back, so unlike Prometheus
+    counters this one accepts negative amounts.
+    """
+
+    __slots__ = ("name", "description", "_value", "_lock")
+
+    def __init__(self, name: str, description: str = "") -> None:
+        self.name = name
+        self.description = description
+        self._value = 0
+        self._lock = threading.Lock()
+
+    def inc(self, amount: int = 1) -> None:
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> int:
+        return self._value
+
+    def snapshot(self) -> int:
+        return self._value
+
+
+class Gauge:
+    """A point-in-time value (queue depth, cache generation, ...)."""
+
+    __slots__ = ("name", "description", "_value", "_lock")
+
+    def __init__(self, name: str, description: str = "") -> None:
+        self.name = name
+        self.description = description
+        self._value = 0.0
+        self._lock = threading.Lock()
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            self._value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+    def snapshot(self) -> float:
+        return self._value
+
+
+class Histogram:
+    """Fixed-bucket histogram with interpolated percentiles.
+
+    ``bounds`` are inclusive upper bounds in ascending order; one
+    overflow bucket catches everything above the last bound.  Memory is
+    ``len(bounds) + 1`` integers regardless of observation count.
+    """
+
+    __slots__ = ("name", "description", "bounds", "_counts", "_sum", "_count", "_min", "_max", "_lock")
+
+    def __init__(
+        self,
+        name: str,
+        description: str = "",
+        buckets: tuple[float, ...] = DEFAULT_LATENCY_BUCKETS,
+    ) -> None:
+        bounds = tuple(float(b) for b in buckets)
+        if not bounds:
+            raise ValueError(f"histogram {name!r}: needs at least one bucket bound")
+        if any(b2 <= b1 for b1, b2 in zip(bounds, bounds[1:])):
+            raise ValueError(
+                f"histogram {name!r}: bucket bounds must be strictly ascending, got {bounds}"
+            )
+        self.name = name
+        self.description = description
+        self.bounds = bounds
+        self._counts = [0] * (len(bounds) + 1)
+        self._sum = 0.0
+        self._count = 0
+        self._min = float("inf")
+        self._max = float("-inf")
+        self._lock = threading.Lock()
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        index = bisect_left(self.bounds, value)
+        with self._lock:
+            self._counts[index] += 1
+            self._sum += value
+            self._count += 1
+            if value < self._min:
+                self._min = value
+            if value > self._max:
+                self._max = value
+
+    @property
+    def count(self) -> int:
+        return self._count
+
+    @property
+    def sum(self) -> float:
+        return self._sum
+
+    def percentile(self, q: float) -> float:
+        """Estimate the ``q``-th percentile (``0 < q <= 100``).
+
+        The rank is located in its bucket and linearly interpolated
+        between the bucket's lower and upper bound; the overflow bucket
+        reports the maximum observed value (exact, since we track it).
+        Returns ``0.0`` for an empty histogram.
+        """
+        if not 0.0 < q <= 100.0:
+            raise ValueError(f"percentile must be in (0, 100], got {q}")
+        with self._lock:
+            if self._count == 0:
+                return 0.0
+            rank = (q / 100.0) * self._count
+            cumulative = 0
+            for index, bucket_count in enumerate(self._counts):
+                if bucket_count == 0:
+                    continue
+                if cumulative + bucket_count >= rank:
+                    if index == len(self.bounds):
+                        return self._max
+                    lower = 0.0 if index == 0 else self.bounds[index - 1]
+                    upper = self.bounds[index]
+                    fraction = (rank - cumulative) / bucket_count
+                    estimate = lower + fraction * (upper - lower)
+                    # Never report outside the observed range.
+                    return min(max(estimate, self._min), self._max)
+                cumulative += bucket_count
+            return self._max  # unreachable, defensive
+
+    def merge_from(self, other: "Histogram") -> None:
+        """Fold ``other`` (e.g. a shard-local histogram) into this one."""
+        if other.bounds != self.bounds:
+            raise ValueError(
+                f"cannot merge histogram {other.name!r} into {self.name!r}: "
+                f"bucket bounds differ ({other.bounds} vs {self.bounds})"
+            )
+        # Lock ordering by id() prevents deadlock on concurrent cross-merges.
+        first, second = sorted((self, other), key=id)
+        with first._lock, second._lock:
+            for index, bucket_count in enumerate(other._counts):
+                self._counts[index] += bucket_count
+            self._sum += other._sum
+            self._count += other._count
+            self._min = min(self._min, other._min)
+            self._max = max(self._max, other._max)
+
+    def snapshot(self) -> dict[str, Any]:
+        with self._lock:
+            counts = list(self._counts)
+            total = self._count
+            total_sum = self._sum
+            minimum = self._min
+            maximum = self._max
+        buckets = {f"{bound:g}": counts[i] for i, bound in enumerate(self.bounds)}
+        buckets["+Inf"] = counts[-1]
+        snap: dict[str, Any] = {
+            "count": total,
+            "sum": total_sum,
+            "buckets": buckets,
+        }
+        if total:
+            snap["min"] = minimum
+            snap["max"] = maximum
+            snap["p50"] = self.percentile(50.0)
+            snap["p95"] = self.percentile(95.0)
+            snap["p99"] = self.percentile(99.0)
+        return snap
+
+
+class MetricsRegistry:
+    """Get-or-create namespace of metrics with JSON and Prometheus export."""
+
+    def __init__(self) -> None:
+        self._metrics: dict[str, Counter | Gauge | Histogram] = {}
+        self._lock = threading.RLock()
+
+    def _get_or_create(self, name: str, factory, expected_type):
+        with self._lock:
+            metric = self._metrics.get(name)
+            if metric is None:
+                metric = factory()
+                self._metrics[name] = metric
+            elif not isinstance(metric, expected_type):
+                raise TypeError(
+                    f"metric {name!r} already registered as "
+                    f"{type(metric).__name__}, not {expected_type.__name__}"
+                )
+            return metric
+
+    def counter(self, name: str, description: str = "") -> Counter:
+        return self._get_or_create(name, lambda: Counter(name, description), Counter)
+
+    def gauge(self, name: str, description: str = "") -> Gauge:
+        return self._get_or_create(name, lambda: Gauge(name, description), Gauge)
+
+    def histogram(
+        self,
+        name: str,
+        description: str = "",
+        buckets: tuple[float, ...] = DEFAULT_LATENCY_BUCKETS,
+    ) -> Histogram:
+        return self._get_or_create(
+            name, lambda: Histogram(name, description, buckets), Histogram
+        )
+
+    def get(self, name: str) -> Counter | Gauge | Histogram | None:
+        with self._lock:
+            return self._metrics.get(name)
+
+    def items(self) -> list[tuple[str, Counter | Gauge | Histogram]]:
+        with self._lock:
+            return sorted(self._metrics.items())
+
+    def names(self) -> list[str]:
+        with self._lock:
+            return sorted(self._metrics)
+
+    def reset(self) -> None:
+        """Drop every registered metric (tests and benchmark harnesses)."""
+        with self._lock:
+            self._metrics.clear()
+
+    def snapshot(self) -> dict[str, Any]:
+        """JSON-serialisable view: scalars for counters/gauges, dicts for histograms."""
+        return {name: metric.snapshot() for name, metric in self.items()}
+
+    def to_prometheus(self) -> str:
+        """Render the registry in Prometheus text exposition format."""
+        lines: list[str] = []
+        for name, metric in self.items():
+            prom = _prometheus_name(name)
+            if metric.description:
+                lines.append(f"# HELP {prom} {metric.description}")
+            if isinstance(metric, Counter):
+                lines.append(f"# TYPE {prom} counter")
+                lines.append(f"{prom} {metric.value}")
+            elif isinstance(metric, Gauge):
+                lines.append(f"# TYPE {prom} gauge")
+                lines.append(f"{prom} {metric.value:g}")
+            else:
+                lines.append(f"# TYPE {prom} histogram")
+                snap = metric.snapshot()
+                cumulative = 0
+                for bound, bucket_count in snap["buckets"].items():
+                    cumulative += bucket_count
+                    lines.append(f'{prom}_bucket{{le="{bound}"}} {cumulative}')
+                lines.append(f"{prom}_sum {snap['sum']:g}")
+                lines.append(f"{prom}_count {snap['count']}")
+        return "\n".join(lines) + "\n"
+
+
+_GLOBAL_REGISTRY = MetricsRegistry()
+
+
+def get_registry() -> MetricsRegistry:
+    """The process-global registry (solver timings, benchmark snapshots).
+
+    Engines own a private registry for request-scoped metrics; code
+    without an engine in reach (solver base classes, benchmarks)
+    records here.
+    """
+    return _GLOBAL_REGISTRY

@@ -1,0 +1,208 @@
+"""Nestable, thread-safe wall-time span trees.
+
+A span is a context manager; entering pushes it on a thread-local
+stack, exiting pops it and attaches it to its parent.  When the root
+of a thread's stack exits, the finished tree lands in a bounded ring
+buffer keyed by trace id, where ``wgrap serve`` can fetch it for the
+``trace`` request and slow-request diagnostics.
+
+Recording is **disabled by default** and the disabled fast path is
+deliberately minimal::
+
+    def span(self, name, trace_id=None, **attrs):
+        if not self.enabled:
+            return NOOP_SPAN
+        ...
+
+one attribute check and a shared no-op singleton — cheap enough to
+leave call sites in solver phase loops.  ``benchmarks/bench_obs_overhead.py``
+guards this property (<2% overhead on the dense Greedy+LS headline).
+
+Thread-safety model: span stacks are thread-local (a span tree never
+crosses threads), the finished-trace ring buffer is lock-guarded, and
+trace ids come from a shared atomic-by-GIL counter.  Process-based
+portfolio workers each see their own tracer; only the parent process's
+spans (sharding, racing, result selection) are recorded.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+import time
+from collections import OrderedDict
+from typing import Any
+
+__all__ = ["NOOP_SPAN", "Span", "Tracer", "get_tracer"]
+
+
+def _format_seconds(seconds: float) -> str:
+    if seconds < 0.001:
+        return f"{seconds * 1e6:.0f}µs"
+    if seconds < 1.0:
+        return f"{seconds * 1e3:.1f}ms"
+    return f"{seconds:.2f}s"
+
+
+class _NoopSpan:
+    """Shared do-nothing span returned while recording is disabled."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NoopSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        return False
+
+    def set(self, **attrs: Any) -> "_NoopSpan":
+        return self
+
+
+NOOP_SPAN = _NoopSpan()
+
+
+class Span:
+    """One timed node of a trace tree (use via ``Tracer.span``)."""
+
+    __slots__ = ("name", "attrs", "children", "seconds", "trace_id", "_tracer", "_t0")
+
+    def __init__(
+        self,
+        tracer: "Tracer",
+        name: str,
+        attrs: dict[str, Any],
+        trace_id: str | None = None,
+    ) -> None:
+        self.name = name
+        self.attrs = attrs
+        self.children: list[Span] = []
+        self.seconds = 0.0
+        self.trace_id = trace_id
+        self._tracer = tracer
+        self._t0 = 0.0
+
+    def set(self, **attrs: Any) -> "Span":
+        """Attach attributes after entry (loop counts, chosen branches...)."""
+        self.attrs.update(attrs)
+        return self
+
+    def __enter__(self) -> "Span":
+        stack = self._tracer._stack()
+        if not stack and self.trace_id is None:
+            self.trace_id = self._tracer.new_trace_id()
+        stack.append(self)
+        self._t0 = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.seconds = time.perf_counter() - self._t0
+        if exc_type is not None:
+            self.attrs.setdefault("error", exc_type.__name__)
+        stack = self._tracer._stack()
+        # Defensive unwind: drop any child the body failed to close.
+        while stack and stack[-1] is not self:
+            stack.pop()
+        if stack:
+            stack.pop()
+        if stack:
+            stack[-1].children.append(self)
+        else:
+            self._tracer._finish(self)
+        return False
+
+    def to_dict(self) -> dict[str, Any]:
+        node: dict[str, Any] = {"name": self.name, "seconds": self.seconds}
+        if self.attrs:
+            node["attrs"] = dict(self.attrs)
+        if self.children:
+            node["children"] = [child.to_dict() for child in self.children]
+        return node
+
+    def format_tree(self) -> str:
+        """Human-readable rendering for ``wgrap solve --trace``."""
+        lines: list[str] = []
+        self._render(lines, prefix="", child_prefix="")
+        return "\n".join(lines)
+
+    def _render(self, lines: list[str], prefix: str, child_prefix: str) -> None:
+        attrs = "".join(f"  {key}={value}" for key, value in self.attrs.items())
+        lines.append(f"{prefix}{self.name}  {_format_seconds(self.seconds)}{attrs}")
+        for index, child in enumerate(self.children):
+            last = index == len(self.children) - 1
+            connector = "└─ " if last else "├─ "
+            extension = "   " if last else "│  "
+            child._render(lines, child_prefix + connector, child_prefix + extension)
+
+
+class Tracer:
+    """Span factory plus a bounded ring buffer of finished traces."""
+
+    def __init__(self, capacity: int = 64) -> None:
+        #: The single guard on the recording fast path.  Flip via
+        #: ``wgrap serve --trace``, ``wgrap solve --trace`` or the
+        #: ``trace`` request's ``enable`` field.
+        self.enabled = False
+        self.capacity = int(capacity)
+        self._local = threading.local()
+        self._lock = threading.Lock()
+        self._finished: "OrderedDict[str, Span]" = OrderedDict()
+        self._sequence = itertools.count(1)
+
+    # ------------------------------------------------------------------
+    # Recording
+    # ------------------------------------------------------------------
+    def span(self, name: str, trace_id: str | None = None, **attrs: Any):
+        """A context manager timing ``name`` (no-op while disabled)."""
+        if not self.enabled:
+            return NOOP_SPAN
+        return Span(self, name, attrs, trace_id=trace_id)
+
+    def new_trace_id(self) -> str:
+        return f"t{next(self._sequence):08d}"
+
+    def _stack(self) -> list[Span]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = []
+            self._local.stack = stack
+        return stack
+
+    def _finish(self, root: Span) -> None:
+        trace_id = root.trace_id or self.new_trace_id()
+        root.trace_id = trace_id
+        with self._lock:
+            self._finished[trace_id] = root
+            self._finished.move_to_end(trace_id)
+            while len(self._finished) > self.capacity:
+                self._finished.popitem(last=False)
+
+    # ------------------------------------------------------------------
+    # Retrieval
+    # ------------------------------------------------------------------
+    def get_trace(self, trace_id: str) -> Span | None:
+        with self._lock:
+            return self._finished.get(trace_id)
+
+    def last_trace(self) -> tuple[str, Span] | None:
+        with self._lock:
+            if not self._finished:
+                return None
+            trace_id = next(reversed(self._finished))
+            return trace_id, self._finished[trace_id]
+
+    def trace_ids(self) -> list[str]:
+        with self._lock:
+            return list(self._finished)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._finished.clear()
+
+
+_TRACER = Tracer()
+
+
+def get_tracer() -> Tracer:
+    """The process-wide tracer every instrumented module shares."""
+    return _TRACER

@@ -30,8 +30,11 @@ from typing import Any
 from repro.core.problem import WGRAPProblem
 from repro.cra.base import CRAResult
 from repro.exceptions import ConfigurationError, SolverError
+from repro.obs.trace import get_tracer
 from repro.parallel.config import ParallelConfig
 from repro.parallel.pool import pool_context
+
+TRACER = get_tracer()
 
 __all__ = [
     "DEFAULT_PORTFOLIO",
@@ -320,6 +323,14 @@ def run_portfolio(
     lineup = _canonical_lineup(tuple(solvers))
     started = time.perf_counter()
     workers = config.resolved_workers() if config is not None else 1
-    if workers <= 1 or len(lineup) == 1:
-        return _run_serial(problem, lineup, deadline, options, started)
-    return _run_processes(problem, lineup, deadline, options, workers, started)
+    with TRACER.span(
+        "portfolio.race",
+        lineup=",".join(lineup),
+        workers=workers,
+    ) as race_span:
+        if workers <= 1 or len(lineup) == 1:
+            outcome = _run_serial(problem, lineup, deadline, options, started)
+        else:
+            outcome = _run_processes(problem, lineup, deadline, options, workers, started)
+        race_span.set(best=outcome.best_solver)
+        return outcome

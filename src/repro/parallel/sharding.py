@@ -32,8 +32,11 @@ import numpy as np
 
 from repro.core.scoring import ScoringFunction
 from repro.exceptions import DimensionMismatchError
+from repro.obs.trace import get_tracer
 from repro.parallel.config import ParallelConfig
 from repro.parallel.pool import pool_map
+
+TRACER = get_tracer()
 
 __all__ = [
     "blocked_score_matrix",
@@ -178,5 +181,10 @@ def sharded_score_matrix(
         )
         for start, stop in bounds
     ]
-    shards = pool_map(_score_shard_job, payloads, config.resolved_workers())
-    return np.concatenate(shards, axis=0)
+    with TRACER.span(
+        "parallel.score_shards",
+        shards=len(payloads),
+        workers=config.resolved_workers(),
+    ):
+        shards = pool_map(_score_shard_job, payloads, config.resolved_workers())
+        return np.concatenate(shards, axis=0)

@@ -32,7 +32,10 @@ import numpy as np
 
 from repro.core.problem import ProblemMutation, WGRAPProblem
 from repro.exceptions import ConfigurationError
+from repro.obs.trace import get_tracer
 from repro.parallel.config import ParallelConfig
+
+TRACER = get_tracer()
 
 __all__ = ["CacheStats", "ScoreMatrixCache"]
 
@@ -165,42 +168,54 @@ class ScoreMatrixCache:
         """
         problem = self._problem
         if self._matrix is None:
-            warmed = problem.cached_pair_scores
-            if warmed is not None and warmed.shape == (
-                problem.num_reviewers,
-                len(self._paper_ids),
-            ):
-                # Zero-copy adoption; every later write reallocates first
-                # (np.delete / placeholder concat), so the problem's
-                # read-only matrix is never touched.
-                self._matrix = np.asarray(warmed)
-                self.stats.adopted_builds += 1
-            else:
-                self._matrix = self._score_block(
-                    problem.reviewer_matrix, problem.paper_matrix
-                )
-            self._dirty_papers.clear()
-            self.stats.full_builds += 1
+            with TRACER.span(
+                "cache.full_build",
+                reviewers=problem.num_reviewers,
+                papers=len(self._paper_ids),
+            ) as build_span:
+                warmed = problem.cached_pair_scores
+                if warmed is not None and warmed.shape == (
+                    problem.num_reviewers,
+                    len(self._paper_ids),
+                ):
+                    # Zero-copy adoption; every later write reallocates first
+                    # (np.delete / placeholder concat), so the problem's
+                    # read-only matrix is never touched.
+                    self._matrix = np.asarray(warmed)
+                    self.stats.adopted_builds += 1
+                    build_span.set(adopted=True)
+                else:
+                    self._matrix = self._score_block(
+                        problem.reviewer_matrix, problem.paper_matrix
+                    )
+                self._dirty_papers.clear()
+                self.stats.full_builds += 1
         elif self._dirty_papers:
-            columns = sorted(self._column_of[paper_id] for paper_id in self._dirty_papers)
-            warmed = problem.cached_pair_scores
-            if warmed is not None and warmed.shape == (
-                problem.num_reviewers,
-                len(self._paper_ids),
-            ):
-                # The problem already carries a delta-maintained matrix in
-                # which these columns are scored (same kernel, bitwise-equal
-                # — see repro.core.delta.appended_score_column): adopt the
-                # columns instead of scoring them a second time.
-                self._matrix[:, columns] = warmed[:, columns]
-                self.stats.columns_adopted += len(columns)
-            else:
-                block = self._score_block(
-                    problem.reviewer_matrix, problem.paper_matrix[columns]
+            with TRACER.span(
+                "cache.partial_update", dirty=len(self._dirty_papers)
+            ) as patch_span:
+                columns = sorted(
+                    self._column_of[paper_id] for paper_id in self._dirty_papers
                 )
-                self._matrix[:, columns] = block
-            self._dirty_papers.clear()
-            self.stats.partial_updates += 1
+                warmed = problem.cached_pair_scores
+                if warmed is not None and warmed.shape == (
+                    problem.num_reviewers,
+                    len(self._paper_ids),
+                ):
+                    # The problem already carries a delta-maintained matrix in
+                    # which these columns are scored (same kernel, bitwise-equal
+                    # — see repro.core.delta.appended_score_column): adopt the
+                    # columns instead of scoring them a second time.
+                    self._matrix[:, columns] = warmed[:, columns]
+                    self.stats.columns_adopted += len(columns)
+                    patch_span.set(adopted=True)
+                else:
+                    block = self._score_block(
+                        problem.reviewer_matrix, problem.paper_matrix[columns]
+                    )
+                    self._matrix[:, columns] = block
+                self._dirty_papers.clear()
+                self.stats.partial_updates += 1
         if self._matrix.shape == (problem.num_reviewers, problem.num_papers):
             # Seed the (possibly rebound, post-mutation) problem so solvers
             # reading pair_score_matrix() afterwards reuse this matrix; a

@@ -53,10 +53,14 @@ from repro.exceptions import (
 from repro.extensions.bidding import BidAwareObjective, BidAwareSDGASolver, BidMatrix, bid_satisfaction
 from repro.jra.topk import RankedGroup, find_top_k_groups
 from repro.metrics.quality import lowest_coverage_score, optimality_ratio
+from repro.obs.metrics import MetricsRegistry, get_registry
+from repro.obs.trace import get_tracer
 from repro.parallel.config import ParallelConfig
 from repro.parallel.portfolio import DEFAULT_PORTFOLIO, PortfolioOutcome, run_portfolio
 from repro.service.cache import ScoreMatrixCache
 from repro.service.registry import create_solver, solver_spec
+
+TRACER = get_tracer()
 
 __all__ = ["AssignmentEngine", "EngineDelta", "JournalAnswer"]
 
@@ -183,12 +187,26 @@ class AssignmentEngine:
     DEFAULT_CRA_SOLVER = "SDGA-SRA"
     DEFAULT_JRA_SOLVER = "BBA"
 
+    #: counter keys pre-registered under ``engine.*`` so ``stats()`` keeps
+    #: a stable shape even before the first request of each kind
+    _COUNTER_KEYS = (
+        "solves",
+        "portfolio_solves",
+        "journal_queries",
+        "journal_cache_hits",
+        "add_paper",
+        "remove_reviewer",
+        "bid_updates",
+        "evaluations",
+    )
+
     def __init__(
         self,
         problem: WGRAPProblem,
         assignment: Assignment | None = None,
         bids: BidMatrix | None = None,
         parallel: ParallelConfig | None = None,
+        registry: MetricsRegistry | None = None,
     ) -> None:
         self._problem = problem
         self._root_problem = problem
@@ -209,16 +227,11 @@ class AssignmentEngine:
         #: conflict version the JRA sub-problem cache is valid for
         self._jra_cache_version = problem.conflicts.version
         self._revision = 0
-        self._counters: dict[str, int] = {
-            "solves": 0,
-            "portfolio_solves": 0,
-            "journal_queries": 0,
-            "journal_cache_hits": 0,
-            "add_paper": 0,
-            "remove_reviewer": 0,
-            "bid_updates": 0,
-            "evaluations": 0,
-        }
+        # All counters live in the metrics registry under ``engine.*``;
+        # ``stats()`` derives the historical flat keys from them.
+        self._registry = registry if registry is not None else MetricsRegistry()
+        for key in self._COUNTER_KEYS:
+            self._registry.counter(f"engine.{key}")
         self._last_solver: str | None = None
         self._last_score: float | None = None
         # The problem must not keep the engine (and its dense score matrix)
@@ -270,6 +283,17 @@ class AssignmentEngine:
         """Monotonic counter, bumped once per applied mutation."""
         return self._revision
 
+    @property
+    def metrics_registry(self) -> MetricsRegistry:
+        """The engine's metrics namespace (``engine.*`` plus absorbed stats)."""
+        return self._registry
+
+    def _count(self, key: str, amount: int = 1) -> None:
+        self._registry.counter(f"engine.{key}").inc(amount)
+
+    def _observe(self, name: str, seconds: float) -> None:
+        self._registry.histogram(name).observe(seconds)
+
     def warm(self) -> "AssignmentEngine":
         """Materialise the score matrix now instead of on the first query."""
         self._cache.matrix()
@@ -305,7 +329,7 @@ class AssignmentEngine:
         self._cache.apply_mutation(mutation)
         self._problem = mutation.result
         self._revision += 1
-        self._counters[mutation.kind] = self._counters.get(mutation.kind, 0) + 1
+        self._count(mutation.kind)
         # The feasibility guarantee does not survive a problem swap; the
         # engine's own mutation paths re-establish it after their targeted
         # validation, while mutations made directly through the problem API
@@ -339,6 +363,7 @@ class AssignmentEngine:
             Forwarded to the solver factory (e.g. ``seed``,
             ``convergence_window`` for SDGA-SRA).
         """
+        started = time.perf_counter()
         name = solver or self.DEFAULT_CRA_SOLVER
         if bid_tradeoff is not None:
             instance = BidAwareSDGASolver(
@@ -349,12 +374,15 @@ class AssignmentEngine:
             spec = solver_spec("cra", name)
             instance = spec.factory(**options)
             canonical = spec.name
-        result = instance.solve(self._problem)
+        with TRACER.span("engine.solve", solver=canonical) as span:
+            result = instance.solve(self._problem)
+            span.set(score=round(result.score, 6))
         self._assignment = result.assignment
         self._mark_assignment_valid()
         self._last_solver = canonical
         self._last_score = result.score
-        self._counters["solves"] += 1
+        self._count("solves")
+        self._observe("engine.solve.seconds", time.perf_counter() - started)
         return result
 
     def solve_portfolio(
@@ -382,18 +410,22 @@ class AssignmentEngine:
         options:
             Forwarded to every solver factory.
         """
-        outcome = run_portfolio(
-            self._problem,
-            solvers=tuple(solvers) if solvers is not None else DEFAULT_PORTFOLIO,
-            deadline=deadline,
-            config=self._parallel,
-            **options,
-        )
+        started = time.perf_counter()
+        with TRACER.span("engine.portfolio") as span:
+            outcome = run_portfolio(
+                self._problem,
+                solvers=tuple(solvers) if solvers is not None else DEFAULT_PORTFOLIO,
+                deadline=deadline,
+                config=self._parallel,
+                **options,
+            )
+            span.set(best=outcome.best_solver)
         self._assignment = outcome.best.assignment
         self._mark_assignment_valid()
         self._last_solver = outcome.best_solver
         self._last_score = outcome.best.score
-        self._counters["portfolio_solves"] += 1
+        self._count("portfolio_solves")
+        self._observe("engine.portfolio.seconds", time.perf_counter() - started)
         return outcome
 
     # ------------------------------------------------------------------
@@ -443,6 +475,30 @@ class AssignmentEngine:
             How many individually top-scoring reviewers to report alongside
             the optimal group (0 disables the shortlist).
         """
+        with TRACER.span("engine.journal_query") as span:
+            answer = self._journal_query(
+                paper,
+                group_size=group_size,
+                top_k=top_k,
+                solver=solver,
+                pool_size=pool_size,
+                shortlist_size=shortlist_size,
+                prune=prune,
+            )
+            span.set(paper=answer.paper_id, cache_hit=answer.cache_hit)
+        self._observe("engine.journal.seconds", answer.elapsed_seconds)
+        return answer
+
+    def _journal_query(
+        self,
+        paper: str | Paper,
+        group_size: int | None = None,
+        top_k: int = 1,
+        solver: str | None = None,
+        pool_size: int | None = None,
+        shortlist_size: int = 5,
+        prune: int | None = None,
+    ) -> JournalAnswer:
         started = time.perf_counter()
         spec = solver_spec("jra", solver or self.DEFAULT_JRA_SOLVER)
         if top_k < 1:
@@ -531,9 +587,9 @@ class AssignmentEngine:
         if shortlist_size > 0 and not inline:
             shortlist = tuple(self._cache.top_reviewers(paper_id, shortlist_size))
 
-        self._counters["journal_queries"] += 1
+        self._count("journal_queries")
         if cache_hit:
-            self._counters["journal_cache_hits"] += 1
+            self._count("journal_cache_hits")
         return JournalAnswer(
             paper_id=paper_id,
             groups=groups,
@@ -616,6 +672,24 @@ class AssignmentEngine:
         InfeasibleProblemError
             If fewer than ``delta_p`` reviewers have spare capacity.
         """
+        started = time.perf_counter()
+        with TRACER.span("engine.add_paper", paper=paper.id):
+            delta = self._add_paper(
+                paper,
+                reviewer_workload=reviewer_workload,
+                solver=solver,
+                pool_size=pool_size,
+            )
+        self._observe("engine.add_paper.seconds", time.perf_counter() - started)
+        return delta
+
+    def _add_paper(
+        self,
+        paper: Paper,
+        reviewer_workload: int | None = None,
+        solver: str | None = None,
+        pool_size: int | None = None,
+    ) -> EngineDelta:
         problem = self._problem
         if paper.id in problem.paper_ids:
             raise ConfigurationError(f"paper {paper.id!r} is already part of the problem")
@@ -771,6 +845,13 @@ class AssignmentEngine:
         InfeasibleProblemError
             If the remaining pool cannot cover the vacated slots.
         """
+        started = time.perf_counter()
+        with TRACER.span("engine.withdraw_reviewer", reviewer=reviewer_id):
+            delta = self._withdraw_reviewer(reviewer_id)
+        self._observe("engine.withdraw_reviewer.seconds", time.perf_counter() - started)
+        return delta
+
+    def _withdraw_reviewer(self, reviewer_id: str) -> EngineDelta:
         problem = self._problem
         problem.reviewer_index(reviewer_id)  # raises KeyError for unknown reviewers
         if self._assignment is not None and not self._assignment_known_valid():
@@ -814,7 +895,7 @@ class AssignmentEngine:
             self._cache = ScoreMatrixCache(problem, stats=stats, parallel=self._parallel)
             self._jra_cache.clear()
             self._revision -= 1
-            self._counters["remove_reviewer"] -= 1
+            self._count("remove_reviewer", -1)
             raise
 
         after_pairs = set(repaired.pairs())
@@ -842,7 +923,7 @@ class AssignmentEngine:
             self._problem.paper_index(paper_id)
         for reviewer_id, paper_id, value in triples:
             self._bids.set(reviewer_id, paper_id, value)
-        self._counters["bid_updates"] += len(triples)
+        self._count("bid_updates", len(triples))
         return len(triples)
 
     # ------------------------------------------------------------------
@@ -879,8 +960,48 @@ class AssignmentEngine:
             payload["per_paper"] = problem.paper_scores(self._assignment)
         if len(self._bids):
             payload["bid_satisfaction"] = bid_satisfaction(self._assignment, self._bids)
-        self._counters["evaluations"] += 1
+        self._count("evaluations")
         return payload
+
+    def _flat_counters(self) -> dict[str, int]:
+        """The historical flat counter keys, derived from the registry."""
+        from repro.obs.metrics import Counter
+
+        return {
+            name[len("engine."):]: metric.value
+            for name, metric in self._registry.items()
+            if isinstance(metric, Counter) and name.startswith("engine.")
+        }
+
+    def _refresh_absorbed_gauges(self) -> None:
+        """Mirror the cache and view-maintenance counters into the registry.
+
+        ``CacheStats`` and ``ViewStats`` stay the single source of truth
+        (solvers and the delta layer keep bumping them directly); at
+        export time their values land in the registry as ``cache.*`` /
+        ``delta.*`` gauges so one namespace carries everything.
+        """
+        for key, value in self._cache.stats.as_dict().items():
+            self._registry.gauge(f"cache.{key}").set(value)
+        for key, value in self._problem.view_stats.as_dict().items():
+            self._registry.gauge(f"delta.{key}").set(value)
+
+    def metrics_snapshot(self) -> dict[str, Any]:
+        """One JSON-serialisable metrics namespace for this engine.
+
+        Counters and histogram summaries (p50/p95/p99) from the engine's
+        registry, the absorbed ``cache.*``/``delta.*`` gauges, plus the
+        process-global ``solver.*`` timings.
+        """
+        self._refresh_absorbed_gauges()
+        merged = get_registry().snapshot()
+        merged.update(self._registry.snapshot())
+        return merged
+
+    def metrics_prometheus(self) -> str:
+        """The same namespace in Prometheus text exposition format."""
+        self._refresh_absorbed_gauges()
+        return get_registry().to_prometheus() + self._registry.to_prometheus()
 
     def stats(self) -> dict[str, Any]:
         """Engine counters plus the cache's and the view layer's summaries.
@@ -889,6 +1010,8 @@ class AssignmentEngine:
         (``delta_applies``, ``recompiles``, ``conflict_patches``) and the
         exact-pruning outcomes (``prune_certified``, ``prune_fallbacks``)
         accumulated across the whole mutation chain the engine has served.
+        The historical flat keys are kept; the ``metrics`` block is the
+        full registry snapshot (latency histograms included).
         """
         return {
             "revision": self._revision,
@@ -900,9 +1023,10 @@ class AssignmentEngine:
             "parallel_workers": (
                 self._parallel.resolved_workers() if self._parallel is not None else 1
             ),
-            **self._counters,
+            **self._flat_counters(),
             "cache": self._cache.describe(),
             "delta": self._problem.view_stats.as_dict(),
+            "metrics": self.metrics_snapshot(),
         }
 
     def to_snapshot(self) -> dict[str, Any]:

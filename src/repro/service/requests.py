@@ -20,8 +20,8 @@ True
 Traceback (most recent call last):
     ...
 repro.exceptions.RequestError: unknown request kind 'nope'; known kinds: \
-['add_paper', 'evaluate', 'journal', 'portfolio', 'shutdown', 'snapshot', \
-'solve', 'stats', 'update_bids', 'withdraw_reviewer']
+['add_paper', 'evaluate', 'journal', 'metrics', 'portfolio', 'shutdown', \
+'snapshot', 'solve', 'stats', 'trace', 'update_bids', 'withdraw_reviewer']
 """
 
 from __future__ import annotations
@@ -45,6 +45,8 @@ __all__ = [
     "Evaluate",
     "Snapshot",
     "Stats",
+    "Metrics",
+    "Trace",
     "Shutdown",
     "Response",
     "request_from_dict",
@@ -193,6 +195,44 @@ class Stats(Request):
 
 
 @dataclass(frozen=True)
+class Metrics(Request):
+    """Export the metrics registry (latency histograms per request kind).
+
+    ``format`` is ``"json"`` (structured snapshot with p50/p95/p99 per
+    histogram) or ``"prometheus"`` (text exposition format in the
+    ``exposition`` payload field).
+    """
+
+    kind: ClassVar[str] = "metrics"
+
+    format: str = "json"
+
+    def __post_init__(self) -> None:
+        if self.format not in {"json", "prometheus"}:
+            raise RequestError(
+                f"unknown metrics format {self.format!r}; "
+                "expected 'json' or 'prometheus'"
+            )
+
+
+@dataclass(frozen=True)
+class Trace(Request):
+    """Fetch a recorded span tree, or toggle trace recording.
+
+    With ``enable`` set, recording is switched on/off and the current
+    state is reported.  Otherwise the span tree of ``trace_id`` (or of
+    the most recent finished trace, when omitted) is returned — every
+    response carries its ``trace`` id, so a client can replay any
+    recent request's breakdown.
+    """
+
+    kind: ClassVar[str] = "trace"
+
+    trace_id: str | None = None
+    enable: bool | None = None
+
+
+@dataclass(frozen=True)
 class Shutdown(Request):
     """End a serving loop cleanly."""
 
@@ -219,6 +259,12 @@ class Response:
     * ``"solver"`` — a solver failed to produce a result;
     * ``"internal"`` — an unexpected failure; the serving loop reports
       the exception class and message instead of leaking a traceback.
+
+    Responses produced by a session also carry observability fields:
+    ``trace_id`` (emitted as ``"trace"``) names the span tree recorded
+    for this request — fetchable later via a ``trace`` request — and
+    ``elapsed_seconds`` (emitted as ``"seconds"``) is the wall time the
+    session spent handling it.
     """
 
     kind: str
@@ -227,6 +273,8 @@ class Response:
     error: str | None = None
     error_type: str | None = None
     request_id: str | int | None = None
+    trace_id: str | None = None
+    elapsed_seconds: float | None = None
 
     def to_dict(self) -> dict[str, Any]:
         """JSON-serialisable representation (one line of the serve loop)."""
@@ -238,6 +286,10 @@ class Response:
         else:
             result["error"] = self.error or "unknown error"
             result["error_type"] = self.error_type or "internal"
+        if self.trace_id is not None:
+            result["trace"] = self.trace_id
+        if self.elapsed_seconds is not None:
+            result["seconds"] = self.elapsed_seconds
         return result
 
     @classmethod
@@ -247,6 +299,8 @@ class Response:
         error: str,
         request_id: str | int | None = None,
         error_type: str = "request",
+        trace_id: str | None = None,
+        elapsed_seconds: float | None = None,
     ) -> "Response":
         """Shorthand for an error response."""
         return cls(
@@ -255,6 +309,8 @@ class Response:
             error=error,
             error_type=error_type,
             request_id=request_id,
+            trace_id=trace_id,
+            elapsed_seconds=elapsed_seconds,
         )
 
 
@@ -273,6 +329,8 @@ _REQUEST_TYPES: dict[str, type[Request]] = {
         Evaluate,
         Snapshot,
         Stats,
+        Metrics,
+        Trace,
         Shutdown,
     )
 }
@@ -392,6 +450,13 @@ def request_from_dict(payload: Mapping[str, Any]) -> Request:
             fields["include_per_paper"] = bool(payload.get("include_per_paper", False))
         elif request_type is Snapshot:
             fields["path"] = str(payload.get("path", ""))
+        elif request_type is Metrics:
+            fields["format"] = str(payload.get("format", "json"))
+        elif request_type is Trace:
+            if payload.get("trace_id") is not None:
+                fields["trace_id"] = str(payload["trace_id"])
+            if payload.get("enable") is not None:
+                fields["enable"] = bool(payload["enable"])
         return request_type(**fields)
     except RequestError:
         raise
@@ -440,4 +505,11 @@ def request_to_dict(request: Request) -> dict[str, Any]:
         payload["include_per_paper"] = request.include_per_paper
     elif isinstance(request, Snapshot):
         payload["path"] = request.path
+    elif isinstance(request, Metrics):
+        payload["format"] = request.format
+    elif isinstance(request, Trace):
+        if request.trace_id is not None:
+            payload["trace_id"] = request.trace_id
+        if request.enable is not None:
+            payload["enable"] = request.enable
     return payload

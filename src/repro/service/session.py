@@ -12,11 +12,22 @@ Two layers live here:
   request object per input line, one response object per output line.
   Malformed lines produce ``ok: false`` responses instead of killing the
   server; a ``{"kind": "shutdown"}`` request ends the loop.
+
+Every dispatched request is timed into the engine's metrics registry
+(``service.request.<kind>.seconds`` histograms, ``service.requests`` /
+``service.failures`` / ``service.errors.<error_type>`` counters) and runs
+under a ``request.<kind>`` span, so a ``metrics`` request reports p50/p99
+latency per request kind and a ``trace`` request can replay any recent
+request's span tree by the ``trace`` id echoed on its response.  A serving
+loop given a slow-request threshold additionally emits one structured
+JSON line per offending request on a diagnostics stream — never on the
+wire-protocol output.
 """
 
 from __future__ import annotations
 
 import json
+import time
 from collections import deque
 from collections.abc import Iterable
 from typing import Any, TextIO
@@ -31,11 +42,13 @@ from repro.exceptions import (
     UnknownScoringFunctionError,
     UnknownSolverError,
 )
+from repro.obs.trace import get_tracer
 from repro.service.engine import AssignmentEngine
 from repro.service.requests import (
     AddPaper,
     Evaluate,
     JournalQuery,
+    Metrics,
     PortfolioSolve,
     Request,
     Response,
@@ -43,10 +56,13 @@ from repro.service.requests import (
     Snapshot,
     SolveRequest,
     Stats,
+    Trace,
     UpdateBids,
     WithdrawReviewer,
     request_from_dict,
 )
+
+TRACER = get_tracer()
 
 __all__ = ["EngineSession", "classify_error", "serve_stream"]
 
@@ -96,6 +112,7 @@ class EngineSession:
             "journal_batches": 0,
             "batched_queries": 0,
         }
+        self._error_types: dict[str, int] = {}
 
     @property
     def engine(self) -> AssignmentEngine:
@@ -165,29 +182,57 @@ class EngineSession:
         as ``"internal"`` with the exception class named in the message.
         The serving loop therefore never leaks a traceback to the client
         and never dies on a single bad request.
+
+        Every dispatch is timed into ``service.request.<kind>.seconds``
+        on the engine's metrics registry, and — when tracing is enabled —
+        recorded as a ``request.<kind>`` span tree whose id the response
+        carries as ``trace``.
         """
         self._counters["dispatched"] += 1
+        registry = self._engine.metrics_registry
+        registry.counter("service.requests", "requests dispatched").inc()
+        trace_id = TRACER.new_trace_id() if TRACER.enabled else None
+        started = time.perf_counter()
+        error: str | None = None
+        error_type: str | None = None
+        payload: dict[str, Any] = {}
         try:
-            payload = self._handle(request)
+            with TRACER.span(f"request.{request.kind}", trace_id=trace_id):
+                payload = self._handle(request)
         except (ReproError, KeyError, ValueError) as exc:
-            self._counters["failed"] += 1
             message = exc.args[0] if exc.args else str(exc)
-            return Response.failure(
-                kind=request.kind,
-                error=str(message),
-                request_id=request.request_id,
-                error_type=classify_error(exc),
-            )
+            error, error_type = str(message), classify_error(exc)
         except Exception as exc:  # noqa: BLE001 — the loop must survive anything
+            error, error_type = f"{type(exc).__name__}: {exc}", "internal"
+        elapsed = time.perf_counter() - started
+        registry.histogram(
+            f"service.request.{request.kind}.seconds",
+            "per-kind request latency",
+        ).observe(elapsed)
+        if error is not None:
             self._counters["failed"] += 1
+            self._error_types[error_type or "internal"] = (
+                self._error_types.get(error_type or "internal", 0) + 1
+            )
+            registry.counter("service.failures", "requests that failed").inc()
+            registry.counter(
+                f"service.errors.{error_type}", "failures by error type"
+            ).inc()
             return Response.failure(
                 kind=request.kind,
-                error=f"{type(exc).__name__}: {exc}",
+                error=error,
                 request_id=request.request_id,
-                error_type="internal",
+                error_type=error_type or "internal",
+                trace_id=trace_id,
+                elapsed_seconds=elapsed,
             )
         return Response(
-            kind=request.kind, ok=True, payload=payload, request_id=request.request_id
+            kind=request.kind,
+            ok=True,
+            payload=payload,
+            request_id=request.request_id,
+            trace_id=trace_id,
+            elapsed_seconds=elapsed,
         )
 
     def _handle(self, request: Request) -> dict[str, Any]:
@@ -242,17 +287,61 @@ class EngineSession:
             return {"path": str(path)}
         if isinstance(request, Stats):
             return self.stats()
+        if isinstance(request, Metrics):
+            if request.format == "prometheus":
+                return {"exposition": engine.metrics_prometheus()}
+            return {"metrics": engine.metrics_snapshot()}
+        if isinstance(request, Trace):
+            return self._handle_trace(request)
         if isinstance(request, Shutdown):
             return {"shutdown": True}
         raise RequestError(f"unhandled request kind {request.kind!r}")
 
+    def _handle_trace(self, request: Trace) -> dict[str, Any]:
+        if request.enable is not None:
+            TRACER.enabled = bool(request.enable)
+            return {"enabled": TRACER.enabled}
+        if request.trace_id is not None:
+            span = TRACER.get_trace(request.trace_id)
+            if span is None:
+                raise ConfigurationError(
+                    f"trace {request.trace_id!r} not recorded "
+                    "(tracing disabled, or the trace aged out of the buffer?)"
+                )
+            trace_id = request.trace_id
+        else:
+            last = TRACER.last_trace()
+            if last is None:
+                raise ConfigurationError(
+                    "no trace recorded yet (enable tracing with "
+                    '{"kind": "trace", "enable": true} first)'
+                )
+            trace_id, span = last
+        return {
+            "trace_id": trace_id,
+            "root": span.to_dict(),
+            "rendered": span.format_tree(),
+        }
+
     def stats(self) -> dict[str, Any]:
-        """Session counters merged with the engine's."""
-        return {"session": dict(self._counters), "engine": self._engine.stats()}
+        """Session counters merged with the engine's.
+
+        The ``session`` block carries the dispatch counters plus the
+        current queue depth (``pending``) and per-``error_type`` failure
+        counts (``error_types``).
+        """
+        session: dict[str, Any] = dict(self._counters)
+        session["pending"] = self.pending
+        session["error_types"] = dict(self._error_types)
+        return {"session": session, "engine": self._engine.stats()}
 
 
 def serve_stream(
-    engine: AssignmentEngine, lines: Iterable[str], output: TextIO
+    engine: AssignmentEngine,
+    lines: Iterable[str],
+    output: TextIO,
+    slow_threshold: float | None = None,
+    diagnostics: TextIO | None = None,
 ) -> int:
     """Run the JSON-lines request/response loop.
 
@@ -260,13 +349,48 @@ def serve_stream(
     response per line to ``output``, and returns the number of requests
     served.  The loop survives malformed input and failed requests; it
     ends on a ``shutdown`` request or when the input is exhausted.
+
+    With ``slow_threshold`` set (seconds), every request at or above the
+    threshold emits one structured JSON line on ``diagnostics`` — a
+    ``slow_request`` event carrying the request kind, id, wall time,
+    trace id and (when tracing is enabled) the recorded span tree.  The
+    diagnostics stream is separate from ``output`` so the wire protocol
+    stays one-response-per-request; it defaults to ``sys.stderr``.
     """
+    import sys
+
     session = EngineSession(engine)
     served = 0
+    if diagnostics is None:
+        diagnostics = sys.stderr
 
     def emit(response: Response) -> None:
         output.write(json.dumps(response.to_dict()) + "\n")
         output.flush()
+
+    def diagnose(request: Request, response: Response) -> None:
+        if slow_threshold is None or response.elapsed_seconds is None:
+            return
+        if response.elapsed_seconds < slow_threshold:
+            return
+        span = (
+            TRACER.get_trace(response.trace_id)
+            if response.trace_id is not None
+            else None
+        )
+        event = {
+            "event": "slow_request",
+            "kind": request.kind,
+            "id": request.request_id,
+            "seconds": response.elapsed_seconds,
+            "trace": response.trace_id,
+            "spans": span.to_dict() if span is not None else None,
+        }
+        try:
+            diagnostics.write(json.dumps(event) + "\n")
+            diagnostics.flush()
+        except (OSError, ValueError):
+            pass  # a broken diagnostics stream must not sink the serve loop
 
     for line in lines:
         line = line.strip()
@@ -286,6 +410,7 @@ def serve_stream(
             continue
         response = session.dispatch(request)
         emit(response)
+        diagnose(request, response)
         if isinstance(request, Shutdown):
             break
     return served

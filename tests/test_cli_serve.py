@@ -348,6 +348,191 @@ class TestSessionCommand:
         assert json.loads(line)["ok"]
 
 
+class TestObservabilityOverTheWire:
+    @pytest.fixture(autouse=True)
+    def _quiet_tracer(self):
+        """Leave the shared tracer exactly as the tests found it."""
+        from repro.obs.trace import get_tracer
+
+        tracer = get_tracer()
+        was_enabled = tracer.enabled
+        yield
+        tracer.enabled = was_enabled
+        tracer.clear()
+
+    def test_metrics_request_reports_latency_histograms_per_kind(self, problem_file):
+        _, responses = _serve(
+            problem_file,
+            [
+                json.dumps({"kind": "solve", "solver": "Greedy"}),
+                json.dumps({"kind": "journal", "paper_id": "paper-0001"}),
+                json.dumps({"kind": "journal", "paper_id": "paper-0002"}),
+                json.dumps({"kind": "metrics", "id": 9}),
+            ],
+        )
+        assert all(r["ok"] for r in responses)
+        metrics = responses[-1]["payload"]["metrics"]
+        solve = metrics["service.request.solve.seconds"]
+        journal = metrics["service.request.journal.seconds"]
+        assert solve["count"] == 1
+        assert journal["count"] == 2
+        for histogram in (solve, journal):
+            assert {"p50", "p95", "p99", "buckets"} <= set(histogram)
+            assert histogram["p50"] <= histogram["p99"]
+        assert metrics["service.requests"] == 4
+        assert metrics["engine.solves"] == 1
+        assert metrics["solver.Greedy.seconds"]["count"] >= 1
+
+    def test_metrics_request_prometheus_format(self, problem_file):
+        _, responses = _serve(
+            problem_file,
+            [
+                json.dumps({"kind": "solve", "solver": "Greedy"}),
+                json.dumps({"kind": "metrics", "format": "prometheus"}),
+            ],
+        )
+        exposition = responses[-1]["payload"]["exposition"]
+        assert "# TYPE service_request_solve_seconds histogram" in exposition
+        assert 'service_request_solve_seconds_bucket{le="+Inf"} 1' in exposition
+        assert "service_requests 2" in exposition
+
+    def test_metrics_request_rejects_unknown_formats(self, problem_file):
+        _, responses = _serve(
+            problem_file, [json.dumps({"kind": "metrics", "format": "xml"})]
+        )
+        assert not responses[0]["ok"]
+        assert responses[0]["error_type"] == "request"
+
+    def test_trace_round_trip_over_the_wire(self, problem_file):
+        _, responses = _serve(
+            problem_file,
+            [
+                json.dumps({"kind": "trace", "enable": True, "id": 1}),
+                json.dumps({"kind": "solve", "solver": "SDGA", "id": 2}),
+                json.dumps({"kind": "trace", "id": 3}),
+            ],
+        )
+        assert all(r["ok"] for r in responses)
+        assert responses[0]["payload"] == {"enabled": True}
+        # The enable request itself ran untraced; the solve carries an id.
+        solve_trace = responses[1]["trace"]
+        assert solve_trace
+        # With no explicit id the last finished trace is returned — the
+        # solve's, since the trace request itself had not finished yet.
+        payload = responses[2]["payload"]
+        assert payload["trace_id"] == solve_trace
+        root = payload["root"]
+        assert root["name"] == "request.solve"
+        nested = [child["name"] for child in root["children"]]
+        assert "engine.solve" in nested
+        assert "request.solve" in payload["rendered"]
+
+    def test_trace_fetch_by_id(self, problem_file):
+        _, responses = _serve(
+            problem_file,
+            [
+                json.dumps({"kind": "trace", "enable": True}),
+                json.dumps({"kind": "journal", "paper_id": "paper-0000"}),
+                json.dumps({"kind": "solve", "solver": "Greedy"}),
+            ],
+        )
+        journal_trace = responses[1]["trace"]
+        _, fetched = _serve(
+            problem_file, [json.dumps({"kind": "trace", "trace_id": journal_trace})]
+        )
+        assert fetched[0]["ok"]
+        assert fetched[0]["payload"]["root"]["name"] == "request.journal"
+
+    def test_trace_without_recording_is_a_structured_error(self, problem_file):
+        _, responses = _serve(problem_file, [json.dumps({"kind": "trace"})])
+        assert not responses[0]["ok"]
+        assert responses[0]["error_type"] == "configuration"
+        assert "no trace recorded" in responses[0]["error"]
+
+    def test_every_response_carries_seconds_and_failures_are_counted(
+        self, problem_file
+    ):
+        _, responses = _serve(
+            problem_file,
+            [
+                json.dumps({"kind": "solve", "solver": "Greedy"}),
+                json.dumps({"kind": "withdraw_reviewer", "reviewer_id": "missing"}),
+                json.dumps({"kind": "stats"}),
+            ],
+        )
+        assert all("seconds" in r and r["seconds"] >= 0.0 for r in responses)
+        session_stats = responses[-1]["payload"]["session"]
+        assert session_stats["pending"] == 0
+        assert session_stats["failed"] == 1
+        assert session_stats["error_types"] == {"unknown_id": 1}
+        metrics = responses[-1]["payload"]["engine"]["metrics"]
+        assert metrics["service.failures"] == 1
+        assert metrics["service.errors.unknown_id"] == 1
+
+    def test_slow_request_diagnostics_stream(self, problem_file):
+        from repro.data.io import load_problem
+
+        engine = AssignmentEngine(load_problem(problem_file))
+        output, diagnostics = io.StringIO(), io.StringIO()
+        serve_stream(
+            engine,
+            iter(
+                [
+                    json.dumps({"kind": "trace", "enable": True}),
+                    json.dumps({"kind": "solve", "solver": "Greedy", "id": 7}),
+                ]
+            ),
+            output,
+            slow_threshold=0.0,
+            diagnostics=diagnostics,
+        )
+        events = [json.loads(line) for line in diagnostics.getvalue().splitlines()]
+        # Both requests cleared the 0-second threshold; the solve (traced)
+        # carries its span tree, and the wire output stayed one line per
+        # request.
+        assert [event["event"] for event in events] == ["slow_request"] * 2
+        solve_event = events[-1]
+        assert solve_event["kind"] == "solve"
+        assert solve_event["id"] == 7
+        assert solve_event["seconds"] >= 0.0
+        assert solve_event["spans"]["name"] == "request.solve"
+        assert len(output.getvalue().splitlines()) == 2
+
+    def test_serve_command_accepts_trace_and_slow_ms_flags(
+        self, problem_file, monkeypatch, capsys
+    ):
+        script = "\n".join(
+            [
+                json.dumps({"kind": "solve", "solver": "Greedy"}),
+                json.dumps({"kind": "shutdown"}),
+            ]
+        )
+        monkeypatch.setattr("sys.stdin", io.StringIO(script + "\n"))
+        exit_code = main(
+            ["serve", "--problem", str(problem_file), "--trace", "--slow-ms", "0"]
+        )
+        assert exit_code == 0
+        captured = capsys.readouterr()
+        lines = [json.loads(line) for line in captured.out.splitlines()]
+        assert all(r["ok"] for r in lines)
+        assert all("trace" in r for r in lines)
+        events = [json.loads(line) for line in captured.err.splitlines()]
+        assert events and all(e["event"] == "slow_request" for e in events)
+
+    def test_solve_command_trace_flag_prints_the_span_tree(
+        self, problem_file, tmp_path, capsys
+    ):
+        output = tmp_path / "assignment.json"
+        exit_code = main(
+            ["solve", str(problem_file), str(output), "--method", "SDGA", "--trace"]
+        )
+        assert exit_code == 0
+        printed = capsys.readouterr().out
+        assert "trace t" in printed
+        assert "solver.SDGA" in printed
+        assert "sdga.stage" in printed
+
+
 class TestRegistryBackedFlags:
     def test_solve_rejects_unregistered_method(self):
         parser = build_parser()

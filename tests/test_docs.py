@@ -32,6 +32,7 @@ DOC_PAGES = (
     "solvers.md",
     "parallel.md",
     "performance.md",
+    "observability.md",
 )
 
 _LINK = re.compile(r"\[[^\]]+\]\(([^)\s]+)\)")
@@ -205,3 +206,25 @@ class TestCoverageOfRepoArtifacts:
         readme = _read(REPO_ROOT / "README.md")
         for kind in _REQUEST_TYPES:
             assert f"`{kind}`" in readme
+
+
+class TestObservabilityPage:
+    """The span/metric tables mirror the contract of ``repro.obs.names``."""
+
+    @pytest.fixture(scope="class")
+    def obs_page(self) -> str:
+        return _read(DOCS_DIR / "observability.md")
+
+    def test_span_table_matches_the_contract(self, obs_page):
+        from repro.obs.names import SPAN_NAMES
+
+        rows = _table_rows(obs_page, "## Span names")
+        documented = {_first_name(row) for row in rows}
+        assert documented == set(SPAN_NAMES)
+
+    def test_metric_table_matches_the_contract(self, obs_page):
+        from repro.obs.names import METRIC_NAMES
+
+        rows = _table_rows(obs_page, "## Metric names")
+        documented = {_first_name(row) for row in rows}
+        assert documented == set(METRIC_NAMES)
