@@ -121,9 +121,41 @@ def build_parser() -> argparse.ArgumentParser:
     serve = subparsers.add_parser(
         "serve", help="serve JSON-lines requests from a resident engine"
     )
-    source = serve.add_mutually_exclusive_group(required=True)
+    source = serve.add_mutually_exclusive_group(required=False)
     source.add_argument("--problem", help="path of the JSON problem file to load")
     source.add_argument("--snapshot", help="path of an engine snapshot to resume from")
+    serve.add_argument(
+        "--tcp",
+        action="store_true",
+        help=(
+            "serve a TCP JSON-lines endpoint (repro.net) instead of stdio; "
+            "prints one {'event': 'listening', ...} JSON line with the bound "
+            "port, then serves until a 'shutdown' request"
+        ),
+    )
+    serve.add_argument(
+        "--host", default="127.0.0.1", help="TCP bind address (with --tcp)"
+    )
+    serve.add_argument(
+        "--port",
+        type=int,
+        default=0,
+        help="TCP port; 0 binds an ephemeral port (with --tcp)",
+    )
+    serve.add_argument(
+        "--tenant",
+        default="default",
+        help="conference id of the initial tenant (with --tcp)",
+    )
+    serve.add_argument(
+        "--max-pending",
+        type=int,
+        default=256,
+        help=(
+            "admission bound: requests admitted-but-unanswered per tenant "
+            "before new ones are refused as 'overloaded' (with --tcp)"
+        ),
+    )
     serve.add_argument(
         "--warm",
         action="store_true",
@@ -279,17 +311,27 @@ def _command_evaluate(args: argparse.Namespace) -> int:
 
 def _command_serve(args: argparse.Namespace) -> int:
     parallel = _parallel_config(args)
+    if not args.tcp and not (args.problem or args.snapshot):
+        print(
+            "error: serve needs --problem or --snapshot "
+            "(a TCP server may instead start empty and accept create_tenant)",
+            file=sys.stderr,
+        )
+        return 2
+    engine = None
     if args.snapshot:
         engine = AssignmentEngine.load(args.snapshot, parallel=parallel)
-    else:
+    elif args.problem:
         engine = AssignmentEngine(load_problem(args.problem), parallel=parallel)
-    if args.warm:
+    if args.warm and engine is not None:
         engine.warm()
     if args.trace:
         from repro.obs.trace import get_tracer
 
         get_tracer().enabled = True
     slow_threshold = None if args.slow_ms is None else args.slow_ms / 1000.0
+    if args.tcp:
+        return _serve_tcp(args, engine)
     serve_stream(
         engine,
         sys.stdin,
@@ -297,6 +339,51 @@ def _command_serve(args: argparse.Namespace) -> int:
         slow_threshold=slow_threshold,
         diagnostics=sys.stderr,
     )
+    return 0
+
+
+def _serve_tcp(args: argparse.Namespace, engine: AssignmentEngine | None) -> int:
+    """Run the asyncio TCP front end until a ``shutdown`` request.
+
+    The bound address is announced as one ``{"event": "listening", ...}``
+    JSON line on stdout — with ``--port 0`` this is how callers learn the
+    ephemeral port, which is what makes subprocess tests collision-safe.
+    """
+    import asyncio
+    import json
+
+    from repro.net import AdmissionController, AssignmentServer
+
+    server = AssignmentServer(
+        host=args.host,
+        port=args.port,
+        admission=AdmissionController(max_pending=args.max_pending),
+    )
+    if engine is not None:
+        server.add_tenant(args.tenant, engine, default=True)
+
+    async def _run() -> None:
+        host, port = await server.start()
+        print(
+            json.dumps(
+                {
+                    "event": "listening",
+                    "host": host,
+                    "port": port,
+                    "tenants": server.tenants.ids(),
+                }
+            ),
+            flush=True,
+        )
+        try:
+            await server.wait_shutdown()
+        finally:
+            await server.stop()
+
+    try:
+        asyncio.run(_run())
+    except KeyboardInterrupt:
+        pass
     return 0
 
 

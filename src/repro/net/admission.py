@@ -1,0 +1,106 @@
+"""Admission control for the network front end.
+
+A server that accepts every request it can parse will, under overload,
+convert latency into an unbounded backlog: every queued request makes
+every later one slower, until clients time out on work the server will
+still dutifully perform.  The admission controller keeps the backlog
+*bounded* instead — a request that would push a tenant (or the process)
+past its pending-depth bound is rejected **immediately** with the
+structured ``overloaded`` error type, so clients get a cheap, explicit
+back-off signal while the requests already admitted keep their latency.
+
+The accounting is deliberately simple: one in-flight counter per tenant
+plus one process-wide counter, both owned by the event loop thread
+(admission decisions never cross threads; only the *completion* of a
+request is reported back from wherever the response was produced, via
+the loop).  ``drain()`` flips the controller into rejecting everything —
+the graceful-shutdown path — without disturbing in-flight counts.
+"""
+
+from __future__ import annotations
+
+__all__ = ["AdmissionController"]
+
+
+class AdmissionController:
+    """Bounded pending-request depth, per tenant and per process.
+
+    Parameters
+    ----------
+    max_pending:
+        Maximum requests admitted-but-unanswered *per tenant*.
+    max_total_pending:
+        Process-wide bound across all tenants; defaults to
+        ``4 * max_pending`` so a single hot tenant cannot starve the
+        rest of the process by itself.
+    """
+
+    def __init__(self, max_pending: int = 256, max_total_pending: int | None = None) -> None:
+        if max_pending < 1:
+            raise ValueError("max_pending must be at least 1")
+        self.max_pending = max_pending
+        self.max_total_pending = (
+            max_total_pending if max_total_pending is not None else 4 * max_pending
+        )
+        if self.max_total_pending < max_pending:
+            raise ValueError("max_total_pending must be at least max_pending")
+        self._total = 0
+        self._per_tenant: dict[str, int] = {}
+        self._draining = False
+
+    @property
+    def total_pending(self) -> int:
+        """Requests admitted and not yet answered, across all tenants."""
+        return self._total
+
+    @property
+    def draining(self) -> bool:
+        """Whether the controller rejects everything (graceful shutdown)."""
+        return self._draining
+
+    def pending(self, tenant_id: str) -> int:
+        """In-flight depth of one tenant."""
+        return self._per_tenant.get(tenant_id, 0)
+
+    def drain(self) -> None:
+        """Stop admitting; in-flight requests keep draining normally."""
+        self._draining = True
+
+    def try_admit(self, tenant_id: str) -> str | None:
+        """Admit one request for ``tenant_id``, or explain the refusal.
+
+        Returns ``None`` on admission (the caller *must* later call
+        :meth:`release`), or a human-readable reason string when the
+        request must be answered with ``error_type: "overloaded"``.
+        """
+        if self._draining:
+            return "server is draining; no new requests are admitted"
+        if self._total >= self.max_total_pending:
+            return (
+                f"server backlog is full ({self._total} pending, "
+                f"bound {self.max_total_pending}); retry later"
+            )
+        depth = self._per_tenant.get(tenant_id, 0)
+        if depth >= self.max_pending:
+            return (
+                f"tenant {tenant_id!r} backlog is full ({depth} pending, "
+                f"bound {self.max_pending}); retry later"
+            )
+        self._per_tenant[tenant_id] = depth + 1
+        self._total += 1
+        return None
+
+    def release(self, tenant_id: str) -> None:
+        """Report one admitted request as answered."""
+        depth = self._per_tenant.get(tenant_id, 0)
+        if depth <= 1:
+            self._per_tenant.pop(tenant_id, None)
+        else:
+            self._per_tenant[tenant_id] = depth - 1
+        self._total = max(0, self._total - 1)
+
+    def forget(self, tenant_id: str) -> None:
+        """Drop a tenant's counter entirely (tenant eviction)."""
+        depth = self._per_tenant.pop(tenant_id, None)
+        if depth:
+            self._total = max(0, self._total - depth)

@@ -1,0 +1,202 @@
+"""Asyncio JSON-lines client and the closed-loop load generator.
+
+:class:`NetClient` is the minimal protocol client: one JSON object per
+line out, one per line in, with pipelining left to the caller.  It backs
+the test harness and the ``wgrap``-side tooling.
+
+:func:`run_load` is the load harness behind
+``benchmarks/bench_serve_load.py``: N closed-loop clients (each keeps
+exactly one request in flight) hammering one server from one event loop,
+with per-request latencies recorded and summarised as a
+:class:`LoadReport`.  Closed-loop clients are the honest way to measure
+a bounded-backlog server — each client's next request waits for its last
+answer, so the offered load adapts to the service rate instead of
+measuring the admission controller's rejection throughput.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import math
+import time
+from collections.abc import Callable
+from dataclasses import dataclass, field
+from typing import Any
+
+__all__ = ["LoadReport", "NetClient", "run_load"]
+
+
+class NetClient:
+    """One JSON-lines connection to an :class:`AssignmentServer`."""
+
+    def __init__(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        self._reader = reader
+        self._writer = writer
+
+    @classmethod
+    async def connect(
+        cls,
+        host: str,
+        port: int,
+        *,
+        attempts: int = 20,
+        retry_delay: float = 0.05,
+        limit: int = 1 << 20,
+    ) -> "NetClient":
+        """Connect, retrying briefly — absorbs accept-queue pressure when
+        hundreds of clients dial in at once."""
+        last: Exception | None = None
+        for _ in range(max(1, attempts)):
+            try:
+                reader, writer = await asyncio.open_connection(host, port, limit=limit)
+                return cls(reader, writer)
+            except (ConnectionRefusedError, OSError) as exc:
+                last = exc
+                await asyncio.sleep(retry_delay)
+        raise ConnectionError(f"could not connect to {host}:{port}: {last}")
+
+    async def send(self, payload: dict[str, Any]) -> None:
+        self._writer.write(json.dumps(payload).encode("utf-8") + b"\n")
+        await self._writer.drain()
+
+    async def recv(self) -> dict[str, Any]:
+        line = await self._reader.readline()
+        if not line:
+            raise ConnectionError("server closed the connection")
+        return json.loads(line)
+
+    async def request(self, payload: dict[str, Any]) -> dict[str, Any]:
+        """Send one request and await its response (closed loop)."""
+        await self.send(payload)
+        return await self.recv()
+
+    async def close(self) -> None:
+        try:
+            self._writer.close()
+            await self._writer.wait_closed()
+        except (ConnectionResetError, BrokenPipeError, OSError):
+            pass
+
+
+def _percentile(sorted_values: list[float], q: float) -> float:
+    if not sorted_values:
+        return 0.0
+    index = min(len(sorted_values) - 1, max(0, math.ceil(q * len(sorted_values)) - 1))
+    return sorted_values[index]
+
+
+@dataclass
+class LoadReport:
+    """Outcome of one :func:`run_load` drive."""
+
+    clients: int
+    requests: int = 0
+    ok: int = 0
+    failed: int = 0
+    overloaded: int = 0
+    connect_failures: int = 0
+    elapsed_seconds: float = 0.0
+    latencies_ms: list[float] = field(default_factory=list)
+    error_types: dict[str, int] = field(default_factory=dict)
+    error_samples: list[str] = field(default_factory=list)
+
+    @property
+    def req_per_s(self) -> float:
+        return self.requests / self.elapsed_seconds if self.elapsed_seconds else 0.0
+
+    def percentile_ms(self, q: float) -> float:
+        return _percentile(sorted(self.latencies_ms), q)
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-serialisable summary (the ``BENCH_serve.json`` core)."""
+        latencies = sorted(self.latencies_ms)
+        return {
+            "clients": self.clients,
+            "requests": self.requests,
+            "ok": self.ok,
+            "failed": self.failed,
+            "overloaded": self.overloaded,
+            "connect_failures": self.connect_failures,
+            "elapsed_seconds": self.elapsed_seconds,
+            "req_per_s": self.req_per_s,
+            "latency_ms": {
+                "p50": _percentile(latencies, 0.50),
+                "p95": _percentile(latencies, 0.95),
+                "p99": _percentile(latencies, 0.99),
+                "max": latencies[-1] if latencies else 0.0,
+            },
+            "error_types": dict(self.error_types),
+            "error_samples": list(self.error_samples[:5]),
+        }
+
+
+async def run_load(
+    host: str,
+    port: int,
+    *,
+    clients: int,
+    requests_per_client: int,
+    request_factory: Callable[[int, int], dict[str, Any]] | None = None,
+    overloaded_is_failure: bool = True,
+) -> LoadReport:
+    """Drive ``clients`` closed-loop clients; returns the aggregate report.
+
+    ``request_factory(client_index, request_index)`` builds each request
+    dict (default: ``stats``).  Every response is accounted: ``ok`` /
+    ``failed`` by the response's own flag, with ``overloaded`` split out
+    (and optionally not counted as failure, for drives that deliberately
+    exceed the admission bound).
+    """
+    factory = request_factory or (lambda _c, _i: {"kind": "stats"})
+    report = LoadReport(clients=clients)
+
+    async def one_client(index: int) -> None:
+        try:
+            client = await NetClient.connect(host, port)
+        except ConnectionError as exc:
+            report.connect_failures += 1
+            report.error_samples.append(str(exc))
+            return
+        try:
+            for i in range(requests_per_client):
+                payload = factory(index, i)
+                started = time.perf_counter()
+                try:
+                    response = await client.request(payload)
+                except (ConnectionError, json.JSONDecodeError, OSError) as exc:
+                    report.requests += 1
+                    report.failed += 1
+                    report.error_types["transport"] = (
+                        report.error_types.get("transport", 0) + 1
+                    )
+                    report.error_samples.append(f"{type(exc).__name__}: {exc}")
+                    return
+                report.latencies_ms.append((time.perf_counter() - started) * 1e3)
+                report.requests += 1
+                if response.get("ok"):
+                    report.ok += 1
+                else:
+                    error_type = str(response.get("error_type", "internal"))
+                    report.error_types[error_type] = (
+                        report.error_types.get(error_type, 0) + 1
+                    )
+                    if error_type == "overloaded":
+                        report.overloaded += 1
+                        if overloaded_is_failure:
+                            report.failed += 1
+                    else:
+                        report.failed += 1
+                    if len(report.error_samples) < 20:
+                        report.error_samples.append(
+                            str(response.get("error", "unknown error"))
+                        )
+        finally:
+            await client.close()
+
+    started = time.perf_counter()
+    await asyncio.gather(*(one_client(index) for index in range(clients)))
+    report.elapsed_seconds = time.perf_counter() - started
+    return report

@@ -1,0 +1,530 @@
+"""The asyncio TCP JSON-lines server: many clients, many tenants, one process.
+
+Wire protocol
+-------------
+One JSON object per line in, one JSON object per line out, in request
+order per connection (responses to pipelined requests never reorder).
+The request vocabulary is exactly :mod:`repro.service.requests`, plus:
+
+* an optional ``"tenant"`` field on any engine request routes it to a
+  resident engine by conference id (omitted: the default tenant);
+* the tenant-management kinds in :data:`MANAGEMENT_KINDS`, served by the
+  server itself rather than an engine;
+* every engine response additionally carries ``"tenant"`` (where it ran)
+  and ``"seq"`` (its position in that tenant's total execution order —
+  the handle the conformance harness uses to replay a concurrent run
+  serially).
+
+Robustness contract, pinned by ``tests/test_net_fuzz.py``: every
+non-blank input line gets exactly one structured response.  Malformed
+frames — invalid UTF-8, broken JSON, non-object payloads, unknown kinds,
+oversized lines — are answered with ``ok: false`` and a structured
+``error_type``; they never kill the accept loop and never leak a
+traceback.  Requests beyond the admission bounds are answered
+immediately with ``error_type: "overloaded"``.
+
+A ``{"kind": "shutdown"}`` line is served by the server, not a tenant:
+admission flips to draining (late requests are refused as overloaded),
+the listener closes, every tenant drains its admitted work, and the
+shutdown response is the last line its connection sees.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import json
+from typing import Any
+
+from repro.exceptions import ConfigurationError, RequestError
+from repro.obs.metrics import get_registry
+from repro.service.engine import AssignmentEngine
+from repro.service.requests import Response, request_from_dict
+from repro.service.session import classify_error
+from repro.net.admission import AdmissionController
+from repro.net.tenants import Pending, Tenant, TenantManager
+
+__all__ = ["MANAGEMENT_KINDS", "AssignmentServer"]
+
+#: Request kinds served by the server itself (no engine involved), with
+#: their contracts.  ``docs/service.md`` renders this table verbatim and
+#: ``tests/test_docs.py`` pins the two in sync.
+MANAGEMENT_KINDS: dict[str, str] = {
+    "create_tenant": (
+        "register a resident engine under `tenant`; exactly one source of "
+        "`problem` (inline object), `problem_path` or `snapshot_path`; "
+        "optional `warm`, `default`"
+    ),
+    "evict_tenant": (
+        "drain `tenant`'s admitted work, optionally persist to "
+        "`snapshot_path`, then remove the engine"
+    ),
+    "list_tenants": "describe every resident tenant (no fields)",
+    "shutdown": (
+        "drain the whole server: refuse new work as `overloaded`, finish "
+        "admitted requests, answer, close"
+    ),
+}
+
+# Out-queue item tags: per-connection response order is the queue order.
+_LINE = "line"  # (tag, response_dict) — answer known immediately
+_PENDING = "pending"  # (tag, tenant_id, Pending) — await the tenant worker
+_TASK = "task"  # (tag, asyncio.Task[dict], is_shutdown) — management op
+
+
+class AssignmentServer:
+    """A TCP JSON-lines front end over a :class:`TenantManager`.
+
+    Construct (optionally pre-registering tenants via :meth:`add_tenant`),
+    then either ``await run()`` — serve until a ``shutdown`` request —
+    or ``await start()`` / ``await stop()`` for explicit lifecycle
+    control in tests.
+    """
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        *,
+        tenants: TenantManager | None = None,
+        admission: AdmissionController | None = None,
+        max_line_bytes: int = 1 << 20,
+        max_batch: int = 128,
+        backlog: int = 2048,
+    ) -> None:
+        self.host = host
+        self.port = port
+        self.tenants = tenants if tenants is not None else TenantManager(max_batch=max_batch)
+        self.admission = admission if admission is not None else AdmissionController()
+        self._max_line_bytes = max_line_bytes
+        self._backlog = backlog
+        self._server: asyncio.Server | None = None
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._conn_tasks: set[asyncio.Task] = set()
+        self._shutdown = asyncio.Event()
+        self._registry = get_registry()
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def add_tenant(
+        self, tenant_id: str, engine: AssignmentEngine, default: bool = False
+    ) -> Tenant:
+        """Pre-register a resident engine (before or after :meth:`start`)."""
+        tenant = self.tenants.register(tenant_id, engine, default=default)
+        if self._server is not None and self._loop is not None:
+            try:
+                running = asyncio.get_running_loop()
+            except RuntimeError:
+                running = None
+            if running is self._loop:
+                tenant.start()
+            else:  # registered from outside the loop (test harness thread)
+                self._loop.call_soon_threadsafe(tenant.start)
+        return tenant
+
+    async def start(self) -> tuple[str, int]:
+        """Bind and start accepting; returns the bound ``(host, port)``.
+
+        ``port=0`` binds an ephemeral port — the collision-safe default
+        for tests and for several servers on one machine.
+        """
+        if self._server is not None:
+            raise ConfigurationError("server is already started")
+        self._loop = asyncio.get_running_loop()
+        self._server = await asyncio.start_server(
+            self._on_client,
+            self.host,
+            self.port,
+            limit=self._max_line_bytes,
+            backlog=self._backlog,
+        )
+        for tenant_id in self.tenants.ids():
+            self.tenants.get(tenant_id).start()
+        sockname = self._server.sockets[0].getsockname()
+        self.host, self.port = sockname[0], sockname[1]
+        return self.host, self.port
+
+    async def wait_shutdown(self) -> None:
+        """Block until a ``shutdown`` request has been served."""
+        await self._shutdown.wait()
+
+    async def run(self) -> None:
+        """Serve until a ``shutdown`` request, then close everything."""
+        await self.start()
+        try:
+            await self.wait_shutdown()
+        finally:
+            await self.stop()
+
+    async def stop(self) -> None:
+        """Close the listener, every connection, and every tenant."""
+        if self._server is not None:
+            self._server.close()
+            with contextlib.suppress(Exception):
+                await self._server.wait_closed()
+            self._server = None
+        for task in list(self._conn_tasks):
+            task.cancel()
+        if self._conn_tasks:
+            await asyncio.gather(*self._conn_tasks, return_exceptions=True)
+        self._conn_tasks.clear()
+        await self.tenants.close_all()
+        self._registry.gauge(
+            "service.net.open_connections", "currently connected clients"
+        ).set(0)
+
+    # ------------------------------------------------------------------
+    # Connection handling
+    # ------------------------------------------------------------------
+    async def _on_client(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        task = asyncio.current_task()
+        if task is not None:
+            self._conn_tasks.add(task)
+        self._registry.counter(
+            "service.net.connections", "client connections accepted"
+        ).inc()
+        open_gauge = self._registry.gauge(
+            "service.net.open_connections", "currently connected clients"
+        )
+        open_gauge.inc(1)
+        out: asyncio.Queue = asyncio.Queue()
+        writer_task = asyncio.get_running_loop().create_task(
+            self._writer_loop(writer, out)
+        )
+        cancelled = False
+        try:
+            await self._reader_loop(reader, out)
+        except asyncio.CancelledError:
+            # Swallowed on purpose: this is the task's outermost frame, the
+            # only canceller is stop(), and 3.11's streams callback logs a
+            # spurious error for handler tasks that finish cancelled.
+            cancelled = True
+        finally:
+            out.put_nowait(None)
+            if cancelled:
+                writer_task.cancel()
+            with contextlib.suppress(Exception, asyncio.CancelledError):
+                await writer_task
+            open_gauge.inc(-1)
+            if task is not None:
+                self._conn_tasks.discard(task)
+
+    async def _reader_loop(
+        self, reader: asyncio.StreamReader, out: asyncio.Queue
+    ) -> None:
+        while True:
+            try:
+                raw = await reader.readuntil(b"\n")
+            except asyncio.IncompleteReadError as eof:
+                if eof.partial:
+                    self._handle_line(eof.partial, out)
+                return
+            except asyncio.LimitOverrunError:
+                # The line exceeds the stream limit: one structured answer,
+                # then discard bytes until its newline so the next frame
+                # parses cleanly.
+                self._registry.counter(
+                    "service.net.protocol_errors", "unparseable input frames"
+                ).inc()
+                out.put_nowait(
+                    (
+                        _LINE,
+                        Response.failure(
+                            kind="parse",
+                            error=(
+                                "request line exceeds the "
+                                f"{self._max_line_bytes}-byte limit"
+                            ),
+                        ).to_dict(),
+                    )
+                )
+                if not await self._discard_line(reader):
+                    return
+            except (ConnectionResetError, OSError):
+                return
+            else:
+                try:
+                    self._handle_line(raw, out)
+                except Exception as exc:  # noqa: BLE001 — fuzz contract: the
+                    # reader loop survives anything a frame can throw at it
+                    self._registry.counter(
+                        "service.net.protocol_errors", "unparseable input frames"
+                    ).inc()
+                    out.put_nowait(
+                        (
+                            _LINE,
+                            Response.failure(
+                                kind="parse",
+                                error=f"{type(exc).__name__}: {exc}",
+                                error_type="internal",
+                            ).to_dict(),
+                        )
+                    )
+
+    async def _discard_line(self, reader: asyncio.StreamReader) -> bool:
+        """Drop input until (and including) the next newline; False on EOF."""
+        while True:
+            try:
+                await reader.readuntil(b"\n")
+                return True
+            except asyncio.LimitOverrunError as overrun:
+                await reader.read(max(1, overrun.consumed))
+            except (asyncio.IncompleteReadError, ConnectionResetError, OSError):
+                return False
+
+    # ------------------------------------------------------------------
+    # Per-line routing
+    # ------------------------------------------------------------------
+    def _handle_line(self, raw: bytes, out: asyncio.Queue) -> None:
+        """Parse, route and admit one frame; always enqueues ≤1 response.
+
+        Blank lines are skipped (matching the stdio loop); every other
+        frame gets exactly one response, in arrival order.
+        """
+        if not raw.strip():
+            return
+        self._registry.counter(
+            "service.net.requests", "non-blank request frames received"
+        ).inc()
+
+        def refuse(kind: str, error: str, error_type: str, request_id: Any = None) -> None:
+            if error_type == "overloaded":
+                self._registry.counter(
+                    "service.net.overloaded", "requests refused by admission control"
+                ).inc()
+            else:
+                self._registry.counter(
+                    "service.net.protocol_errors", "unparseable input frames"
+                ).inc()
+            out.put_nowait(
+                (
+                    _LINE,
+                    Response.failure(
+                        kind=kind,
+                        error=error,
+                        error_type=error_type,
+                        request_id=request_id,
+                    ).to_dict(),
+                )
+            )
+
+        try:
+            text = raw.decode("utf-8")
+        except UnicodeDecodeError as exc:
+            refuse("parse", f"invalid UTF-8: {exc}", "request")
+            return
+        try:
+            payload = json.loads(text)
+        except json.JSONDecodeError as exc:
+            refuse("parse", f"invalid JSON: {exc}", "request")
+            return
+        if not isinstance(payload, dict):
+            refuse("parse", "a request must be a JSON object", "request")
+            return
+
+        request_id = payload.get("id")
+        kind = payload.get("kind")
+        if isinstance(kind, str) and kind in MANAGEMENT_KINDS:
+            task = asyncio.get_running_loop().create_task(
+                self._manage(str(kind), payload)
+            )
+            out.put_nowait((_TASK, task, kind == "shutdown"))
+            return
+
+        tenant_field = payload.get("tenant")
+        if tenant_field is not None and not isinstance(tenant_field, str):
+            refuse(
+                str(kind) if isinstance(kind, str) else "parse",
+                "'tenant' must be a string conference id",
+                "request",
+                request_id,
+            )
+            return
+        try:
+            request = request_from_dict(payload)
+        except RequestError as exc:
+            refuse("parse", str(exc), "request", request_id)
+            return
+        if self.admission.draining:
+            refuse(
+                request.kind,
+                "server is draining; no new requests are admitted",
+                "overloaded",
+                request_id,
+            )
+            return
+        try:
+            tenant = self.tenants.resolve(tenant_field)
+        except (RequestError, KeyError) as exc:
+            message = exc.args[0] if exc.args else str(exc)
+            refuse(request.kind, str(message), classify_error(exc), request_id)
+            return
+        if tenant.closed:
+            refuse(
+                request.kind,
+                f"tenant {tenant.tenant_id!r} is draining; retry later",
+                "overloaded",
+                request_id,
+            )
+            return
+        reason = self.admission.try_admit(tenant.tenant_id)
+        if reason is not None:
+            refuse(request.kind, reason, "overloaded", request_id)
+            return
+        pending = tenant.submit(request)
+        pending.future.add_done_callback(
+            lambda _f, tenant_id=tenant.tenant_id, handle=pending: (
+                self._on_request_done(tenant_id, handle)
+            )
+        )
+        out.put_nowait((_PENDING, tenant.tenant_id, pending))
+
+    def _on_request_done(self, tenant_id: str, pending: Pending) -> None:
+        self.admission.release(tenant_id)
+        elapsed = asyncio.get_running_loop().time() - pending.enqueued
+        self._registry.histogram(
+            "service.net.request.seconds", "queue-to-answer request latency"
+        ).observe(elapsed)
+
+    async def _writer_loop(
+        self, writer: asyncio.StreamWriter, out: asyncio.Queue
+    ) -> None:
+        """Answer in queue order; a ``None`` sentinel flushes and exits."""
+        try:
+            while True:
+                item = await out.get()
+                if item is None:
+                    break
+                is_shutdown = False
+                if item[0] == _LINE:
+                    data = item[1]
+                elif item[0] == _PENDING:
+                    _, tenant_id, pending = item
+                    await pending.future
+                    data = pending.response.to_dict()
+                    data["tenant"] = tenant_id
+                    data["seq"] = pending.seq
+                else:
+                    _, task, is_shutdown = item
+                    data = await task
+                writer.write(json.dumps(data).encode("utf-8") + b"\n")
+                await writer.drain()
+                if is_shutdown:
+                    self._shutdown.set()
+                    break
+        except (ConnectionResetError, BrokenPipeError, OSError):
+            pass  # the client went away; admitted work still completes
+        finally:
+            with contextlib.suppress(Exception):
+                writer.close()
+                await writer.wait_closed()
+
+    # ------------------------------------------------------------------
+    # Tenant management
+    # ------------------------------------------------------------------
+    async def _manage(self, kind: str, payload: dict[str, Any]) -> dict[str, Any]:
+        """Serve one management request; failures become structured responses."""
+        request_id = payload.get("id")
+        try:
+            if kind == "create_tenant":
+                body = await self._create_tenant(payload)
+            elif kind == "evict_tenant":
+                body = await self._evict_tenant(payload)
+            elif kind == "list_tenants":
+                body = self._list_tenants()
+            else:  # shutdown
+                body = await self._drain_server()
+            return Response(
+                kind=kind, ok=True, payload=body, request_id=request_id
+            ).to_dict()
+        except Exception as exc:  # noqa: BLE001 — management must not kill the loop
+            message = exc.args[0] if exc.args else str(exc)
+            error_type = classify_error(exc)
+            if error_type == "internal":
+                message = f"{type(exc).__name__}: {exc}"
+            return Response.failure(
+                kind=kind,
+                error=str(message),
+                error_type=error_type,
+                request_id=request_id,
+            ).to_dict()
+
+    async def _create_tenant(self, payload: dict[str, Any]) -> dict[str, Any]:
+        tenant_id = payload.get("tenant")
+        if not isinstance(tenant_id, str) or not tenant_id:
+            raise RequestError("a create_tenant request needs a string 'tenant' id")
+        if self.admission.draining:
+            raise RequestError("server is draining; no new tenants are admitted")
+        sources = [
+            name
+            for name in ("problem", "problem_path", "snapshot_path")
+            if payload.get(name) is not None
+        ]
+        if len(sources) != 1:
+            raise RequestError(
+                "a create_tenant request needs exactly one of "
+                "'problem', 'problem_path' or 'snapshot_path'"
+            )
+        if tenant_id in self.tenants:
+            raise ConfigurationError(
+                f"tenant {tenant_id!r} already exists; evict it first"
+            )
+        engine = await asyncio.to_thread(self._build_engine, sources[0], payload)
+        tenant = self.tenants.register(
+            tenant_id, engine, default=bool(payload.get("default", False))
+        )
+        tenant.start()
+        if payload.get("warm"):
+            await tenant.run_in_worker(engine.warm)
+        return {"tenant": tenant_id, **tenant.describe()}
+
+    @staticmethod
+    def _build_engine(source: str, payload: dict[str, Any]) -> AssignmentEngine:
+        if source == "snapshot_path":
+            return AssignmentEngine.load(str(payload["snapshot_path"]))
+        if source == "problem_path":
+            from repro.data.io import load_problem
+
+            return AssignmentEngine(load_problem(str(payload["problem_path"])))
+        from repro.data.io import problem_from_dict
+
+        problem = payload["problem"]
+        if not isinstance(problem, dict):
+            raise RequestError("'problem' must be a JSON problem object")
+        return AssignmentEngine(problem_from_dict(problem))
+
+    async def _evict_tenant(self, payload: dict[str, Any]) -> dict[str, Any]:
+        tenant_id = payload.get("tenant")
+        if not isinstance(tenant_id, str) or not tenant_id:
+            raise RequestError("an evict_tenant request needs a string 'tenant' id")
+        tenant = await self.tenants.evict(tenant_id)
+        self.admission.forget(tenant_id)
+        snapshot_path = payload.get("snapshot_path")
+        body: dict[str, Any] = {"tenant": tenant_id, "evicted": True}
+        if snapshot_path is not None:
+            # The tenant is drained and its worker stopped: the engine is
+            # quiescent, so snapshotting off-loop is safe.
+            path = await asyncio.to_thread(
+                tenant.engine.save_snapshot, str(snapshot_path)
+            )
+            body["snapshot_path"] = str(path)
+        return body
+
+    def _list_tenants(self) -> dict[str, Any]:
+        return {
+            "tenants": self.tenants.describe(),
+            "default": self.tenants.default_tenant,
+            "pending": self.admission.total_pending,
+            "draining": self.admission.draining,
+        }
+
+    async def _drain_server(self) -> dict[str, Any]:
+        self.admission.drain()
+        if self._server is not None:
+            self._server.close()
+        closed = len(self.tenants)
+        await self.tenants.close_all()
+        return {"shutdown": True, "tenants_closed": closed}

@@ -1,0 +1,297 @@
+"""Multi-tenancy: many resident engines, one per conference id.
+
+A tenant is one conference: an :class:`~repro.service.engine.AssignmentEngine`
+plus the :class:`~repro.service.session.EngineSession` batcher, a FIFO
+request queue, and a **single-thread executor**.  The shape answers the
+two constraints of serving CPU-bound solver work from an asyncio loop:
+
+* solver work must not block the event loop — every batch runs in the
+  tenant's worker thread via ``run_in_executor``, so accepts, parses and
+  admission decisions stay responsive under long solves;
+* the engine and session are single-writer by design — one worker
+  thread per tenant serialises all access, so no engine-level locking is
+  needed and request effects apply in a well-defined total order (the
+  ``seq`` number echoed on every response).
+
+Cross-client batching falls out of the queue: whenever the worker wakes
+it drains *everything* queued at that moment — requests from any number
+of connections — through one :meth:`EngineSession.drain`, which is where
+compatible journal queries coalesce behind a single cache warm-up.  The
+batcher that PR 1 built for scripted replays is thereby lifted above the
+socket layer, exactly as the ROADMAP prescribes.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+from typing import Any
+
+from repro.exceptions import RequestError
+from repro.obs.metrics import get_registry
+from repro.obs.trace import get_tracer
+from repro.service.engine import AssignmentEngine
+from repro.service.requests import Request, Response
+from repro.service.session import EngineSession
+
+TRACER = get_tracer()
+
+__all__ = ["Pending", "Tenant", "TenantManager"]
+
+
+@dataclass
+class Pending:
+    """One admitted request waiting for (or holding) its response."""
+
+    request: Request
+    future: asyncio.Future
+    seq: int
+    enqueued: float = 0.0
+    response: Response | None = None
+
+
+class Tenant:
+    """One resident conference: engine + session + queue + worker thread."""
+
+    def __init__(self, tenant_id: str, engine: AssignmentEngine, max_batch: int = 128) -> None:
+        self.tenant_id = tenant_id
+        self.engine = engine
+        self.session = EngineSession(engine)
+        self._max_batch = max(1, max_batch)
+        self._queue: asyncio.Queue[Pending] = asyncio.Queue()
+        self._executor = ThreadPoolExecutor(
+            max_workers=1, thread_name_prefix=f"tenant-{tenant_id}"
+        )
+        self._worker: asyncio.Task | None = None
+        self._seq = itertools.count(1)
+        self._inflight = 0
+        self._idle: asyncio.Event = asyncio.Event()
+        self._idle.set()
+        self.closed = False
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        """Start the worker task (requires a running event loop)."""
+        if self._worker is None:
+            self._worker = asyncio.get_running_loop().create_task(
+                self._run(), name=f"tenant-worker-{self.tenant_id}"
+            )
+
+    async def close(self) -> None:
+        """Drain queued work, stop the worker, release the thread.
+
+        New submissions must already have been cut off (``closed`` is set
+        here first; the server's admission path checks it).  Queued and
+        in-flight requests are answered normally before the worker dies —
+        eviction never drops admitted work.
+        """
+        self.closed = True
+        await self._idle.wait()
+        if self._worker is not None:
+            self._worker.cancel()
+            try:
+                await self._worker
+            except asyncio.CancelledError:
+                pass
+            self._worker = None
+        self._executor.shutdown(wait=True)
+
+    # ------------------------------------------------------------------
+    # Request flow
+    # ------------------------------------------------------------------
+    @property
+    def pending(self) -> int:
+        """Admitted-but-unanswered requests (queue + in execution)."""
+        return self._inflight
+
+    def submit(self, request: Request) -> Pending:
+        """Enqueue one request; returns its :class:`Pending` handle.
+
+        Must be called from the event loop thread, after admission.  The
+        handle's future resolves (in the loop) to the handle itself once
+        the response is attached.
+        """
+        if self.closed:
+            raise RequestError(f"tenant {self.tenant_id!r} is shutting down")
+        loop = asyncio.get_running_loop()
+        pending = Pending(
+            request=request,
+            future=loop.create_future(),
+            seq=next(self._seq),
+            enqueued=loop.time(),
+        )
+        self._inflight += 1
+        self._idle.clear()
+        pending.future.add_done_callback(self._on_answered)
+        self._queue.put_nowait(pending)
+        return pending
+
+    async def run_in_worker(self, fn, *args):
+        """Run ``fn`` on this tenant's worker thread (serialised with batches)."""
+        return await asyncio.get_running_loop().run_in_executor(
+            self._executor, fn, *args
+        )
+
+    def _on_answered(self, _future: asyncio.Future) -> None:
+        self._inflight -= 1
+        if self._inflight == 0:
+            self._idle.set()
+
+    async def _run(self) -> None:
+        loop = asyncio.get_running_loop()
+        while True:
+            first = await self._queue.get()
+            batch = [first]
+            while len(batch) < self._max_batch:
+                try:
+                    batch.append(self._queue.get_nowait())
+                except asyncio.QueueEmpty:
+                    break
+            requests = [pending.request for pending in batch]
+            try:
+                responses = await loop.run_in_executor(
+                    self._executor, self._serve_batch, requests
+                )
+            except Exception as exc:  # noqa: BLE001 — a dead worker drops the tenant
+                responses = [
+                    Response.failure(
+                        kind=request.kind,
+                        error=f"{type(exc).__name__}: {exc}",
+                        request_id=request.request_id,
+                        error_type="internal",
+                    )
+                    for request in requests
+                ]
+            for pending, response in zip(batch, responses):
+                pending.response = response
+                if not pending.future.done():
+                    pending.future.set_result(pending)
+
+    def _serve_batch(self, requests: list[Request]) -> list[Response]:
+        """Serve one drained batch in the tenant's worker thread.
+
+        The session guarantees responses are independent of batching
+        boundaries (batching only warms caches), which is what makes the
+        concurrent server bitwise-conformant with a serial replay.
+        """
+        registry = get_registry()
+        with TRACER.span("net.batch", tenant=self.tenant_id, size=len(requests)):
+            for request in requests:
+                self.session.submit(request)
+            responses = self.session.drain()
+        registry.counter(
+            "service.net.batches", "tenant-worker batch drains"
+        ).inc()
+        registry.counter(
+            "service.net.batched_requests", "requests served through batch drains"
+        ).inc(len(requests))
+        return responses
+
+    def describe(self) -> dict[str, Any]:
+        """JSON-serialisable summary for ``list_tenants``."""
+        problem = self.engine.problem
+        return {
+            "pending": self.pending,
+            "revision": self.engine.revision,
+            "num_papers": problem.num_papers,
+            "num_reviewers": problem.num_reviewers,
+            "has_assignment": self.engine.assignment is not None,
+            "journal_batches": self.session.stats()["session"]["journal_batches"],
+            "closed": self.closed,
+        }
+
+
+class TenantManager:
+    """The resident tenant map, keyed by conference id."""
+
+    def __init__(self, max_batch: int = 128) -> None:
+        self._tenants: dict[str, Tenant] = {}
+        self._max_batch = max_batch
+        self.default_tenant: str | None = None
+
+    def __len__(self) -> int:
+        return len(self._tenants)
+
+    def __contains__(self, tenant_id: str) -> bool:
+        return tenant_id in self._tenants
+
+    def ids(self) -> list[str]:
+        return sorted(self._tenants)
+
+    def register(
+        self, tenant_id: str, engine: AssignmentEngine, default: bool = False
+    ) -> Tenant:
+        """Add a resident engine under ``tenant_id``.
+
+        Raises
+        ------
+        ConfigurationError
+            If the id is already taken (evict first).
+        """
+        from repro.exceptions import ConfigurationError
+
+        if not tenant_id:
+            raise RequestError("a tenant id must be a non-empty string")
+        if tenant_id in self._tenants:
+            raise ConfigurationError(
+                f"tenant {tenant_id!r} already exists; evict it first"
+            )
+        tenant = Tenant(tenant_id, engine, max_batch=self._max_batch)
+        self._tenants[tenant_id] = tenant
+        if default or self.default_tenant is None:
+            self.default_tenant = tenant_id
+        get_registry().gauge(
+            "service.net.tenants", "resident tenant engines"
+        ).set(len(self._tenants))
+        return tenant
+
+    def get(self, tenant_id: str) -> Tenant:
+        try:
+            return self._tenants[tenant_id]
+        except KeyError:
+            raise KeyError(f"unknown tenant id: {tenant_id!r}") from None
+
+    def resolve(self, tenant_id: str | None) -> Tenant:
+        """The tenant a request names — or the unambiguous default.
+
+        ``None`` falls back to the configured default tenant, or to the
+        only resident tenant when exactly one exists.
+        """
+        if tenant_id is not None:
+            return self.get(tenant_id)
+        if self.default_tenant is not None and self.default_tenant in self._tenants:
+            return self._tenants[self.default_tenant]
+        if len(self._tenants) == 1:
+            return next(iter(self._tenants.values()))
+        raise RequestError(
+            "a request needs a 'tenant' field (no default tenant is configured); "
+            f"resident tenants: {self.ids()}"
+        )
+
+    async def evict(self, tenant_id: str) -> Tenant:
+        """Drain and remove one tenant; returns the closed tenant."""
+        tenant = self.get(tenant_id)
+        await tenant.close()
+        del self._tenants[tenant_id]
+        if self.default_tenant == tenant_id:
+            self.default_tenant = next(iter(sorted(self._tenants)), None)
+        get_registry().gauge(
+            "service.net.tenants", "resident tenant engines"
+        ).set(len(self._tenants))
+        return tenant
+
+    async def close_all(self) -> None:
+        """Drain and close every tenant (server shutdown)."""
+        for tenant_id in self.ids():
+            tenant = self._tenants.pop(tenant_id)
+            await tenant.close()
+        get_registry().gauge(
+            "service.net.tenants", "resident tenant engines"
+        ).set(0)
+
+    def describe(self) -> dict[str, Any]:
+        return {tenant_id: tenant.describe() for tenant_id, tenant in sorted(self._tenants.items())}

@@ -42,6 +42,7 @@ SPAN_NAMES: dict[str, str] = {
     "delta.conflict_patch": "delta.patch_conflicts_in_place: conflict-tail replay on a cached view",
     "parallel.score_shards": "sharded_score_matrix: fan out score shards to the pool",
     "portfolio.race": "run_portfolio: race the solver lineup (serial or process pool)",
+    "net.batch": "Tenant worker: one cross-client batch drained through the session",
 }
 
 #: metric name -> one-line description.  Counters unless stated otherwise.
@@ -66,6 +67,15 @@ METRIC_NAMES: dict[str, str] = {
     "solver.<name>.seconds": "histogram: per-solver wall time (process-global registry)",
     "cache.<stat>": "gauge: absorbed ScoreMatrixCache counters (cache.describe())",
     "delta.<stat>": "gauge: absorbed dense-view ViewStats counters",
+    "service.net.connections": "client connections accepted by the TCP server",
+    "service.net.open_connections": "gauge: currently connected clients",
+    "service.net.requests": "non-blank request frames received on the wire",
+    "service.net.protocol_errors": "frames refused as malformed (bad UTF-8/JSON/kind/oversized)",
+    "service.net.overloaded": "requests refused by admission control",
+    "service.net.batches": "tenant-worker batch drains",
+    "service.net.batched_requests": "requests served through tenant batch drains",
+    "service.net.request.seconds": "histogram: queue-to-answer latency on the network path",
+    "service.net.tenants": "gauge: resident tenant engines",
 }
 
 _PLACEHOLDER = re.compile(r"<[^<>.]+>")

@@ -64,7 +64,24 @@ from repro.service.requests import (
 
 TRACER = get_tracer()
 
-__all__ = ["EngineSession", "classify_error", "serve_stream"]
+__all__ = ["ERROR_TYPES", "EngineSession", "classify_error", "serve_stream"]
+
+#: The closed vocabulary of structured ``error_type`` codes, with what each
+#: means to a client.  :func:`classify_error` maps exceptions onto the first
+#: seven; ``overloaded`` is produced by the network layer's admission
+#: control (:mod:`repro.net.admission`) before a request reaches a session.
+#: ``docs/service.md`` renders this table and ``tests/test_docs.py`` pins
+#: the two in sync.
+ERROR_TYPES: dict[str, str] = {
+    "request": "malformed input: bad JSON, unknown kind, missing or ill-typed fields",
+    "unknown_solver": "a solver name not present in the registry",
+    "unknown_id": "a paper, reviewer or tenant id the server does not know",
+    "infeasible": "the instance (or requested mutation) admits no feasible assignment",
+    "configuration": "inconsistent options (bad top_k, bad pool_size, duplicate tenant, ...)",
+    "solver": "a solver failed to produce a result",
+    "internal": "an unexpected failure; the exception class is named, no traceback leaks",
+    "overloaded": "refused by admission control (backlog full or server draining); retry later",
+}
 
 
 def classify_error(exc: BaseException) -> str:

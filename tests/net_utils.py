@@ -1,0 +1,195 @@
+"""Shared harness for the :mod:`repro.net` server tests.
+
+:class:`ServerHarness` runs an :class:`~repro.net.server.AssignmentServer`
+on a private event loop in a background thread, so synchronous pytest
+tests can talk to a *live* TCP server with plain blocking sockets — no
+pytest-asyncio required — while asyncio-side helpers (load drives, many
+concurrent clients) run on the harness loop via :meth:`run`.
+
+Every blocking operation carries a hard timeout: a wedged server turns
+into a loud test failure in seconds, never a hung CI job.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import socket
+import threading
+from typing import Any
+
+from repro.net import AdmissionController, AssignmentServer, TenantManager
+from repro.service.engine import AssignmentEngine
+
+#: Hard ceiling on any single blocking wait in the harness.
+HARD_TIMEOUT = 30.0
+
+
+class BlockingClient:
+    """A plain-socket JSON-lines client with per-call timeouts."""
+
+    def __init__(self, host: str, port: int, timeout: float = HARD_TIMEOUT) -> None:
+        self.sock = socket.create_connection((host, port), timeout=timeout)
+        self.sock.settimeout(timeout)
+        self._file = self.sock.makefile("rb")
+
+    def send_raw(self, data: bytes) -> None:
+        self.sock.sendall(data)
+
+    def send(self, payload: dict[str, Any]) -> None:
+        self.send_raw(json.dumps(payload).encode("utf-8") + b"\n")
+
+    def recv(self) -> dict[str, Any]:
+        line = self._file.readline()
+        if not line:
+            raise ConnectionError("server closed the connection")
+        return json.loads(line)
+
+    def request(self, payload: dict[str, Any]) -> dict[str, Any]:
+        self.send(payload)
+        return self.recv()
+
+    def close(self) -> None:
+        try:
+            self._file.close()
+            self.sock.close()
+        except OSError:
+            pass
+
+    def __enter__(self) -> "BlockingClient":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+
+class ServerHarness:
+    """A live server on a background event-loop thread.
+
+    Usage::
+
+        harness = ServerHarness()
+        harness.add_tenant("sigmod", engine)
+        harness.start()
+        try:
+            response = harness.call({"kind": "stats"})
+        finally:
+            harness.stop()
+    """
+
+    def __init__(
+        self,
+        max_pending: int = 256,
+        max_total_pending: int | None = None,
+        max_batch: int = 128,
+        max_line_bytes: int = 1 << 20,
+    ) -> None:
+        self.server = AssignmentServer(
+            tenants=TenantManager(max_batch=max_batch),
+            admission=AdmissionController(
+                max_pending=max_pending, max_total_pending=max_total_pending
+            ),
+            max_line_bytes=max_line_bytes,
+        )
+        self.host: str | None = None
+        self.port: int | None = None
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._thread: threading.Thread | None = None
+        self._ready = threading.Event()
+
+    # -- lifecycle -----------------------------------------------------
+    def add_tenant(self, tenant_id: str, engine: AssignmentEngine, default: bool = False):
+        return self.server.add_tenant(tenant_id, engine, default=default)
+
+    def start(self) -> "ServerHarness":
+        self._thread = threading.Thread(
+            target=self._thread_main, name="net-test-server", daemon=True
+        )
+        self._thread.start()
+        if not self._ready.wait(timeout=HARD_TIMEOUT):
+            raise TimeoutError("server did not come up within the hard timeout")
+        return self
+
+    def _thread_main(self) -> None:
+        self._loop = asyncio.new_event_loop()
+        asyncio.set_event_loop(self._loop)
+
+        async def _start() -> None:
+            self.host, self.port = await self.server.start()
+            self._ready.set()
+
+        try:
+            self._loop.run_until_complete(_start())
+            self._loop.run_forever()
+        finally:
+            self._ready.set()  # unblock start() even on bind failure
+            self._loop.close()
+
+    def stop(self) -> None:
+        if self._loop is None:
+            return
+        future = asyncio.run_coroutine_threadsafe(self.server.stop(), self._loop)
+        try:
+            future.result(timeout=HARD_TIMEOUT)
+        finally:
+            self._loop.call_soon_threadsafe(self._loop.stop)
+            assert self._thread is not None
+            self._thread.join(timeout=HARD_TIMEOUT)
+        if self._thread.is_alive():  # pragma: no cover — would mean a wedged loop
+            raise TimeoutError("server thread did not exit within the hard timeout")
+
+    # -- client helpers ------------------------------------------------
+    def run(self, coro, timeout: float = HARD_TIMEOUT):
+        """Run a coroutine on the server's loop; blocks with a hard timeout."""
+        assert self._loop is not None
+        return asyncio.run_coroutine_threadsafe(coro, self._loop).result(timeout=timeout)
+
+    def client(self, timeout: float = HARD_TIMEOUT) -> BlockingClient:
+        assert self.host is not None and self.port is not None
+        return BlockingClient(self.host, self.port, timeout=timeout)
+
+    def call(self, payload: dict[str, Any]) -> dict[str, Any]:
+        """One-shot request over a fresh connection."""
+        with self.client() as client:
+            return client.request(payload)
+
+
+def wait_until(predicate, timeout: float = HARD_TIMEOUT, interval: float = 0.005) -> None:
+    """Poll ``predicate`` until true; raises on timeout.
+
+    The deterministic alternative to sleeping: tests gate on observable
+    server state (admission depth, counters) instead of wall clocks.
+    """
+    import time
+
+    deadline = time.monotonic() + timeout
+    while not predicate():
+        if time.monotonic() > deadline:
+            raise TimeoutError("condition not reached within the hard timeout")
+        time.sleep(interval)
+
+
+def strip_volatile(response: dict[str, Any]) -> dict[str, Any]:
+    """Drop wall-clock and transport fields, keeping semantic content.
+
+    ``seconds``/``elapsed_seconds`` (any nesting) are timings; ``trace``
+    is a random id; ``tenant``/``seq`` are network-layer envelope fields
+    absent from a serial in-process replay.
+    """
+
+    def scrub(value: Any) -> Any:
+        if isinstance(value, dict):
+            return {
+                key: scrub(entry)
+                for key, entry in value.items()
+                if key not in {"seconds", "elapsed_seconds"}
+            }
+        if isinstance(value, list):
+            return [scrub(entry) for entry in value]
+        return value
+
+    return {
+        key: scrub(value)
+        for key, value in response.items()
+        if key not in {"seconds", "trace", "tenant", "seq"}
+    }

@@ -280,10 +280,17 @@ class TestServeCommand:
         assert response["ok"]
         assert response["payload"]["score"] > 0
 
-    def test_serve_requires_a_source(self):
+    def test_stdio_serve_requires_a_source(self, capsys):
+        # --problem/--snapshot became optional for --tcp (a TCP server may
+        # start empty and be populated via create_tenant); plain stdio
+        # serving still demands a source, as a runtime error.
+        assert main(["serve"]) == 2
+        assert "--problem or --snapshot" in capsys.readouterr().err
+
+    def test_sources_stay_mutually_exclusive(self):
         parser = build_parser()
         with pytest.raises(SystemExit):
-            parser.parse_args(["serve"])
+            parser.parse_args(["serve", "--problem", "a.json", "--snapshot", "b.json"])
 
 
 class TestSessionCommand:
@@ -531,6 +538,158 @@ class TestObservabilityOverTheWire:
         assert "trace t" in printed
         assert "solver.SDGA" in printed
         assert "sdga.stage" in printed
+
+
+class ServeProcess:
+    """A ``wgrap serve --tcp`` subprocess with hard-timeout plumbing.
+
+    Every interaction is bounded (ISSUE-7 satellite): startup waits for
+    the ``listening`` line on a watchdog thread, sockets carry recv
+    timeouts, and teardown escalates terminate -> kill, so a hung server
+    fails the test in seconds instead of stalling the CI job.
+    """
+
+    STARTUP_TIMEOUT = 30.0
+    IO_TIMEOUT = 30.0
+
+    def __init__(self, *extra_args: str):
+        import os
+        import subprocess
+        import sys
+
+        env = dict(os.environ)
+        env["PYTHONPATH"] = "src" + os.pathsep + env.get("PYTHONPATH", "")
+        # --port 0: the OS picks a free ephemeral port, announced on the
+        # listening line — two servers can never collide on a port.
+        self.proc = subprocess.Popen(
+            [sys.executable, "-m", "repro.cli", "serve", "--tcp", "--port", "0",
+             *extra_args],
+            stdout=subprocess.PIPE,
+            stderr=subprocess.PIPE,
+            env=env,
+            text=True,
+        )
+        self.info = json.loads(self._readline_with_timeout())
+        assert self.info["event"] == "listening"
+        self.host, self.port = self.info["host"], self.info["port"]
+
+    def _readline_with_timeout(self) -> str:
+        """Read one stdout line on a watchdog thread; kill on timeout."""
+        import threading
+
+        box: list[str] = []
+        reader = threading.Thread(
+            target=lambda: box.append(self.proc.stdout.readline()), daemon=True
+        )
+        reader.start()
+        reader.join(timeout=self.STARTUP_TIMEOUT)
+        if reader.is_alive() or not box or not box[0]:
+            self.kill()
+            raise TimeoutError(
+                "server subprocess produced no listening line "
+                f"within {self.STARTUP_TIMEOUT}s"
+            )
+        return box[0]
+
+    def connect(self):
+        import socket
+
+        sock = socket.create_connection((self.host, self.port), timeout=self.IO_TIMEOUT)
+        sock.settimeout(self.IO_TIMEOUT)
+        return sock
+
+    def call(self, *payloads: dict) -> list[dict]:
+        """Send requests on one connection; returns one response each."""
+        sock = self.connect()
+        try:
+            stream = sock.makefile("rw")
+            for payload in payloads:
+                stream.write(json.dumps(payload) + "\n")
+            stream.flush()
+            return [json.loads(stream.readline()) for _ in payloads]
+        finally:
+            sock.close()
+
+    def wait(self) -> int:
+        try:
+            return self.proc.wait(timeout=self.IO_TIMEOUT)
+        except Exception:
+            self.kill()
+            raise
+
+    def kill(self) -> None:
+        if self.proc.poll() is None:
+            self.proc.terminate()
+            try:
+                self.proc.wait(timeout=5)
+            except Exception:
+                self.proc.kill()
+                self.proc.wait(timeout=5)
+
+
+@pytest.fixture
+def serve_tcp(problem_file):
+    proc = ServeProcess("--problem", str(problem_file), "--tenant", "conf")
+    yield proc
+    proc.kill()
+
+
+class TestServeTcpSubprocess:
+    def test_listening_line_names_the_tenant_and_port(self, serve_tcp):
+        assert serve_tcp.info["tenants"] == ["conf"]
+        assert serve_tcp.port > 0
+
+    def test_solve_and_journal_over_tcp(self, serve_tcp):
+        solve, journal = serve_tcp.call(
+            {"kind": "solve", "solver": "Greedy", "id": 1},
+            {"kind": "journal", "paper_id": "paper-0000", "id": 2},
+        )
+        assert solve["ok"] and solve["id"] == 1
+        assert solve["tenant"] == "conf" and solve["seq"] == 1
+        assert journal["ok"] and journal["payload"]["groups"][0]["rank"] == 1
+
+    def test_malformed_lines_get_structured_errors_over_tcp(self, serve_tcp):
+        bad, good = serve_tcp.call({"kind": "teleport"}, {"kind": "stats"})
+        assert bad["ok"] is False and bad["error_type"] == "request"
+        assert "Traceback" not in bad["error"]
+        assert good["ok"] is True
+
+    def test_shutdown_request_exits_the_process_cleanly(self, serve_tcp):
+        (goodbye,) = serve_tcp.call({"kind": "shutdown"})
+        assert goodbye["ok"] is True
+        assert goodbye["payload"]["shutdown"] is True
+        assert serve_tcp.wait() == 0
+
+    def test_two_servers_bind_distinct_ports(self, problem_file):
+        first = ServeProcess("--problem", str(problem_file))
+        second = ServeProcess("--problem", str(problem_file))
+        try:
+            assert first.port != second.port
+            for proc in (first, second):
+                (response,) = proc.call({"kind": "stats"})
+                assert response["ok"] is True
+        finally:
+            first.kill()
+            second.kill()
+
+    def test_empty_server_is_populated_via_create_tenant(self, problem_file):
+        proc = ServeProcess("--max-pending", "64")
+        try:
+            assert proc.info["tenants"] == []
+            problem_payload = json.loads(problem_file.read_text())
+            # sequential round-trips: a pipelined solve could legitimately
+            # arrive before the create_tenant task has registered the tenant
+            (created,) = proc.call(
+                {"kind": "create_tenant", "tenant": "late", "problem": problem_payload}
+            )
+            assert created["ok"], created
+            (solved,) = proc.call({"kind": "solve", "solver": "Greedy", "tenant": "late"})
+            assert solved["ok"] and solved["tenant"] == "late"
+            (goodbye,) = proc.call({"kind": "shutdown"})
+            assert goodbye["ok"]
+            assert proc.wait() == 0
+        finally:
+            proc.kill()
 
 
 class TestRegistryBackedFlags:

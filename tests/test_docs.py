@@ -207,6 +207,22 @@ class TestCoverageOfRepoArtifacts:
         for kind in _REQUEST_TYPES:
             assert f"`{kind}`" in readme
 
+    def test_service_page_error_type_table_matches_the_vocabulary(self):
+        from repro.service.session import ERROR_TYPES
+
+        rows = _table_rows(_read(DOCS_DIR / "service.md"), "### Error types")
+        documented = {_first_name(row) for row in rows}
+        assert documented == set(ERROR_TYPES)
+
+    def test_service_page_management_table_matches_the_server(self):
+        from repro.net.server import MANAGEMENT_KINDS
+
+        rows = _table_rows(
+            _read(DOCS_DIR / "service.md"), "### Tenant-management requests"
+        )
+        documented = {_first_name(row) for row in rows}
+        assert documented == set(MANAGEMENT_KINDS)
+
 
 class TestObservabilityPage:
     """The span/metric tables mirror the contract of ``repro.obs.names``."""

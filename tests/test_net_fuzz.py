@@ -1,0 +1,166 @@
+"""Property-based fuzzing of the network wire protocol (ISSUE-7 satellite).
+
+The server's robustness contract, driven with hypothesis-generated
+hostile input against a *live* TCP server:
+
+* every non-blank frame — truncated JSON, invalid UTF-8, random bytes,
+  non-object JSON, unknown kinds, oversized lines — yields **exactly one**
+  structured response;
+* a failed response always carries an ``error_type`` from the closed
+  :data:`repro.service.session.ERROR_TYPES` vocabulary and never leaks a
+  traceback;
+* the connection (and the accept loop) survives: a well-formed probe
+  request right after any garbage is answered normally.
+
+The harness is module-scoped on purpose: statefulness across examples is
+exactly the robustness being tested (one poisoned frame must not degrade
+service for the next thousand).
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.data.synthetic import make_problem
+from repro.service.engine import AssignmentEngine
+from repro.service.session import ERROR_TYPES
+
+from tests.net_utils import ServerHarness
+
+MAX_LINE_BYTES = 8192
+
+pytestmark = pytest.mark.filterwarnings("ignore::pytest.PytestUnraisableExceptionWarning")
+
+
+@pytest.fixture(scope="module")
+def harness():
+    h = ServerHarness(max_line_bytes=MAX_LINE_BYTES)
+    h.add_tenant(
+        "fuzz",
+        AssignmentEngine(make_problem(8, 8, num_topics=5, group_size=2, seed=1)),
+        default=True,
+    )
+    h.start()
+    yield h
+    h.stop()
+
+
+def _is_one_frame(raw: bytes) -> bool:
+    """A single non-blank frame: no embedded newline, not whitespace-only."""
+    return b"\n" not in raw and raw.strip() != b""
+
+
+def _request_dicts() -> st.SearchStrategy[dict]:
+    json_values = st.recursive(
+        st.none() | st.booleans() | st.integers() | st.floats(allow_nan=False) | st.text(max_size=20),
+        lambda children: st.lists(children, max_size=4)
+        | st.dictionaries(st.text(max_size=10), children, max_size=4),
+        max_leaves=10,
+    )
+    return st.dictionaries(
+        st.sampled_from(
+            ["kind", "id", "tenant", "solver", "paper_id", "paper", "top_k", "bids", "path", "x"]
+        ),
+        json_values,
+        max_size=6,
+    )
+
+
+def frames() -> st.SearchStrategy[bytes]:
+    """Hostile single-line frames, all within the line-size limit."""
+    raw_bytes = st.binary(min_size=1, max_size=200)
+    raw_text = st.text(min_size=1, max_size=200).map(lambda s: s.encode("utf-8"))
+    json_like = _request_dicts().map(lambda d: json.dumps(d).encode("utf-8"))
+    truncated = st.tuples(_request_dicts(), st.floats(0.1, 0.9)).map(
+        lambda pair: json.dumps(pair[0]).encode("utf-8")[
+            : max(1, int(len(json.dumps(pair[0])) * pair[1]))
+        ]
+    )
+    non_objects = st.sampled_from(
+        [b"[1, 2]", b'"kind"', b"42", b"null", b"true", b"{}{}", b"}{"]
+    )
+    invalid_utf8 = st.binary(min_size=1, max_size=50).map(lambda b: b"\xff\xfe" + b)
+    return st.one_of(
+        raw_bytes, raw_text, json_like, truncated, non_objects, invalid_utf8
+    ).filter(_is_one_frame)
+
+
+def assert_structured(response: dict) -> None:
+    assert isinstance(response, dict)
+    assert "kind" in response and "ok" in response
+    if not response["ok"]:
+        assert response["error_type"] in ERROR_TYPES
+        assert "Traceback" not in response.get("error", "")
+
+
+@settings(
+    deadline=None,
+    max_examples=60,
+    suppress_health_check=[HealthCheck.function_scoped_fixture],
+)
+@given(frame=frames())
+def test_any_single_frame_gets_one_structured_response(harness, frame):
+    with harness.client() as client:
+        client.send_raw(frame + b"\n")
+        assert_structured(client.recv())
+        probe = client.request({"kind": "stats", "id": "probe"})
+        assert probe["ok"] is True
+        assert probe["id"] == "probe"
+
+
+@settings(
+    deadline=None,
+    max_examples=25,
+    suppress_health_check=[HealthCheck.function_scoped_fixture],
+)
+@given(batch=st.lists(frames(), min_size=1, max_size=20))
+def test_a_pipelined_garbage_stream_gets_exactly_one_response_per_frame(harness, batch):
+    with harness.client() as client:
+        client.send_raw(b"".join(frame + b"\n" for frame in batch))
+        for _ in batch:
+            assert_structured(client.recv())
+        probe = client.request({"kind": "stats", "id": "after"})
+        assert probe["ok"] is True
+
+
+@settings(
+    deadline=None,
+    max_examples=15,
+    suppress_health_check=[HealthCheck.function_scoped_fixture],
+)
+@given(
+    overshoot=st.integers(min_value=1, max_value=3 * MAX_LINE_BYTES),
+    terminated=st.booleans(),
+)
+def test_oversized_lines_are_refused_and_resynced(harness, overshoot, terminated):
+    pad = b"x" * (MAX_LINE_BYTES + overshoot)
+    frame = b'{"kind": "solve", "pad": "' + pad + b'"}'
+    with harness.client() as client:
+        if terminated:
+            client.send_raw(frame + b"\n")
+            response = client.recv()
+            assert response["ok"] is False
+            assert response["error_type"] == "request"
+            assert "byte limit" in response["error"]
+            # the stream is resynced: the next frame parses cleanly
+            probe = client.request({"kind": "stats", "id": "next"})
+            assert probe["ok"] is True
+        else:
+            # oversized frame, then EOF before its newline ever arrives:
+            # the server must still answer and must not wedge the loop
+            client.send_raw(frame)
+            client.sock.shutdown(1)  # SHUT_WR
+            response = client.recv()
+            assert response["ok"] is False
+            assert "byte limit" in response["error"]
+
+
+def test_fuzzing_left_the_server_healthy(harness):
+    """Run after the hypothesis batteries: the server still serves."""
+    response = harness.call({"kind": "solve", "solver": "Greedy"})
+    assert response["ok"] is True
+    assert harness.call({"kind": "list_tenants"})["ok"] is True
