@@ -1,0 +1,174 @@
+"""Write-ahead-log overhead benchmark: what durability costs per mutation.
+
+Not a figure of the paper — this bench pins the serving-cost half of the
+crash-safety feature (ISSUE 8).  One engine serves a deterministic
+mutation churn (``update_bids``, the lightest journaled kind, so the WAL
+is the measured thing rather than solver time) through the same
+journal-then-dispatch sequence the durable tenant worker runs, under
+three configurations:
+
+* ``off`` — plain :class:`~repro.service.session.EngineSession`
+  dispatch, no journal: the baseline;
+* ``batch`` — WAL append per mutation, one fsync per batch (the
+  default serving policy);
+* ``always`` — fsync after every record (the power-loss-proof policy).
+
+Throughput (mutations/s) and the relative overhead of each policy land
+in ``benchmarks/results/BENCH_wal.json`` and feed the repo-root
+``BENCH.md`` trajectory.  The checkpoint cadence is part of the measured
+path: every ``checkpoint_every`` mutations the engine snapshot is
+rewritten atomically and the WAL rotated, exactly as in serving.
+
+Environment knobs
+-----------------
+``REPRO_BENCH_WAL_MUTATIONS``
+    Journaled mutations per configuration (default 2000).
+``REPRO_BENCH_WAL_PAPERS`` / ``REPRO_BENCH_WAL_REVIEWERS`` /
+``REPRO_BENCH_WAL_TOPICS``
+    Instance size (defaults 60 / 30 / 12).
+``REPRO_BENCH_WAL_BATCH``
+    Mutations per simulated served batch — the ``batch`` policy fsyncs
+    once per batch (default 16).
+``REPRO_BENCH_WAL_CHECKPOINT_EVERY``
+    Mutations between checkpoints (default 256).
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+import time
+from pathlib import Path
+
+from _shared import bench_seed, emit_bench_json
+from repro.data.synthetic import make_problem
+from repro.durability import DurabilityConfig, TenantJournal
+from repro.service.engine import AssignmentEngine
+from repro.service.requests import request_from_dict
+from repro.service.session import EngineSession
+
+
+def _env_int(name: str, default: int) -> int:
+    return int(os.environ.get(name, str(default)))
+
+
+def _fresh_engine() -> AssignmentEngine:
+    return AssignmentEngine(
+        make_problem(
+            _env_int("REPRO_BENCH_WAL_PAPERS", 60),
+            _env_int("REPRO_BENCH_WAL_REVIEWERS", 30),
+            num_topics=_env_int("REPRO_BENCH_WAL_TOPICS", 12),
+            group_size=3,
+            seed=bench_seed(),
+        )
+    )
+
+
+def _churn_requests(engine: AssignmentEngine, mutations: int):
+    """The deterministic bid-update stream, identical across policies."""
+    rids = engine.problem.reviewer_ids
+    pids = engine.problem.paper_ids
+    requests = []
+    for step in range(mutations):
+        rid = rids[step % len(rids)]
+        pid = pids[(step * 7) % len(pids)]
+        value = 0.25 + (step % 4) * 0.25
+        requests.append(
+            request_from_dict(
+                {"kind": "update_bids", "bids": [[rid, pid, value]], "seq": step + 1}
+            )
+        )
+    return requests
+
+
+def _run_policy(policy: str, mutations: int, batch: int, checkpoint_every: int) -> dict:
+    """Serve the churn under one policy; returns timing and counters."""
+    engine = _fresh_engine()
+    session = EngineSession(engine)
+    requests = _churn_requests(engine, mutations)
+
+    if policy == "off":
+        start = time.perf_counter()
+        for request in requests:
+            response = session.dispatch(request)
+            assert response.ok, response.error
+        elapsed = time.perf_counter() - start
+        checkpoints = 0
+    else:
+        with tempfile.TemporaryDirectory(prefix="bench-wal-") as root:
+            config = DurabilityConfig(
+                root=Path(root),
+                fsync=policy,
+                checkpoint_every=checkpoint_every,
+            )
+            journal = TenantJournal(config, "bench")
+            journal.initialise(engine)
+            checkpoints = 0
+            start = time.perf_counter()
+            for index, request in enumerate(requests, start=1):
+                # The durable worker's sequence: journal first, then apply.
+                journal.append(index, request)
+                response = session.dispatch(request)
+                assert response.ok, response.error
+                journal.record_applied(request.client_seq, response)
+                if index % batch == 0:
+                    journal.sync_batch()
+                if journal.should_checkpoint:
+                    journal.checkpoint(engine)
+                    checkpoints += 1
+            elapsed = time.perf_counter() - start
+            journal.close()
+
+    return {
+        "policy": policy,
+        "mutations": mutations,
+        "seconds": elapsed,
+        "mutations_per_second": mutations / elapsed if elapsed > 0 else None,
+        "checkpoints": checkpoints,
+    }
+
+
+def run_wal_overhead() -> dict:
+    mutations = _env_int("REPRO_BENCH_WAL_MUTATIONS", 2000)
+    batch = max(1, _env_int("REPRO_BENCH_WAL_BATCH", 16))
+    checkpoint_every = max(1, _env_int("REPRO_BENCH_WAL_CHECKPOINT_EVERY", 256))
+
+    runs = {
+        policy: _run_policy(policy, mutations, batch, checkpoint_every)
+        for policy in ("off", "batch", "always")
+    }
+    baseline = runs["off"]["seconds"]
+    for run in runs.values():
+        run["overhead_vs_off"] = (
+            run["seconds"] / baseline - 1.0 if baseline > 0 else None
+        )
+    return {
+        "instance": {
+            "mutations": mutations,
+            "batch": batch,
+            "checkpoint_every": checkpoint_every,
+            "papers": _env_int("REPRO_BENCH_WAL_PAPERS", 60),
+            "reviewers": _env_int("REPRO_BENCH_WAL_REVIEWERS", 30),
+            "topics": _env_int("REPRO_BENCH_WAL_TOPICS", 12),
+            "seed": bench_seed(),
+        },
+        "runs": runs,
+    }
+
+
+def test_wal_overhead(benchmark):
+    verdict = benchmark.pedantic(run_wal_overhead, rounds=1, iterations=1)
+    emit_bench_json(verdict, "BENCH_wal.json")
+    runs = verdict["runs"]
+    for policy in ("off", "batch", "always"):
+        run = runs[policy]
+        assert run["mutations"] == verdict["instance"]["mutations"]
+        assert run["seconds"] > 0
+    # Both journaled policies actually checkpointed along the way.
+    assert runs["batch"]["checkpoints"] >= 1
+    assert runs["always"]["checkpoints"] >= 1
+
+    per_second = {p: round(r["mutations_per_second"]) for p, r in runs.items()}
+    overhead = {p: f"{r['overhead_vs_off'] * 100:+.1f}%" for p, r in runs.items()}
+    print(f"\nmutations/s: {per_second}")
+    print(f"overhead vs off: {overhead}")

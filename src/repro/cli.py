@@ -176,6 +176,27 @@ def build_parser() -> argparse.ArgumentParser:
             "--trace is on)"
         ),
     )
+    serve.add_argument(
+        "--wal-dir",
+        default=None,
+        help=(
+            "make tenants durable (with --tcp): write-ahead log + "
+            "checkpoints per tenant under this directory; on start, every "
+            "journal found there is recovered (checkpoint + WAL replay)"
+        ),
+    )
+    serve.add_argument(
+        "--checkpoint-every",
+        type=int,
+        default=64,
+        help="journaled mutations between checkpoints (with --wal-dir)",
+    )
+    serve.add_argument(
+        "--fsync",
+        default="batch",
+        choices=("never", "batch", "always"),
+        help="WAL fsync policy (with --wal-dir); see docs/durability.md",
+    )
     _add_workers_flag(serve)
 
     session = subparsers.add_parser(
@@ -318,6 +339,13 @@ def _command_serve(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         return 2
+    if args.wal_dir is not None and not args.tcp:
+        print(
+            "error: --wal-dir needs --tcp (durability journals per-tenant "
+            "state; the stdio loop has no tenants)",
+            file=sys.stderr,
+        )
+        return 2
     engine = None
     if args.snapshot:
         engine = AssignmentEngine.load(args.snapshot, parallel=parallel)
@@ -338,6 +366,7 @@ def _command_serve(args: argparse.Namespace) -> int:
         sys.stdout,
         slow_threshold=slow_threshold,
         diagnostics=sys.stderr,
+        handle_signals=True,
     )
     return 0
 
@@ -351,34 +380,60 @@ def _serve_tcp(args: argparse.Namespace, engine: AssignmentEngine | None) -> int
     """
     import asyncio
     import json
+    import signal
 
     from repro.net import AdmissionController, AssignmentServer
 
+    durability = None
+    if args.wal_dir is not None:
+        from repro.durability import DurabilityConfig
+
+        durability = DurabilityConfig(
+            root=args.wal_dir,
+            fsync=args.fsync,
+            checkpoint_every=args.checkpoint_every,
+        )
     server = AssignmentServer(
         host=args.host,
         port=args.port,
         admission=AdmissionController(max_pending=args.max_pending),
+        durability=durability,
     )
-    if engine is not None:
+    recovered = server.recover_tenants()
+    if engine is not None and args.tenant not in server.tenants:
         server.add_tenant(args.tenant, engine, default=True)
 
     async def _run() -> None:
-        host, port = await server.start()
-        print(
-            json.dumps(
-                {
-                    "event": "listening",
-                    "host": host,
-                    "port": port,
-                    "tenants": server.tenants.ids(),
-                }
-            ),
-            flush=True,
-        )
+        loop = asyncio.get_running_loop()
+        installed: list[int] = []
+        for signum in (signal.SIGTERM, signal.SIGINT):
+            try:
+                loop.add_signal_handler(
+                    signum, lambda: loop.create_task(server.drain())
+                )
+                installed.append(signum)
+            except (NotImplementedError, RuntimeError):
+                break  # platform without loop signal handlers
         try:
+            host, port = await server.start()
+            print(
+                json.dumps(
+                    {
+                        "event": "listening",
+                        "host": host,
+                        "port": port,
+                        "tenants": server.tenants.ids(),
+                        "recovered": recovered,
+                        "durable": durability is not None,
+                    }
+                ),
+                flush=True,
+            )
             await server.wait_shutdown()
         finally:
             await server.stop()
+            for signum in installed:
+                loop.remove_signal_handler(signum)
 
     try:
         asyncio.run(_run())

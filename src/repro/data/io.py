@@ -10,6 +10,8 @@ command-line interface can operate on files.
 from __future__ import annotations
 
 import json
+import os
+import tempfile
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any
@@ -20,8 +22,10 @@ from repro.core.entities import Paper, Reviewer
 from repro.core.problem import WGRAPProblem
 from repro.core.vectors import TopicVector
 from repro.exceptions import ConfigurationError
+from repro.fault import get_failpoints
 
 __all__ = [
+    "atomic_write_text",
     "problem_to_dict",
     "problem_from_dict",
     "save_problem",
@@ -39,6 +43,49 @@ __all__ = [
 
 _FORMAT_VERSION = 1
 _SNAPSHOT_VERSION = 1
+
+
+def atomic_write_text(path: str | Path, text: str) -> Path:
+    """Write ``text`` to ``path`` atomically: readers see either the old
+    file or the complete new one, never a torn prefix.
+
+    The text goes to a temp file in the *same directory* (so the final
+    rename cannot cross filesystems), is fsynced, then ``os.replace``\\ d
+    over the target; the directory entry is fsynced best-effort so the
+    rename itself survives a power cut.  Every durable artifact in the
+    repo — problems, assignments, engine snapshots, journal checkpoints —
+    goes through here.
+    """
+    path = Path(path)
+    fd, tmp_name = tempfile.mkstemp(
+        dir=path.parent, prefix=path.name + ".", suffix=".tmp"
+    )
+    try:
+        with os.fdopen(fd, "w", encoding="utf-8") as handle:
+            handle.write(text)
+            handle.flush()
+            os.fsync(handle.fileno())
+        # A crash (or injected fault) here leaves the target untouched and
+        # only a stray .tmp file behind — the torn-write window is gone.
+        get_failpoints().hit("snapshot_write")
+        os.replace(tmp_name, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+        raise
+    try:
+        dir_fd = os.open(path.parent, os.O_RDONLY)
+    except OSError:
+        return path
+    try:
+        os.fsync(dir_fd)
+    except OSError:
+        pass
+    finally:
+        os.close(dir_fd)
+    return path
 
 
 # ----------------------------------------------------------------------
@@ -114,9 +161,7 @@ def problem_from_dict(payload: dict[str, Any]) -> WGRAPProblem:
 
 def save_problem(problem: WGRAPProblem, path: str | Path) -> Path:
     """Write a problem to a JSON file; returns the path written."""
-    path = Path(path)
-    path.write_text(json.dumps(problem_to_dict(problem), indent=2), encoding="utf-8")
-    return path
+    return atomic_write_text(path, json.dumps(problem_to_dict(problem), indent=2))
 
 
 def load_problem(path: str | Path) -> WGRAPProblem:
@@ -148,9 +193,7 @@ def assignment_from_dict(payload: dict[str, Any]) -> Assignment:
 
 def save_assignment(assignment: Assignment, path: str | Path) -> Path:
     """Write an assignment to a JSON file; returns the path written."""
-    path = Path(path)
-    path.write_text(json.dumps(assignment_to_dict(assignment), indent=2), encoding="utf-8")
-    return path
+    return atomic_write_text(path, json.dumps(assignment_to_dict(assignment), indent=2))
 
 
 def load_assignment(path: str | Path) -> Assignment:
@@ -222,10 +265,14 @@ def engine_snapshot_from_dict(payload: dict[str, Any]) -> EngineSnapshot:
 
 
 def save_engine_snapshot(snapshot: dict[str, Any], path: str | Path) -> Path:
-    """Write an engine snapshot dict to a JSON file; returns the path written."""
-    path = Path(path)
-    path.write_text(json.dumps(snapshot, indent=2), encoding="utf-8")
-    return path
+    """Write an engine snapshot dict to a JSON file atomically.
+
+    Snapshots are what crashed tenants recover from, so a torn write here
+    would turn one crash into permanent data loss; the atomic
+    temp-file-then-rename of :func:`atomic_write_text` closes that window.
+    Returns the path written.
+    """
+    return atomic_write_text(path, json.dumps(snapshot, indent=2))
 
 
 def load_engine_snapshot(path: str | Path) -> EngineSnapshot:

@@ -1,0 +1,48 @@
+"""Crash safety for resident tenants: write-ahead logging + checkpoints.
+
+``repro.durability`` makes a :mod:`repro.net` tenant survive its process:
+every admitted mutation is journaled to a per-tenant write-ahead log
+*before* it executes (:mod:`repro.durability.wal`), engine state is
+periodically checkpointed via atomic snapshot rotation, and recovery is
+"load last checkpoint, replay the WAL tail"
+(:mod:`repro.durability.journal`) — pinned bitwise-equal to a
+never-crashed oracle by ``tests/conformance/test_recovery_conformance.py``.
+See ``docs/durability.md`` for the record format, fsync policy matrix
+and recovery semantics.
+"""
+
+from repro.durability.journal import (
+    CHECKPOINT_VERSION,
+    DurabilityConfig,
+    RecoveryOutcome,
+    RecoveryStats,
+    TenantJournal,
+)
+from repro.durability.wal import (
+    FSYNC_POLICIES,
+    WAL_RECORD_VERSION,
+    WalReadResult,
+    WalRecord,
+    WriteAheadLog,
+    decode_line,
+    encode_record,
+    read_wal,
+    segment_paths,
+)
+
+__all__ = [
+    "CHECKPOINT_VERSION",
+    "DurabilityConfig",
+    "FSYNC_POLICIES",
+    "RecoveryOutcome",
+    "RecoveryStats",
+    "TenantJournal",
+    "WAL_RECORD_VERSION",
+    "WalReadResult",
+    "WalRecord",
+    "WriteAheadLog",
+    "decode_line",
+    "encode_record",
+    "read_wal",
+    "segment_paths",
+]

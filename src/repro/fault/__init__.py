@@ -1,0 +1,291 @@
+"""Deterministic, seedable fault injection at named sites.
+
+Crash-safety claims are only as good as the faults they were tested
+against, so the durability layer (:mod:`repro.durability`) ships with
+its own chaos harness: a closed registry of **failpoints** — named
+places in the serving stack where a fault can be injected on demand —
+each toggled independently with a deterministic firing mode.
+
+Design rules, pinned by ``tests/test_fault.py`` and ``docs/durability.md``:
+
+* the site vocabulary is **closed** (:data:`FAILPOINT_SITES`); asking for
+  an unknown site is a :class:`~repro.exceptions.ConfigurationError`, so
+  a typo in a chaos script fails loudly instead of silently testing
+  nothing;
+* firing is **deterministic and seedable** — ``always``, ``once``,
+  ``nth`` and seeded ``probability`` modes — so every chaos test can be
+  replayed exactly;
+* everything is **off by default** and the disabled hot path is one
+  dict lookup, cheap enough to leave ``hit()`` calls on the serving
+  path permanently;
+* site names are dot-free on purpose: they appear as one path segment
+  in the ``fault.<site>.injections`` metric names of
+  :mod:`repro.obs.names`.
+
+Toggle via environment (``REPRO_FAULT="wal_append=once,solver_call=
+probability:0.25"``, optional ``REPRO_FAULT_SEED``) or over the wire
+with the ``fault`` request kind served by
+:class:`~repro.service.session.EngineSession`.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+import threading
+from dataclasses import dataclass
+from typing import Any
+
+from repro.exceptions import ConfigurationError
+from repro.obs.metrics import get_registry
+
+__all__ = [
+    "FAILPOINT_SITES",
+    "FIRE_MODES",
+    "FaultInjected",
+    "FailpointRegistry",
+    "get_failpoints",
+]
+
+#: The closed vocabulary of failpoint sites: name -> where it lives and
+#: what firing simulates.  ``docs/durability.md`` renders this table and
+#: ``tests/test_docs.py`` pins the two in sync.  Names are single
+#: dot-free segments (they embed into ``fault.<site>.injections``).
+FAILPOINT_SITES: dict[str, str] = {
+    "snapshot_write": (
+        "`data.io` atomic writes (engine snapshots, journal checkpoints): "
+        "fires after the temp file is written and fsynced, before the "
+        "atomic rename — a crash mid-checkpoint"
+    ),
+    "wal_append": (
+        "`durability.wal` append: fires before the record reaches the "
+        "segment file — a crash before the mutation was made durable"
+    ),
+    "tenant_worker": (
+        "`net.tenants` worker loop: fires at the head of a batch drain on "
+        "the tenant's worker thread — a crashed worker, exercising the "
+        "supervised restart path"
+    ),
+    "socket_write": (
+        "`net.server` writer loop: fires before a response line is written "
+        "to the client socket and aborts the connection — a response lost "
+        "in flight, exercising client retry + idempotent replay"
+    ),
+    "solver_call": (
+        "`service.engine` solve: fires before the conference solver runs — "
+        "a failing solver, answered as a structured `internal` error"
+    ),
+}
+
+#: Firing modes and their arguments.
+FIRE_MODES: dict[str, str] = {
+    "off": "never fires (the default for every site)",
+    "always": "fires on every hit",
+    "once": "fires on the next hit only, then disarms",
+    "nth": "fires on the `n`-th hit after arming (1-based), then disarms",
+    "probability": "fires with probability `probability` per hit, from a seeded RNG",
+}
+
+
+class FaultInjected(RuntimeError):
+    """Raised by :meth:`FailpointRegistry.hit` when a failpoint fires.
+
+    Deliberately *not* a :class:`~repro.exceptions.ReproError`: when the
+    fault surfaces through a request path it classifies as ``internal``,
+    exactly like the unexpected failure it simulates.
+    """
+
+    def __init__(self, site: str) -> None:
+        super().__init__(f"injected fault at failpoint {site!r}")
+        self.site = site
+
+
+@dataclass
+class _Arming:
+    """One site's active configuration (internal)."""
+
+    mode: str
+    n: int = 0
+    probability: float = 0.0
+    rng: random.Random | None = None
+    hits: int = 0
+    fired: int = 0
+
+
+class FailpointRegistry:
+    """The process-wide failpoint switchboard.
+
+    Thread-safe: ``hit()`` is called from tenant worker threads and the
+    event loop alike.  Sites not armed cost one lock-free dict lookup.
+    """
+
+    def __init__(self, env: str | None = None, seed: int | None = None) -> None:
+        self._armed: dict[str, _Arming] = {}
+        self._lock = threading.Lock()
+        self._seed = 0 if seed is None else int(seed)
+        if env:
+            self.load_env(env)
+
+    # ------------------------------------------------------------------
+    # Configuration
+    # ------------------------------------------------------------------
+    def configure(
+        self,
+        site: str,
+        mode: str,
+        *,
+        n: int | None = None,
+        probability: float | None = None,
+        seed: int | None = None,
+    ) -> None:
+        """Arm (or disarm) one site.  Unknown sites and modes raise."""
+        if site not in FAILPOINT_SITES:
+            raise ConfigurationError(
+                f"unknown failpoint site {site!r}; known sites: "
+                f"{sorted(FAILPOINT_SITES)}"
+            )
+        if mode not in FIRE_MODES:
+            raise ConfigurationError(
+                f"unknown failpoint mode {mode!r}; known modes: {sorted(FIRE_MODES)}"
+            )
+        with self._lock:
+            if mode == "off":
+                self._armed.pop(site, None)
+                return
+            arming = _Arming(mode=mode)
+            if mode == "nth":
+                if n is None or int(n) < 1:
+                    raise ConfigurationError(
+                        "failpoint mode 'nth' needs n >= 1 (the hit that fires)"
+                    )
+                arming.n = int(n)
+            elif mode == "probability":
+                if probability is None or not 0.0 <= float(probability) <= 1.0:
+                    raise ConfigurationError(
+                        "failpoint mode 'probability' needs probability in [0, 1]"
+                    )
+                arming.probability = float(probability)
+                arming.rng = random.Random(
+                    self._seed if seed is None else int(seed)
+                )
+            self._armed[site] = arming
+
+    def reset(self, site: str | None = None) -> None:
+        """Disarm one site, or every site when ``site`` is omitted."""
+        if site is not None and site not in FAILPOINT_SITES:
+            raise ConfigurationError(
+                f"unknown failpoint site {site!r}; known sites: "
+                f"{sorted(FAILPOINT_SITES)}"
+            )
+        with self._lock:
+            if site is None:
+                self._armed.clear()
+            else:
+                self._armed.pop(site, None)
+
+    def load_env(self, text: str) -> None:
+        """Parse a ``site=mode[:arg]`` comma-list (the ``REPRO_FAULT`` format).
+
+        Examples: ``"wal_append=once"``, ``"tenant_worker=nth:3"``,
+        ``"socket_write=probability:0.2,solver_call=always"``.
+        """
+        for entry in text.split(","):
+            entry = entry.strip()
+            if not entry:
+                continue
+            if "=" not in entry:
+                raise ConfigurationError(
+                    f"malformed REPRO_FAULT entry {entry!r}; expected site=mode[:arg]"
+                )
+            site, _, spec = entry.partition("=")
+            mode, _, arg = spec.partition(":")
+            kwargs: dict[str, Any] = {}
+            try:
+                if mode == "nth":
+                    kwargs["n"] = int(arg)
+                elif mode == "probability":
+                    kwargs["probability"] = float(arg)
+                elif arg:
+                    raise ValueError(f"mode {mode!r} takes no argument")
+            except ValueError as exc:
+                raise ConfigurationError(
+                    f"malformed REPRO_FAULT entry {entry!r}: {exc}"
+                ) from None
+            self.configure(site.strip(), mode.strip(), **kwargs)
+
+    # ------------------------------------------------------------------
+    # The hot path
+    # ------------------------------------------------------------------
+    def hit(self, site: str) -> None:
+        """Mark one pass through ``site``; raises :class:`FaultInjected`
+        when the site's armed mode says this hit fires."""
+        arming = self._armed.get(site)
+        if arming is None:
+            return
+        with self._lock:
+            arming = self._armed.get(site)
+            if arming is None:
+                return
+            arming.hits += 1
+            if arming.mode == "always":
+                fire = True
+            elif arming.mode == "once":
+                fire = True
+                del self._armed[site]
+            elif arming.mode == "nth":
+                fire = arming.hits == arming.n
+                if fire:
+                    del self._armed[site]
+            else:  # probability
+                fire = arming.rng.random() < arming.probability
+            if not fire:
+                return
+            arming.fired += 1
+        registry = get_registry()
+        registry.counter("fault.injections", "failpoint firings, all sites").inc()
+        registry.counter(
+            f"fault.{site}.injections", "failpoint firings at this site"
+        ).inc()
+        raise FaultInjected(site)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def describe(self) -> dict[str, Any]:
+        """JSON-serialisable state of every site (the ``fault`` response)."""
+        with self._lock:
+            armed = {site: arming for site, arming in self._armed.items()}
+        body: dict[str, Any] = {}
+        for site, description in FAILPOINT_SITES.items():
+            arming = armed.get(site)
+            entry: dict[str, Any] = {
+                "description": description,
+                "mode": arming.mode if arming is not None else "off",
+            }
+            if arming is not None:
+                entry["hits"] = arming.hits
+                entry["fired"] = arming.fired
+                if arming.mode == "nth":
+                    entry["n"] = arming.n
+                if arming.mode == "probability":
+                    entry["probability"] = arming.probability
+            body[site] = entry
+        return body
+
+
+_FAILPOINTS: FailpointRegistry | None = None
+_FAILPOINTS_LOCK = threading.Lock()
+
+
+def get_failpoints() -> FailpointRegistry:
+    """The process-global registry, armed from ``REPRO_FAULT`` on first use."""
+    global _FAILPOINTS
+    if _FAILPOINTS is None:
+        with _FAILPOINTS_LOCK:
+            if _FAILPOINTS is None:
+                seed_text = os.environ.get("REPRO_FAULT_SEED")
+                _FAILPOINTS = FailpointRegistry(
+                    env=os.environ.get("REPRO_FAULT"),
+                    seed=int(seed_text) if seed_text else None,
+                )
+    return _FAILPOINTS

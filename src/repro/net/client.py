@@ -4,6 +4,15 @@
 line out, one per line in, with pipelining left to the caller.  It backs
 the test harness and the ``wgrap``-side tooling.
 
+:class:`RetryingClient` wraps it with the fault-tolerant behaviour a
+production caller needs against a crash-recovering server: seeded
+exponential backoff + jitter on transport failures, automatic reconnect,
+and an idempotency key (the wire ``seq`` field) attached to every
+mutation so a retry that re-sends an *already-applied* mutation is
+answered from the durable tenant's idempotency map instead of executing
+twice.  Against a non-durable tenant retried mutations may re-apply —
+exactly-once needs the server's ``--wal-dir``.
+
 :func:`run_load` is the load harness behind
 ``benchmarks/bench_serve_load.py``: N closed-loop clients (each keeps
 exactly one request in flight) hammering one server from one event loop,
@@ -17,14 +26,18 @@ measuring the admission controller's rejection throughput.
 from __future__ import annotations
 
 import asyncio
+import itertools
 import json
 import math
+import random
 import time
 from collections.abc import Callable
 from dataclasses import dataclass, field
 from typing import Any
 
-__all__ = ["LoadReport", "NetClient", "run_load"]
+from repro.service.requests import MUTATION_KINDS
+
+__all__ = ["LoadReport", "NetClient", "RetryPolicy", "RetryingClient", "run_load"]
 
 
 class NetClient:
@@ -79,6 +92,107 @@ class NetClient:
             await self._writer.wait_closed()
         except (ConnectionResetError, BrokenPipeError, OSError):
             pass
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Seeded exponential backoff with jitter.
+
+    Attempt ``k`` (0-based retry count) sleeps
+    ``min(max_delay, base_delay * multiplier**k)`` spread by ``±jitter``
+    (a fraction of the raw delay) from a :class:`random.Random` seeded
+    with ``seed`` — deterministic backoff sequences for deterministic
+    chaos tests.
+    """
+
+    attempts: int = 5
+    base_delay: float = 0.02
+    multiplier: float = 2.0
+    max_delay: float = 1.0
+    jitter: float = 0.5
+    seed: int | None = None
+    #: also retry responses refused with ``error_type: "overloaded"``
+    retry_overloaded: bool = False
+
+    def delay(self, retry_index: int, rng: random.Random) -> float:
+        raw = min(self.max_delay, self.base_delay * self.multiplier**retry_index)
+        if self.jitter <= 0:
+            return raw
+        spread = raw * self.jitter
+        return max(0.0, raw - spread + rng.random() * 2.0 * spread)
+
+
+class RetryingClient:
+    """A reconnecting, retrying, idempotency-keyed protocol client.
+
+    Every mutation request (:data:`~repro.service.requests.MUTATION_KINDS`)
+    gets a monotonically increasing ``seq`` idempotency key (unless the
+    caller supplied one), chosen from ``idempotency_start`` — give each
+    client stream a disjoint range.  Transport failures (lost connection,
+    torn response) reconnect and re-send the *same* payload, same key, so
+    a durable tenant applies the mutation exactly once no matter how many
+    times the wire ate the answer.
+    """
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        *,
+        policy: RetryPolicy | None = None,
+        idempotency_start: int = 1,
+    ) -> None:
+        self.host = host
+        self.port = port
+        self.policy = policy if policy is not None else RetryPolicy()
+        self._rng = random.Random(self.policy.seed)
+        self._seq = itertools.count(max(1, idempotency_start))
+        self._client: NetClient | None = None
+
+    async def _ensure_connected(self) -> NetClient:
+        if self._client is None:
+            self._client = await NetClient.connect(self.host, self.port)
+        return self._client
+
+    async def _drop_connection(self) -> None:
+        if self._client is not None:
+            client, self._client = self._client, None
+            await client.close()
+
+    async def request(self, payload: dict[str, Any]) -> dict[str, Any]:
+        """Send one request, retrying with backoff until answered.
+
+        Raises :class:`ConnectionError` when every attempt failed.
+        """
+        payload = dict(payload)
+        if payload.get("kind") in MUTATION_KINDS and payload.get("seq") is None:
+            payload["seq"] = next(self._seq)
+        last_error: Exception | None = None
+        for attempt in range(max(1, self.policy.attempts)):
+            if attempt:
+                await asyncio.sleep(self.policy.delay(attempt - 1, self._rng))
+            try:
+                client = await self._ensure_connected()
+                response = await client.request(payload)
+            except (ConnectionError, json.JSONDecodeError, OSError) as exc:
+                last_error = exc
+                await self._drop_connection()
+                continue
+            if (
+                self.policy.retry_overloaded
+                and not response.get("ok")
+                and response.get("error_type") == "overloaded"
+            ):
+                last_error = None
+                continue
+            return response
+        raise ConnectionError(
+            f"request not answered after {self.policy.attempts} attempts "
+            f"to {self.host}:{self.port}: {last_error}"
+        )
+
+    async def close(self) -> None:
+        await self._drop_connection()
 
 
 def _percentile(sorted_values: list[float], q: float) -> float:

@@ -36,7 +36,9 @@ import contextlib
 import json
 from typing import Any
 
+from repro.durability.journal import DurabilityConfig, TenantJournal
 from repro.exceptions import ConfigurationError, RequestError
+from repro.fault import FaultInjected, get_failpoints
 from repro.obs.metrics import get_registry
 from repro.service.engine import AssignmentEngine
 from repro.service.requests import Response, request_from_dict
@@ -52,7 +54,8 @@ __all__ = ["MANAGEMENT_KINDS", "AssignmentServer"]
 MANAGEMENT_KINDS: dict[str, str] = {
     "create_tenant": (
         "register a resident engine under `tenant`; exactly one source of "
-        "`problem` (inline object), `problem_path` or `snapshot_path`; "
+        "`problem` (inline object), `problem_path` or `snapshot_path` — or "
+        "no source on a durable server to recover the tenant's journal; "
         "optional `warm`, `default`"
     ),
     "evict_tenant": (
@@ -91,17 +94,20 @@ class AssignmentServer:
         max_line_bytes: int = 1 << 20,
         max_batch: int = 128,
         backlog: int = 2048,
+        durability: DurabilityConfig | None = None,
     ) -> None:
         self.host = host
         self.port = port
         self.tenants = tenants if tenants is not None else TenantManager(max_batch=max_batch)
         self.admission = admission if admission is not None else AdmissionController()
+        self.durability = durability
         self._max_line_bytes = max_line_bytes
         self._backlog = backlog
         self._server: asyncio.Server | None = None
         self._loop: asyncio.AbstractEventLoop | None = None
         self._conn_tasks: set[asyncio.Task] = set()
         self._shutdown = asyncio.Event()
+        self._drain_task: asyncio.Task | None = None
         self._registry = get_registry()
 
     # ------------------------------------------------------------------
@@ -110,8 +116,23 @@ class AssignmentServer:
     def add_tenant(
         self, tenant_id: str, engine: AssignmentEngine, default: bool = False
     ) -> Tenant:
-        """Pre-register a resident engine (before or after :meth:`start`)."""
-        tenant = self.tenants.register(tenant_id, engine, default=default)
+        """Pre-register a resident engine (before or after :meth:`start`).
+
+        On a durable server the tenant gets a fresh journal (checkpoint 0
+        is written immediately, so recovery always has a base); existing
+        durable state under the same id must be recovered — via
+        :meth:`recover_tenants` or a source-less ``create_tenant`` — or
+        removed first, never silently shadowed.
+        """
+        journal = self._journal_for_new_tenant(tenant_id, engine)
+        tenant = self.tenants.register(
+            tenant_id, engine, default=default, journal=journal
+        )
+        self._activate(tenant)
+        return tenant
+
+    def _activate(self, tenant: Tenant) -> None:
+        """Start a freshly registered tenant's worker if we are serving."""
         if self._server is not None and self._loop is not None:
             try:
                 running = asyncio.get_running_loop()
@@ -121,7 +142,56 @@ class AssignmentServer:
                 tenant.start()
             else:  # registered from outside the loop (test harness thread)
                 self._loop.call_soon_threadsafe(tenant.start)
-        return tenant
+
+    def _journal_for_new_tenant(
+        self, tenant_id: str, engine: AssignmentEngine
+    ) -> TenantJournal | None:
+        if self.durability is None:
+            return None
+        journal = TenantJournal(self.durability, tenant_id)
+        if journal.has_checkpoint():
+            raise ConfigurationError(
+                f"tenant {tenant_id!r} has durable state under "
+                f"{journal.directory}; recover it (server.recover_tenants() "
+                "or a source-less create_tenant) or remove the directory first"
+            )
+        journal.initialise(engine)
+        return journal
+
+    def recover_tenants(self) -> list[str]:
+        """Re-register every tenant with durable state under the WAL root.
+
+        Synchronous and callable before :meth:`start` (the CLI boot path):
+        each journal directory with a checkpoint is recovered — load the
+        checkpoint, replay the WAL tail — and the rebuilt engine registered
+        under the directory's tenant id.  Already-resident ids are skipped.
+        Returns the recovered tenant ids.
+        """
+        if self.durability is None:
+            return []
+        root = self.durability.root
+        if not root.exists():
+            return []
+        recovered: list[str] = []
+        for directory in sorted(root.iterdir()):
+            if not directory.is_dir():
+                continue
+            tenant_id = directory.name
+            if tenant_id in self.tenants:
+                continue
+            journal = TenantJournal(self.durability, tenant_id)
+            if not journal.has_checkpoint():
+                continue
+            outcome = journal.recover()
+            tenant = self.tenants.register(
+                tenant_id,
+                outcome.engine,
+                journal=journal,
+                first_seq=outcome.next_seq,
+            )
+            self._activate(tenant)
+            recovered.append(tenant_id)
+        return recovered
 
     async def start(self) -> tuple[str, int]:
         """Bind and start accepting; returns the bound ``(host, port)``.
@@ -148,6 +218,43 @@ class AssignmentServer:
     async def wait_shutdown(self) -> None:
         """Block until a ``shutdown`` request has been served."""
         await self._shutdown.wait()
+
+    async def drain(self) -> dict[str, Any]:
+        """Gracefully drain the server and release :meth:`wait_shutdown`.
+
+        The SIGTERM/SIGINT path: identical to serving a ``shutdown``
+        request — admission flips to draining, the listener closes,
+        admitted work finishes (durable tenants write a final checkpoint)
+        — except there is no connection to answer on.  Idempotent:
+        concurrent calls share one drain.
+        """
+        if self._drain_task is None:
+
+            async def _do() -> dict[str, Any]:
+                body = await self._drain_server()
+                self._shutdown.set()
+                return body
+
+            self._drain_task = asyncio.get_running_loop().create_task(_do())
+        return await asyncio.shield(self._drain_task)
+
+    async def abort(self) -> None:
+        """Crash-stop: drop listener, connections and workers — no drain,
+        no final checkpoints, no answers (the recovery tests' kill switch)."""
+        if self._server is not None:
+            self._server.close()
+            with contextlib.suppress(Exception):
+                await self._server.wait_closed()
+            self._server = None
+        for task in list(self._conn_tasks):
+            task.cancel()
+        if self._conn_tasks:
+            await asyncio.gather(*self._conn_tasks, return_exceptions=True)
+        self._conn_tasks.clear()
+        await self.tenants.abort_all()
+        self._registry.gauge(
+            "service.net.open_connections", "currently connected clients"
+        ).set(0)
 
     async def run(self) -> None:
         """Serve until a ``shutdown`` request, then close everything."""
@@ -410,6 +517,16 @@ class AssignmentServer:
                 else:
                     _, task, is_shutdown = item
                     data = await task
+                try:
+                    get_failpoints().hit("socket_write")
+                except FaultInjected:
+                    # Simulate the connection dying with the response in
+                    # flight: the work is done (and journaled), the client
+                    # never hears — its retry must hit the idempotency map.
+                    transport = writer.transport
+                    if transport is not None:
+                        transport.abort()
+                    break
                 writer.write(json.dumps(data).encode("utf-8") + b"\n")
                 await writer.drain()
                 if is_shutdown:
@@ -463,18 +580,48 @@ class AssignmentServer:
             for name in ("problem", "problem_path", "snapshot_path")
             if payload.get(name) is not None
         ]
-        if len(sources) != 1:
-            raise RequestError(
-                "a create_tenant request needs exactly one of "
-                "'problem', 'problem_path' or 'snapshot_path'"
-            )
         if tenant_id in self.tenants:
             raise ConfigurationError(
                 f"tenant {tenant_id!r} already exists; evict it first"
             )
+        if len(sources) == 0 and self.durability is not None:
+            # A source-less create on a durable server resumes the
+            # tenant's journaled state (the wire-level recovery path).
+            journal = TenantJournal(self.durability, tenant_id)
+            if journal.has_checkpoint():
+                outcome = await asyncio.to_thread(journal.recover)
+                tenant = self.tenants.register(
+                    tenant_id,
+                    outcome.engine,
+                    default=bool(payload.get("default", False)),
+                    journal=journal,
+                    first_seq=outcome.next_seq,
+                )
+                tenant.start()
+                return {
+                    "tenant": tenant_id,
+                    "recovered": outcome.stats.to_dict(),
+                    **tenant.describe(),
+                }
+        if len(sources) != 1:
+            raise RequestError(
+                "a create_tenant request needs exactly one of "
+                "'problem', 'problem_path' or 'snapshot_path'"
+                + (
+                    " (or existing durable state to recover)"
+                    if self.durability is not None
+                    else ""
+                )
+            )
         engine = await asyncio.to_thread(self._build_engine, sources[0], payload)
+        journal = await asyncio.to_thread(
+            self._journal_for_new_tenant, tenant_id, engine
+        )
         tenant = self.tenants.register(
-            tenant_id, engine, default=bool(payload.get("default", False))
+            tenant_id,
+            engine,
+            default=bool(payload.get("default", False)),
+            journal=journal,
         )
         tenant.start()
         if payload.get("warm"):

@@ -19,6 +19,17 @@ of connections — through one :meth:`EngineSession.drain`, which is where
 compatible journal queries coalesce behind a single cache warm-up.  The
 batcher that PR 1 built for scripted replays is thereby lifted above the
 socket layer, exactly as the ROADMAP prescribes.
+
+A tenant given a :class:`~repro.durability.TenantJournal` is **durable**:
+each mutation in a batch is appended to the write-ahead log *before* it
+executes, retried mutations (same client ``seq``) are answered from the
+idempotency map without re-executing, and a crash anywhere in the worker
+triggers a supervised restart — rebuild the engine from checkpoint + WAL
+replay (``service.net.worker_restarts``), answer the in-flight batch from
+already-computed responses, replayed responses and fresh dispatches, and
+keep serving.  The durable batch attaches each response to its
+:class:`Pending` *as it is computed*, so a mid-batch crash loses nothing
+that was already answered.
 """
 
 from __future__ import annotations
@@ -29,11 +40,13 @@ from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
 from typing import Any
 
+from repro.durability.journal import TenantJournal
 from repro.exceptions import RequestError
+from repro.fault import get_failpoints
 from repro.obs.metrics import get_registry
 from repro.obs.trace import get_tracer
 from repro.service.engine import AssignmentEngine
-from repro.service.requests import Request, Response
+from repro.service.requests import MUTATION_KINDS, Request, Response
 from repro.service.session import EngineSession
 
 TRACER = get_tracer()
@@ -55,17 +68,26 @@ class Pending:
 class Tenant:
     """One resident conference: engine + session + queue + worker thread."""
 
-    def __init__(self, tenant_id: str, engine: AssignmentEngine, max_batch: int = 128) -> None:
+    def __init__(
+        self,
+        tenant_id: str,
+        engine: AssignmentEngine,
+        max_batch: int = 128,
+        journal: TenantJournal | None = None,
+        first_seq: int = 1,
+    ) -> None:
         self.tenant_id = tenant_id
         self.engine = engine
         self.session = EngineSession(engine)
+        self.journal = journal
+        self.worker_restarts = 0
         self._max_batch = max(1, max_batch)
         self._queue: asyncio.Queue[Pending] = asyncio.Queue()
         self._executor = ThreadPoolExecutor(
             max_workers=1, thread_name_prefix=f"tenant-{tenant_id}"
         )
         self._worker: asyncio.Task | None = None
-        self._seq = itertools.count(1)
+        self._seq = itertools.count(max(1, first_seq))
         self._inflight = 0
         self._idle: asyncio.Event = asyncio.Event()
         self._idle.set()
@@ -98,7 +120,44 @@ class Tenant:
             except asyncio.CancelledError:
                 pass
             self._worker = None
+        if self.journal is not None:
+            await asyncio.get_running_loop().run_in_executor(
+                self._executor, self._final_checkpoint
+            )
         self._executor.shutdown(wait=True)
+
+    def _final_checkpoint(self) -> None:
+        """Checkpoint on graceful close so restart needs no WAL replay.
+
+        Best-effort: a failed final checkpoint (e.g. an injected
+        ``snapshot_write`` fault) must not sink the drain — the WAL
+        already holds everything, recovery just replays a longer tail.
+        """
+        try:
+            self.journal.checkpoint(self.engine)
+        except Exception:  # noqa: BLE001
+            pass
+        finally:
+            self.journal.close()
+
+    async def abort(self) -> None:
+        """Crash-stop the tenant: no drain, no checkpoint, no answers.
+
+        The crash-recovery tests use this to simulate a process dying
+        mid-stream; the journal's WAL file is simply dropped (appends are
+        flushed per record, so a same-machine reader sees them all).
+        """
+        self.closed = True
+        if self._worker is not None:
+            self._worker.cancel()
+            try:
+                await self._worker
+            except asyncio.CancelledError:
+                pass
+            self._worker = None
+        self._executor.shutdown(wait=False, cancel_futures=True)
+        if self.journal is not None:
+            self.journal.abort()
 
     # ------------------------------------------------------------------
     # Request flow
@@ -151,21 +210,29 @@ class Tenant:
                     batch.append(self._queue.get_nowait())
                 except asyncio.QueueEmpty:
                     break
-            requests = [pending.request for pending in batch]
             try:
-                responses = await loop.run_in_executor(
-                    self._executor, self._serve_batch, requests
-                )
-            except Exception as exc:  # noqa: BLE001 — a dead worker drops the tenant
-                responses = [
-                    Response.failure(
-                        kind=request.kind,
-                        error=f"{type(exc).__name__}: {exc}",
-                        request_id=request.request_id,
-                        error_type="internal",
+                if self.journal is not None:
+                    responses = await loop.run_in_executor(
+                        self._executor, self._serve_batch_durable, batch
                     )
-                    for request in requests
-                ]
+                else:
+                    requests = [pending.request for pending in batch]
+                    responses = await loop.run_in_executor(
+                        self._executor, self._serve_batch, requests
+                    )
+            except Exception as exc:  # noqa: BLE001 — the worker crashed
+                if self.journal is not None:
+                    responses = await self._restart_worker(batch, exc)
+                else:
+                    responses = [
+                        Response.failure(
+                            kind=pending.request.kind,
+                            error=f"{type(exc).__name__}: {exc}",
+                            request_id=pending.request.request_id,
+                            error_type="internal",
+                        )
+                        for pending in batch
+                    ]
             for pending, response in zip(batch, responses):
                 pending.response = response
                 if not pending.future.done():
@@ -179,6 +246,7 @@ class Tenant:
         concurrent server bitwise-conformant with a serial replay.
         """
         registry = get_registry()
+        get_failpoints().hit("tenant_worker")
         with TRACER.span("net.batch", tenant=self.tenant_id, size=len(requests)):
             for request in requests:
                 self.session.submit(request)
@@ -189,6 +257,109 @@ class Tenant:
         registry.counter(
             "service.net.batched_requests", "requests served through batch drains"
         ).inc(len(requests))
+        return responses
+
+    # ------------------------------------------------------------------
+    # The durable path (journal-backed tenants)
+    # ------------------------------------------------------------------
+    def _serve_batch_durable(self, batch: list[Pending]) -> list[Response]:
+        """Serve one batch with write-ahead journaling (worker thread).
+
+        Serial per request: dedupe check → WAL append (mutations only) →
+        dispatch → idempotency-map update → attach the response to its
+        :class:`Pending`.  The incremental attachment is what makes the
+        supervised restart lossless: a crash between requests reuses every
+        response already computed instead of recomputing (and re-applying)
+        the prefix.
+        """
+        registry = get_registry()
+        get_failpoints().hit("tenant_worker")
+        with TRACER.span("net.batch", tenant=self.tenant_id, size=len(batch)):
+            for pending in batch:
+                pending.response = self._serve_one_durable(pending)
+            self.journal.sync_batch()
+            if self.journal.should_checkpoint:
+                self.journal.checkpoint(self.engine)
+        registry.counter(
+            "service.net.batches", "tenant-worker batch drains"
+        ).inc()
+        registry.counter(
+            "service.net.batched_requests", "requests served through batch drains"
+        ).inc(len(batch))
+        return [pending.response for pending in batch]
+
+    def _serve_one_durable(self, pending: Pending) -> Response:
+        request = pending.request
+        journaled = request.kind in MUTATION_KINDS
+        if journaled and request.client_seq is not None:
+            stored = self.journal.applied.get(request.client_seq)
+            if stored is not None:
+                # A retry of an already-applied mutation: answer from the
+                # stored response — exactly-once, no WAL append.
+                get_registry().counter(
+                    "durability.deduped",
+                    "mutations answered from the idempotency map",
+                ).inc()
+                return stored
+        if journaled:
+            self.journal.append(pending.seq, request)
+        response = self.session.dispatch(request)
+        if journaled and request.client_seq is not None:
+            self.journal.record_applied(request.client_seq, response)
+        return response
+
+    async def _restart_worker(self, batch: list[Pending], exc: BaseException) -> list[Response]:
+        """Supervised restart after a worker crash (durable tenants only).
+
+        Rebuild engine + session from checkpoint + WAL replay, then answer
+        the in-flight batch: responses computed before the crash are kept,
+        the request that was journaled-but-unanswered is answered from its
+        replayed response, and the unserved suffix is dispatched fresh.  A
+        second crash while finishing the batch downgrades to internal-error
+        answers instead of restarting forever.
+        """
+        self.worker_restarts += 1
+        get_registry().counter(
+            "service.net.worker_restarts",
+            "supervised tenant-worker restarts after a crash",
+        ).inc()
+        loop = asyncio.get_running_loop()
+        try:
+            outcome = await loop.run_in_executor(
+                self._executor, self._rebuild_from_journal
+            )
+            return await loop.run_in_executor(
+                self._executor, self._answer_after_restart, batch, outcome
+            )
+        except Exception as again:  # noqa: BLE001 — no restart loops
+            return [
+                pending.response
+                if pending.response is not None
+                else Response.failure(
+                    kind=pending.request.kind,
+                    error=f"{type(again).__name__}: {again}",
+                    request_id=pending.request.request_id,
+                    error_type="internal",
+                )
+                for pending in batch
+            ]
+
+    def _rebuild_from_journal(self):
+        outcome = self.journal.recover(parallel=self.engine.parallel)
+        self.engine = outcome.engine
+        self.session = outcome.session
+        return outcome
+
+    def _answer_after_restart(self, batch: list[Pending], outcome) -> list[Response]:
+        responses: list[Response] = []
+        for pending in batch:
+            if pending.response is not None:
+                responses.append(pending.response)
+            elif pending.seq in outcome.replayed:
+                responses.append(outcome.replayed[pending.seq])
+            else:
+                responses.append(self._serve_one_durable(pending))
+        self.journal.sync_batch()
         return responses
 
     def describe(self) -> dict[str, Any]:
@@ -202,6 +373,13 @@ class Tenant:
             "has_assignment": self.engine.assignment is not None,
             "journal_batches": self.session.stats()["session"]["journal_batches"],
             "closed": self.closed,
+            "durable": self.journal is not None,
+            "worker_restarts": self.worker_restarts,
+            **(
+                {"durability": self.journal.describe()}
+                if self.journal is not None
+                else {}
+            ),
         }
 
 
@@ -223,9 +401,18 @@ class TenantManager:
         return sorted(self._tenants)
 
     def register(
-        self, tenant_id: str, engine: AssignmentEngine, default: bool = False
+        self,
+        tenant_id: str,
+        engine: AssignmentEngine,
+        default: bool = False,
+        journal: TenantJournal | None = None,
+        first_seq: int = 1,
     ) -> Tenant:
         """Add a resident engine under ``tenant_id``.
+
+        A ``journal`` makes the tenant durable (write-ahead logged);
+        ``first_seq`` seeds the execution sequence past what a recovered
+        journal already contains.
 
         Raises
         ------
@@ -240,7 +427,13 @@ class TenantManager:
             raise ConfigurationError(
                 f"tenant {tenant_id!r} already exists; evict it first"
             )
-        tenant = Tenant(tenant_id, engine, max_batch=self._max_batch)
+        tenant = Tenant(
+            tenant_id,
+            engine,
+            max_batch=self._max_batch,
+            journal=journal,
+            first_seq=first_seq,
+        )
         self._tenants[tenant_id] = tenant
         if default or self.default_tenant is None:
             self.default_tenant = tenant_id
@@ -289,6 +482,15 @@ class TenantManager:
         for tenant_id in self.ids():
             tenant = self._tenants.pop(tenant_id)
             await tenant.close()
+        get_registry().gauge(
+            "service.net.tenants", "resident tenant engines"
+        ).set(0)
+
+    async def abort_all(self) -> None:
+        """Crash-stop every tenant (the recovery tests' kill switch)."""
+        for tenant_id in self.ids():
+            tenant = self._tenants.pop(tenant_id)
+            await tenant.abort()
         get_registry().gauge(
             "service.net.tenants", "resident tenant engines"
         ).set(0)

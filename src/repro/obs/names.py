@@ -43,6 +43,8 @@ SPAN_NAMES: dict[str, str] = {
     "parallel.score_shards": "sharded_score_matrix: fan out score shards to the pool",
     "portfolio.race": "run_portfolio: race the solver lineup (serial or process pool)",
     "net.batch": "Tenant worker: one cross-client batch drained through the session",
+    "durability.checkpoint": "TenantJournal.checkpoint: atomic snapshot write + WAL rotation",
+    "durability.recover": "TenantJournal.recover: checkpoint load + WAL tail replay",
 }
 
 #: metric name -> one-line description.  Counters unless stated otherwise.
@@ -76,6 +78,17 @@ METRIC_NAMES: dict[str, str] = {
     "service.net.batched_requests": "requests served through tenant batch drains",
     "service.net.request.seconds": "histogram: queue-to-answer latency on the network path",
     "service.net.tenants": "gauge: resident tenant engines",
+    "service.net.worker_restarts": "supervised tenant-worker restarts after a crash",
+    "durability.wal.records": "WAL records appended",
+    "durability.wal.bytes": "WAL bytes appended",
+    "durability.wal.fsyncs": "fsync calls issued by the WAL",
+    "durability.checkpoints": "tenant checkpoints written",
+    "durability.recoveries": "journal recoveries run",
+    "durability.replayed_records": "WAL records replayed during recovery",
+    "durability.dropped_bytes": "torn WAL suffix bytes dropped at recovery",
+    "durability.deduped": "mutations answered from the idempotency map (no re-execution)",
+    "fault.injections": "failpoint firings, all sites",
+    "fault.<site>.injections": "failpoint firings at one site (repro.fault)",
 }
 
 _PLACEHOLDER = re.compile(r"<[^<>.]+>")

@@ -51,6 +51,7 @@ from repro.exceptions import (
     InfeasibleProblemError,
 )
 from repro.extensions.bidding import BidAwareObjective, BidAwareSDGASolver, BidMatrix, bid_satisfaction
+from repro.fault import get_failpoints
 from repro.jra.topk import RankedGroup, find_top_k_groups
 from repro.metrics.quality import lowest_coverage_score, optimality_ratio
 from repro.obs.metrics import MetricsRegistry, get_registry
@@ -363,6 +364,7 @@ class AssignmentEngine:
             Forwarded to the solver factory (e.g. ``seed``,
             ``convergence_window`` for SDGA-SRA).
         """
+        get_failpoints().hit("solver_call")
         started = time.perf_counter()
         name = solver or self.DEFAULT_CRA_SOLVER
         if bid_tradeoff is not None:
@@ -1065,6 +1067,9 @@ class AssignmentEngine:
         )
         engine._last_solver = snapshot.metadata.get("last_solver")
         engine._last_score = snapshot.metadata.get("last_score")
+        # The revision counter is part of the resumable state: a recovered
+        # engine must report the same revision as one that never crashed.
+        engine._revision = int(snapshot.metadata.get("revision", 0))
         return engine
 
     @classmethod

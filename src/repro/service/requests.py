@@ -20,8 +20,19 @@ True
 Traceback (most recent call last):
     ...
 repro.exceptions.RequestError: unknown request kind 'nope'; known kinds: \
-['add_paper', 'evaluate', 'journal', 'metrics', 'portfolio', 'shutdown', \
-'snapshot', 'solve', 'stats', 'trace', 'update_bids', 'withdraw_reviewer']
+['add_paper', 'evaluate', 'fault', 'journal', 'metrics', 'portfolio', \
+'shutdown', 'snapshot', 'solve', 'stats', 'trace', 'update_bids', \
+'withdraw_reviewer']
+
+Mutation requests (:data:`MUTATION_KINDS`) may carry a client-chosen
+``seq`` envelope field — the idempotency key durable tenants use to
+apply retried mutations exactly once:
+
+>>> request = request_from_dict({"kind": "withdraw_reviewer", "reviewer_id": "r1", "seq": 9})
+>>> request.client_seq
+9
+>>> request_to_dict(request)["seq"]
+9
 """
 
 from __future__ import annotations
@@ -48,7 +59,9 @@ __all__ = [
     "Metrics",
     "Trace",
     "Shutdown",
+    "Fault",
     "Response",
+    "MUTATION_KINDS",
     "request_from_dict",
     "request_to_dict",
     "paper_from_payload",
@@ -62,11 +75,18 @@ class Request:
 
     The optional ``request_id`` is echoed back on the response so clients
     pipelining several JSON lines can correlate answers with questions.
+
+    The optional ``client_seq`` (wire field ``seq``) is a client-chosen
+    idempotency key: a durable tenant remembers the response per key, so
+    a mutation retried after a lost connection is answered from the
+    stored response instead of executing twice.  Keys should be unique
+    per tenant per client stream; queries may omit it.
     """
 
     kind: ClassVar[str] = "abstract"
 
     request_id: str | int | None = None
+    client_seq: int | None = None
 
 
 @dataclass(frozen=True)
@@ -240,6 +260,43 @@ class Shutdown(Request):
 
 
 @dataclass(frozen=True)
+class Fault(Request):
+    """Inspect or arm the fault-injection registry (:mod:`repro.fault`).
+
+    With no fields set, reports every failpoint site and its state.  With
+    ``site`` and ``mode`` set, arms that site (``n``/``probability``/
+    ``seed`` per mode); ``reset`` disarms ``site``, or every site when
+    ``site`` is omitted.  Chaos tests drive this over the wire instead of
+    restarting the server with a new ``REPRO_FAULT``.
+    """
+
+    kind: ClassVar[str] = "fault"
+
+    site: str | None = None
+    mode: str | None = None
+    n: int | None = None
+    probability: float | None = None
+    seed: int | None = None
+    reset: bool = False
+
+    def __post_init__(self) -> None:
+        if self.site is not None and self.mode is None and not self.reset:
+            raise RequestError(
+                "a fault request with a 'site' needs a 'mode' (or 'reset': true)"
+            )
+
+
+#: Request kinds that mutate engine state — exactly these are journaled
+#: to the write-ahead log and deduplicated by idempotency key; everything
+#: else is a read (or process-local control) and replays for free.
+#: ``docs/durability.md`` renders this set and ``tests/test_docs.py``
+#: pins the two in sync.
+MUTATION_KINDS: frozenset[str] = frozenset(
+    {"solve", "portfolio", "add_paper", "withdraw_reviewer", "update_bids"}
+)
+
+
+@dataclass(frozen=True)
 class Response:
     """Outcome of one request.
 
@@ -313,6 +370,21 @@ class Response:
             elapsed_seconds=elapsed_seconds,
         )
 
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "Response":
+        """Inverse of :meth:`to_dict` (checkpointed idempotency maps)."""
+        ok = bool(payload.get("ok"))
+        return cls(
+            kind=str(payload.get("kind", "")),
+            ok=ok,
+            payload=dict(payload.get("payload") or {}) if ok else {},
+            error=payload.get("error"),
+            error_type=payload.get("error_type"),
+            request_id=payload.get("id"),
+            trace_id=payload.get("trace"),
+            elapsed_seconds=payload.get("seconds"),
+        )
+
 
 # ----------------------------------------------------------------------
 # Dict codecs
@@ -332,6 +404,7 @@ _REQUEST_TYPES: dict[str, type[Request]] = {
         Metrics,
         Trace,
         Shutdown,
+        Fault,
     )
 }
 
@@ -408,6 +481,11 @@ def request_from_dict(payload: Mapping[str, Any]) -> Request:
     request_id = payload.get("id")
     fields: dict[str, Any] = {"request_id": request_id}
     try:
+        if payload.get("seq") is not None:
+            client_seq = payload["seq"]
+            if isinstance(client_seq, bool) or not isinstance(client_seq, int):
+                raise RequestError("'seq' must be an integer idempotency key")
+            fields["client_seq"] = client_seq
         if request_type is SolveRequest:
             fields["solver"] = str(payload.get("solver", "SDGA-SRA"))
             options = payload.get("options", {})
@@ -457,6 +535,17 @@ def request_from_dict(payload: Mapping[str, Any]) -> Request:
                 fields["trace_id"] = str(payload["trace_id"])
             if payload.get("enable") is not None:
                 fields["enable"] = bool(payload["enable"])
+        elif request_type is Fault:
+            if payload.get("site") is not None:
+                fields["site"] = str(payload["site"])
+            if payload.get("mode") is not None:
+                fields["mode"] = str(payload["mode"])
+            for name in ("n", "seed"):
+                if payload.get(name) is not None:
+                    fields[name] = int(payload[name])
+            if payload.get("probability") is not None:
+                fields["probability"] = float(payload["probability"])
+            fields["reset"] = bool(payload.get("reset", False))
         return request_type(**fields)
     except RequestError:
         raise
@@ -469,6 +558,8 @@ def request_to_dict(request: Request) -> dict[str, Any]:
     payload: dict[str, Any] = {"kind": request.kind}
     if request.request_id is not None:
         payload["id"] = request.request_id
+    if request.client_seq is not None:
+        payload["seq"] = request.client_seq
     if isinstance(request, SolveRequest):
         payload["solver"] = request.solver
         if request.options:
@@ -512,4 +603,11 @@ def request_to_dict(request: Request) -> dict[str, Any]:
             payload["trace_id"] = request.trace_id
         if request.enable is not None:
             payload["enable"] = request.enable
+    elif isinstance(request, Fault):
+        for name in ("site", "mode", "n", "probability", "seed"):
+            value = getattr(request, name)
+            if value is not None:
+                payload[name] = value
+        if request.reset:
+            payload["reset"] = True
     return payload

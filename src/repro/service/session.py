@@ -42,11 +42,13 @@ from repro.exceptions import (
     UnknownScoringFunctionError,
     UnknownSolverError,
 )
+from repro.fault import get_failpoints
 from repro.obs.trace import get_tracer
 from repro.service.engine import AssignmentEngine
 from repro.service.requests import (
     AddPaper,
     Evaluate,
+    Fault,
     JournalQuery,
     Metrics,
     PortfolioSolve,
@@ -310,9 +312,26 @@ class EngineSession:
             return {"metrics": engine.metrics_snapshot()}
         if isinstance(request, Trace):
             return self._handle_trace(request)
+        if isinstance(request, Fault):
+            return self._handle_fault(request)
         if isinstance(request, Shutdown):
             return {"shutdown": True}
         raise RequestError(f"unhandled request kind {request.kind!r}")
+
+    @staticmethod
+    def _handle_fault(request: Fault) -> dict[str, Any]:
+        registry = get_failpoints()
+        if request.reset:
+            registry.reset(request.site)
+        elif request.site is not None:
+            registry.configure(
+                request.site,
+                request.mode or "off",
+                n=request.n,
+                probability=request.probability,
+                seed=request.seed,
+            )
+        return {"sites": registry.describe()}
 
     def _handle_trace(self, request: Trace) -> dict[str, Any]:
         if request.enable is not None:
@@ -353,12 +372,17 @@ class EngineSession:
         return {"session": session, "engine": self._engine.stats()}
 
 
+class _DrainRequested(Exception):
+    """Raised out of a blocking read when SIGTERM/SIGINT asks for a drain."""
+
+
 def serve_stream(
     engine: AssignmentEngine,
     lines: Iterable[str],
     output: TextIO,
     slow_threshold: float | None = None,
     diagnostics: TextIO | None = None,
+    handle_signals: bool = False,
 ) -> int:
     """Run the JSON-lines request/response loop.
 
@@ -373,6 +397,15 @@ def serve_stream(
     trace id and (when tracing is enabled) the recorded span tree.  The
     diagnostics stream is separate from ``output`` so the wire protocol
     stays one-response-per-request; it defaults to ``sys.stderr``.
+
+    With ``handle_signals`` set (the ``wgrap serve`` stdio path, main
+    thread only), SIGTERM and SIGINT drain instead of kill: a signal
+    arriving *while a request is being served* lets that request finish
+    and its response reach the wire before the loop ends; a signal
+    arriving while blocked on input interrupts the read directly.  Python
+    retries the blocking ``readline`` after a handler returns (PEP 475),
+    so the idle case must raise out of the handler — the ``busy`` flag
+    decides which case we are in.  Handlers are restored on exit.
     """
     import sys
 
@@ -380,6 +413,26 @@ def serve_stream(
     served = 0
     if diagnostics is None:
         diagnostics = sys.stderr
+
+    busy = False
+    drain_requested = False
+    restore: list[tuple[int, Any]] = []
+    if handle_signals:
+        import signal
+
+        def _on_signal(signum: int, frame: Any) -> None:
+            nonlocal drain_requested
+            drain_requested = True
+            if not busy:
+                raise _DrainRequested()
+
+        for signum in (signal.SIGTERM, signal.SIGINT):
+            try:
+                restore.append((signum, signal.signal(signum, _on_signal)))
+            except ValueError:
+                # Not the main thread (tests drive this from workers):
+                # serve without signal handling rather than refusing.
+                break
 
     def emit(response: Response) -> None:
         output.write(json.dumps(response.to_dict()) + "\n")
@@ -409,25 +462,51 @@ def serve_stream(
         except (OSError, ValueError):
             pass  # a broken diagnostics stream must not sink the serve loop
 
-    for line in lines:
-        line = line.strip()
-        if not line:
-            continue
-        served += 1
-        try:
-            payload = json.loads(line)
-        except json.JSONDecodeError as exc:
-            emit(Response.failure(kind="parse", error=f"invalid JSON: {exc}"))
-            continue
-        try:
-            request = request_from_dict(payload)
-        except RequestError as exc:
-            request_id = payload.get("id") if isinstance(payload, dict) else None
-            emit(Response.failure(kind="parse", error=str(exc), request_id=request_id))
-            continue
-        response = session.dispatch(request)
-        emit(response)
-        diagnose(request, response)
-        if isinstance(request, Shutdown):
-            break
+    try:
+        iterator = iter(lines)
+        while True:
+            if drain_requested:
+                break
+            try:
+                line = next(iterator)
+            except StopIteration:
+                break
+            except _DrainRequested:
+                break
+            busy = True
+            try:
+                line = line.strip()
+                if not line:
+                    continue
+                served += 1
+                try:
+                    payload = json.loads(line)
+                except json.JSONDecodeError as exc:
+                    emit(Response.failure(kind="parse", error=f"invalid JSON: {exc}"))
+                    continue
+                try:
+                    request = request_from_dict(payload)
+                except RequestError as exc:
+                    request_id = payload.get("id") if isinstance(payload, dict) else None
+                    emit(
+                        Response.failure(
+                            kind="parse", error=str(exc), request_id=request_id
+                        )
+                    )
+                    continue
+                response = session.dispatch(request)
+                emit(response)
+                diagnose(request, response)
+                if isinstance(request, Shutdown):
+                    break
+            finally:
+                busy = False
+    except _DrainRequested:
+        pass
+    finally:
+        if restore:
+            import signal
+
+            for signum, previous in restore:
+                signal.signal(signum, previous)
     return served

@@ -1,0 +1,205 @@
+"""Crash-recovery conformance: a crashed-and-recovered server is
+bitwise-equal to one that never crashed.
+
+The regime: drive one deterministic churn stream — solves, journal
+queries, paper adds, reviewer withdrawals, bid updates, evaluations —
+against a *durable* TCP server, crash-stopping it
+(:meth:`~repro.net.server.AssignmentServer.abort`: no drain, no final
+checkpoint) at seeded random points and recovering into a fresh server
+over the same WAL root.  Every response, and the final engine snapshot,
+must equal a serial, never-crashed oracle
+(:class:`~repro.service.session.EngineSession` over the same instance)
+**bitwise** — identical assignments, identical float scores.  After
+each crash the just-answered mutation is re-sent under its original
+idempotency key and must come back semantically identical without
+re-applying (exactly-once across a crash).
+
+Only wall-clock fields, transport envelope fields and ``cache_hit``
+flags are normalised away: recovery legitimately restarts with cold
+caches, and the conformance contract is about *state*, not cache luck.
+
+``REPRO_CHAOS_CRASH_POINTS`` scales how many crash points are sampled
+(default 3; CI smoke runs fewer).
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+import os
+import random
+from typing import Any
+
+import pytest
+
+from repro.durability import DurabilityConfig
+from repro.service.engine import AssignmentEngine
+from repro.service.requests import (
+    paper_to_payload,
+    request_from_dict,
+)
+from repro.service.session import EngineSession
+
+from tests.conformance import GRID, late_paper, make_instance
+from tests.net_utils import ServerHarness, strip_volatile
+
+TENANT = "chaos"
+SPEC = GRID["compact"]
+CRASH_POINTS = int(os.environ.get("REPRO_CHAOS_CRASH_POINTS", "3"))
+SEED = 20260808
+
+
+def churn_stream() -> list[dict[str, Any]]:
+    """The deterministic request stream (mutations carry ``seq`` keys)."""
+    problem = make_instance(SPEC)
+    rid, pid = problem.reviewer_ids, problem.paper_ids
+    key = itertools.count(1)
+    return [
+        {"kind": "solve", "solver": "Greedy", "seq": next(key)},
+        {"kind": "journal", "paper_id": pid[0], "top_k": 2},
+        {
+            "kind": "update_bids", "seq": next(key),
+            "bids": [[rid[0], pid[1], 1.0], [rid[1], pid[2], 0.5]],
+        },
+        {"kind": "solve", "solver": "SDGA", "seq": next(key)},
+        {
+            "kind": "add_paper", "seq": next(key),
+            "paper": paper_to_payload(late_paper(problem, "chaos-a")),
+        },
+        {"kind": "evaluate", "include_ratio": True},
+        {"kind": "withdraw_reviewer", "reviewer_id": rid[3], "seq": next(key)},
+        {"kind": "solve", "solver": "Greedy", "seq": next(key)},
+        {"kind": "journal", "paper_id": "chaos-a", "top_k": 2},
+        {
+            "kind": "add_paper", "seq": next(key),
+            "paper": paper_to_payload(late_paper(problem, "chaos-b")),
+        },
+        {"kind": "solve", "solver": "SDGA-LS", "seq": next(key)},
+        {"kind": "evaluate", "include_per_paper": True},
+    ]
+
+
+def normalise(response: dict[str, Any]) -> dict[str, Any]:
+    """Drop wall clocks, envelope fields and cache luck — keep state."""
+
+    def scrub(value: Any) -> Any:
+        if isinstance(value, dict):
+            return {k: scrub(v) for k, v in value.items() if k != "cache_hit"}
+        if isinstance(value, list):
+            return [scrub(v) for v in value]
+        return value
+
+    return scrub(strip_volatile(response))
+
+
+def oracle_run(stream: list[dict[str, Any]]):
+    """The never-crashed baseline: one serial session, same instance."""
+    engine = AssignmentEngine(make_instance(SPEC))
+    session = EngineSession(engine)
+    responses = []
+    for payload in stream:
+        response = session.dispatch(request_from_dict(payload))
+        assert response.ok, f"oracle refused {payload}: {response.error}"
+        responses.append(normalise(response.to_dict()))
+    return engine, responses
+
+
+class TestRecoveryConformance:
+    def test_crashed_server_is_bitwise_equal_to_the_oracle(self, tmp_path):
+        stream = churn_stream()
+        oracle_engine, oracle_responses = oracle_run(stream)
+
+        # Seeded crash points (never after the final request): determinism
+        # makes any failure replayable with the same seed and env.
+        rng = random.Random(SEED)
+        count = max(0, min(CRASH_POINTS, len(stream) - 1))
+        crash_after = set(rng.sample(range(len(stream) - 1), count))
+
+        def boot() -> ServerHarness:
+            return ServerHarness(
+                durability=DurabilityConfig(
+                    root=tmp_path / "wal", checkpoint_every=3
+                )
+            )
+
+        harness = boot()
+        harness.add_tenant(TENANT, AssignmentEngine(make_instance(SPEC)), default=True)
+        harness.start()
+        crashes = 0
+        try:
+            client = harness.client()
+            for index, payload in enumerate(stream):
+                response = client.request(payload)
+                assert response["ok"], f"server refused {payload}: {response}"
+                assert normalise(response) == oracle_responses[index], (
+                    f"response {index} ({payload['kind']}) diverged from the oracle"
+                )
+                if index not in crash_after:
+                    continue
+                # Crash-stop with only the durable state left behind, then
+                # recover into a brand-new server over the same WAL root.
+                client.close()
+                harness.abort()
+                crashes += 1
+                harness = boot()
+                assert harness.server.recover_tenants() == [TENANT]
+                harness.start()
+                client = harness.client()
+                if "seq" in payload:
+                    # Exactly-once across the crash: re-sending the last
+                    # mutation under its original key must be answered
+                    # from the recovered idempotency map, unchanged.
+                    replay = client.request(payload)
+                    assert replay["ok"], replay
+                    assert normalise(replay) == oracle_responses[index]
+            client.close()
+            assert crashes == count
+
+            # The final engine state — assignment, bids, problem, metadata
+            # (revision, last solver, exact float score) — is bitwise equal
+            # to the never-crashed oracle's.
+            survivor = harness.server.tenants.get(TENANT).engine
+            assert json.dumps(survivor.to_snapshot(), sort_keys=True) == (
+                json.dumps(oracle_engine.to_snapshot(), sort_keys=True)
+            )
+        finally:
+            harness.stop()
+
+    @pytest.mark.parametrize("crash_index", [0, 4, 6])
+    def test_single_crash_points_pin_the_regression_surface(
+        self, tmp_path, crash_index
+    ):
+        """Named single-crash cases: after the first solve, after the
+        first add_paper, after the withdraw — the three mutations whose
+        replay exercises distinct engine repair paths."""
+        stream = churn_stream()
+        oracle_engine, oracle_responses = oracle_run(stream)
+
+        config = DurabilityConfig(root=tmp_path / "wal", checkpoint_every=3)
+        harness = ServerHarness(durability=config)
+        harness.add_tenant(TENANT, AssignmentEngine(make_instance(SPEC)), default=True)
+        harness.start()
+        try:
+            client = harness.client()
+            for index, payload in enumerate(stream):
+                response = client.request(payload)
+                assert response["ok"], response
+                assert normalise(response) == oracle_responses[index]
+                if index == crash_index:
+                    client.close()
+                    harness.abort()
+                    harness = ServerHarness(
+                        durability=DurabilityConfig(
+                            root=tmp_path / "wal", checkpoint_every=3
+                        )
+                    )
+                    assert harness.server.recover_tenants() == [TENANT]
+                    harness.start()
+                    client = harness.client()
+            client.close()
+            survivor = harness.server.tenants.get(TENANT).engine
+            assert json.dumps(survivor.to_snapshot(), sort_keys=True) == (
+                json.dumps(oracle_engine.to_snapshot(), sort_keys=True)
+            )
+        finally:
+            harness.stop()

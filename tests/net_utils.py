@@ -18,6 +18,7 @@ import socket
 import threading
 from typing import Any
 
+from repro.durability import DurabilityConfig
 from repro.net import AdmissionController, AssignmentServer, TenantManager
 from repro.service.engine import AssignmentEngine
 
@@ -83,6 +84,7 @@ class ServerHarness:
         max_total_pending: int | None = None,
         max_batch: int = 128,
         max_line_bytes: int = 1 << 20,
+        durability: DurabilityConfig | None = None,
     ) -> None:
         self.server = AssignmentServer(
             tenants=TenantManager(max_batch=max_batch),
@@ -90,6 +92,7 @@ class ServerHarness:
                 max_pending=max_pending, max_total_pending=max_total_pending
             ),
             max_line_bytes=max_line_bytes,
+            durability=durability,
         )
         self.host: str | None = None
         self.port: int | None = None
@@ -126,9 +129,20 @@ class ServerHarness:
             self._loop.close()
 
     def stop(self) -> None:
+        self._shut_down(self.server.stop)
+
+    def abort(self) -> None:
+        """Crash-stop the server — no drain, no final checkpoints.
+
+        The recovery tests' kill switch: simulates the process dying with
+        work possibly in flight, leaving only the durable state on disk.
+        """
+        self._shut_down(self.server.abort)
+
+    def _shut_down(self, how) -> None:
         if self._loop is None:
             return
-        future = asyncio.run_coroutine_threadsafe(self.server.stop(), self._loop)
+        future = asyncio.run_coroutine_threadsafe(how(), self._loop)
         try:
             future.result(timeout=HARD_TIMEOUT)
         finally:

@@ -33,6 +33,7 @@ DOC_PAGES = (
     "parallel.md",
     "performance.md",
     "observability.md",
+    "durability.md",
 )
 
 _LINK = re.compile(r"\[[^\]]+\]\(([^)\s]+)\)")
@@ -244,3 +245,41 @@ class TestObservabilityPage:
         rows = _table_rows(obs_page, "## Metric names")
         documented = {_first_name(row) for row in rows}
         assert documented == set(METRIC_NAMES)
+
+
+class TestDurabilityPage:
+    """The durability tables mirror the code's closed vocabularies —
+    failpoint sites and firing modes verbatim (descriptions included),
+    fsync policies verbatim, journaled kinds by name."""
+
+    @pytest.fixture(scope="class")
+    def durability_page(self) -> str:
+        return _read(DOCS_DIR / "durability.md")
+
+    def test_failpoint_site_table_matches_the_registry(self, durability_page):
+        from repro.fault import FAILPOINT_SITES
+
+        rows = _table_rows(durability_page, "### Failpoint sites")
+        documented = {_first_name(row): row[1] for row in rows}
+        assert documented == FAILPOINT_SITES
+
+    def test_firing_mode_table_matches_the_registry(self, durability_page):
+        from repro.fault import FIRE_MODES
+
+        rows = _table_rows(durability_page, "### Firing modes")
+        documented = {_first_name(row): row[1] for row in rows}
+        assert documented == FIRE_MODES
+
+    def test_fsync_policy_table_matches_the_wal(self, durability_page):
+        from repro.durability import FSYNC_POLICIES
+
+        rows = _table_rows(durability_page, "### Fsync policies")
+        documented = {_first_name(row): row[1] for row in rows}
+        assert documented == FSYNC_POLICIES
+
+    def test_journaled_kind_table_matches_the_wire_protocol(self, durability_page):
+        from repro.service.requests import MUTATION_KINDS
+
+        rows = _table_rows(durability_page, "### Journaled request kinds")
+        documented = {_first_name(row) for row in rows}
+        assert documented == set(MUTATION_KINDS)

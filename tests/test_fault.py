@@ -1,0 +1,248 @@
+"""Tests for :mod:`repro.fault` — the deterministic failpoint harness.
+
+Pins the design rules of the chaos layer: a closed site vocabulary that
+fails loudly on typos, deterministic seedable firing modes, an
+off-by-default hot path, env-variable and wire-protocol arming, and the
+``internal`` classification of an injected fault surfacing through a
+request.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.data.synthetic import make_problem
+from repro.exceptions import ConfigurationError
+from repro.fault import (
+    FAILPOINT_SITES,
+    FIRE_MODES,
+    FailpointRegistry,
+    FaultInjected,
+    get_failpoints,
+)
+from repro.obs.metrics import get_registry
+from repro.service.engine import AssignmentEngine
+from repro.service.requests import (
+    Fault,
+    RequestError,
+    request_from_dict,
+    request_to_dict,
+)
+from repro.service.session import EngineSession
+
+
+@pytest.fixture(autouse=True)
+def _clean_failpoints():
+    get_failpoints().reset()
+    yield
+    get_failpoints().reset()
+
+
+def fire_pattern(registry: FailpointRegistry, site: str, hits: int) -> list[bool]:
+    pattern = []
+    for _ in range(hits):
+        try:
+            registry.hit(site)
+            pattern.append(False)
+        except FaultInjected:
+            pattern.append(True)
+    return pattern
+
+
+class TestRegistry:
+    def test_sites_are_dot_free_single_segments(self):
+        # Site names embed into the ``fault.<site>.injections`` metric
+        # pattern, whose placeholder matches exactly one path segment.
+        for site in FAILPOINT_SITES:
+            assert "." not in site and site
+
+    def test_disarmed_sites_never_fire(self):
+        registry = FailpointRegistry()
+        assert fire_pattern(registry, "wal_append", 50) == [False] * 50
+
+    def test_unknown_site_and_mode_fail_loudly(self):
+        registry = FailpointRegistry()
+        with pytest.raises(ConfigurationError):
+            registry.configure("wal_apend", "always")  # the typo scenario
+        with pytest.raises(ConfigurationError):
+            registry.configure("wal_append", "sometimes")
+        with pytest.raises(ConfigurationError):
+            registry.reset("wal_apend")
+
+    def test_always_mode(self):
+        registry = FailpointRegistry()
+        registry.configure("wal_append", "always")
+        assert fire_pattern(registry, "wal_append", 3) == [True] * 3
+
+    def test_once_mode_disarms_after_firing(self):
+        registry = FailpointRegistry()
+        registry.configure("wal_append", "once")
+        assert fire_pattern(registry, "wal_append", 4) == [True, False, False, False]
+
+    def test_nth_mode_fires_exactly_on_the_nth_hit(self):
+        registry = FailpointRegistry()
+        registry.configure("tenant_worker", "nth", n=3)
+        assert fire_pattern(registry, "tenant_worker", 5) == [
+            False, False, True, False, False,
+        ]
+
+    def test_nth_requires_n(self):
+        registry = FailpointRegistry()
+        with pytest.raises(ConfigurationError):
+            registry.configure("tenant_worker", "nth")
+        with pytest.raises(ConfigurationError):
+            registry.configure("tenant_worker", "nth", n=0)
+
+    def test_probability_is_seed_deterministic(self):
+        def pattern(seed: int) -> list[bool]:
+            registry = FailpointRegistry()
+            registry.configure("socket_write", "probability", probability=0.5, seed=seed)
+            return fire_pattern(registry, "socket_write", 40)
+
+        assert pattern(7) == pattern(7)  # replayable chaos
+        assert pattern(7) != pattern(8)  # and actually random
+        assert any(pattern(7)) and not all(pattern(7))
+
+    def test_probability_bounds_are_validated(self):
+        registry = FailpointRegistry()
+        with pytest.raises(ConfigurationError):
+            registry.configure("socket_write", "probability")
+        with pytest.raises(ConfigurationError):
+            registry.configure("socket_write", "probability", probability=1.5)
+
+    def test_off_mode_disarms(self):
+        registry = FailpointRegistry()
+        registry.configure("wal_append", "always")
+        registry.configure("wal_append", "off")
+        assert fire_pattern(registry, "wal_append", 3) == [False] * 3
+
+    def test_reset_all_sites(self):
+        registry = FailpointRegistry()
+        registry.configure("wal_append", "always")
+        registry.configure("solver_call", "always")
+        registry.reset()
+        assert fire_pattern(registry, "wal_append", 1) == [False]
+        assert fire_pattern(registry, "solver_call", 1) == [False]
+
+    def test_firing_increments_the_metrics(self):
+        registry_metrics = get_registry()
+        total = registry_metrics.counter("fault.injections", "")
+        site = registry_metrics.counter("fault.wal_append.injections", "")
+        before_total, before_site = total.value, site.value
+        registry = FailpointRegistry()
+        registry.configure("wal_append", "once")
+        assert fire_pattern(registry, "wal_append", 2) == [True, False]
+        assert total.value - before_total == 1
+        assert site.value - before_site == 1
+
+    def test_describe_reports_every_site(self):
+        registry = FailpointRegistry()
+        registry.configure("tenant_worker", "nth", n=2)
+        body = registry.describe()
+        assert set(body) == set(FAILPOINT_SITES)
+        assert body["tenant_worker"]["mode"] == "nth"
+        assert body["tenant_worker"]["n"] == 2
+        assert body["wal_append"]["mode"] == "off"
+
+    def test_mode_vocabulary_is_closed(self):
+        assert set(FIRE_MODES) == {"off", "always", "once", "nth", "probability"}
+
+
+class TestEnvParsing:
+    def test_parses_a_comma_list(self):
+        registry = FailpointRegistry(
+            env="wal_append=once, tenant_worker=nth:3,socket_write=probability:0.25",
+            seed=5,
+        )
+        body = registry.describe()
+        assert body["wal_append"]["mode"] == "once"
+        assert body["tenant_worker"]["n"] == 3
+        assert body["socket_write"]["probability"] == 0.25
+
+    @pytest.mark.parametrize("text", [
+        "wal_append",                 # no '='
+        "wal_append=nth",             # missing argument
+        "wal_append=nth:zero",        # unparseable argument
+        "wal_append=probability:2",   # out of range
+        "wal_append=always:1",        # argument where none is taken
+        "nope=always",                # unknown site
+    ])
+    def test_malformed_entries_raise(self, text):
+        with pytest.raises(ConfigurationError):
+            FailpointRegistry(env=text)
+
+    def test_blank_entries_are_skipped(self):
+        registry = FailpointRegistry(env=" , wal_append=always , ")
+        assert registry.describe()["wal_append"]["mode"] == "always"
+
+
+class TestWireProtocol:
+    def test_fault_request_round_trips(self):
+        request = request_from_dict({
+            "kind": "fault", "site": "tenant_worker", "mode": "nth",
+            "n": 3, "seed": 9, "id": "f1",
+        })
+        assert isinstance(request, Fault)
+        payload = request_to_dict(request)
+        assert payload["site"] == "tenant_worker"
+        assert payload["mode"] == "nth"
+        assert payload["n"] == 3
+        assert request_from_dict(payload) == request
+
+    def test_site_without_mode_is_a_request_error(self):
+        with pytest.raises(RequestError):
+            request_from_dict({"kind": "fault", "site": "wal_append"})
+
+    def session(self) -> EngineSession:
+        problem = make_problem(
+            num_papers=6, num_reviewers=6, num_topics=5, group_size=2,
+            reviewer_workload=4, conflict_ratio=0.0, seed=3,
+        )
+        return EngineSession(AssignmentEngine(problem))
+
+    def test_fault_request_arms_and_introspects(self):
+        session = self.session()
+        response = session.dispatch(request_from_dict({
+            "kind": "fault", "site": "solver_call", "mode": "once",
+        }))
+        assert response.ok
+        assert response.payload["sites"]["solver_call"]["mode"] == "once"
+        response = session.dispatch(request_from_dict({"kind": "fault"}))
+        assert response.ok  # introspection only, nothing re-armed
+        assert response.payload["sites"]["solver_call"]["mode"] == "once"
+        get_failpoints().reset()
+
+    def test_injected_solver_fault_is_a_structured_internal_error(self):
+        session = self.session()
+        assert session.dispatch(request_from_dict({
+            "kind": "fault", "site": "solver_call", "mode": "once",
+        })).ok
+        failed = session.dispatch(request_from_dict({
+            "kind": "solve", "solver": "Greedy",
+        }))
+        assert not failed.ok
+        assert failed.error_type == "internal"
+        assert "solver_call" in failed.error
+        # The once-mode disarmed: the very next solve succeeds.
+        assert session.dispatch(request_from_dict({
+            "kind": "solve", "solver": "Greedy",
+        })).ok
+
+    def test_unknown_site_over_the_wire_is_a_configuration_error(self):
+        session = self.session()
+        response = session.dispatch(request_from_dict({
+            "kind": "fault", "site": "nope", "mode": "always",
+        }))
+        assert not response.ok
+        assert response.error_type == "configuration"
+
+    def test_reset_over_the_wire(self):
+        session = self.session()
+        session.dispatch(request_from_dict({
+            "kind": "fault", "site": "solver_call", "mode": "always",
+        }))
+        response = session.dispatch(request_from_dict({
+            "kind": "fault", "reset": True,
+        }))
+        assert response.ok
+        assert response.payload["sites"]["solver_call"]["mode"] == "off"

@@ -1,0 +1,287 @@
+"""Crash-safety tests for durable :mod:`repro.net` tenants.
+
+Covers the serving-stack half of the durability feature: journaled
+tenants behind a live TCP server, exactly-once application of retried
+mutations, supervised worker restarts under injected faults, the
+``socket_write`` + :class:`~repro.net.client.RetryingClient` lost-answer
+loop, and wire/process-level recovery.  The bitwise replay regime lives
+in ``tests/conformance/test_recovery_conformance.py``; the journal unit
+tests in ``tests/test_durability.py``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.data.io import problem_to_dict
+from repro.data.synthetic import make_problem
+from repro.durability import DurabilityConfig
+from repro.exceptions import ConfigurationError
+from repro.fault import get_failpoints
+from repro.net.client import RetryPolicy, RetryingClient
+from repro.obs.metrics import get_registry
+from repro.service.engine import AssignmentEngine
+
+from tests.net_utils import ServerHarness, strip_volatile
+
+
+@pytest.fixture(autouse=True)
+def _clean_failpoints():
+    get_failpoints().reset()
+    yield
+    get_failpoints().reset()
+
+
+def small_engine() -> AssignmentEngine:
+    problem = make_problem(
+        num_papers=8, num_reviewers=8, num_topics=6, group_size=2,
+        reviewer_workload=5, conflict_ratio=0.0, seed=21,
+    )
+    return AssignmentEngine(problem)
+
+
+def late_paper_payload(tag: str, topics: int = 6) -> dict:
+    vector = [1.0 if i == 0 else 0.0 for i in range(topics)]
+    return {"id": tag, "vector": vector, "title": f"late {tag}"}
+
+
+@pytest.fixture
+def durable_harness(tmp_path):
+    harness = ServerHarness(durability=DurabilityConfig(root=tmp_path / "wal"))
+    harness.add_tenant("conf", small_engine(), default=True)
+    harness.start()
+    yield harness
+    harness.stop()
+
+
+class TestDurableServing:
+    def test_durable_tenant_is_reported_and_serves(self, durable_harness):
+        listing = durable_harness.call({"kind": "list_tenants"})
+        tenant = listing["payload"]["tenants"]["conf"]
+        assert tenant["durable"] is True
+        assert tenant["worker_restarts"] == 0
+        assert tenant["durability"]["fsync"] == "batch"
+        response = durable_harness.call({"kind": "solve", "solver": "Greedy", "seq": 1})
+        assert response["ok"], response
+
+    def test_duplicate_seq_applies_exactly_once(self, durable_harness):
+        deduped = get_registry().counter("durability.deduped", "")
+        before = deduped.value
+        payload = {"kind": "add_paper", "paper": late_paper_payload("late-1"), "seq": 7}
+        with durable_harness.client() as client:
+            first = client.request(payload)
+            second = client.request(payload)  # a client retry, same key
+        assert first["ok"], first
+        assert first["payload"]["num_papers"] == 9
+        # Answered from the idempotency map: same semantic response, no
+        # second application.
+        assert strip_volatile(second) == strip_volatile(first)
+        assert deduped.value - before == 1
+        tenant = durable_harness.server.tenants.get("conf")
+        assert tenant.engine.problem.num_papers == 9
+
+    def test_mutations_without_a_key_are_served_normally(self, durable_harness):
+        payload = {"kind": "add_paper", "paper": late_paper_payload("late-2")}
+        with durable_harness.client() as client:
+            first = client.request(payload)
+        assert first["ok"], first
+        assert first["payload"]["num_papers"] == 9
+
+    def test_bad_seq_field_is_a_request_error(self, durable_harness):
+        response = durable_harness.call({
+            "kind": "add_paper", "paper": late_paper_payload("x"), "seq": "seven",
+        })
+        assert not response["ok"]
+        assert response["error_type"] == "request"
+
+
+class TestSupervisedRestart:
+    def test_worker_crash_restarts_and_answers(self, durable_harness):
+        restarts = get_registry().counter("service.net.worker_restarts", "")
+        before = restarts.value
+        get_failpoints().configure("tenant_worker", "once")
+        response = durable_harness.call({
+            "kind": "add_paper", "paper": late_paper_payload("late-3"), "seq": 1,
+        })
+        assert response["ok"], response
+        assert response["payload"]["num_papers"] == 9
+        assert restarts.value - before == 1
+        tenant = durable_harness.server.tenants.get("conf")
+        assert tenant.worker_restarts == 1
+        assert tenant.engine.problem.num_papers == 9
+        # The restarted worker keeps serving.
+        assert durable_harness.call({"kind": "solve", "solver": "Greedy", "seq": 2})["ok"]
+
+    def test_crash_before_the_wal_append_loses_nothing(self, durable_harness):
+        get_failpoints().configure("wal_append", "once")
+        response = durable_harness.call({
+            "kind": "add_paper", "paper": late_paper_payload("late-4"), "seq": 1,
+        })
+        # The fault fired before the record hit the log, so the mutation
+        # never half-applied: the supervised restart replays the journal
+        # (which does not contain it) and dispatches it fresh.
+        assert response["ok"], response
+        assert response["payload"]["num_papers"] == 9
+        tenant = durable_harness.server.tenants.get("conf")
+        assert tenant.worker_restarts == 1
+        assert tenant.engine.problem.num_papers == 9
+
+
+class TestLostAnswerRetry:
+    def test_retrying_client_survives_a_lost_response(self, durable_harness):
+        deduped = get_registry().counter("durability.deduped", "")
+        before = deduped.value
+        get_failpoints().configure("socket_write", "once")
+
+        async def drive():
+            client = RetryingClient(
+                durable_harness.host,
+                durable_harness.port,
+                policy=RetryPolicy(attempts=4, base_delay=0.01, seed=13),
+            )
+            try:
+                return await client.request({
+                    "kind": "add_paper", "paper": late_paper_payload("late-5"),
+                })
+            finally:
+                await client.close()
+
+        response = durable_harness.run(drive())
+        # The first answer died on the aborted socket; the retry re-sent
+        # the same payload under the same auto-attached idempotency key
+        # and was answered from the map — applied exactly once.
+        assert response["ok"], response
+        assert response["payload"]["num_papers"] == 9
+        assert deduped.value - before == 1
+        tenant = durable_harness.server.tenants.get("conf")
+        assert tenant.engine.problem.num_papers == 9
+
+    def test_retry_policy_backoff_is_seeded_and_capped(self):
+        import random
+
+        policy = RetryPolicy(base_delay=0.1, multiplier=2.0, max_delay=0.3, jitter=0.5)
+        delays_a = [policy.delay(k, random.Random(3)) for k in range(6)]
+        delays_b = [policy.delay(k, random.Random(3)) for k in range(6)]
+        assert delays_a == delays_b
+        assert all(d <= 0.3 * 1.5 for d in delays_a)
+        assert all(d >= 0.0 for d in delays_a)
+
+
+class TestProcessRecovery:
+    def churn(self, harness: ServerHarness) -> None:
+        with harness.client() as client:
+            assert client.request({"kind": "solve", "solver": "Greedy", "seq": 1})["ok"]
+            assert client.request({
+                "kind": "add_paper", "paper": late_paper_payload("late-6"), "seq": 2,
+            })["ok"]
+            assert client.request({"kind": "solve", "solver": "Greedy", "seq": 3})["ok"]
+
+    def test_crash_then_recover_tenants(self, tmp_path):
+        root = tmp_path / "wal"
+        harness = ServerHarness(durability=DurabilityConfig(root=root))
+        harness.add_tenant("conf", small_engine(), default=True)
+        harness.start()
+        try:
+            self.churn(harness)
+            survivor = harness.server.tenants.get("conf").engine
+            expected_revision = survivor.revision
+            expected_papers = survivor.problem.num_papers
+        finally:
+            harness.abort()  # crash-stop: no drain, no final checkpoint
+
+        reborn = ServerHarness(durability=DurabilityConfig(root=root))
+        assert reborn.server.recover_tenants() == ["conf"]
+        reborn.start()
+        try:
+            tenant = reborn.server.tenants.get("conf")
+            assert tenant.engine.revision == expected_revision
+            assert tenant.engine.problem.num_papers == expected_papers
+            # Recovered state keeps serving — and the idempotency map
+            # survived the crash: replaying seq 2 does not re-apply.
+            repeat = reborn.call({
+                "kind": "add_paper", "paper": late_paper_payload("late-6"), "seq": 2,
+            })
+            assert repeat["ok"], repeat
+            assert tenant.engine.problem.num_papers == expected_papers
+            assert reborn.call({"kind": "solve", "solver": "Greedy", "seq": 4})["ok"]
+        finally:
+            reborn.stop()
+
+    def test_graceful_stop_needs_no_replay(self, tmp_path):
+        root = tmp_path / "wal"
+        harness = ServerHarness(durability=DurabilityConfig(root=root))
+        harness.add_tenant("conf", small_engine(), default=True)
+        harness.start()
+        try:
+            self.churn(harness)
+        finally:
+            harness.stop()  # graceful: drains and writes a final checkpoint
+
+        reborn = ServerHarness(durability=DurabilityConfig(root=root))
+        recoveries = get_registry().counter("durability.replayed_records", "")
+        before = recoveries.value
+        assert reborn.server.recover_tenants() == ["conf"]
+        assert recoveries.value == before  # the checkpoint covered everything
+        reborn.start()
+        try:
+            assert reborn.call({"kind": "solve", "solver": "Greedy", "seq": 9})["ok"]
+        finally:
+            reborn.stop()
+
+    def test_sourceless_create_tenant_recovers_over_the_wire(self, tmp_path):
+        root = tmp_path / "wal"
+        harness = ServerHarness(durability=DurabilityConfig(root=root))
+        harness.add_tenant("conf", small_engine(), default=True)
+        harness.start()
+        try:
+            self.churn(harness)
+        finally:
+            harness.abort()
+
+        reborn = ServerHarness(durability=DurabilityConfig(root=root))
+        reborn.start()  # note: no recover_tenants — the wire does it
+        try:
+            created = reborn.call({"kind": "create_tenant", "tenant": "conf"})
+            assert created["ok"], created
+            stats = created["payload"]["recovered"]
+            assert stats["replayed_records"] == 3
+            assert created["payload"]["revision"] == 1  # the one add_paper
+            assert reborn.call({
+                "kind": "solve", "solver": "Greedy", "tenant": "conf", "seq": 4,
+            })["ok"]
+        finally:
+            reborn.stop()
+
+    def test_sourceless_create_without_state_is_still_an_error(self, tmp_path):
+        harness = ServerHarness(durability=DurabilityConfig(root=tmp_path / "wal"))
+        harness.start()
+        try:
+            response = harness.call({"kind": "create_tenant", "tenant": "virgin"})
+            assert not response["ok"]
+            assert response["error_type"] == "request"
+            assert "durable state" in response["error"]
+        finally:
+            harness.stop()
+
+    def test_registering_over_durable_state_is_refused(self, tmp_path):
+        root = tmp_path / "wal"
+        harness = ServerHarness(durability=DurabilityConfig(root=root))
+        harness.add_tenant("conf", small_engine(), default=True)
+        harness.start()
+        harness.abort()
+
+        reborn = ServerHarness(durability=DurabilityConfig(root=root))
+        with pytest.raises(ConfigurationError, match="durable state"):
+            reborn.add_tenant("conf", small_engine())
+        reborn.start()
+        try:
+            # The same guard over the wire: creating with a source must
+            # not shadow the journal either.
+            response = reborn.call({
+                "kind": "create_tenant", "tenant": "conf",
+                "problem": problem_to_dict(small_engine().problem),
+            })
+            assert not response["ok"]
+            assert response["error_type"] == "configuration"
+        finally:
+            reborn.stop()
