@@ -1,0 +1,297 @@
+"""Replication overhead benchmark: what a warm standby costs the primary.
+
+Not a figure of the paper — this bench pins the serving-cost half of the
+warm-standby feature (ISSUE 9).  The same deterministic ``update_bids``
+churn (the lightest journaled kind, so the replication machinery is the
+measured thing rather than solver time) is driven over TCP against a
+durable :class:`~repro.net.AssignmentServer` in two configurations:
+
+* ``wal`` — durable server, no standby: the baseline (the cost of
+  durability itself is measured by ``bench_wal_overhead.py``);
+* ``repl`` — the same server shipping its WAL to a live warm standby
+  running as a **separate process** (``wgrap serve --standby-of``, the
+  deployment topology — a same-process standby would share the GIL and
+  charge the standby's replay+fsync work to the primary's clock),
+  standby journaling and replaying every record before acking.
+
+Shipping rides ``TenantJournal.on_append`` *after* local durability and
+is acked asynchronously, so replication never blocks a client response
+on the standby — but the sender's frame serialisation, socket writes
+and ack handling still run inside the primary process, and that is the
+cost this bench measures: the headline number is the relative overhead
+of ``repl`` vs ``wal``.  The bench also reports the
+**drain lag** (time from the last answered mutation until the sender is
+fully caught up and acked) and the **promotion latency** (the
+``promote`` round-trip that turns the standby into a serving primary),
+plus the replication counter deltas (shipped/applied/heartbeats/...).
+
+Everything lands in ``benchmarks/results/BENCH_repl.json`` and feeds
+the repo-root ``BENCH.md`` trajectory.  Absolute numbers are
+machine-bound and reported, not gated; the asserted invariants — every
+mutation answered ``ok``, the standby fully caught up, promotion
+serving the replicated tenant — are never relaxed.
+
+Environment knobs
+-----------------
+``REPRO_BENCH_REPL_MUTATIONS``
+    Journaled mutations per configuration (default 1500).
+``REPRO_BENCH_REPL_PIPELINE``
+    Requests kept in flight on the driving connection (default 32).
+``REPRO_BENCH_REPL_PAPERS`` / ``REPRO_BENCH_REPL_REVIEWERS`` /
+``REPRO_BENCH_REPL_TOPICS``
+    Instance size (defaults 60 / 30 / 12, as in the WAL bench).
+``REPRO_BENCH_REPL_CHECKPOINT_EVERY``
+    Mutations between checkpoints (default 256).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import os
+import subprocess
+import sys
+import tempfile
+import threading
+import time
+from pathlib import Path
+
+from _shared import bench_seed, emit_bench_json
+from repro.data.synthetic import make_problem
+from repro.durability import DurabilityConfig
+from repro.net import AssignmentServer
+from repro.obs.metrics import get_registry
+from repro.service.engine import AssignmentEngine
+
+#: Primary-side counters (the standby keeps its own registry in its own
+#: process; its progress is asserted over the wire instead).
+_COUNTERS = (
+    "replication.shipped",
+    "replication.snapshots",
+    "replication.resyncs",
+    "replication.heartbeats",
+    "replication.reconnects",
+)
+
+
+def _spawn_standby(root: Path) -> tuple[subprocess.Popen, str, int]:
+    """A real ``wgrap serve --standby-of`` process; returns its address."""
+    env = dict(os.environ)
+    env["PYTHONPATH"] = "src" + os.pathsep + env.get("PYTHONPATH", "")
+    proc = subprocess.Popen(
+        [
+            sys.executable, "-m", "repro.cli", "serve", "--tcp", "--port", "0",
+            "--wal-dir", str(root),
+            # The primary dials us; the flag's address is informational.
+            "--standby-of", "127.0.0.1:1",
+        ],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.PIPE,
+        env=env,
+        text=True,
+    )
+    box: list[str] = []
+    reader = threading.Thread(
+        target=lambda: box.append(proc.stdout.readline()), daemon=True
+    )
+    reader.start()
+    reader.join(timeout=60.0)
+    if reader.is_alive() or not box or not box[0]:
+        proc.kill()
+        raise TimeoutError("standby subprocess produced no listening line")
+    info = json.loads(box[0])
+    assert info["event"] == "listening" and info["role"] == "standby", info
+    return proc, info["host"], info["port"]
+
+
+def _env_int(name: str, default: int) -> int:
+    return int(os.environ.get(name, str(default)))
+
+
+def _fresh_engine() -> AssignmentEngine:
+    return AssignmentEngine(
+        make_problem(
+            _env_int("REPRO_BENCH_REPL_PAPERS", 60),
+            _env_int("REPRO_BENCH_REPL_REVIEWERS", 30),
+            num_topics=_env_int("REPRO_BENCH_REPL_TOPICS", 12),
+            group_size=3,
+            seed=bench_seed(),
+        )
+    )
+
+
+def _churn_payloads(engine: AssignmentEngine, mutations: int) -> list[dict]:
+    """The deterministic bid-update stream, identical across runs."""
+    rids = engine.problem.reviewer_ids
+    pids = engine.problem.paper_ids
+    payloads = []
+    for step in range(mutations):
+        rid = rids[step % len(rids)]
+        pid = pids[(step * 7) % len(pids)]
+        value = 0.25 + (step % 4) * 0.25
+        payloads.append(
+            {"kind": "update_bids", "bids": [[rid, pid, value]], "seq": step + 1}
+        )
+    return payloads
+
+
+async def _call(host: str, port: int, payload: dict) -> dict:
+    reader, writer = await asyncio.open_connection(host, port)
+    try:
+        writer.write(json.dumps(payload).encode("utf-8") + b"\n")
+        await writer.drain()
+        return json.loads(await reader.readline())
+    finally:
+        writer.close()
+
+
+async def _drive_churn(
+    host: str, port: int, payloads: list[dict], pipeline: int
+) -> float:
+    """Send the churn with ``pipeline`` requests in flight; all must be ok."""
+    reader, writer = await asyncio.open_connection(host, port)
+    try:
+        start = time.perf_counter()
+        for base in range(0, len(payloads), pipeline):
+            chunk = payloads[base : base + pipeline]
+            for payload in chunk:
+                writer.write(json.dumps(payload).encode("utf-8") + b"\n")
+            await writer.drain()
+            for _ in chunk:
+                response = json.loads(await reader.readline())
+                assert response["ok"], response
+        return time.perf_counter() - start
+    finally:
+        writer.close()
+
+
+async def _wait_caught_up(host: str, port: int, timeout: float = 60.0) -> float:
+    """Seconds until the primary's sender reports fully acked."""
+    start = time.perf_counter()
+    deadline = start + timeout
+    while True:
+        status = await _call(host, port, {"kind": "replication_status"})
+        assert status["ok"], status
+        if status["payload"]["replication"]["caught_up"]:
+            return time.perf_counter() - start
+        if time.perf_counter() > deadline:
+            raise TimeoutError(f"standby never caught up: {status}")
+        await asyncio.sleep(0.01)
+
+
+async def _run_config(
+    replicated: bool, payloads: list[dict], pipeline: int, checkpoint_every: int
+) -> dict:
+    with tempfile.TemporaryDirectory(prefix="bench-repl-") as root:
+        standby_proc = None
+        standby_addr = None
+        if replicated:
+            standby_proc, standby_host, standby_port = _spawn_standby(
+                Path(root) / "standby"
+            )
+            standby_addr = (standby_host, standby_port)
+        primary = AssignmentServer(
+            durability=DurabilityConfig(
+                root=Path(root) / "primary", checkpoint_every=checkpoint_every
+            ),
+            replicate_to=standby_addr,
+        )
+        primary.add_tenant("bench", _fresh_engine(), default=True)
+        host, port = await primary.start()
+        try:
+            seconds = await _drive_churn(host, port, payloads, pipeline)
+            result = {
+                "mutations": len(payloads),
+                "seconds": seconds,
+                "mutations_per_second": len(payloads) / seconds,
+            }
+            if replicated:
+                result["drain_lag_seconds"] = await _wait_caught_up(host, port)
+                promote_start = time.perf_counter()
+                promoted = await _call(
+                    standby_addr[0], standby_addr[1], {"kind": "promote"}
+                )
+                result["promote_seconds"] = time.perf_counter() - promote_start
+                assert promoted["ok"], promoted
+                assert promoted["payload"]["tenants"] == ["bench"], promoted
+                # Every mutation was replayed on the standby exactly once.
+                stats = await _call(
+                    standby_addr[0], standby_addr[1], {"kind": "stats"}
+                )
+                assert stats["ok"], stats
+                assert (
+                    stats["payload"]["engine"]["bid_updates"] == len(payloads)
+                ), stats
+                goodbye = await _call(
+                    standby_addr[0], standby_addr[1], {"kind": "shutdown"}
+                )
+                assert goodbye["ok"], goodbye
+            return result
+        finally:
+            await primary.stop()
+            if standby_proc is not None:
+                if standby_proc.poll() is None:
+                    standby_proc.terminate()
+                try:
+                    standby_proc.wait(timeout=10)
+                except Exception:
+                    standby_proc.kill()
+
+
+def run_replication_overhead() -> dict:
+    mutations = _env_int("REPRO_BENCH_REPL_MUTATIONS", 1500)
+    pipeline = max(1, _env_int("REPRO_BENCH_REPL_PIPELINE", 32))
+    checkpoint_every = max(1, _env_int("REPRO_BENCH_REPL_CHECKPOINT_EVERY", 256))
+    payloads = _churn_payloads(_fresh_engine(), mutations)
+
+    registry = get_registry()
+    before = {name: registry.counter(name, "").value for name in _COUNTERS}
+    runs = {
+        "wal": asyncio.run(_run_config(False, payloads, pipeline, checkpoint_every)),
+        "repl": asyncio.run(_run_config(True, payloads, pipeline, checkpoint_every)),
+    }
+    counters = {
+        name: registry.counter(name, "").value - before[name] for name in _COUNTERS
+    }
+    baseline = runs["wal"]["seconds"]
+    for run in runs.values():
+        run["overhead_vs_wal"] = (
+            run["seconds"] / baseline - 1.0 if baseline > 0 else None
+        )
+    return {
+        "instance": {
+            "mutations": mutations,
+            "pipeline": pipeline,
+            "checkpoint_every": checkpoint_every,
+            "papers": _env_int("REPRO_BENCH_REPL_PAPERS", 60),
+            "reviewers": _env_int("REPRO_BENCH_REPL_REVIEWERS", 30),
+            "topics": _env_int("REPRO_BENCH_REPL_TOPICS", 12),
+            "seed": bench_seed(),
+        },
+        "runs": runs,
+        "replication_counters": counters,
+    }
+
+
+def test_replication_overhead(benchmark):
+    verdict = benchmark.pedantic(run_replication_overhead, rounds=1, iterations=1)
+    emit_bench_json(verdict, "BENCH_repl.json")
+    runs = verdict["runs"]
+    mutations = verdict["instance"]["mutations"]
+    for run in runs.values():
+        assert run["mutations"] == mutations
+        assert run["seconds"] > 0
+    counters = verdict["replication_counters"]
+    # Every journaled record was shipped (the standby's replay is
+    # asserted inside the run: revision == mutations after promotion).
+    assert counters["replication.shipped"] >= mutations
+
+    per_second = {p: round(r["mutations_per_second"]) for p, r in runs.items()}
+    overhead = f"{runs['repl']['overhead_vs_wal'] * 100:+.1f}%"
+    print(f"\nmutations/s: {per_second}")
+    print(f"repl overhead vs wal: {overhead}")
+    print(
+        "drain lag: {:.3f}s, promote: {:.3f}s".format(
+            runs["repl"]["drain_lag_seconds"], runs["repl"]["promote_seconds"]
+        )
+    )

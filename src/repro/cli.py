@@ -15,6 +15,8 @@ workflows:
   response per output line).
 * ``wgrap session``  — replay a scripted JSON-lines request file against a
   fresh engine, with batching, and optionally snapshot the final state.
+* ``wgrap wal``      — inspect a ``--wal-dir`` root offline: per-tenant
+  checkpoint/last seqs, segment files, record counts and torn-tail bytes.
 
 ``solve``, ``serve`` and ``session`` accept ``--workers N`` to enable the
 worker-pool execution layer of :mod:`repro.parallel` (``0`` = one worker
@@ -197,7 +199,62 @@ def build_parser() -> argparse.ArgumentParser:
         choices=("never", "batch", "always"),
         help="WAL fsync policy (with --wal-dir); see docs/durability.md",
     )
+    serve.add_argument(
+        "--applied-cap",
+        type=int,
+        default=1024,
+        help=(
+            "bound of the per-tenant applied-response (idempotency) map "
+            "(with --wal-dir); evictions are counted as "
+            "durability.applied_evicted"
+        ),
+    )
+    serve.add_argument(
+        "--replicate-to",
+        default=None,
+        metavar="HOST:PORT",
+        help=(
+            "ship this server's WAL to a warm standby at HOST:PORT "
+            "(with --tcp and --wal-dir); reconnects and catches up "
+            "whenever the standby comes and goes"
+        ),
+    )
+    serve.add_argument(
+        "--standby-of",
+        default=None,
+        metavar="HOST:PORT",
+        help=(
+            "run as a warm standby of the primary at HOST:PORT (with "
+            "--tcp and --wal-dir): replay replication frames, refuse "
+            "engine traffic with error_type 'standby' until promoted"
+        ),
+    )
+    serve.add_argument(
+        "--auto-promote-after",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help=(
+            "standby only: self-promote when no replication frame has "
+            "arrived for this many seconds (omit for explicit 'promote' "
+            "requests only)"
+        ),
+    )
     _add_workers_flag(serve)
+
+    wal = subparsers.add_parser(
+        "wal",
+        help="inspect a WAL root offline (segments, seqs, torn tails)",
+    )
+    wal.add_argument("root", help="the --wal-dir directory to inspect")
+    wal.add_argument(
+        "--tenant", default=None, help="inspect only this tenant's journal"
+    )
+    wal.add_argument(
+        "--json",
+        action="store_true",
+        help="emit one JSON object instead of the text summary",
+    )
 
     session = subparsers.add_parser(
         "session", help="replay a JSON-lines request script against a fresh engine"
@@ -346,6 +403,27 @@ def _command_serve(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         return 2
+    if (args.replicate_to or args.standby_of) and args.wal_dir is None:
+        print(
+            "error: --replicate-to/--standby-of need --wal-dir (the WAL "
+            "root is the replication unit)",
+            file=sys.stderr,
+        )
+        return 2
+    if args.replicate_to and args.standby_of:
+        print(
+            "error: --replicate-to and --standby-of are mutually exclusive "
+            "(promote the standby before chaining a new one)",
+            file=sys.stderr,
+        )
+        return 2
+    if args.standby_of and (args.problem or args.snapshot):
+        print(
+            "error: a standby takes its state from the primary; "
+            "--problem/--snapshot cannot be combined with --standby-of",
+            file=sys.stderr,
+        )
+        return 2
     engine = None
     if args.snapshot:
         engine = AssignmentEngine.load(args.snapshot, parallel=parallel)
@@ -392,16 +470,39 @@ def _serve_tcp(args: argparse.Namespace, engine: AssignmentEngine | None) -> int
             root=args.wal_dir,
             fsync=args.fsync,
             checkpoint_every=args.checkpoint_every,
+            applied_limit=args.applied_cap,
         )
+
+    def _endpoint(text: str) -> tuple[str, int]:
+        host, _, port = text.rpartition(":")
+        if not host or not port.isdigit():
+            raise SystemExit(
+                f"error: {text!r} is not a HOST:PORT replication endpoint"
+            )
+        return host, int(port)
+
+    replicate_to = _endpoint(args.replicate_to) if args.replicate_to else None
+    standby_of = _endpoint(args.standby_of) if args.standby_of else None
     server = AssignmentServer(
         host=args.host,
         port=args.port,
         admission=AdmissionController(max_pending=args.max_pending),
         durability=durability,
+        replicate_to=replicate_to,
+        standby=standby_of is not None,
+        auto_promote_after=args.auto_promote_after,
     )
-    recovered = server.recover_tenants()
-    if engine is not None and args.tenant not in server.tenants:
-        server.add_tenant(args.tenant, engine, default=True)
+    if standby_of is not None:
+        # Standby state comes from the primary (plus anything this
+        # standby already journaled before a restart).
+        server.standby.primary = f"{standby_of[0]}:{standby_of[1]}"
+        recovered = server.standby.recover_existing()
+        role = "standby"
+    else:
+        recovered = server.recover_tenants()
+        if engine is not None and args.tenant not in server.tenants:
+            server.add_tenant(args.tenant, engine, default=True)
+        role = "primary" if replicate_to is not None else "standalone"
 
     async def _run() -> None:
         loop = asyncio.get_running_loop()
@@ -425,6 +526,7 @@ def _serve_tcp(args: argparse.Namespace, engine: AssignmentEngine | None) -> int
                         "tenants": server.tenants.ids(),
                         "recovered": recovered,
                         "durable": durability is not None,
+                        "role": role,
                     }
                 ),
                 flush=True,
@@ -439,6 +541,57 @@ def _serve_tcp(args: argparse.Namespace, engine: AssignmentEngine | None) -> int
         asyncio.run(_run())
     except KeyboardInterrupt:
         pass
+    return 0
+
+
+def _command_wal(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.durability.inspect import inspect_root, inspect_tenant
+
+    root = Path(args.root)
+    if not root.exists():
+        print(f"error: no WAL root at {root}", file=sys.stderr)
+        return 2
+    if args.tenant is not None:
+        directory = root / args.tenant
+        if not directory.is_dir():
+            print(
+                f"error: no journal directory for tenant {args.tenant!r} "
+                f"under {root}",
+                file=sys.stderr,
+            )
+            return 2
+        report = {"root": str(root), "tenants": {args.tenant: inspect_tenant(directory)}}
+    else:
+        report = inspect_root(root)
+    if args.json:
+        print(json.dumps(report, indent=2, sort_keys=True))
+        return 0
+    if not report["tenants"]:
+        print(f"{root}: no tenant journals")
+        return 0
+    print(f"WAL root {root}: {len(report['tenants'])} tenant journal(s)")
+    for tenant_id, entry in report["tenants"].items():
+        checkpoint = (
+            f"checkpoint_seq={entry['checkpoint_seq']}"
+            if entry["has_checkpoint"]
+            else "no checkpoint"
+        )
+        print(
+            f"  {tenant_id}: {checkpoint} last_seq={entry['last_seq']} "
+            f"records={entry['records']} applied_keys={entry['applied_keys']} "
+            f"dropped_bytes={entry['dropped_bytes']}"
+        )
+        for segment in entry["segments"]:
+            print(f"    {segment}")
+        for kind, count in entry["kinds"].items():
+            print(f"    {kind}: {count}")
+        if entry["dropped_bytes"]:
+            print(
+                f"    warning: {entry['dropped_bytes']} torn-tail bytes will "
+                "be dropped at recovery"
+            )
     return 0
 
 
@@ -490,6 +643,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "evaluate": _command_evaluate,
         "serve": _command_serve,
         "session": _command_session,
+        "wal": _command_wal,
     }
     return handlers[args.command](args)
 

@@ -17,6 +17,7 @@ from repro.durability.journal import (
     RecoveryOutcome,
     RecoveryStats,
     TenantJournal,
+    read_checkpoint,
 )
 from repro.durability.wal import (
     FSYNC_POLICIES,
@@ -43,6 +44,7 @@ __all__ = [
     "WriteAheadLog",
     "decode_line",
     "encode_record",
+    "read_checkpoint",
     "read_wal",
     "segment_paths",
 ]

@@ -1,0 +1,60 @@
+"""Offline WAL-root inspection — the ``wgrap wal`` subcommand's engine.
+
+Read-only: walks a ``--wal-dir`` root the same way recovery and the
+replication sender do (checkpoint + every complete WAL record, torn
+tails counted as ``dropped_bytes``, never raised) and summarises what a
+failed failover post-mortem needs: per-tenant checkpoint seq, last
+journaled seq, segment list, record counts by kind, and how many bytes
+of torn tail a crash left behind.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Any
+
+from repro.durability.journal import read_checkpoint
+from repro.durability.wal import read_wal, segment_paths
+
+__all__ = ["inspect_root", "inspect_tenant"]
+
+
+def inspect_tenant(directory: str | Path) -> dict[str, Any]:
+    """Summarise one tenant journal directory (checkpoint + WAL scan)."""
+    directory = Path(directory)
+    checkpoint = read_checkpoint(directory)
+    scan = read_wal(directory)
+    checkpoint_seq = int(checkpoint["last_seq"]) if checkpoint is not None else None
+    last_seq = checkpoint_seq or 0
+    kinds: dict[str, int] = {}
+    for record in scan.records:
+        last_seq = max(last_seq, record.seq)
+        kinds[record.kind] = kinds.get(record.kind, 0) + 1
+    return {
+        "tenant": directory.name,
+        "directory": str(directory),
+        "has_checkpoint": checkpoint is not None,
+        "checkpoint_seq": checkpoint_seq,
+        "applied_keys": (
+            len(checkpoint.get("applied", [])) if checkpoint is not None else 0
+        ),
+        "last_seq": last_seq if (checkpoint is not None or scan.records) else None,
+        "segments": [path.name for path in segment_paths(directory)],
+        "records": len(scan.records),
+        "kinds": dict(sorted(kinds.items())),
+        "dropped_bytes": scan.dropped_bytes,
+    }
+
+
+def inspect_root(root: str | Path) -> dict[str, Any]:
+    """Summarise every tenant journal under a WAL root, sorted by id."""
+    root = Path(root)
+    tenants: dict[str, Any] = {}
+    if root.exists():
+        for directory in sorted(root.iterdir()):
+            if not directory.is_dir():
+                continue
+            entry = inspect_tenant(directory)
+            if entry["has_checkpoint"] or entry["segments"]:
+                tenants[directory.name] = entry
+    return {"root": str(root), "tenants": tenants}

@@ -60,6 +60,7 @@ __all__ = [
     "RecoveryStats",
     "RecoveryOutcome",
     "TenantJournal",
+    "read_checkpoint",
 ]
 
 CHECKPOINT_VERSION = 1
@@ -150,6 +151,14 @@ class TenantJournal:
         self.applied: dict[int, Response] = {}
         self._records_since_checkpoint = 0
         self._wal: WriteAheadLog | None = None
+        # Replication hook: called with (record, prev_seq) right after an
+        # append, on the same worker thread — prev_seq is the journal's
+        # last_seq *before* this record, i.e. the record's predecessor in
+        # the tenant's WAL chain (envelope seqs may skip numbers: queries
+        # and dedup hits consume a seq without appending).  Must never
+        # raise into the write path; failures are the shipper's problem,
+        # not the journal's.
+        self.on_append: Any = None
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -182,11 +191,7 @@ class TenantJournal:
     # ------------------------------------------------------------------
     def append(self, seq: int, request: Request) -> None:
         """Journal one admitted mutation *before* it executes."""
-        if self._wal is None:
-            raise ConfigurationError(
-                f"journal for tenant {self.tenant_id!r} is not open"
-            )
-        self._wal.append(
+        self.append_record(
             WalRecord(
                 seq=seq,
                 kind=request.kind,
@@ -194,15 +199,36 @@ class TenantJournal:
                 client_seq=request.client_seq,
             )
         )
-        self.last_seq = seq
+
+    def append_record(self, record: WalRecord) -> None:
+        """Append a pre-built record (local write path and standby replay)."""
+        if self._wal is None:
+            raise ConfigurationError(
+                f"journal for tenant {self.tenant_id!r} is not open"
+            )
+        prev_seq = self.last_seq
+        self._wal.append(record)
+        self.last_seq = record.seq
         self._records_since_checkpoint += 1
+        if self.on_append is not None:
+            try:
+                self.on_append(record, prev_seq)
+            except Exception:  # pragma: no cover - shipper must not kill writes
+                pass
 
     def record_applied(self, client_seq: int, response: Response) -> None:
         """Remember the response for an idempotency key (bounded map)."""
         self.applied[client_seq] = response
         limit = int(self.config.applied_limit)
+        evicted = 0
         while len(self.applied) > limit:
             self.applied.pop(next(iter(self.applied)))
+            evicted += 1
+        if evicted:
+            get_registry().counter(
+                "durability.applied_evicted",
+                "idempotency keys evicted from the bounded applied map",
+            ).inc(evicted)
 
     def sync_batch(self) -> None:
         """Batch-boundary fsync per the configured policy."""
@@ -230,6 +256,30 @@ class TenantJournal:
     # ------------------------------------------------------------------
     # Recovery
     # ------------------------------------------------------------------
+    def install_checkpoint(self, payload: dict[str, Any]) -> None:
+        """Adopt a checkpoint shipped from another process (standby catch-up).
+
+        Writes the payload atomically as this journal's checkpoint and
+        discards any local WAL segments — they describe a history the
+        shipped snapshot supersedes.  Follow with :meth:`recover` to
+        build the resident engine from the installed state.
+        """
+        version = payload.get("format_version")
+        if version != CHECKPOINT_VERSION:
+            raise ConfigurationError(
+                f"unsupported checkpoint format version {version!r} "
+                f"(expected {CHECKPOINT_VERSION})"
+            )
+        self.close()
+        self.directory.mkdir(parents=True, exist_ok=True)
+        body = dict(payload)
+        body["tenant"] = self.tenant_id
+        atomic_write_text(self.checkpoint_path, json.dumps(body))
+        for stale in sorted(self.directory.glob("wal-*.jsonl")):
+            stale.unlink(missing_ok=True)
+        self.last_seq = int(payload.get("last_seq", 0))
+        self._records_since_checkpoint = 0
+
     def recover(self, parallel: ParallelConfig | None = None) -> RecoveryOutcome:
         """Rebuild the engine: load the checkpoint, replay the WAL tail.
 
@@ -334,3 +384,22 @@ class TenantJournal:
                 f"(expected {CHECKPOINT_VERSION})"
             )
         return payload
+
+
+def read_checkpoint(directory: Path) -> dict[str, Any] | None:
+    """Read a tenant directory's checkpoint, or ``None`` if there is none.
+
+    Read-only helper for the replication sender and ``wgrap wal``
+    inspection; validates the format version but touches no state.
+    """
+    path = Path(directory) / CHECKPOINT_NAME
+    if not path.exists():
+        return None
+    payload = json.loads(path.read_text(encoding="utf-8"))
+    version = payload.get("format_version")
+    if version != CHECKPOINT_VERSION:
+        raise ConfigurationError(
+            f"unsupported checkpoint format version {version!r} "
+            f"(expected {CHECKPOINT_VERSION})"
+        )
+    return payload

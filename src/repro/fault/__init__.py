@@ -75,6 +75,21 @@ FAILPOINT_SITES: dict[str, str] = {
         "`service.engine` solve: fires before the conference solver runs — "
         "a failing solver, answered as a structured `internal` error"
     ),
+    "repl_send": (
+        "`replication.sender` ship: fires before a replication frame is "
+        "written to the standby connection and drops the link — a primary "
+        "that loses its standby mid-stream, exercising reconnect + catch-up"
+    ),
+    "repl_apply": (
+        "`replication.standby` apply: fires before a shipped record is "
+        "journaled and replayed on the standby — a standby that fails to "
+        "apply, answered as a `gap` so the primary re-ships"
+    ),
+    "heartbeat": (
+        "`replication.sender` heartbeat: fires in place of sending one "
+        "heartbeat frame, silencing the primary — exercising standby "
+        "health monitoring and automatic promotion"
+    ),
 }
 
 #: Firing modes and their arguments.

@@ -123,7 +123,7 @@ class RetryPolicy:
 
 
 class RetryingClient:
-    """A reconnecting, retrying, idempotency-keyed protocol client.
+    """A reconnecting, retrying, idempotency-keyed, failing-over client.
 
     Every mutation request (:data:`~repro.service.requests.MUTATION_KINDS`)
     gets a monotonically increasing ``seq`` idempotency key (unless the
@@ -132,26 +132,78 @@ class RetryingClient:
     torn response) reconnect and re-send the *same* payload, same key, so
     a durable tenant applies the mutation exactly once no matter how many
     times the wire ate the answer.
+
+    **Failover**: give ``endpoints`` an ordered ``(host, port)`` list —
+    typically primary first, standby second.  A transport failure (or a
+    connect failure) rotates to the next endpoint before retrying, and a
+    structured ``error_type: "standby"`` refusal — an unpromoted standby
+    declining engine traffic — is always retried with rotation, so a
+    client stream rides out a primary crash + standby promotion with the
+    same exactly-once guarantee the single-server retry path has.
     """
 
     def __init__(
         self,
-        host: str,
-        port: int,
+        host: str | None = None,
+        port: int | None = None,
         *,
+        endpoints: list[tuple[str, int]] | None = None,
         policy: RetryPolicy | None = None,
         idempotency_start: int = 1,
+        connect_attempts: int | None = None,
     ) -> None:
-        self.host = host
-        self.port = port
+        if endpoints is None:
+            if host is None or port is None:
+                raise ValueError(
+                    "RetryingClient needs (host, port) or an endpoints list"
+                )
+            endpoints = [(host, int(port))]
+        if not endpoints:
+            raise ValueError("the endpoints list cannot be empty")
+        self._endpoints = [(str(h), int(p)) for h, p in endpoints]
+        self._active = 0
         self.policy = policy if policy is not None else RetryPolicy()
+        # Against a single endpoint, patient connects ride out accept-queue
+        # pressure; with alternatives, rotate to the next endpoint fast.
+        if connect_attempts is None:
+            connect_attempts = 20 if len(self._endpoints) == 1 else 5
+        self._connect_attempts = max(1, int(connect_attempts))
         self._rng = random.Random(self.policy.seed)
         self._seq = itertools.count(max(1, idempotency_start))
         self._client: NetClient | None = None
 
+    @property
+    def host(self) -> str:
+        return self._endpoints[self._active][0]
+
+    @property
+    def port(self) -> int:
+        return self._endpoints[self._active][1]
+
+    @property
+    def endpoints(self) -> list[tuple[str, int]]:
+        return list(self._endpoints)
+
+    async def set_endpoints(self, endpoints: list[tuple[str, int]]) -> None:
+        """Replace the failover list (e.g. after attaching a new standby).
+
+        Drops the live connection so the next request dials the new
+        first endpoint.
+        """
+        if not endpoints:
+            raise ValueError("the endpoints list cannot be empty")
+        self._endpoints = [(str(h), int(p)) for h, p in endpoints]
+        self._active = 0
+        await self._drop_connection()
+
+    def _advance(self) -> None:
+        self._active = (self._active + 1) % len(self._endpoints)
+
     async def _ensure_connected(self) -> NetClient:
         if self._client is None:
-            self._client = await NetClient.connect(self.host, self.port)
+            self._client = await NetClient.connect(
+                self.host, self.port, attempts=self._connect_attempts
+            )
         return self._client
 
     async def _drop_connection(self) -> None:
@@ -177,6 +229,14 @@ class RetryingClient:
             except (ConnectionError, json.JSONDecodeError, OSError) as exc:
                 last_error = exc
                 await self._drop_connection()
+                self._advance()
+                continue
+            if not response.get("ok") and response.get("error_type") == "standby":
+                # An unpromoted standby: the answer lives elsewhere (or
+                # will, once promotion finishes).  Rotate and retry.
+                last_error = None
+                await self._drop_connection()
+                self._advance()
                 continue
             if (
                 self.policy.retry_overloaded
@@ -188,7 +248,7 @@ class RetryingClient:
             return response
         raise ConnectionError(
             f"request not answered after {self.policy.attempts} attempts "
-            f"to {self.host}:{self.port}: {last_error}"
+            f"across {self._endpoints}: {last_error}"
         )
 
     async def close(self) -> None:

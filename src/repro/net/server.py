@@ -40,6 +40,7 @@ from repro.durability.journal import DurabilityConfig, TenantJournal
 from repro.exceptions import ConfigurationError, RequestError
 from repro.fault import FaultInjected, get_failpoints
 from repro.obs.metrics import get_registry
+from repro.replication import REPLICATION_KINDS, ReplicationSender, StandbyCoordinator
 from repro.service.engine import AssignmentEngine
 from repro.service.requests import Response, request_from_dict
 from repro.service.session import classify_error
@@ -63,6 +64,16 @@ MANAGEMENT_KINDS: dict[str, str] = {
         "`snapshot_path`, then remove the engine"
     ),
     "list_tenants": "describe every resident tenant (no fields)",
+    "promote": (
+        "promote a warm standby: finish replaying the received tail, "
+        "register the replicated engines as live tenants, start admitting "
+        "writes (idempotent; refused on a non-standby)"
+    ),
+    "replication_status": (
+        "report this server's replication role plus, as present, the "
+        "primary's shipped/acked watermarks and lag and the standby's "
+        "applied seqs and heartbeat age (no fields)"
+    ),
     "shutdown": (
         "drain the whole server: refuse new work as `overloaded`, finish "
         "admitted requests, answer, close"
@@ -95,6 +106,10 @@ class AssignmentServer:
         max_batch: int = 128,
         backlog: int = 2048,
         durability: DurabilityConfig | None = None,
+        replicate_to: tuple[str, int] | None = None,
+        standby: bool = False,
+        auto_promote_after: float | None = None,
+        heartbeat_interval: float = 0.25,
     ) -> None:
         self.host = host
         self.port = port
@@ -109,6 +124,21 @@ class AssignmentServer:
         self._shutdown = asyncio.Event()
         self._drain_task: asyncio.Task | None = None
         self._registry = get_registry()
+        self._replicate_to = replicate_to
+        self._heartbeat_interval = float(heartbeat_interval)
+        self._auto_promote_after = auto_promote_after
+        self.replication: ReplicationSender | None = None
+        if standby:
+            if durability is None:
+                raise ConfigurationError(
+                    "a standby server needs a durability config — its WAL "
+                    "root is where the replicated state lands"
+                )
+            self.standby: StandbyCoordinator | None = StandbyCoordinator(
+                durability
+            )
+        else:
+            self.standby = None
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -129,7 +159,49 @@ class AssignmentServer:
             tenant_id, engine, default=default, journal=journal
         )
         self._activate(tenant)
+        self._wire_shipping(tenant)
         return tenant
+
+    def _wire_shipping(self, tenant: Tenant) -> None:
+        """Point a durable tenant's journal at the replication stream."""
+        sender = self.replication
+        if sender is None or tenant.journal is None:
+            return
+        tenant_id = tenant.tenant_id
+        tenant.journal.on_append = (
+            lambda record, prev_seq: sender.ship(tenant_id, record, prev_seq)
+        )
+        # A fresh wire-up always resyncs: the standby may have never heard
+        # of this tenant (new registration) or be behind it (reconnect).
+        sender.request_resync(tenant_id)
+
+    async def start_replication(self, host: str, port: int) -> ReplicationSender:
+        """Attach a warm standby at ``host:port`` and start shipping.
+
+        Callable at boot (``--replicate-to``) or later — including on a
+        freshly promoted standby, which is how a failover chain regains
+        redundancy.
+        """
+        if self.standby is not None and not self.standby.promoted:
+            raise ConfigurationError(
+                "an unpromoted standby cannot replicate onward; promote it first"
+            )
+        if self.replication is not None:
+            raise ConfigurationError("replication is already configured")
+        if self.durability is None:
+            raise ConfigurationError(
+                "replication needs a durable server (configure a WAL root)"
+            )
+        self.replication = ReplicationSender(
+            self,
+            str(host),
+            int(port),
+            heartbeat_interval=self._heartbeat_interval,
+        )
+        self.replication.start()
+        for tenant_id in self.tenants.ids():
+            self._wire_shipping(self.tenants.get(tenant_id))
+        return self.replication
 
     def _activate(self, tenant: Tenant) -> None:
         """Start a freshly registered tenant's worker if we are serving."""
@@ -190,6 +262,7 @@ class AssignmentServer:
                 first_seq=outcome.next_seq,
             )
             self._activate(tenant)
+            self._wire_shipping(tenant)
             recovered.append(tenant_id)
         return recovered
 
@@ -213,6 +286,10 @@ class AssignmentServer:
             self.tenants.get(tenant_id).start()
         sockname = self._server.sockets[0].getsockname()
         self.host, self.port = sockname[0], sockname[1]
+        if self.standby is not None:
+            self.standby.start_monitor(self, self._auto_promote_after)
+        if self._replicate_to is not None and self.replication is None:
+            await self.start_replication(*self._replicate_to)
         return self.host, self.port
 
     async def wait_shutdown(self) -> None:
@@ -241,6 +318,8 @@ class AssignmentServer:
     async def abort(self) -> None:
         """Crash-stop: drop listener, connections and workers — no drain,
         no final checkpoints, no answers (the recovery tests' kill switch)."""
+        if self.replication is not None:
+            await self.replication.stop()
         if self._server is not None:
             self._server.close()
             with contextlib.suppress(Exception):
@@ -252,6 +331,8 @@ class AssignmentServer:
             await asyncio.gather(*self._conn_tasks, return_exceptions=True)
         self._conn_tasks.clear()
         await self.tenants.abort_all()
+        if self.standby is not None:
+            await self.standby.abort()
         self._registry.gauge(
             "service.net.open_connections", "currently connected clients"
         ).set(0)
@@ -277,6 +358,10 @@ class AssignmentServer:
             await asyncio.gather(*self._conn_tasks, return_exceptions=True)
         self._conn_tasks.clear()
         await self.tenants.close_all()
+        if self.replication is not None:
+            await self.replication.stop()
+        if self.standby is not None:
+            await self.standby.close()
         self._registry.gauge(
             "service.net.open_connections", "currently connected clients"
         ).set(0)
@@ -402,7 +487,7 @@ class AssignmentServer:
                 self._registry.counter(
                     "service.net.overloaded", "requests refused by admission control"
                 ).inc()
-            else:
+            elif error_type != "standby":  # standby refusals are well-formed
                 self._registry.counter(
                     "service.net.protocol_errors", "unparseable input frames"
                 ).inc()
@@ -440,6 +525,12 @@ class AssignmentServer:
             )
             out.put_nowait((_TASK, task, kind == "shutdown"))
             return
+        if isinstance(kind, str) and kind in REPLICATION_KINDS:
+            task = asyncio.get_running_loop().create_task(
+                self._replicate(str(kind), payload)
+            )
+            out.put_nowait((_TASK, task, False))
+            return
 
         tenant_field = payload.get("tenant")
         if tenant_field is not None and not isinstance(tenant_field, str):
@@ -454,6 +545,15 @@ class AssignmentServer:
             request = request_from_dict(payload)
         except RequestError as exc:
             refuse("parse", str(exc), "request", request_id)
+            return
+        if self.standby is not None and not self.standby.promoted:
+            refuse(
+                request.kind,
+                "this server is a warm standby (not promoted); "
+                "fail over to the primary",
+                "standby",
+                request_id,
+            )
             return
         if self.admission.draining:
             refuse(
@@ -546,12 +646,30 @@ class AssignmentServer:
         """Serve one management request; failures become structured responses."""
         request_id = payload.get("id")
         try:
+            if (
+                kind in ("create_tenant", "evict_tenant")
+                and self.standby is not None
+                and not self.standby.promoted
+            ):
+                return Response.failure(
+                    kind=kind,
+                    error=(
+                        "this server is a warm standby (not promoted); "
+                        "tenant management is refused"
+                    ),
+                    error_type="standby",
+                    request_id=request_id,
+                ).to_dict()
             if kind == "create_tenant":
                 body = await self._create_tenant(payload)
             elif kind == "evict_tenant":
                 body = await self._evict_tenant(payload)
             elif kind == "list_tenants":
                 body = self._list_tenants()
+            elif kind == "promote":
+                body = await self._promote()
+            elif kind == "replication_status":
+                body = self._replication_status()
             else:  # shutdown
                 body = await self._drain_server()
             return Response(
@@ -598,6 +716,7 @@ class AssignmentServer:
                     first_seq=outcome.next_seq,
                 )
                 tenant.start()
+                self._wire_shipping(tenant)
                 return {
                     "tenant": tenant_id,
                     "recovered": outcome.stats.to_dict(),
@@ -624,6 +743,7 @@ class AssignmentServer:
             journal=journal,
         )
         tenant.start()
+        self._wire_shipping(tenant)
         if payload.get("warm"):
             await tenant.run_in_worker(engine.warm)
         return {"tenant": tenant_id, **tenant.describe()}
@@ -667,6 +787,57 @@ class AssignmentServer:
             "pending": self.admission.total_pending,
             "draining": self.admission.draining,
         }
+
+    async def _replicate(self, kind: str, payload: dict[str, Any]) -> dict[str, Any]:
+        """Serve one replication frame (standby side); refusals structure."""
+        request_id = payload.get("id")
+        try:
+            if self.standby is None:
+                raise ConfigurationError(
+                    "this server is not a standby; replication frames are refused"
+                )
+            body = await self.standby.handle(kind, payload)
+            return Response(
+                kind=kind, ok=True, payload=body, request_id=request_id
+            ).to_dict()
+        except Exception as exc:  # noqa: BLE001 — frames must not kill the loop
+            message = exc.args[0] if exc.args else str(exc)
+            error_type = classify_error(exc)
+            if error_type == "internal":
+                message = f"{type(exc).__name__}: {exc}"
+            return Response.failure(
+                kind=kind,
+                error=str(message),
+                error_type=error_type,
+                request_id=request_id,
+            ).to_dict()
+
+    async def _promote(self) -> dict[str, Any]:
+        if self.standby is None:
+            raise ConfigurationError(
+                "this server is not a standby; there is nothing to promote"
+            )
+        body = await self.standby.promote(self)
+        # The new primary ships onward if replication was configured later.
+        for tenant_id in self.tenants.ids():
+            self._wire_shipping(self.tenants.get(tenant_id))
+        return body
+
+    def _replication_status(self) -> dict[str, Any]:
+        if self.standby is not None and not self.standby.promoted:
+            role = "standby"
+        elif self.replication is not None or self.standby is not None:
+            role = "primary"
+        else:
+            role = "standalone"
+        body: dict[str, Any] = {"role": role}
+        if self.standby is not None:
+            body["standby"] = self.standby.status(
+                asyncio.get_running_loop().time()
+            )
+        if self.replication is not None:
+            body["replication"] = self.replication.status()
+        return body
 
     async def _drain_server(self) -> dict[str, Any]:
         self.admission.drain()

@@ -45,6 +45,9 @@ SPAN_NAMES: dict[str, str] = {
     "net.batch": "Tenant worker: one cross-client batch drained through the session",
     "durability.checkpoint": "TenantJournal.checkpoint: atomic snapshot write + WAL rotation",
     "durability.recover": "TenantJournal.recover: checkpoint load + WAL tail replay",
+    "replication.catch_up": "ReplicationSender: snapshot + WAL-tail catch-up for one tenant",
+    "replication.apply": "StandbyReplica: journal + replay one shipped record",
+    "replication.promote": "StandbyCoordinator.promote: drain the tail, admit writes",
 }
 
 #: metric name -> one-line description.  Counters unless stated otherwise.
@@ -87,6 +90,17 @@ METRIC_NAMES: dict[str, str] = {
     "durability.replayed_records": "WAL records replayed during recovery",
     "durability.dropped_bytes": "torn WAL suffix bytes dropped at recovery",
     "durability.deduped": "mutations answered from the idempotency map (no re-execution)",
+    "durability.applied_evicted": "idempotency keys evicted from the bounded applied map",
+    "replication.shipped": "WAL records shipped to the standby (primary side)",
+    "replication.applied": "shipped records applied on the standby",
+    "replication.duplicates": "shipped records skipped as already-applied on the standby",
+    "replication.gaps": "out-of-order frames refused by the standby (trigger resync)",
+    "replication.snapshots": "checkpoint snapshots shipped for catch-up",
+    "replication.resyncs": "per-tenant catch-up rounds run by the sender",
+    "replication.heartbeats": "heartbeat frames sent to the standby",
+    "replication.reconnects": "replication connections (re)established by the primary",
+    "replication.promotions": "standby promotions completed",
+    "replication.lag": "gauge: shipped-but-unacked records, all tenants (primary side)",
     "fault.injections": "failpoint firings, all sites",
     "fault.<site>.injections": "failpoint firings at one site (repro.fault)",
 }

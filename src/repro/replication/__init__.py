@@ -1,0 +1,70 @@
+"""Warm-standby replication: WAL shipping, standby replay, promotion.
+
+``repro.replication`` turns the per-tenant WAL root of
+:mod:`repro.durability` into a replication unit: a **primary**
+:class:`~repro.net.server.AssignmentServer` ships every journaled record
+(and checkpoint snapshots for catch-up) over a dedicated client
+connection to a **warm standby** process, which journals and replays
+them into resident engines as they arrive — so standby state is
+bitwise-equal to the primary at every acked seq, and promotion is
+"finish the received tail, start admitting writes" rather than a cold
+recovery.
+
+Topology and protocol (see ``docs/durability.md`` for the full
+contract):
+
+* the primary *dials* the standby's ordinary TCP port and speaks the
+  replication frames in :data:`REPLICATION_KINDS` over the normal
+  one-response-per-line protocol — every frame is acked, and the acks
+  drive the primary's lag gauge and gap-triggered resyncs;
+* the standby journals each shipped record through its own
+  :class:`~repro.durability.TenantJournal` *before* replaying it, so a
+  standby crash recovers exactly like a primary crash;
+* replay is idempotent and prefix-consistent: duplicates are skipped,
+  out-of-order frames are refused as ``gap`` (pinned by the Hypothesis
+  property in ``tests/test_replication.py``), and a gap makes the
+  primary re-run catch-up for that tenant;
+* promotion — explicit (``{"kind": "promote"}``) or automatic on
+  heartbeat timeout — registers the replayed engines as live tenants;
+  an unpromoted standby refuses engine traffic with
+  ``error_type: "standby"`` so clients fail over deterministically.
+"""
+
+from __future__ import annotations
+
+from repro.replication.sender import ReplicationSender
+from repro.replication.standby import StandbyCoordinator, StandbyReplica
+
+__all__ = [
+    "REPLICATION_KINDS",
+    "ReplicationSender",
+    "StandbyCoordinator",
+    "StandbyReplica",
+]
+
+#: Request kinds of the replication stream (primary -> standby), served
+#: by the standby server itself.  ``docs/service.md`` renders this table
+#: verbatim and ``tests/test_docs.py`` pins the two in sync.
+REPLICATION_KINDS: dict[str, str] = {
+    "repl_hello": (
+        "open a replication stream: the primary names itself (`primary`), "
+        "the standby answers its per-tenant applied seqs so catch-up ships "
+        "only the missing suffix"
+    ),
+    "repl_snapshot": (
+        "install a checkpoint for `tenant` (`checkpoint` is the full "
+        "checkpoint body): the standby adopts it, discards its local WAL, "
+        "and rebuilds the resident engine from it"
+    ),
+    "repl_record": (
+        "journal and replay one WAL `record` for `tenant` (`prev` names the "
+        "record's predecessor in the WAL chain — the record applies only "
+        "onto exactly that state); the ack reports `status` "
+        "applied/duplicate/gap and the standby's `applied_seq` (a gap makes "
+        "the primary re-run catch-up)"
+    ),
+    "repl_heartbeat": (
+        "primary liveness probe; any replication frame feeds the standby's "
+        "health monitor, which can auto-promote on timeout"
+    ),
+}

@@ -71,9 +71,10 @@ __all__ = ["ERROR_TYPES", "EngineSession", "classify_error", "serve_stream"]
 #: The closed vocabulary of structured ``error_type`` codes, with what each
 #: means to a client.  :func:`classify_error` maps exceptions onto the first
 #: seven; ``overloaded`` is produced by the network layer's admission
-#: control (:mod:`repro.net.admission`) before a request reaches a session.
-#: ``docs/service.md`` renders this table and ``tests/test_docs.py`` pins
-#: the two in sync.
+#: control (:mod:`repro.net.admission`) before a request reaches a session,
+#: and ``standby`` by an unpromoted warm standby refusing engine traffic
+#: (:mod:`repro.replication`).  ``docs/service.md`` renders this table and
+#: ``tests/test_docs.py`` pins the two in sync.
 ERROR_TYPES: dict[str, str] = {
     "request": "malformed input: bad JSON, unknown kind, missing or ill-typed fields",
     "unknown_solver": "a solver name not present in the registry",
@@ -83,6 +84,7 @@ ERROR_TYPES: dict[str, str] = {
     "solver": "a solver failed to produce a result",
     "internal": "an unexpected failure; the exception class is named, no traceback leaks",
     "overloaded": "refused by admission control (backlog full or server draining); retry later",
+    "standby": "this endpoint is an unpromoted warm standby; fail over to the primary (or retry after promotion)",
 }
 
 

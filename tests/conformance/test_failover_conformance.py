@@ -1,0 +1,210 @@
+"""Failover conformance: a promoted standby is bitwise-equal to a
+server that never crashed.
+
+The regime extends the crash-recovery conformance harness to the
+warm-standby topology: the same deterministic churn stream is driven
+against a *replicating* primary (``replicate_to`` a live standby), the
+primary is crash-stopped (:meth:`~repro.net.server.AssignmentServer.abort`)
+at seeded points once the standby has acked everything, the standby is
+promoted, and the stream continues against it — chaining a fresh standby
+behind each new primary so every failover happens under replication.
+
+Every client-observed response, and the final engine snapshot of the
+last survivor, must equal the serial never-crashed oracle **bitwise**.
+After each failover the last mutation is re-sent to the promoted standby
+under its original idempotency key and must be answered from the
+*replicated* applied map without re-executing (exactly-once across the
+switch).  A second test lets :class:`~repro.net.client.RetryingClient`
+do the failover itself — ordered endpoints, automatic promotion on
+heartbeat silence — with no test-side orchestration of the switch.
+
+``REPRO_CHAOS_FAILOVER_POINTS`` scales how many failovers the chain test
+samples (default 2; CI smoke runs 1).
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+import os
+import random
+
+from repro.durability import DurabilityConfig
+from repro.net.client import RetryPolicy, RetryingClient
+from repro.service.engine import AssignmentEngine
+
+from tests.conformance import make_instance
+from tests.conformance.test_recovery_conformance import (
+    SEED,
+    SPEC,
+    TENANT,
+    churn_stream,
+    normalise,
+    oracle_run,
+)
+from tests.net_utils import ServerHarness, wait_until
+
+FAILOVER_POINTS = int(os.environ.get("REPRO_CHAOS_FAILOVER_POINTS", "2"))
+
+
+def _caught_up(primary: ServerHarness) -> bool:
+    status = primary.call({"kind": "replication_status"})
+    assert status["ok"], status
+    return bool(status["payload"]["replication"]["caught_up"])
+
+
+class TestFailoverConformance:
+    def test_failover_chain_is_bitwise_equal_to_the_oracle(self, tmp_path):
+        stream = churn_stream()
+        oracle_engine, oracle_responses = oracle_run(stream)
+
+        rng = random.Random(SEED)
+        count = max(0, min(FAILOVER_POINTS, len(stream) - 1))
+        fail_after = set(rng.sample(range(len(stream) - 1), count))
+
+        roots = itertools.count()
+
+        def boot_standby() -> ServerHarness:
+            harness = ServerHarness(
+                durability=DurabilityConfig(
+                    root=tmp_path / f"wal-{next(roots)}", checkpoint_every=3
+                ),
+                standby=True,
+            )
+            return harness.start()
+
+        standby = boot_standby()
+        primary = ServerHarness(
+            durability=DurabilityConfig(
+                root=tmp_path / f"wal-{next(roots)}", checkpoint_every=3
+            ),
+            replicate_to=("127.0.0.1", standby.port),
+        )
+        primary.add_tenant(TENANT, AssignmentEngine(make_instance(SPEC)), default=True)
+        primary.start()
+        failovers = 0
+        client = primary.client()
+        try:
+            for index, payload in enumerate(stream):
+                response = client.request(payload)
+                assert response["ok"], f"server refused {payload}: {response}"
+                assert normalise(response) == oracle_responses[index], (
+                    f"response {index} ({payload['kind']}) diverged from the oracle"
+                )
+                if index not in fail_after:
+                    continue
+
+                # Gate the crash on the replication watermark: every
+                # journaled record acked, no resync pending.  Then the
+                # standby's replica must already be bitwise-equal — the
+                # tentpole invariant, checked *before* promotion.
+                wait_until(lambda: _caught_up(primary))
+                replica = standby.server.standby.replicas[TENANT]
+                live = primary.server.tenants.get(TENANT).engine
+                assert json.dumps(replica.engine.to_snapshot(), sort_keys=True) == (
+                    json.dumps(live.to_snapshot(), sort_keys=True)
+                )
+
+                # Crash-stop the primary (no drain, no final checkpoint)
+                # and promote the standby into the new primary.
+                client.close()
+                primary.abort()
+                promoted = standby.call({"kind": "promote"})
+                assert promoted["ok"], promoted
+                assert promoted["payload"] == {"promoted": True, "tenants": [TENANT]}
+                failovers += 1
+
+                # Exactly-once across the switch: the last mutation,
+                # re-sent under its original key, is answered from the
+                # *replicated* applied map — same payload, no re-apply.
+                last = next(
+                    (i for i in range(index, -1, -1) if "seq" in stream[i]), None
+                )
+                if last is not None:
+                    replay = standby.call(stream[last])
+                    assert replay["ok"], replay
+                    assert normalise(replay) == oracle_responses[last]
+
+                # Chain: the promoted standby is the new primary; attach
+                # a fresh standby behind it so the next failover also
+                # happens under replication (snapshot + WAL catch-up).
+                primary, standby = standby, boot_standby()
+                primary.run(
+                    primary.server.start_replication("127.0.0.1", standby.port)
+                )
+                client = primary.client()
+            client.close()
+            assert failovers == count
+
+            survivor = primary.server.tenants.get(TENANT).engine
+            assert json.dumps(survivor.to_snapshot(), sort_keys=True) == (
+                json.dumps(oracle_engine.to_snapshot(), sort_keys=True)
+            )
+        finally:
+            primary.stop()
+            standby.stop()
+
+    def test_retrying_client_rides_out_auto_promotion(self, tmp_path):
+        """No test-side failover orchestration: the client holds an
+        ordered endpoints list, the standby auto-promotes on heartbeat
+        silence, and the stream must still match the oracle bitwise."""
+        stream = churn_stream()
+        oracle_engine, oracle_responses = oracle_run(stream)
+
+        standby = ServerHarness(
+            durability=DurabilityConfig(root=tmp_path / "wal-s", checkpoint_every=3),
+            standby=True,
+            auto_promote_after=0.4,
+        ).start()
+        primary = ServerHarness(
+            durability=DurabilityConfig(root=tmp_path / "wal-p", checkpoint_every=3),
+            replicate_to=("127.0.0.1", standby.port),
+        )
+        primary.add_tenant(TENANT, AssignmentEngine(make_instance(SPEC)), default=True)
+        primary.start()
+
+        # The client's coroutines run on the *standby* harness loop — it
+        # survives the primary's crash-stop.
+        client = RetryingClient(
+            endpoints=[("127.0.0.1", primary.port), ("127.0.0.1", standby.port)],
+            policy=RetryPolicy(
+                attempts=12, base_delay=0.05, multiplier=1.5,
+                max_delay=0.5, seed=11,
+            ),
+        )
+        fail_after = len(stream) // 2
+        crashed = False
+        try:
+            for index, payload in enumerate(stream):
+                response = standby.run(client.request(payload))
+                assert response["ok"], f"request {index} refused: {response}"
+                assert normalise(response) == oracle_responses[index]
+                if index == fail_after:
+                    wait_until(lambda: _caught_up(primary))
+                    primary.abort()
+                    crashed = True
+            assert crashed
+            standby.run(client.close())
+
+            # The survivor is the auto-promoted standby.
+            status = standby.call({"kind": "replication_status"})
+            assert status["payload"]["role"] == "primary"
+            assert status["payload"]["standby"]["promoted"] is True
+
+            # Every mutation, re-sent under its original key, must be
+            # answered from the replicated applied map unchanged.
+            for index, payload in enumerate(stream):
+                if "seq" not in payload:
+                    continue
+                replay = standby.call(payload)
+                assert replay["ok"], replay
+                assert normalise(replay) == oracle_responses[index]
+
+            survivor = standby.server.tenants.get(TENANT).engine
+            assert json.dumps(survivor.to_snapshot(), sort_keys=True) == (
+                json.dumps(oracle_engine.to_snapshot(), sort_keys=True)
+            )
+        finally:
+            standby.stop()
+            if not crashed:
+                primary.stop()

@@ -85,6 +85,10 @@ class ServerHarness:
         max_batch: int = 128,
         max_line_bytes: int = 1 << 20,
         durability: DurabilityConfig | None = None,
+        replicate_to: tuple[str, int] | None = None,
+        standby: bool = False,
+        auto_promote_after: float | None = None,
+        heartbeat_interval: float = 0.05,
     ) -> None:
         self.server = AssignmentServer(
             tenants=TenantManager(max_batch=max_batch),
@@ -93,6 +97,10 @@ class ServerHarness:
             ),
             max_line_bytes=max_line_bytes,
             durability=durability,
+            replicate_to=replicate_to,
+            standby=standby,
+            auto_promote_after=auto_promote_after,
+            heartbeat_interval=heartbeat_interval,
         )
         self.host: str | None = None
         self.port: int | None = None

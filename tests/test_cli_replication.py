@@ -1,0 +1,248 @@
+"""CLI front ends of the replication feature: the ``wgrap wal`` offline
+inspector, the ``serve`` replication flags, and a full subprocess
+failover — primary and standby as real ``wgrap serve --tcp`` processes,
+the primary SIGKILLed, the standby promoted over the wire."""
+
+from __future__ import annotations
+
+import json
+import time
+
+import pytest
+
+from repro.cli import main
+from repro.durability import DurabilityConfig, TenantJournal
+from repro.service.requests import request_from_dict
+from repro.service.session import EngineSession
+
+from tests.test_cli_serve import ServeProcess
+from tests.test_replication import small_engine
+
+
+@pytest.fixture
+def wal_root(tmp_path):
+    """A two-tenant WAL root with a seq gap and a torn tail."""
+    root = tmp_path / "wal"
+    for tenant_id, seqs in [("conf", [1, 2, 4]), ("ws", [1])]:
+        journal = TenantJournal(DurabilityConfig(root=root), tenant_id)
+        engine = small_engine()
+        journal.initialise(engine)
+        session = EngineSession(engine)
+        rid, pid = engine.problem.reviewer_ids, engine.problem.paper_ids
+        for index, seq in enumerate(seqs):
+            request = request_from_dict({
+                "kind": "update_bids",
+                "bids": [[rid[index], pid[index], 0.5]],
+                "seq": seq,
+            })
+            journal.append(seq, request)
+            session.dispatch(request)
+        journal.sync_batch()
+        journal.close()
+    # Tear the tail of conf's newest segment: a crash mid-append.
+    from repro.durability import segment_paths
+
+    segment = segment_paths(root / "conf")[-1]
+    with segment.open("ab") as handle:
+        handle.write(b'{"v": 1, "seq": 5, "torn')
+    return root
+
+
+class TestWalCommand:
+    def test_text_report_lists_tenants_segments_and_kinds(
+        self, wal_root, capsys
+    ):
+        assert main(["wal", str(wal_root)]) == 0
+        out = capsys.readouterr().out
+        assert "2 tenant journal(s)" in out
+        assert "conf: checkpoint_seq=0 last_seq=4 records=3" in out
+        assert "ws: checkpoint_seq=0 last_seq=1 records=1" in out
+        assert "update_bids: 3" in out
+        assert "torn-tail bytes will be dropped at recovery" in out
+
+    def test_json_report_is_machine_readable(self, wal_root, capsys):
+        assert main(["wal", str(wal_root), "--json"]) == 0
+        report = json.loads(capsys.readouterr().out)
+        conf = report["tenants"]["conf"]
+        assert conf["has_checkpoint"] is True
+        assert conf["checkpoint_seq"] == 0
+        assert conf["last_seq"] == 4
+        assert conf["records"] == 3
+        assert conf["kinds"] == {"update_bids": 3}
+        assert conf["dropped_bytes"] > 0
+        assert conf["segments"]
+        assert report["tenants"]["ws"]["dropped_bytes"] == 0
+
+    def test_single_tenant_filter(self, wal_root, capsys):
+        assert main(["wal", str(wal_root), "--tenant", "ws", "--json"]) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert list(report["tenants"]) == ["ws"]
+
+    def test_missing_root_and_tenant_are_runtime_errors(
+        self, wal_root, tmp_path, capsys
+    ):
+        assert main(["wal", str(tmp_path / "nope")]) == 2
+        assert "no WAL root" in capsys.readouterr().err
+        assert main(["wal", str(wal_root), "--tenant", "ghost"]) == 2
+        assert "no journal directory for tenant" in capsys.readouterr().err
+
+    def test_empty_root_reports_no_journals(self, tmp_path, capsys):
+        root = tmp_path / "empty"
+        root.mkdir()
+        assert main(["wal", str(root)]) == 0
+        assert "no tenant journals" in capsys.readouterr().out
+
+
+class TestServeReplicationFlags:
+    def test_replication_flags_need_a_wal_dir(self, capsys):
+        code = main(["serve", "--tcp", "--replicate-to", "127.0.0.1:9999"])
+        assert code == 2
+        assert "--replicate-to/--standby-of need --wal-dir" in (
+            capsys.readouterr().err
+        )
+
+    def test_primary_and_standby_roles_are_mutually_exclusive(
+        self, tmp_path, capsys
+    ):
+        code = main([
+            "serve", "--tcp", "--wal-dir", str(tmp_path / "wal"),
+            "--replicate-to", "127.0.0.1:9999",
+            "--standby-of", "127.0.0.1:9998",
+        ])
+        assert code == 2
+        assert "mutually exclusive" in capsys.readouterr().err
+
+    def test_standby_cannot_take_a_problem(self, tmp_path, capsys):
+        problem = tmp_path / "p.json"
+        assert main([
+            "generate", str(problem), "--papers", "6", "--reviewers", "6",
+            "--topics", "4", "--group-size", "2", "--seed", "1",
+        ]) == 0
+        capsys.readouterr()
+        code = main([
+            "serve", "--tcp", "--problem", str(problem),
+            "--wal-dir", str(tmp_path / "wal"),
+            "--standby-of", "127.0.0.1:9999",
+        ])
+        assert code == 2
+        assert "standby" in capsys.readouterr().err
+
+    def test_malformed_endpoint_is_rejected(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main([
+                "serve", "--tcp", "--wal-dir", str(tmp_path / "wal"),
+                "--replicate-to", "not-an-endpoint",
+            ])
+
+    def test_applied_cap_bounds_the_idempotency_map(self, tmp_path):
+        """``--applied-cap 1`` evicts dedup keys; the counter proves it."""
+        problem = tmp_path / "p.json"
+        assert main([
+            "generate", str(problem), "--papers", "8", "--reviewers", "8",
+            "--topics", "6", "--group-size", "2", "--seed", "2",
+        ]) == 0
+        server = ServeProcess(
+            "--problem", str(problem), "--tenant", "conf",
+            "--wal-dir", str(tmp_path / "wal"), "--applied-cap", "1",
+        )
+        try:
+            first, second, metrics = server.call(
+                {"kind": "update_bids",
+                 "bids": [["reviewer-0000", "paper-0000", 0.9]], "seq": 1},
+                {"kind": "update_bids",
+                 "bids": [["reviewer-0001", "paper-0001", 0.8]], "seq": 2},
+                {"kind": "metrics"},
+            )
+            assert first["ok"] and second["ok"]
+            evicted = metrics["payload"]["metrics"].get(
+                "durability.applied_evicted", 0
+            )
+            assert evicted >= 1
+        finally:
+            server.kill()
+
+
+class TestSubprocessFailover:
+    """The whole topology as real processes: ``--replicate-to`` /
+    ``--standby-of`` on the CLI, SIGKILL for the crash, promotion and
+    exactly-once over the wire, ``wgrap wal`` for the post-mortem."""
+
+    LATE = {"id": "late", "vector": [0.2, 0.1, 0.1, 0.1, 0.1, 0.1, 0.2, 0.1]}
+
+    def _wait_caught_up(self, primary: ServeProcess, timeout: float = 20.0):
+        deadline = time.monotonic() + timeout
+        while True:
+            (status,) = primary.call({"kind": "replication_status"})
+            assert status["ok"], status
+            if status["payload"]["replication"]["caught_up"]:
+                return status
+            if time.monotonic() > deadline:
+                raise TimeoutError(f"never caught up: {status}")
+            time.sleep(0.05)
+
+    def test_sigkill_primary_promote_standby_exactly_once(self, tmp_path):
+        problem = tmp_path / "p.json"
+        assert main([
+            "generate", str(problem), "--papers", "10", "--reviewers", "6",
+            "--topics", "8", "--group-size", "2", "--seed", "3",
+        ]) == 0
+
+        standby = ServeProcess(
+            "--wal-dir", str(tmp_path / "wal-s"),
+            "--standby-of", "127.0.0.1:1",  # informational until hello
+        )
+        primary = None
+        try:
+            assert standby.info["role"] == "standby"
+            primary = ServeProcess(
+                "--problem", str(problem), "--tenant", "conf",
+                "--wal-dir", str(tmp_path / "wal-p"),
+                "--replicate-to", f"127.0.0.1:{standby.port}",
+            )
+            assert primary.info["role"] == "primary"
+            solve, add = primary.call(
+                {"kind": "solve", "solver": "Greedy", "seq": 1},
+                {"kind": "add_paper", "paper": self.LATE,
+                 "reviewer_workload": 6, "seq": 2},
+            )
+            assert solve["ok"], solve
+            assert add["ok"], add
+            assert add["payload"]["num_papers"] == 11
+            self._wait_caught_up(primary)
+
+            primary.proc.kill()  # SIGKILL: a crash, not a drain
+            primary.proc.wait(timeout=5)
+
+            (promoted,) = standby.call({"kind": "promote"})
+            assert promoted["ok"], promoted
+            assert promoted["payload"]["tenants"] == ["conf"]
+
+            # Exactly-once across the switch: the replicated applied map
+            # answers the retried mutation without a second application.
+            (repeat,) = standby.call({
+                "kind": "add_paper", "paper": self.LATE,
+                "reviewer_workload": 6, "seq": 2, "tenant": "conf",
+            })
+            assert repeat["ok"], repeat
+            assert repeat["payload"]["num_papers"] == 11
+            (stats,) = standby.call({"kind": "stats", "tenant": "conf"})
+            assert stats["payload"]["engine"]["revision"] == 1
+
+            (goodbye,) = standby.call({"kind": "shutdown"})
+            assert goodbye["ok"]
+            assert standby.wait() == 0
+
+            # Post-mortem: both WAL roots are inspectable offline.
+            import io
+            from contextlib import redirect_stdout
+
+            for root in ("wal-p", "wal-s"):
+                buffer = io.StringIO()
+                with redirect_stdout(buffer):
+                    assert main(["wal", str(tmp_path / root), "--json"]) == 0
+                report = json.loads(buffer.getvalue())
+                assert "conf" in report["tenants"]
+        finally:
+            standby.kill()
+            if primary is not None:
+                primary.kill()

@@ -224,6 +224,17 @@ class TestCoverageOfRepoArtifacts:
         documented = {_first_name(row) for row in rows}
         assert documented == set(MANAGEMENT_KINDS)
 
+    def test_service_page_replication_table_matches_the_protocol(self):
+        """Verbatim (descriptions included), like the failpoint table —
+        the replication frame semantics ARE the contract."""
+        from repro.replication import REPLICATION_KINDS
+
+        rows = _table_rows(
+            _read(DOCS_DIR / "service.md"), "### Replication requests"
+        )
+        documented = {_first_name(row): row[1] for row in rows}
+        assert documented == REPLICATION_KINDS
+
 
 class TestObservabilityPage:
     """The span/metric tables mirror the contract of ``repro.obs.names``."""

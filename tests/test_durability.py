@@ -304,9 +304,12 @@ class TestTenantJournal:
         journal = TenantJournal(config, "conf")
         from repro.service.requests import Response
 
+        evicted = get_registry().counter("durability.applied_evicted", "")
+        before = evicted.value
         for cseq in range(1, 6):
             journal.record_applied(cseq, Response(kind="solve", ok=True))
         assert sorted(journal.applied) == [3, 4, 5]
+        assert evicted.value - before == 2
 
     def test_bad_tenant_ids_are_refused(self, tmp_path):
         config = DurabilityConfig(root=tmp_path)

@@ -1,0 +1,545 @@
+"""Unit and server-level tests for :mod:`repro.replication`.
+
+The bitwise failover regime lives in
+``tests/conformance/test_failover_conformance.py``; this module pins the
+building blocks: the frame codec, the standby replica's
+idempotent/prefix-consistent replay rule (chain adjacency via ``prev``,
+property-tested with Hypothesis under duplicated and reordered
+delivery), standby crash recovery, the replication failpoints
+(``repl_send``, ``repl_apply``, ``heartbeat``), promotion semantics,
+sender detach, and :class:`~repro.net.client.RetryingClient` failover
+with exactly-once application across the switch.
+"""
+
+from __future__ import annotations
+
+import json
+import tempfile
+from pathlib import Path
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data.io import problem_to_dict
+from repro.data.synthetic import make_problem
+from repro.durability import DurabilityConfig, TenantJournal, read_checkpoint
+from repro.exceptions import RequestError
+from repro.fault import get_failpoints
+from repro.net.client import RetryPolicy, RetryingClient
+from repro.obs.metrics import get_registry
+from repro.replication import REPLICATION_KINDS
+from repro.replication.standby import StandbyReplica, record_from_body
+from repro.service.engine import AssignmentEngine
+from repro.service.requests import request_from_dict
+from repro.service.session import EngineSession
+
+from tests.net_utils import ServerHarness, wait_until
+
+
+@pytest.fixture(autouse=True)
+def _clean_failpoints():
+    get_failpoints().reset()
+    yield
+    get_failpoints().reset()
+
+
+def small_problem():
+    return make_problem(
+        num_papers=8, num_reviewers=8, num_topics=6, group_size=2,
+        reviewer_workload=5, conflict_ratio=0.0, seed=21,
+    )
+
+
+def small_engine() -> AssignmentEngine:
+    return AssignmentEngine(small_problem())
+
+
+def late_paper_payload(tag: str, topics: int = 6) -> dict:
+    vector = [1.0 if i == 0 else 0.0 for i in range(topics)]
+    return {"id": tag, "vector": vector, "title": f"late {tag}"}
+
+
+def snapshot_of(engine: AssignmentEngine) -> str:
+    return json.dumps(engine.to_snapshot(), sort_keys=True)
+
+
+# ----------------------------------------------------------------------
+# The shared WAL chain: seqs deliberately skip numbers (queries and
+# dedup hits consume an envelope seq without appending), so replay must
+# chain on ``prev``, not on seq arithmetic.
+# ----------------------------------------------------------------------
+CHAIN_SEQS = [1, 2, 4, 7, 8]
+
+
+def build_chain(root: Path):
+    """A primary-side journal with ``CHAIN_SEQS`` appended.
+
+    Returns ``(checkpoint_body, frames, oracle_snapshot)`` where each
+    frame is ``(record, prev_seq)`` exactly as the sender would ship it.
+    """
+    journal = TenantJournal(DurabilityConfig(root=root), "conf")
+    engine = small_engine()
+    journal.initialise(engine)
+    session = EngineSession(engine)
+    rid, pid = engine.problem.reviewer_ids, engine.problem.paper_ids
+    for index, seq in enumerate(CHAIN_SEQS):
+        request = request_from_dict({
+            "kind": "update_bids",
+            "bids": [[rid[index % len(rid)], pid[index % len(pid)],
+                      round(0.1 * (index + 1), 3)]],
+            "seq": seq,
+        })
+        journal.append(seq, request)
+        response = session.dispatch(request)
+        assert response.ok, response.error
+    journal.sync_batch()
+    checkpoint = read_checkpoint(journal.directory)
+    from repro.durability import read_wal
+
+    scan = read_wal(journal.directory)
+    assert [r.seq for r in scan.records] == CHAIN_SEQS
+    prevs = [0] + CHAIN_SEQS[:-1]
+    frames = list(zip(scan.records, prevs))
+    journal.close()
+    return checkpoint, frames, snapshot_of(engine)
+
+
+_CHAIN_CACHE: dict[str, object] = {}
+
+
+def chain_fixture():
+    """Build the chain once per process (Hypothesis runs many examples)."""
+    if not _CHAIN_CACHE:
+        root = Path(tempfile.mkdtemp(prefix="repl-chain-"))
+        checkpoint, frames, oracle = build_chain(root / "wal")
+        _CHAIN_CACHE.update(
+            checkpoint=checkpoint, frames=frames, oracle=oracle
+        )
+    return (
+        _CHAIN_CACHE["checkpoint"],
+        _CHAIN_CACHE["frames"],
+        _CHAIN_CACHE["oracle"],
+    )
+
+
+def fresh_replica(root: Path) -> StandbyReplica:
+    checkpoint, _frames, _oracle = chain_fixture()
+    replica = StandbyReplica(DurabilityConfig(root=root), "conf")
+    replica.install_snapshot(dict(checkpoint))
+    return replica
+
+
+class TestFrameCodec:
+    def test_record_round_trips_through_its_body(self):
+        _checkpoint, frames, _oracle = chain_fixture()
+        for record, _prev in frames:
+            assert record_from_body(record.to_body()) == record
+
+    @pytest.mark.parametrize("body", [
+        None, "not an object", {}, {"seq": "x", "kind": "solve", "request": {}},
+        {"seq": 1, "kind": "solve", "request": "not an object"},
+    ])
+    def test_malformed_bodies_are_request_errors(self, body):
+        with pytest.raises(RequestError):
+            record_from_body(body)
+
+    def test_replication_kinds_are_documented(self):
+        assert set(REPLICATION_KINDS) == {
+            "repl_hello", "repl_snapshot", "repl_record", "repl_heartbeat",
+        }
+
+
+class TestStandbyReplica:
+    def test_in_order_replay_matches_the_oracle_bitwise(self, tmp_path):
+        _checkpoint, frames, oracle = chain_fixture()
+        replica = fresh_replica(tmp_path / "standby")
+        for record, prev in frames:
+            status, applied = replica.apply_record(record, prev)
+            assert status == "applied"
+            assert applied == record.seq
+        assert snapshot_of(replica.engine) == oracle
+        replica.journal.close()
+
+    def test_seq_gaps_in_the_chain_are_not_gaps(self, tmp_path):
+        """The regression behind ``prev``: CHAIN_SEQS skips 3, 5 and 6 —
+        a replica holding seq 2 must accept seq 4 when ``prev`` says 2."""
+        _checkpoint, frames, _oracle = chain_fixture()
+        replica = fresh_replica(tmp_path / "standby")
+        for record, prev in frames[:2]:
+            replica.apply_record(record, prev)
+        record, prev = frames[2]
+        assert (record.seq, prev) == (4, 2)
+        assert replica.apply_record(record, prev) == ("applied", 4)
+        replica.journal.close()
+
+    def test_duplicates_are_skipped_without_side_effects(self, tmp_path):
+        _checkpoint, frames, _oracle = chain_fixture()
+        replica = fresh_replica(tmp_path / "standby")
+        record, prev = frames[0]
+        assert replica.apply_record(record, prev) == ("applied", 1)
+        before = snapshot_of(replica.engine)
+        assert replica.apply_record(record, prev) == ("duplicate", 1)
+        assert snapshot_of(replica.engine) == before
+        replica.journal.close()
+
+    def test_out_of_order_frames_are_refused_as_gaps(self, tmp_path):
+        _checkpoint, frames, _oracle = chain_fixture()
+        replica = fresh_replica(tmp_path / "standby")
+        before = snapshot_of(replica.engine)
+        record, prev = frames[2]  # needs prev=2, replica is at 0
+        assert replica.apply_record(record, prev) == ("gap", 0)
+        assert snapshot_of(replica.engine) == before
+        replica.journal.close()
+
+    def test_records_before_a_snapshot_are_gaps(self, tmp_path):
+        """A replica with no snapshot yet refuses everything."""
+        _checkpoint, frames, _oracle = chain_fixture()
+        replica = StandbyReplica(
+            DurabilityConfig(root=tmp_path / "standby"), "conf"
+        )
+        assert not replica.resident
+        record, prev = frames[0]
+        assert replica.apply_record(record, prev) == ("gap", 0)
+
+    def test_repl_apply_failpoint_answers_gap_without_state_change(
+        self, tmp_path
+    ):
+        _checkpoint, frames, _oracle = chain_fixture()
+        replica = fresh_replica(tmp_path / "standby")
+        get_failpoints().configure("repl_apply", "once")
+        record, prev = frames[0]
+        assert replica.apply_record(record, prev) == ("gap", 0)
+        # Disarmed: the re-shipped record applies.
+        assert replica.apply_record(record, prev) == ("applied", 1)
+        replica.journal.close()
+
+    def test_standby_restart_resumes_from_its_own_journal(self, tmp_path):
+        """The standby journals before it replays: a crashed standby
+        recovers to its applied seq like any durable tenant."""
+        _checkpoint, frames, oracle = chain_fixture()
+        root = tmp_path / "standby"
+        replica = fresh_replica(root)
+        for record, prev in frames[:3]:
+            replica.apply_record(record, prev)
+        replica.journal.abort()  # crash: no final checkpoint
+
+        reborn = StandbyReplica(DurabilityConfig(root=root), "conf")
+        reborn.recover_local()
+        assert reborn.applied_seq == frames[2][0].seq
+        for record, prev in frames[3:]:
+            assert reborn.apply_record(record, prev)[0] == "applied"
+        assert snapshot_of(reborn.engine) == oracle
+        reborn.journal.close()
+
+
+class TestReplayProperty:
+    @settings(max_examples=30, deadline=None)
+    @given(
+        order=st.lists(
+            st.integers(min_value=0, max_value=len(CHAIN_SEQS) - 1),
+            min_size=0, max_size=18,
+        )
+    )
+    def test_duplicated_reordered_delivery_never_corrupts(self, order):
+        """Deliver frames in any order, with repetition, then finish
+        with one in-order sweep (what catch-up does after a gap ack).
+        Replay must be idempotent and prefix-consistent: every record
+        applies exactly once, in chain order, and the final engine is
+        bitwise-equal to the oracle."""
+        _checkpoint, frames, oracle = chain_fixture()
+        with tempfile.TemporaryDirectory(prefix="repl-prop-") as tmp:
+            replica = fresh_replica(Path(tmp) / "standby")
+            applied_per_seq: dict[int, int] = {}
+            for index in order + list(range(len(frames))):
+                record, prev = frames[index]
+                before = replica.applied_seq
+                status, after = replica.apply_record(record, prev)
+                if status == "applied":
+                    assert prev == before and after == record.seq
+                    applied_per_seq[record.seq] = (
+                        applied_per_seq.get(record.seq, 0) + 1
+                    )
+                elif status == "duplicate":
+                    assert record.seq <= before and after == before
+                else:
+                    assert status == "gap"
+                    assert prev != before and after == before
+                assert after >= before  # applied_seq is monotone
+            assert applied_per_seq == {seq: 1 for seq in CHAIN_SEQS}
+            assert snapshot_of(replica.engine) == oracle
+            replica.journal.close()
+
+
+# ----------------------------------------------------------------------
+# Server-level: live primary/standby harnesses.
+# ----------------------------------------------------------------------
+def _standby(tmp_path, **kwargs) -> ServerHarness:
+    return ServerHarness(
+        durability=DurabilityConfig(root=tmp_path / "wal-s", checkpoint_every=3),
+        standby=True,
+        **kwargs,
+    ).start()
+
+
+def _primary(tmp_path, standby_port: int) -> ServerHarness:
+    harness = ServerHarness(
+        durability=DurabilityConfig(root=tmp_path / "wal-p", checkpoint_every=3),
+        replicate_to=("127.0.0.1", standby_port),
+    )
+    harness.add_tenant("conf", small_engine(), default=True)
+    return harness.start()
+
+
+def _caught_up(primary: ServerHarness) -> bool:
+    status = primary.call({"kind": "replication_status"})
+    return bool(status["payload"]["replication"]["caught_up"])
+
+
+def _applied_seq(standby: ServerHarness, tenant: str = "conf"):
+    status = standby.call({"kind": "replication_status"})
+    entry = status["payload"]["standby"]["tenants"].get(tenant)
+    return entry["applied_seq"] if entry else None
+
+
+class TestStandbyServer:
+    def test_unpromoted_standby_refuses_engine_traffic(self, tmp_path):
+        standby = _standby(tmp_path)
+        try:
+            response = standby.call({"kind": "stats"})
+            assert not response["ok"]
+            assert response["error_type"] == "standby"
+            created = standby.call({
+                "kind": "create_tenant", "tenant": "x",
+                "problem": problem_to_dict(small_problem()),
+            })
+            assert not created["ok"]
+            assert created["error_type"] == "standby"
+            # Introspection still works.
+            status = standby.call({"kind": "replication_status"})
+            assert status["ok"]
+            assert status["payload"]["role"] == "standby"
+            assert status["payload"]["standby"]["promoted"] is False
+        finally:
+            standby.stop()
+
+    def test_replication_frames_on_a_non_standby_are_refused(self, tmp_path):
+        harness = ServerHarness(
+            durability=DurabilityConfig(root=tmp_path / "wal")
+        )
+        harness.add_tenant("conf", small_engine(), default=True)
+        harness.start()
+        try:
+            hello = harness.call({"kind": "repl_hello", "primary": "x:1"})
+            assert not hello["ok"]
+            assert hello["error_type"] == "configuration"
+            promote = harness.call({"kind": "promote"})
+            assert not promote["ok"]
+            assert promote["error_type"] == "configuration"
+            status = harness.call({"kind": "replication_status"})
+            assert status["payload"]["role"] == "standalone"
+        finally:
+            harness.stop()
+
+    def test_promote_is_idempotent(self, tmp_path):
+        standby = _standby(tmp_path)
+        primary = _primary(tmp_path, standby.port)
+        try:
+            assert primary.call(
+                {"kind": "solve", "solver": "Greedy", "seq": 1}
+            )["ok"]
+            wait_until(lambda: _caught_up(primary))
+            first = standby.call({"kind": "promote"})
+            assert first["ok"] and first["payload"]["tenants"] == ["conf"]
+            second = standby.call({"kind": "promote"})
+            assert second["ok"]
+            assert second["payload"]["already_promoted"] is True
+            assert second["payload"]["tenants"] == ["conf"]
+            # The promoted standby serves engine traffic.
+            assert standby.call({"kind": "stats"})["ok"]
+        finally:
+            standby.stop()
+            primary.stop()
+
+
+class TestReplicationStream:
+    def test_tenant_created_after_attach_is_replicated(self, tmp_path):
+        standby = _standby(tmp_path)
+        primary = _primary(tmp_path, standby.port)
+        try:
+            created = primary.call({
+                "kind": "create_tenant", "tenant": "late",
+                "problem": problem_to_dict(small_problem()),
+            })
+            assert created["ok"], created
+            wait_until(lambda: _applied_seq(standby, "late") == 0)
+            response = primary.call({
+                "kind": "add_paper", "tenant": "late",
+                "paper": late_paper_payload("l-1"), "seq": 1,
+            })
+            assert response["ok"], response
+            wait_until(lambda: _applied_seq(standby, "late") is not None
+                       and _applied_seq(standby, "late") >= 1)
+            replica = standby.server.standby.replicas["late"]
+            live = primary.server.tenants.get("late").engine
+            wait_until(lambda: _caught_up(primary))
+            assert snapshot_of(replica.engine) == snapshot_of(live)
+        finally:
+            standby.stop()
+            primary.stop()
+
+    def test_repl_send_failpoint_reconnects_and_catches_up(self, tmp_path):
+        reconnects = get_registry().counter("replication.reconnects", "")
+        standby = _standby(tmp_path)
+        primary = _primary(tmp_path, standby.port)
+        try:
+            assert primary.call(
+                {"kind": "solve", "solver": "Greedy", "seq": 1}
+            )["ok"]
+            wait_until(lambda: _caught_up(primary))
+            before = reconnects.value
+            get_failpoints().configure("repl_send", "once")
+            assert primary.call({
+                "kind": "add_paper", "paper": late_paper_payload("l-2"),
+                "seq": 2,
+            })["ok"]
+            # The dropped link reconnects (fresh handshake + catch-up)
+            # and the standby still converges on everything journaled.
+            wait_until(lambda: reconnects.value > before)
+            wait_until(lambda: _caught_up(primary))
+            replica = standby.server.standby.replicas["conf"]
+            assert replica.engine.problem.num_papers == 9
+        finally:
+            standby.stop()
+            primary.stop()
+
+    def test_repl_apply_failpoint_heals_via_gap_resync(self, tmp_path):
+        gaps = get_registry().counter("replication.gaps", "")
+        resyncs = get_registry().counter("replication.resyncs", "")
+        standby = _standby(tmp_path)
+        primary = _primary(tmp_path, standby.port)
+        try:
+            wait_until(lambda: _caught_up(primary))
+            gaps_before, resyncs_before = gaps.value, resyncs.value
+            get_failpoints().configure("repl_apply", "once")
+            assert primary.call({
+                "kind": "add_paper", "paper": late_paper_payload("l-3"),
+                "seq": 1,
+            })["ok"]
+            wait_until(lambda: _caught_up(primary))
+            assert gaps.value > gaps_before
+            assert resyncs.value > resyncs_before
+            replica = standby.server.standby.replicas["conf"]
+            assert replica.engine.problem.num_papers == 9
+        finally:
+            standby.stop()
+            primary.stop()
+
+    def test_heartbeat_silence_auto_promotes_and_detaches_the_sender(
+        self, tmp_path
+    ):
+        standby = _standby(tmp_path, auto_promote_after=0.3)
+        primary = _primary(tmp_path, standby.port)
+        try:
+            assert primary.call(
+                {"kind": "solve", "solver": "Greedy", "seq": 1}
+            )["ok"]
+            wait_until(lambda: _caught_up(primary))
+            # Silence every heartbeat; the primary is "alive but mute".
+            get_failpoints().configure("heartbeat", "always")
+            wait_until(
+                lambda: standby.call({"kind": "replication_status"})[
+                    "payload"]["standby"]["promoted"]
+            )
+            assert standby.call({"kind": "stats"})["ok"]
+            # The old primary's next shipped record is refused by the
+            # promoted standby and the sender stands down for good.
+            assert primary.call({
+                "kind": "add_paper", "paper": late_paper_payload("l-4"),
+                "seq": 2,
+            })["ok"]
+            wait_until(
+                lambda: primary.call({"kind": "replication_status"})[
+                    "payload"]["replication"]["detached"]
+            )
+        finally:
+            standby.stop()
+            primary.stop()
+
+
+class TestClientFailover:
+    def test_standby_first_endpoint_rotates_to_the_primary(self, tmp_path):
+        standby = _standby(tmp_path)
+        primary = _primary(tmp_path, standby.port)
+        try:
+            async def drive():
+                client = RetryingClient(
+                    endpoints=[
+                        ("127.0.0.1", standby.port),
+                        ("127.0.0.1", primary.port),
+                    ],
+                    policy=RetryPolicy(attempts=6, base_delay=0.01, seed=3),
+                )
+                try:
+                    return await client.request({
+                        "kind": "add_paper",
+                        "paper": late_paper_payload("l-5"),
+                    })
+                finally:
+                    await client.close()
+
+            response = primary.run(drive())
+            assert response["ok"], response
+            assert response["payload"]["num_papers"] == 9
+        finally:
+            standby.stop()
+            primary.stop()
+
+    def test_lost_answer_after_failover_applies_exactly_once(self, tmp_path):
+        """The satellite scenario: primary dead, standby promoted, and
+        the ``socket_write`` failpoint eats the promoted standby's first
+        answer mid-pipeline.  The retry rides the endpoint rotation back
+        to the standby and is answered from the replicated applied map —
+        applied exactly once across crash, promotion and lost answer."""
+        deduped = get_registry().counter("durability.deduped", "")
+        standby = _standby(tmp_path)
+        primary = _primary(tmp_path, standby.port)
+        primary_port = primary.port
+        try:
+            assert primary.call({
+                "kind": "add_paper", "paper": late_paper_payload("l-6"),
+                "seq": 1,
+            })["ok"]
+            wait_until(lambda: _caught_up(primary))
+            primary.abort()
+            assert standby.call({"kind": "promote"})["ok"]
+
+            before = deduped.value
+            get_failpoints().configure("socket_write", "once")
+
+            async def drive():
+                client = RetryingClient(
+                    endpoints=[
+                        ("127.0.0.1", primary_port),  # dead
+                        ("127.0.0.1", standby.port),
+                    ],
+                    policy=RetryPolicy(attempts=6, base_delay=0.01, seed=5),
+                    idempotency_start=50,  # disjoint from the seq=1 above
+                    connect_attempts=2,
+                )
+                try:
+                    return await client.request({
+                        "kind": "add_paper",
+                        "paper": late_paper_payload("l-7"),
+                    })
+                finally:
+                    await client.close()
+
+            response = standby.run(drive())
+            assert response["ok"], response
+            assert response["payload"]["num_papers"] == 10
+            assert deduped.value - before == 1
+            tenant = standby.server.tenants.get("conf")
+            assert tenant.engine.problem.num_papers == 10
+        finally:
+            standby.stop()
