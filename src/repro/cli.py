@@ -17,6 +17,13 @@ workflows:
   fresh engine, with batching, and optionally snapshot the final state.
 * ``wgrap wal``      — inspect a ``--wal-dir`` root offline: per-tenant
   checkpoint/last seqs, segment files, record counts and torn-tail bytes.
+* ``wgrap store``    — compile a JSON/CSV problem snapshot into a SQLite
+  problem store (``import``), export a store back to JSON/CSV
+  (``export``), or print its row/index statistics (``info``).
+
+``solve``, ``serve`` and ``session`` also accept ``--store path.db`` to
+work from a SQLite problem store instead of a JSON problem file; see
+``docs/storage.md``.
 
 ``solve``, ``serve`` and ``session`` accept ``--workers N`` to enable the
 worker-pool execution layer of :mod:`repro.parallel` (``0`` = one worker
@@ -70,8 +77,19 @@ def build_parser() -> argparse.ArgumentParser:
     generate.add_argument("--seed", type=int, default=0, help="random seed")
 
     solve = subparsers.add_parser("solve", help="solve a conference assignment")
-    solve.add_argument("problem", help="path of the JSON problem file")
+    solve.add_argument(
+        "problem",
+        nargs="?",
+        default=None,
+        help="path of the JSON problem file (or use --store)",
+    )
     solve.add_argument("output", help="path of the JSON assignment file to write")
+    solve.add_argument(
+        "--store",
+        default=None,
+        metavar="PATH",
+        help="load the problem from a SQLite problem store instead of a JSON file",
+    )
     solve.add_argument(
         "--method",
         default="SDGA-SRA",
@@ -126,6 +144,12 @@ def build_parser() -> argparse.ArgumentParser:
     source = serve.add_mutually_exclusive_group(required=False)
     source.add_argument("--problem", help="path of the JSON problem file to load")
     source.add_argument("--snapshot", help="path of an engine snapshot to resume from")
+    source.add_argument(
+        "--store",
+        default=None,
+        metavar="PATH",
+        help="back the initial tenant by a SQLite problem store at this path",
+    )
     serve.add_argument(
         "--tcp",
         action="store_true",
@@ -259,8 +283,19 @@ def build_parser() -> argparse.ArgumentParser:
     session = subparsers.add_parser(
         "session", help="replay a JSON-lines request script against a fresh engine"
     )
-    session.add_argument("problem", help="path of the JSON problem file to load")
+    session.add_argument(
+        "problem",
+        nargs="?",
+        default=None,
+        help="path of the JSON problem file to load (or use --store)",
+    )
     session.add_argument("requests", help="path of the JSON-lines request script")
+    session.add_argument(
+        "--store",
+        default=None,
+        metavar="PATH",
+        help="back the engine by a SQLite problem store instead of a JSON file",
+    )
     session.add_argument(
         "--output", default=None, help="write responses to this file instead of stdout"
     )
@@ -268,6 +303,45 @@ def build_parser() -> argparse.ArgumentParser:
         "--save-snapshot", default=None, help="save the final engine state to this path"
     )
     _add_workers_flag(session)
+
+    store = subparsers.add_parser(
+        "store",
+        help="import/export/inspect SQLite problem stores (docs/storage.md)",
+    )
+    store_commands = store.add_subparsers(dest="store_command", required=True)
+    store_import = store_commands.add_parser(
+        "import", help="compile a JSON problem file or CSV directory into a store"
+    )
+    store_import.add_argument(
+        "source", help="JSON problem file, or CSV snapshot directory"
+    )
+    store_import.add_argument("store", help="path of the SQLite store file to create")
+    store_import.add_argument(
+        "--blocks",
+        action="store_true",
+        help="also allocate a memmap block backend for the score matrix",
+    )
+    store_import.add_argument(
+        "--block-cols",
+        type=int,
+        default=64,
+        help="columns per block of the memmap backend (with --blocks)",
+    )
+    store_export = store_commands.add_parser(
+        "export", help="export a store back to a JSON file or CSV directory"
+    )
+    store_export.add_argument("store", help="path of the SQLite store file")
+    store_export.add_argument(
+        "dest",
+        help=(
+            "destination: a path ending in .json gets the JSON problem "
+            "format, anything else a CSV snapshot directory (with bids)"
+        ),
+    )
+    store_info = store_commands.add_parser(
+        "info", help="print a store's rows, indexes and maintenance counters"
+    )
+    store_info.add_argument("store", help="path of the SQLite store file")
 
     return parser
 
@@ -307,12 +381,39 @@ def _command_generate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _load_problem_source(args: argparse.Namespace) -> "WGRAPProblem | None":
+    """Resolve the problem of a command taking a JSON file or ``--store``.
+
+    Returns ``None`` (after printing an error) unless exactly one source
+    was given.  The SQLite store is opened read-materialise-close: these
+    commands want a standalone problem, not a live attachment.
+    """
+    if (args.problem is None) == (args.store is None):
+        print(
+            f"error: {args.command} needs exactly one of a problem file "
+            "or --store",
+            file=sys.stderr,
+        )
+        return None
+    if args.store is not None:
+        from repro.store.sqlite import SqliteProblemStore
+
+        store = SqliteProblemStore.open(args.store)
+        try:
+            return store.load_problem()
+        finally:
+            store.close()
+    return load_problem(args.problem)
+
+
 def _command_solve(args: argparse.Namespace) -> int:
     if args.trace:
         from repro.obs.trace import get_tracer
 
         get_tracer().enabled = True
-    problem = load_problem(args.problem)
+    problem = _load_problem_source(args)
+    if problem is None:
+        return 2
     parallel = _parallel_config(args)
     races_in_processes = (
         args.portfolio is not None
@@ -389,9 +490,9 @@ def _command_evaluate(args: argparse.Namespace) -> int:
 
 def _command_serve(args: argparse.Namespace) -> int:
     parallel = _parallel_config(args)
-    if not args.tcp and not (args.problem or args.snapshot):
+    if not args.tcp and not (args.problem or args.snapshot or args.store):
         print(
-            "error: serve needs --problem or --snapshot "
+            "error: serve needs --problem, --snapshot or --store "
             "(a TCP server may instead start empty and accept create_tenant)",
             file=sys.stderr,
         )
@@ -417,10 +518,10 @@ def _command_serve(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         return 2
-    if args.standby_of and (args.problem or args.snapshot):
+    if args.standby_of and (args.problem or args.snapshot or args.store):
         print(
             "error: a standby takes its state from the primary; "
-            "--problem/--snapshot cannot be combined with --standby-of",
+            "--problem/--snapshot/--store cannot be combined with --standby-of",
             file=sys.stderr,
         )
         return 2
@@ -429,6 +530,12 @@ def _command_serve(args: argparse.Namespace) -> int:
         engine = AssignmentEngine.load(args.snapshot, parallel=parallel)
     elif args.problem:
         engine = AssignmentEngine(load_problem(args.problem), parallel=parallel)
+    elif args.store:
+        from repro.store.sqlite import SqliteProblemStore
+
+        engine = AssignmentEngine.from_store(
+            SqliteProblemStore.open(args.store), parallel=parallel
+        )
     if args.warm and engine is not None:
         engine.warm()
     if args.trace:
@@ -438,14 +545,21 @@ def _command_serve(args: argparse.Namespace) -> int:
     slow_threshold = None if args.slow_ms is None else args.slow_ms / 1000.0
     if args.tcp:
         return _serve_tcp(args, engine)
-    serve_stream(
-        engine,
-        sys.stdin,
-        sys.stdout,
-        slow_threshold=slow_threshold,
-        diagnostics=sys.stderr,
-        handle_signals=True,
-    )
+    try:
+        serve_stream(
+            engine,
+            sys.stdin,
+            sys.stdout,
+            slow_threshold=slow_threshold,
+            diagnostics=sys.stderr,
+            handle_signals=True,
+        )
+    finally:
+        # The SQLite backend holds one long transaction; only close()
+        # commits it — without this, every mutation served over stdio
+        # would silently roll back when the process exits.
+        if engine is not None and engine.store is not None:
+            engine.store.close()
     return 0
 
 
@@ -601,7 +715,22 @@ def _command_session(args: argparse.Namespace) -> int:
     from repro.exceptions import RequestError
     from repro.service.requests import Response
 
-    engine = AssignmentEngine(load_problem(args.problem), parallel=_parallel_config(args))
+    if (args.problem is None) == (args.store is None):
+        print(
+            "error: session needs exactly one of a problem file or --store",
+            file=sys.stderr,
+        )
+        return 2
+    if args.store is not None:
+        from repro.store.sqlite import SqliteProblemStore
+
+        engine = AssignmentEngine.from_store(
+            SqliteProblemStore.open(args.store), parallel=_parallel_config(args)
+        )
+    else:
+        engine = AssignmentEngine(
+            load_problem(args.problem), parallel=_parallel_config(args)
+        )
     session = EngineSession(engine)
     # Parse every line up front, keeping failures as error responses in
     # script order, so one bad line never loses the whole replay.
@@ -629,6 +758,68 @@ def _command_session(args: argparse.Namespace) -> int:
     if args.save_snapshot:
         engine.save_snapshot(args.save_snapshot)
         print(f"saved engine snapshot to {args.save_snapshot}")
+    if engine.store is not None:
+        engine.store.close()
+    return 0
+
+
+def _command_store(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.store.sqlite import SqliteProblemStore
+
+    if args.store_command == "import":
+        source = Path(args.source)
+        if source.is_dir():
+            from repro.store.csvio import import_problem_csv
+
+            problem, bids = import_problem_csv(source)
+        else:
+            problem, bids = load_problem(str(source)), ()
+        store = SqliteProblemStore.create(
+            args.store, problem, blocks=args.blocks, block_cols=args.block_cols
+        )
+        if bids:
+            store.record_bids(bids)
+        description = store.describe()
+        store.close()
+        print(
+            f"imported {description['reviewer_rows']} reviewers, "
+            f"{description['paper_rows']} papers, "
+            f"{description['conflict_rows']} conflicts and "
+            f"{len(bids)} bids into {args.store}"
+        )
+        return 0
+    if args.store_command == "export":
+        store = SqliteProblemStore.open(args.store)
+        try:
+            problem = store.load_problem()
+            bids = store.load_bids()
+        finally:
+            store.close()
+        dest = Path(args.dest)
+        if dest.suffix == ".json":
+            save_problem(problem, str(dest))
+            if bids:
+                print(
+                    f"note: {len(bids)} stored bids are not part of the "
+                    "JSON problem format; export to a CSV directory to keep them",
+                    file=sys.stderr,
+                )
+        else:
+            from repro.store.csvio import export_problem_csv
+
+            export_problem_csv(problem, dest, bids)
+        print(
+            f"exported {problem.num_reviewers} reviewers and "
+            f"{problem.num_papers} papers to {dest}"
+        )
+        return 0
+    store = SqliteProblemStore.open(args.store)
+    try:
+        print(json.dumps(store.describe(), indent=2, sort_keys=True))
+    finally:
+        store.close()
     return 0
 
 
@@ -644,6 +835,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "serve": _command_serve,
         "session": _command_session,
         "wal": _command_wal,
+        "store": _command_store,
     }
     return handlers[args.command](args)
 

@@ -31,9 +31,14 @@ from repro.exceptions import (
     InfeasibleProblemError,
 )
 
+# Entity id/position bookkeeping lives with the storage layer now, so every
+# backend shares it; the historical private name stays importable.
+from repro.store.base import EntityIndex as _EntityIndex
+
 if TYPE_CHECKING:  # pragma: no cover - circular import guard
     from repro.core.dense import DenseProblem
     from repro.core.delta import ViewStats
+    from repro.store.base import ProblemStore
 
 __all__ = [
     "WGRAPProblem",
@@ -116,24 +121,6 @@ class ProblemMutation:
 MutationListener = Callable[[ProblemMutation], None]
 
 
-class _EntityIndex:
-    """Shared index bookkeeping for papers and reviewers."""
-
-    __slots__ = ("ids", "positions")
-
-    def __init__(self, ids: Sequence[str], kind: str) -> None:
-        self.ids: tuple[str, ...] = tuple(ids)
-        self.positions: dict[str, int] = {}
-        for position, identifier in enumerate(self.ids):
-            if identifier in self.positions:
-                raise ConfigurationError(f"duplicate {kind} id: {identifier!r}")
-            self.positions[identifier] = position
-
-    def index_of(self, identifier: str, kind: str) -> int:
-        try:
-            return self.positions[identifier]
-        except KeyError:
-            raise KeyError(f"unknown {kind} id: {identifier!r}") from None
 
 
 class WGRAPProblem:
@@ -213,6 +200,9 @@ class WGRAPProblem:
         #: backing arena when the pair scores live in a chain-shared buffer
         self._pair_arena = None
         self._dense_view: "DenseProblem | None" = None
+        #: bound storage backend answering entity/candidate queries, or
+        #: ``None`` until one is bound / lazily defaulted to the in-RAM one
+        self._entity_store: "ProblemStore | None" = None
         self._mutation_listeners: list[MutationListener] = []
         self._papers_version = 0
         self._reviewers_version = 0
@@ -401,7 +391,7 @@ class WGRAPProblem:
         """
         return self._pair_scores
 
-    def adopt_pair_scores(self, scores: np.ndarray) -> None:
+    def adopt_pair_scores(self, scores: np.ndarray, copy: bool = True) -> None:
         """Seed the pair-score cache with an externally computed matrix.
 
         Used by :class:`repro.service.cache.ScoreMatrixCache` after a build
@@ -410,10 +400,19 @@ class WGRAPProblem:
         instead of re-scoring all ``R * P`` cells.  A read-only copy is
         stored (the cache keeps mutating its own buffer).  No-op when this
         problem already has a matrix; raises for a wrong shape.
+
+        ``copy=False`` adopts a read-only *view* instead — the memmap-block
+        cache backend uses this so an out-of-core matrix is never pulled
+        into RAM; it is only safe because that backend never rewrites a
+        region an adopted view maps (shape changes go to a fresh
+        generation file).
         """
         if self._pair_scores is not None:
             return
-        adopted = np.array(scores, dtype=np.float64)
+        if copy:
+            adopted = np.array(scores, dtype=np.float64)
+        else:
+            adopted = np.asarray(scores, dtype=np.float64).view()
         if adopted.shape != (self.num_reviewers, self.num_papers):
             raise DimensionMismatchError(
                 f"pair-score matrix of shape {adopted.shape} does not fit a problem "
@@ -493,9 +492,14 @@ class WGRAPProblem:
         return not self._conflicts.is_conflict(reviewer_id, paper_id)
 
     def candidate_reviewers(self, paper_id: str) -> list[str]:
-        """Reviewer ids that may review ``paper_id`` (COIs removed)."""
-        forbidden = self._conflicts.reviewers_conflicting_with(paper_id)
-        return [rid for rid in self.reviewer_ids if rid not in forbidden]
+        """Reviewer ids that may review ``paper_id`` (COIs removed).
+
+        Entity access goes through the bound store handle: the in-RAM
+        backend runs the historical scan, the SQLite backend answers the
+        same question as an indexed anti-join — identical output either
+        way (pinned by the store conformance grid).
+        """
+        return self.entity_store.candidate_reviewers(paper_id)
 
     def _validate_capacity(self) -> None:
         if not self._constraints.is_satisfiable(self.num_reviewers, self.num_papers):
@@ -607,6 +611,34 @@ class WGRAPProblem:
         except InfeasibleAssignmentError:
             return False
         return True
+
+    # ------------------------------------------------------------------
+    # Storage handles
+    # ------------------------------------------------------------------
+    @property
+    def entity_store(self) -> "ProblemStore":
+        """The storage backend answering this problem's entity queries.
+
+        Defaults to the in-RAM store (the historical path, extracted);
+        a persistent backend binds itself here through
+        :meth:`bind_entity_store` when it loads or tracks the problem.  A
+        bound store is only consulted while it still tracks *this*
+        instance — after a mutation rebinds it to the derived problem,
+        queries against this one fall back to the in-RAM handle, so an
+        older chain member never reads newer state.
+        """
+        store = self._entity_store
+        if store is not None and store.tracks(self):
+            return store
+        from repro.store.memory import InMemoryProblemStore
+
+        store = InMemoryProblemStore(self)
+        self._entity_store = store
+        return store
+
+    def bind_entity_store(self, store: "ProblemStore") -> None:
+        """Route entity/candidate queries through ``store`` (see above)."""
+        self._entity_store = store
 
     # ------------------------------------------------------------------
     # Mutation hooks

@@ -21,7 +21,7 @@ from repro.core.constraints import ConflictOfInterest
 from repro.core.entities import Paper, Reviewer
 from repro.core.problem import WGRAPProblem
 from repro.core.vectors import TopicVector
-from repro.exceptions import ConfigurationError
+from repro.exceptions import ConfigurationError, UnsupportedFormatError
 from repro.fault import get_failpoints
 
 __all__ = [
@@ -121,13 +121,24 @@ def problem_to_dict(problem: WGRAPProblem) -> dict[str, Any]:
     }
 
 
+def _check_version(payload: Any, what: str, expected: int) -> None:
+    """Reject non-mapping payloads and unknown (future) format versions.
+
+    Raising :class:`UnsupportedFormatError` — with the offending and the
+    expected version attached — instead of letting a ``KeyError`` escape
+    means callers (CLI, recovery, store import) can show what was found
+    and what this build understands.
+    """
+    if not isinstance(payload, dict):
+        raise UnsupportedFormatError(what, type(payload).__name__, expected)
+    version = payload.get("format_version")
+    if version != expected:
+        raise UnsupportedFormatError(what, version, expected)
+
+
 def problem_from_dict(payload: dict[str, Any]) -> WGRAPProblem:
     """Rebuild a WGRAP problem from :func:`problem_to_dict` output."""
-    version = payload.get("format_version")
-    if version != _FORMAT_VERSION:
-        raise ConfigurationError(
-            f"unsupported problem format version {version!r} (expected {_FORMAT_VERSION})"
-        )
+    _check_version(payload, "problem", _FORMAT_VERSION)
     reviewers = [
         Reviewer(
             id=entry["id"],
@@ -183,11 +194,7 @@ def assignment_to_dict(assignment: Assignment) -> dict[str, Any]:
 
 def assignment_from_dict(payload: dict[str, Any]) -> Assignment:
     """Rebuild an assignment from :func:`assignment_to_dict` output."""
-    version = payload.get("format_version")
-    if version != _FORMAT_VERSION:
-        raise ConfigurationError(
-            f"unsupported assignment format version {version!r} (expected {_FORMAT_VERSION})"
-        )
+    _check_version(payload, "assignment", _FORMAT_VERSION)
     return Assignment.from_dict(payload["assignment"])
 
 
@@ -240,12 +247,7 @@ def engine_snapshot_to_dict(
 
 def engine_snapshot_from_dict(payload: dict[str, Any]) -> EngineSnapshot:
     """Rebuild engine state from :func:`engine_snapshot_to_dict` output."""
-    version = payload.get("format_version")
-    if version != _SNAPSHOT_VERSION:
-        raise ConfigurationError(
-            f"unsupported snapshot format version {version!r} "
-            f"(expected {_SNAPSHOT_VERSION})"
-        )
+    _check_version(payload, "engine snapshot", _SNAPSHOT_VERSION)
     raw_problem = payload.get("problem")
     if raw_problem is None:
         raise ConfigurationError("an engine snapshot needs a 'problem' section")

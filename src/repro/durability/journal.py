@@ -30,6 +30,8 @@ from pathlib import Path
 from typing import Any
 
 from repro.data.io import (
+    assignment_from_dict,
+    assignment_to_dict,
     atomic_write_text,
     engine_snapshot_from_dict,
 )
@@ -39,7 +41,7 @@ from repro.durability.wal import (
     WriteAheadLog,
     read_wal,
 )
-from repro.exceptions import ConfigurationError
+from repro.exceptions import ConfigurationError, UnsupportedFormatError
 from repro.obs.metrics import get_registry
 from repro.obs.trace import get_tracer
 from repro.parallel.config import ParallelConfig
@@ -266,9 +268,15 @@ class TenantJournal:
         """
         version = payload.get("format_version")
         if version != CHECKPOINT_VERSION:
+            raise UnsupportedFormatError("tenant checkpoint", version, CHECKPOINT_VERSION)
+        if "store" in payload:
+            # A store-backed checkpoint is a pointer to a local SQLite
+            # file the standby does not have; shipping it would replicate
+            # the pointer, not the data.  Store-backed tenants are
+            # explicitly outside the replication contract (docs/storage.md).
             raise ConfigurationError(
-                f"unsupported checkpoint format version {version!r} "
-                f"(expected {CHECKPOINT_VERSION})"
+                "store-backed tenants cannot be replicated by checkpoint "
+                "shipping; the problem store file lives outside the journal"
             )
         self.close()
         self.directory.mkdir(parents=True, exist_ok=True)
@@ -294,9 +302,29 @@ class TenantJournal:
             "durability.recover", tenant=self.tenant_id, checkpoint_seq=checkpoint_seq
         ) as span:
             self.close()
-            engine = AssignmentEngine.from_snapshot(
-                engine_snapshot_from_dict(payload["snapshot"]), parallel=parallel
-            )
+            if "store" in payload:
+                # Store-backed tenant: the instance lives in the store file
+                # (rolled back to its last sync = this checkpoint); replaying
+                # the WAL tail re-applies the lost index deltas through the
+                # engine's attached-store listener.
+                from repro.store.sqlite import SqliteProblemStore
+
+                section = payload["store"]
+                store = SqliteProblemStore.open(section["path"])
+                engine = AssignmentEngine.from_store(
+                    store,
+                    assignment=(
+                        assignment_from_dict(section["assignment"])
+                        if section.get("assignment") is not None
+                        else None
+                    ),
+                    metadata=section.get("metadata") or {},
+                    parallel=parallel,
+                )
+            else:
+                engine = AssignmentEngine.from_snapshot(
+                    engine_snapshot_from_dict(payload["snapshot"]), parallel=parallel
+                )
             session = EngineSession(engine)
             stats = RecoveryStats(
                 tenant=self.tenant_id,
@@ -358,16 +386,38 @@ class TenantJournal:
         self._wal.open_segment(self.last_seq + 1)
 
     def _write_checkpoint(self, engine: AssignmentEngine) -> None:
-        body = {
+        body: dict[str, Any] = {
             "format_version": CHECKPOINT_VERSION,
             "tenant": self.tenant_id,
             "last_seq": self.last_seq,
-            "snapshot": engine.to_snapshot(),
             "applied": [
                 [key, response.to_dict()]
                 for key, response in self.applied.items()
             ],
         }
+        store = engine.store
+        if store is not None and store.path is not None:
+            # Store-backed tenant: checkpoint = store sync plus a slim
+            # pointer.  Entities, conflicts and bids are committed inside
+            # the store's transaction; only the assignment and metadata —
+            # state the store does not own — ride in the checkpoint file,
+            # so checkpoints stay O(assignment) instead of O(instance).
+            engine.sync_store()
+            body["store"] = {
+                "path": str(store.path),
+                "assignment": (
+                    assignment_to_dict(engine.assignment)
+                    if engine.assignment is not None
+                    else None
+                ),
+                "metadata": {
+                    "revision": engine.revision,
+                    "last_solver": engine.last_solver,
+                    "last_score": engine.last_score,
+                },
+            }
+        else:
+            body["snapshot"] = engine.to_snapshot()
         atomic_write_text(self.checkpoint_path, json.dumps(body))
 
     def _load_checkpoint(self) -> dict[str, Any]:
@@ -379,10 +429,7 @@ class TenantJournal:
         payload = json.loads(self.checkpoint_path.read_text(encoding="utf-8"))
         version = payload.get("format_version")
         if version != CHECKPOINT_VERSION:
-            raise ConfigurationError(
-                f"unsupported checkpoint format version {version!r} "
-                f"(expected {CHECKPOINT_VERSION})"
-            )
+            raise UnsupportedFormatError("tenant checkpoint", version, CHECKPOINT_VERSION)
         return payload
 
 
@@ -398,8 +445,5 @@ def read_checkpoint(directory: Path) -> dict[str, Any] | None:
     payload = json.loads(path.read_text(encoding="utf-8"))
     version = payload.get("format_version")
     if version != CHECKPOINT_VERSION:
-        raise ConfigurationError(
-            f"unsupported checkpoint format version {version!r} "
-            f"(expected {CHECKPOINT_VERSION})"
-        )
+        raise UnsupportedFormatError("tenant checkpoint", version, CHECKPOINT_VERSION)
     return payload

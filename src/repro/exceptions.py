@@ -21,6 +21,24 @@ class DimensionMismatchError(ConfigurationError):
     """Two topic vectors (or a vector and a problem) have different sizes."""
 
 
+class UnsupportedFormatError(ConfigurationError):
+    """A persisted payload declares a format this build cannot read.
+
+    Raised *before* any payload field is touched, so an incompatible (or
+    future-version) snapshot fails with a structured error naming what
+    was loaded, the version found and the version expected — never an
+    opaque ``KeyError`` from half-parsed state.
+    """
+
+    def __init__(self, what: str, found: object, expected: object) -> None:
+        self.what = what
+        self.found = found
+        self.expected = expected
+        super().__init__(
+            f"unsupported {what} format version {found!r} (expected {expected!r})"
+        )
+
+
 class InfeasibleProblemError(ReproError):
     """The problem instance admits no feasible assignment.
 

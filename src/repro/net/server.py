@@ -55,9 +55,9 @@ __all__ = ["MANAGEMENT_KINDS", "AssignmentServer"]
 MANAGEMENT_KINDS: dict[str, str] = {
     "create_tenant": (
         "register a resident engine under `tenant`; exactly one source of "
-        "`problem` (inline object), `problem_path` or `snapshot_path` — or "
-        "no source on a durable server to recover the tenant's journal; "
-        "optional `warm`, `default`"
+        "`problem` (inline object), `problem_path`, `snapshot_path` or "
+        "`store_path` (SQLite problem store) — or no source on a durable "
+        "server to recover the tenant's journal; optional `warm`, `default`"
     ),
     "evict_tenant": (
         "drain `tenant`'s admitted work, optionally persist to "
@@ -695,7 +695,7 @@ class AssignmentServer:
             raise RequestError("server is draining; no new tenants are admitted")
         sources = [
             name
-            for name in ("problem", "problem_path", "snapshot_path")
+            for name in ("problem", "problem_path", "snapshot_path", "store_path")
             if payload.get(name) is not None
         ]
         if tenant_id in self.tenants:
@@ -725,7 +725,7 @@ class AssignmentServer:
         if len(sources) != 1:
             raise RequestError(
                 "a create_tenant request needs exactly one of "
-                "'problem', 'problem_path' or 'snapshot_path'"
+                "'problem', 'problem_path', 'snapshot_path' or 'store_path'"
                 + (
                     " (or existing durable state to recover)"
                     if self.durability is not None
@@ -752,6 +752,12 @@ class AssignmentServer:
     def _build_engine(source: str, payload: dict[str, Any]) -> AssignmentEngine:
         if source == "snapshot_path":
             return AssignmentEngine.load(str(payload["snapshot_path"]))
+        if source == "store_path":
+            from repro.store.sqlite import SqliteProblemStore
+
+            return AssignmentEngine.from_store(
+                SqliteProblemStore.open(str(payload["store_path"]))
+            )
         if source == "problem_path":
             from repro.data.io import load_problem
 

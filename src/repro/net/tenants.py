@@ -124,6 +124,10 @@ class Tenant:
             await asyncio.get_running_loop().run_in_executor(
                 self._executor, self._final_checkpoint
             )
+        elif self.engine.store is not None:
+            await asyncio.get_running_loop().run_in_executor(
+                self._executor, self._close_store
+            )
         self._executor.shutdown(wait=True)
 
     def _final_checkpoint(self) -> None:
@@ -139,6 +143,17 @@ class Tenant:
             pass
         finally:
             self.journal.close()
+            self._close_store()
+
+    def _close_store(self) -> None:
+        """Commit and release the tenant's problem store, if any."""
+        store = self.engine.store
+        if store is None:
+            return
+        try:
+            store.close()
+        except Exception:  # noqa: BLE001
+            pass
 
     async def abort(self) -> None:
         """Crash-stop the tenant: no drain, no checkpoint, no answers.
@@ -158,6 +173,10 @@ class Tenant:
         self._executor.shutdown(wait=False, cancel_futures=True)
         if self.journal is not None:
             self.journal.abort()
+        store = self.engine.store
+        if store is not None:
+            # Crash semantics: discard uncommitted deltas, never commit.
+            store.abort()
 
     # ------------------------------------------------------------------
     # Request flow
@@ -374,6 +393,12 @@ class Tenant:
             "journal_batches": self.session.stats()["session"]["journal_batches"],
             "closed": self.closed,
             "durable": self.journal is not None,
+            "store_backed": self.engine.store is not None,
+            "store_path": (
+                str(self.engine.store_path)
+                if self.engine.store_path is not None
+                else None
+            ),
             "worker_restarts": self.worker_restarts,
             **(
                 {"durability": self.journal.describe()}

@@ -42,6 +42,10 @@ SPAN_NAMES: dict[str, str] = {
     "delta.conflict_patch": "delta.patch_conflicts_in_place: conflict-tail replay on a cached view",
     "parallel.score_shards": "sharded_score_matrix: fan out score shards to the pool",
     "portfolio.race": "run_portfolio: race the solver lineup (serial or process pool)",
+    "store.open": "SqliteProblemStore.create/open: schema setup or compile-time bulk load",
+    "store.compile": "SqliteProblemStore.load_problem: materialise the instance from rows",
+    "store.index_update": "SqliteProblemStore: one mutation or conflict-tail index delta",
+    "store.block_io": "MemmapScoreStore: blockwise build/write/append/drop traffic",
     "net.batch": "Tenant worker: one cross-client batch drained through the session",
     "durability.checkpoint": "TenantJournal.checkpoint: atomic snapshot write + WAL rotation",
     "durability.recover": "TenantJournal.recover: checkpoint load + WAL tail replay",
@@ -72,6 +76,7 @@ METRIC_NAMES: dict[str, str] = {
     "solver.<name>.seconds": "histogram: per-solver wall time (process-global registry)",
     "cache.<stat>": "gauge: absorbed ScoreMatrixCache counters (cache.describe())",
     "delta.<stat>": "gauge: absorbed dense-view ViewStats counters",
+    "store.<stat>": "gauge: absorbed ProblemStore row/index/block counters (store.describe())",
     "service.net.connections": "client connections accepted by the TCP server",
     "service.net.open_connections": "gauge: currently connected clients",
     "service.net.requests": "non-blank request frames received on the wire",

@@ -34,6 +34,7 @@ from repro.core.problem import ProblemMutation, WGRAPProblem
 from repro.exceptions import ConfigurationError
 from repro.obs.trace import get_tracer
 from repro.parallel.config import ParallelConfig
+from repro.store.blocks import MemmapScoreStore
 
 TRACER = get_tracer()
 
@@ -121,9 +122,14 @@ class ScoreMatrixCache:
         problem: WGRAPProblem,
         stats: CacheStats | None = None,
         parallel: ParallelConfig | None = None,
+        storage: "MemmapScoreStore | None" = None,
     ) -> None:
         self._problem = problem
         self._parallel = parallel
+        #: optional memmap block backend: the matrix lives on disk, full
+        #: builds go block-by-block (bounded RAM), and row drops rewrite
+        #: into a fresh generation file instead of np.delete in RAM.
+        self._storage = storage
         self._paper_ids: list[str] = list(problem.paper_ids)
         self._column_of: dict[str, int] = {
             paper_id: column for column, paper_id in enumerate(self._paper_ids)
@@ -146,6 +152,11 @@ class ScoreMatrixCache:
     def is_built(self) -> bool:
         """Whether the dense matrix has been materialised at least once."""
         return self._matrix is not None
+
+    @property
+    def storage(self) -> "MemmapScoreStore | None":
+        """The block backend the matrix lives in (``None`` when in RAM)."""
+        return self._storage
 
     @property
     def dirty_papers(self) -> frozenset[str]:
@@ -178,12 +189,31 @@ class ScoreMatrixCache:
                     problem.num_reviewers,
                     len(self._paper_ids),
                 ):
-                    # Zero-copy adoption; every later write reallocates first
-                    # (np.delete / placeholder concat), so the problem's
-                    # read-only matrix is never touched.
-                    self._matrix = np.asarray(warmed)
+                    if self._storage is not None:
+                        # Adoption across mediums is a block copy into the
+                        # mapped file (the zero-copy share only exists in
+                        # RAM), but still no scoring work.
+                        self._matrix = self._storage.write_all(np.asarray(warmed))
+                    else:
+                        # Zero-copy adoption; every later write reallocates
+                        # first (np.delete / placeholder concat), so the
+                        # problem's read-only matrix is never touched.
+                        self._matrix = np.asarray(warmed)
                     self.stats.adopted_builds += 1
                     build_span.set(adopted=True)
+                elif self._storage is not None:
+                    # Out-of-core full build: score block-by-block straight
+                    # into the mapped file, so peak RAM is one column block
+                    # and the complete matrix only ever exists on disk.
+                    reviewer_matrix = problem.reviewer_matrix
+                    paper_matrix = problem.paper_matrix
+                    self._matrix = self._storage.build(
+                        problem.num_reviewers,
+                        len(self._paper_ids),
+                        lambda start, stop: self._score_block(
+                            reviewer_matrix, paper_matrix[start:stop]
+                        ),
+                    )
                 else:
                     self._matrix = self._score_block(
                         problem.reviewer_matrix, problem.paper_matrix
@@ -219,8 +249,11 @@ class ScoreMatrixCache:
         if self._matrix.shape == (problem.num_reviewers, problem.num_papers):
             # Seed the (possibly rebound, post-mutation) problem so solvers
             # reading pair_score_matrix() afterwards reuse this matrix; a
-            # no-op once the problem holds one.
-            problem.adopt_pair_scores(self._matrix)
+            # no-op once the problem holds one.  With a block backend the
+            # problem adopts a read-only *view* of the mapped file instead
+            # of a copy — dense compilation then reads blocks, and the
+            # matrix never has to fit in RAM.
+            problem.adopt_pair_scores(self._matrix, copy=self._storage is None)
         view = self._matrix.view()
         view.setflags(write=False)
         return view
@@ -307,23 +340,43 @@ class ScoreMatrixCache:
                 problem.num_reviewers,
                 len(self._paper_ids),
             ):
-                # The delta layer already carried the matrix over to the
-                # derived problem with the new column scored (bitwise-equal
-                # kernel): share it by reference instead of copying the
-                # whole matrix for a placeholder.  Later writes (dirty
-                # repairs, row drops) always allocate a fresh array first,
-                # so the shared read-only matrix is never mutated.  Any
-                # leftover dirty columns are covered by the adopted matrix
-                # (it is exact for *every* column), so they are clean now —
-                # and must be cleared, or the next read would try to repair
-                # them in place on the read-only array.
-                self._matrix = np.asarray(warmed)
+                if self._storage is not None:
+                    # The delta layer scored the new column in RAM; write it
+                    # (plus any still-dirty columns the exact warmed matrix
+                    # covers) back into the mapped blocks.  Appends land in
+                    # reserved capacity beyond every older adopted view.
+                    self._matrix = self._storage.append_column(
+                        np.asarray(warmed[:, -1])
+                    )
+                    if self._dirty_papers:
+                        columns = sorted(
+                            self._column_of[dirty] for dirty in self._dirty_papers
+                        )
+                        self._matrix[:, columns] = np.asarray(warmed)[:, columns]
+                else:
+                    # The delta layer already carried the matrix over to the
+                    # derived problem with the new column scored (bitwise-equal
+                    # kernel): share it by reference instead of copying the
+                    # whole matrix for a placeholder.  Later writes (dirty
+                    # repairs, row drops) always allocate a fresh array first,
+                    # so the shared read-only matrix is never mutated.  Any
+                    # leftover dirty columns are covered by the adopted matrix
+                    # (it is exact for *every* column), so they are clean now —
+                    # and must be cleared, or the next read would try to repair
+                    # them in place on the read-only array.
+                    self._matrix = np.asarray(warmed)
                 self.stats.columns_adopted += 1 + len(self._dirty_papers)
                 self._dirty_papers.clear()
             else:
-                # Append a placeholder column; scored lazily on next read.
-                placeholder = np.zeros((self._matrix.shape[0], 1), dtype=np.float64)
-                self._matrix = np.concatenate([self._matrix, placeholder], axis=1)
+                if self._storage is not None:
+                    # Reserve a zeroed on-disk column; scored lazily on read.
+                    self._matrix = self._storage.append_column(None)
+                else:
+                    # Append a placeholder column; scored lazily on next read.
+                    placeholder = np.zeros(
+                        (self._matrix.shape[0], 1), dtype=np.float64
+                    )
+                    self._matrix = np.concatenate([self._matrix, placeholder], axis=1)
                 self._dirty_papers.add(paper_id)
         self.stats.columns_added += 1
 
@@ -332,7 +385,12 @@ class ScoreMatrixCache:
         if self._matrix is not None:
             # Pair scores are independent across reviewers, so dropping the
             # row needs no re-scoring at all.
-            self._matrix = np.delete(self._matrix, row, axis=0)
+            if self._storage is not None:
+                # Blockwise rewrite into a fresh generation file; adopted
+                # views of the old generation stay intact.
+                self._matrix = self._storage.drop_row(row)
+            else:
+                self._matrix = np.delete(self._matrix, row, axis=0)
         # Every ranking indexes rows, so all of them are stale now.
         self._rankings.clear()
         self.stats.rows_removed += 1
@@ -360,7 +418,7 @@ class ScoreMatrixCache:
 
     def describe(self) -> dict[str, Any]:
         """Summary used by the ``stats`` request of the serving front end."""
-        return {
+        summary = {
             "built": self.is_built,
             "shape": [self._problem.num_reviewers, len(self._paper_ids)],
             "dirty_papers": sorted(self._dirty_papers),
@@ -370,3 +428,6 @@ class ScoreMatrixCache:
             ),
             **self.stats.as_dict(),
         }
+        if self._storage is not None:
+            summary["storage"] = self._storage.describe()
+        return summary

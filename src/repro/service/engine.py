@@ -60,6 +60,7 @@ from repro.parallel.config import ParallelConfig
 from repro.parallel.portfolio import DEFAULT_PORTFOLIO, PortfolioOutcome, run_portfolio
 from repro.service.cache import ScoreMatrixCache
 from repro.service.registry import create_solver, solver_spec
+from repro.store.base import ProblemStore
 
 TRACER = get_tracer()
 
@@ -208,6 +209,7 @@ class AssignmentEngine:
         bids: BidMatrix | None = None,
         parallel: ParallelConfig | None = None,
         registry: MetricsRegistry | None = None,
+        store: "ProblemStore | None" = None,
     ) -> None:
         self._problem = problem
         self._root_problem = problem
@@ -223,7 +225,17 @@ class AssignmentEngine:
         self._assignment_valid_at: int | None = None
         self._bids = bids if bids is not None else BidMatrix()
         self._parallel = parallel
-        self._cache = ScoreMatrixCache(problem, parallel=parallel)
+        #: optional durable problem store; attached first so its index
+        #: deltas follow the same mutation chain the cache repairs, and
+        #: so entity queries route through the indexed backend.
+        self._store = store
+        if store is not None:
+            store.attach(problem)
+        self._cache = ScoreMatrixCache(
+            problem,
+            parallel=parallel,
+            storage=store.matrix_backend() if store is not None else None,
+        )
         self._jra_cache: dict[tuple[str, int, int | None], JRAProblem] = {}
         #: conflict version the JRA sub-problem cache is valid for
         self._jra_cache_version = problem.conflicts.version
@@ -280,9 +292,34 @@ class AssignmentEngine:
         return self._parallel
 
     @property
+    def store(self) -> "ProblemStore | None":
+        """The durable problem store, or ``None`` for in-RAM engines."""
+        return self._store
+
+    @property
+    def store_path(self) -> Any:
+        """Where the attached store persists (``None`` without one)."""
+        return self._store.path if self._store is not None else None
+
+    def sync_store(self) -> None:
+        """Commit pending store deltas (checkpoint = store sync)."""
+        if self._store is not None:
+            self._store.sync()
+
+    @property
     def revision(self) -> int:
         """Monotonic counter, bumped once per applied mutation."""
         return self._revision
+
+    @property
+    def last_solver(self) -> str | None:
+        """Name of the solver behind the current assignment, if any."""
+        return self._last_solver
+
+    @property
+    def last_score(self) -> float | None:
+        """Objective value of the last completed solve, if any."""
+        return self._last_score
 
     @property
     def metrics_registry(self) -> MetricsRegistry:
@@ -376,6 +413,12 @@ class AssignmentEngine:
             spec = solver_spec("cra", name)
             instance = spec.factory(**options)
             canonical = spec.name
+        if self._cache.storage is not None:
+            # Out-of-core engines must solve from the mapped blocks: the
+            # cache build seeds the problem with a read-only view of the
+            # block file, so the solver never materialises the full
+            # matrix in RAM (and repairs land in the blocks, not a copy).
+            self._cache.matrix()
         with TRACER.span("engine.solve", solver=canonical) as span:
             result = instance.solve(self._problem)
             span.set(score=round(result.score, 6))
@@ -894,7 +937,16 @@ class AssignmentEngine:
             self._problem = problem
             stats = self._cache.stats
             stats.rows_removed -= 1
-            self._cache = ScoreMatrixCache(problem, stats=stats, parallel=self._parallel)
+            self._cache = ScoreMatrixCache(
+                problem,
+                stats=stats,
+                parallel=self._parallel,
+                storage=self._cache.storage,
+            )
+            if self._store is not None:
+                # The store's listener already applied the withdrawal;
+                # re-attaching to the pre-mutation problem rebases it.
+                self._store.attach(problem)
             self._jra_cache.clear()
             self._revision -= 1
             self._count("remove_reviewer", -1)
@@ -925,6 +977,9 @@ class AssignmentEngine:
             self._problem.paper_index(paper_id)
         for reviewer_id, paper_id, value in triples:
             self._bids.set(reviewer_id, paper_id, value)
+        if self._store is not None:
+            # Mirror into durable storage so from_store() restores them.
+            self._store.record_bids(triples)
         self._count("bid_updates", len(triples))
         return len(triples)
 
@@ -987,6 +1042,17 @@ class AssignmentEngine:
             self._registry.gauge(f"cache.{key}").set(value)
         for key, value in self._problem.view_stats.as_dict().items():
             self._registry.gauge(f"delta.{key}").set(value)
+        store = self._store if self._store is not None else self._problem.entity_store
+        for key, value in store.describe().items():
+            if isinstance(value, bool) or not isinstance(value, (int, float)):
+                continue  # skip kind/path/meta/indexes — gauges are scalars
+            self._registry.gauge(f"store.{key}").set(value)
+        backend = store.matrix_backend()
+        if backend is not None:
+            for key, value in backend.describe().items():
+                if isinstance(value, bool) or not isinstance(value, (int, float)):
+                    continue
+                self._registry.gauge(f"store.blocks_{key}").set(value)
 
     def metrics_snapshot(self) -> dict[str, Any]:
         """One JSON-serialisable metrics namespace for this engine.
@@ -1028,6 +1094,9 @@ class AssignmentEngine:
             **self._flat_counters(),
             "cache": self._cache.describe(),
             "delta": self._problem.view_stats.as_dict(),
+            "store": (
+                self._store if self._store is not None else self._problem.entity_store
+            ).describe(),
             "metrics": self.metrics_snapshot(),
         }
 
@@ -1076,6 +1145,45 @@ class AssignmentEngine:
     def load(cls, path: Any, parallel: ParallelConfig | None = None) -> "AssignmentEngine":
         """Rebuild an engine from a snapshot file."""
         return cls.from_snapshot(load_engine_snapshot(path), parallel=parallel)
+
+    @classmethod
+    def from_store(
+        cls,
+        store: "ProblemStore",
+        *,
+        assignment: Assignment | None = None,
+        bids: Any = None,
+        metadata: dict[str, Any] | None = None,
+        parallel: ParallelConfig | None = None,
+    ) -> "AssignmentEngine":
+        """Build an engine over a durable problem store.
+
+        The problem is materialised from the store, bids default to the
+        store's persisted ones, and the engine keeps the store attached:
+        mutations become transactional index deltas, committed at
+        :meth:`sync_store` (which is what checkpoints call).
+        """
+        problem = store.load_problem()
+        if bids is None:
+            bids = store.load_bids()
+        bid_matrix = BidMatrix(
+            {
+                (reviewer_id, paper_id): value
+                for reviewer_id, paper_id, value in bids
+            }
+        )
+        engine = cls(
+            problem,
+            assignment=assignment,
+            bids=bid_matrix,
+            parallel=parallel,
+            store=store,
+        )
+        metadata = metadata or {}
+        engine._last_solver = metadata.get("last_solver")
+        engine._last_score = metadata.get("last_score")
+        engine._revision = int(metadata.get("revision", 0))
+        return engine
 
     def __repr__(self) -> str:
         return (

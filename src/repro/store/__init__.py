@@ -1,0 +1,21 @@
+"""Pluggable problem storage: in-RAM, SQLite + inverted index, memmap blocks.
+
+See :mod:`repro.store.base` for the interface, ``docs/storage.md`` for
+the schema/layout reference, and ``tests/conformance/test_store_conformance.py``
+for the bitwise-equality contract every backend is held to.
+"""
+
+from repro.store.base import EntityIndex, ProblemStore, StoreStats
+from repro.store.blocks import MemmapScoreStore
+from repro.store.memory import InMemoryProblemStore
+from repro.store.sqlite import SCHEMA_VERSION, SqliteProblemStore
+
+__all__ = [
+    "EntityIndex",
+    "InMemoryProblemStore",
+    "MemmapScoreStore",
+    "ProblemStore",
+    "SCHEMA_VERSION",
+    "SqliteProblemStore",
+    "StoreStats",
+]

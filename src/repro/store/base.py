@@ -1,0 +1,187 @@
+"""The pluggable problem-storage layer: interface and shared pieces.
+
+A :class:`ProblemStore` owns the durable (or resident) representation of
+one WGRAP instance — reviewers, papers, conflicts and bids — and keeps it
+current under the live mutation stream: attached to a problem chain, the
+store translates ``add_paper`` / ``remove_reviewer`` events and conflict
+changelog tails into incremental index updates, never a rebuild.
+
+Two implementations exist:
+
+* :class:`repro.store.memory.InMemoryProblemStore` — the historical
+  in-RAM path, extracted behaviour-preserving (entity tuples + the scan);
+* :class:`repro.store.sqlite.SqliteProblemStore` — a normalized SQLite
+  schema (stdlib ``sqlite3``) with an inverted topic index, so candidate
+  generation becomes an indexed range query instead of a scan.
+
+``EntityIndex`` lives here because both the stores and
+:class:`~repro.core.problem.WGRAPProblem` itself need the same id/position
+bookkeeping — the problem's entity access is a store-handle concern now.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any, Iterable, Sequence
+
+from repro.exceptions import ConfigurationError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (problem imports us)
+    from repro.core.problem import WGRAPProblem
+    from repro.store.blocks import MemmapScoreStore
+
+__all__ = ["EntityIndex", "ProblemStore", "StoreStats"]
+
+
+class EntityIndex:
+    """Shared index bookkeeping for papers and reviewers.
+
+    Moved here from ``repro.core.problem`` (where it was ``_EntityIndex``)
+    so every storage backend reuses the same id/position mapping and
+    duplicate detection the problem itself relies on.
+    """
+
+    __slots__ = ("ids", "positions")
+
+    def __init__(self, ids: Sequence[str], kind: str) -> None:
+        self.ids: tuple[str, ...] = tuple(ids)
+        self.positions: dict[str, int] = {}
+        for position, identifier in enumerate(self.ids):
+            if identifier in self.positions:
+                raise ConfigurationError(f"duplicate {kind} id: {identifier!r}")
+            self.positions[identifier] = position
+
+    def index_of(self, identifier: str, kind: str) -> int:
+        try:
+            return self.positions[identifier]
+        except KeyError:
+            raise KeyError(f"unknown {kind} id: {identifier!r}") from None
+
+
+@dataclass
+class StoreStats:
+    """Counters describing the work a problem store has done.
+
+    Attributes
+    ----------
+    index_updates:
+        Mutation events translated into incremental index deltas.
+    index_hits:
+        Candidate/shortlist queries answered from the (inverted) index.
+    conflict_deltas:
+        Conflict changelog entries replayed into the store.
+    rebuilds:
+        Conservative full rebuilds (unknown mutation kinds or a compacted
+        conflict changelog) — the thing incremental maintenance avoids.
+    syncs:
+        Explicit :meth:`ProblemStore.sync` commits.
+    loads:
+        Full problem materialisations (:meth:`ProblemStore.load_problem`).
+    """
+
+    index_updates: int = 0
+    index_hits: int = 0
+    conflict_deltas: int = 0
+    rebuilds: int = 0
+    syncs: int = 0
+    loads: int = 0
+
+    def as_dict(self) -> dict[str, int]:
+        return {
+            "index_updates": self.index_updates,
+            "index_hits": self.index_hits,
+            "conflict_deltas": self.conflict_deltas,
+            "rebuilds": self.rebuilds,
+            "syncs": self.syncs,
+            "loads": self.loads,
+        }
+
+
+class ProblemStore(abc.ABC):
+    """Interface every problem-storage backend implements.
+
+    A store can *materialise* a problem (:meth:`load_problem`), *follow*
+    a live mutation chain (:meth:`attach`), answer candidate queries, and
+    persist itself (:meth:`sync`).  The engine owns exactly one store per
+    tenant; the in-RAM implementation makes the historical no-store path
+    just another backend.
+    """
+
+    #: short backend tag ("memory" / "sqlite"), used by describe() and stats
+    kind: str = "abstract"
+
+    def __init__(self) -> None:
+        self.stats = StoreStats()
+
+    # -- materialisation ------------------------------------------------
+    @abc.abstractmethod
+    def load_problem(self) -> "WGRAPProblem":
+        """Materialise the stored instance as a :class:`WGRAPProblem`."""
+
+    @abc.abstractmethod
+    def attach(self, problem: "WGRAPProblem") -> None:
+        """Follow ``problem``'s mutation chain with incremental updates."""
+
+    def tracks(self, problem: "WGRAPProblem") -> bool:
+        """Whether this store currently mirrors exactly ``problem``.
+
+        :attr:`WGRAPProblem.entity_store` only delegates entity queries to
+        a bound store while it tracks that problem — a query against an
+        older instance in the chain must not be answered from newer state.
+        """
+        return False
+
+    # -- candidate generation ------------------------------------------
+    @abc.abstractmethod
+    def candidate_reviewers(self, paper_id: str) -> list[str]:
+        """Non-conflicted reviewer ids for one paper, in problem order."""
+
+    @abc.abstractmethod
+    def topic_candidates(
+        self, vector: Any, limit: int, num_topics: int | None = None
+    ) -> list[tuple[str, float]]:
+        """Top reviewers by inverted-index proxy score for a topic vector.
+
+        The proxy is the dot product restricted to the vector's non-zero
+        topics, answered from the inverted topic index — a shortlist
+        generator for retrieval-style pruning, not an exact scoring.
+        """
+
+    # -- adjacent state -------------------------------------------------
+    @abc.abstractmethod
+    def record_bids(self, bids: Iterable[tuple[str, str, float]]) -> int:
+        """Persist bid triples; returns the number recorded."""
+
+    @abc.abstractmethod
+    def load_bids(self) -> tuple[tuple[str, str, float], ...]:
+        """All persisted bids, ordered by (reviewer_id, paper_id)."""
+
+    # -- lifecycle ------------------------------------------------------
+    def matrix_backend(self) -> "MemmapScoreStore | None":
+        """The block score-matrix backend, or ``None`` for in-RAM caches."""
+        return None
+
+    @property
+    def path(self) -> Any:
+        """Where the store persists, or ``None`` for purely resident ones."""
+        return None
+
+    def sync(self) -> None:
+        """Commit pending deltas to durable storage (no-op in RAM)."""
+        self.stats.syncs += 1
+
+    def close(self) -> None:
+        """Commit and release resources; the store is unusable afterwards."""
+
+    def abort(self) -> None:
+        """Crash-stop: discard uncommitted deltas instead of committing.
+
+        The transactional backend overrides this with a rollback; in RAM
+        there is nothing durable to protect, so it is just :meth:`close`.
+        """
+        self.close()
+
+    def describe(self) -> dict[str, Any]:
+        """Row/index statistics for ``stats`` requests and ``store info``."""
+        return {"kind": self.kind, **self.stats.as_dict()}

@@ -1,0 +1,154 @@
+"""CSV snapshot format for problem stores (``wgrap store import/export``).
+
+One problem is a directory of flat files::
+
+    snapshot/
+      meta.json       # group_size, reviewer_workload, num_topics, scoring
+      reviewers.csv   # id, name, h_index, vector
+      papers.csv      # id, title, abstract, vector
+      conflicts.csv   # reviewer_id, paper_id
+      bids.csv        # reviewer_id, paper_id, value
+
+Topic vectors are space-joined ``repr`` floats: Python's ``repr`` emits
+the shortest string that parses back to the identical IEEE-754 double, so
+the CSV round-trip is **bitwise** — the same contract the SQLite blob
+encoding and the JSON format keep, pinned by ``tests/test_store_cli.py``.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+from typing import TYPE_CHECKING, Iterable
+
+import numpy as np
+
+from repro.core.constraints import ConflictOfInterest
+from repro.core.entities import Paper, Reviewer
+from repro.core.vectors import TopicVector
+from repro.exceptions import ConfigurationError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.core.problem import WGRAPProblem
+
+__all__ = ["export_problem_csv", "import_problem_csv"]
+
+_META_NAME = "meta.json"
+
+
+def _vector_text(vector: TopicVector) -> str:
+    return " ".join(repr(float(v)) for v in np.asarray(vector.values, dtype=np.float64))
+
+
+def _vector_from_text(text: str) -> TopicVector:
+    return TopicVector(np.array([float(part) for part in text.split()], dtype=np.float64))
+
+
+def export_problem_csv(
+    problem: "WGRAPProblem",
+    directory: str | Path,
+    bids: Iterable[tuple[str, str, float]] = (),
+) -> Path:
+    """Write one problem (and optional bids) as a CSV snapshot directory."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    (directory / _META_NAME).write_text(
+        json.dumps(
+            {
+                "group_size": problem.group_size,
+                "reviewer_workload": problem.reviewer_workload,
+                "num_topics": problem.num_topics,
+                "scoring": problem.scoring.name,
+            },
+            indent=2,
+        ),
+        encoding="utf-8",
+    )
+    with open(directory / "reviewers.csv", "w", encoding="utf-8", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(["id", "name", "h_index", "vector"])
+        for reviewer in problem.reviewers:
+            writer.writerow(
+                [
+                    reviewer.id,
+                    reviewer.name,
+                    "" if reviewer.h_index is None else reviewer.h_index,
+                    _vector_text(reviewer.vector),
+                ]
+            )
+    with open(directory / "papers.csv", "w", encoding="utf-8", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(["id", "title", "abstract", "vector"])
+        for paper in problem.papers:
+            writer.writerow(
+                [paper.id, paper.title, paper.abstract, _vector_text(paper.vector)]
+            )
+    with open(directory / "conflicts.csv", "w", encoding="utf-8", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(["reviewer_id", "paper_id"])
+        for reviewer_id, paper_id in problem.conflicts:
+            writer.writerow([reviewer_id, paper_id])
+    with open(directory / "bids.csv", "w", encoding="utf-8", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(["reviewer_id", "paper_id", "value"])
+        for reviewer_id, paper_id, value in bids:
+            writer.writerow([reviewer_id, paper_id, repr(float(value))])
+    return directory
+
+
+def import_problem_csv(
+    directory: str | Path,
+) -> tuple["WGRAPProblem", tuple[tuple[str, str, float], ...]]:
+    """Read a CSV snapshot directory back into a problem plus bids."""
+    from repro.core.problem import WGRAPProblem
+
+    directory = Path(directory)
+    meta_path = directory / _META_NAME
+    if not meta_path.exists():
+        raise ConfigurationError(
+            f"{directory} is not a CSV problem snapshot (no {_META_NAME})"
+        )
+    meta = json.loads(meta_path.read_text(encoding="utf-8"))
+    with open(directory / "reviewers.csv", encoding="utf-8", newline="") as handle:
+        reviewers = [
+            Reviewer(
+                id=row["id"],
+                vector=_vector_from_text(row["vector"]),
+                name=row["name"],
+                h_index=int(row["h_index"]) if row["h_index"] else None,
+            )
+            for row in csv.DictReader(handle)
+        ]
+    with open(directory / "papers.csv", encoding="utf-8", newline="") as handle:
+        papers = [
+            Paper(
+                id=row["id"],
+                vector=_vector_from_text(row["vector"]),
+                title=row["title"],
+                abstract=row["abstract"],
+            )
+            for row in csv.DictReader(handle)
+        ]
+    with open(directory / "conflicts.csv", encoding="utf-8", newline="") as handle:
+        conflicts = ConflictOfInterest(
+            (row["reviewer_id"], row["paper_id"]) for row in csv.DictReader(handle)
+        )
+    bids: tuple[tuple[str, str, float], ...] = ()
+    bids_path = directory / "bids.csv"
+    if bids_path.exists():
+        with open(bids_path, encoding="utf-8", newline="") as handle:
+            bids = tuple(
+                (row["reviewer_id"], row["paper_id"], float(row["value"]))
+                for row in csv.DictReader(handle)
+            )
+    problem = WGRAPProblem(
+        papers=papers,
+        reviewers=reviewers,
+        group_size=int(meta["group_size"]),
+        reviewer_workload=int(meta["reviewer_workload"]),
+        conflicts=conflicts,
+        scoring=meta.get("scoring"),
+        validate_capacity=False,
+    )
+    return problem, bids

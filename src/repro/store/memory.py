@@ -1,0 +1,128 @@
+"""The in-RAM problem store: the historical resident path, extracted.
+
+:class:`InMemoryProblemStore` is what every :class:`WGRAPProblem` has
+always done, packaged behind the :class:`~repro.store.base.ProblemStore`
+interface: entities live as tuples on the problem, candidate generation
+is the linear scan over ``reviewer_ids`` with the conflict set as a
+filter, and nothing persists.  Extracting it keeps the no-store path
+behaviour-preserving (the scan is the same code, bitwise) while making
+"which backend holds the entities" a constructor choice instead of an
+assumption baked into the problem.
+"""
+
+from __future__ import annotations
+
+import weakref
+from typing import TYPE_CHECKING, Any, Iterable
+
+import numpy as np
+
+from repro.store.base import ProblemStore
+
+if TYPE_CHECKING:  # pragma: no cover - the problem imports this module
+    from repro.core.problem import ProblemMutation, WGRAPProblem
+
+__all__ = ["InMemoryProblemStore", "topic_proxy_scores"]
+
+
+def topic_proxy_scores(reviewer_matrix: np.ndarray, vector: np.ndarray) -> np.ndarray:
+    """The shortlist proxy both store backends rank by: ``W_r · q``.
+
+    Restricting the dot product to the query's non-zero topics is exactly
+    the full dot product (zero entries contribute nothing), which is what
+    lets the SQLite backend answer the same query from its inverted topic
+    index without touching zero postings.
+    """
+    return reviewer_matrix @ np.asarray(vector, dtype=np.float64)
+
+
+class InMemoryProblemStore(ProblemStore):
+    """Resident store over a live :class:`WGRAPProblem` (no persistence).
+
+    Doubles as the problem's own entity handle
+    (:attr:`WGRAPProblem.entity_store`): entity access and the candidate
+    scan go through here, so swapping in an indexed backend is a handle
+    rebind, not a problem rewrite.
+    """
+
+    kind = "memory"
+
+    def __init__(self, problem: "WGRAPProblem") -> None:
+        super().__init__()
+        self._problem = problem
+        self._bids: dict[tuple[str, str], float] = {}
+        self._listener = None
+
+    # -- materialisation ------------------------------------------------
+    def load_problem(self) -> "WGRAPProblem":
+        self.stats.loads += 1
+        return self._problem
+
+    def attach(self, problem: "WGRAPProblem") -> None:
+        """Track the chain so :attr:`problem` always names the tip."""
+        self._problem = problem
+        if self._listener is not None:
+            return
+        store_ref = weakref.ref(self)
+
+        def listener(mutation: "ProblemMutation") -> None:
+            store = store_ref()
+            if store is None:
+                mutation.source.remove_mutation_listener(listener)
+                mutation.result.remove_mutation_listener(listener)
+                return
+            store._problem = mutation.result
+            store.stats.index_updates += 1
+
+        self._listener = listener
+        problem.add_mutation_listener(listener)
+
+    @property
+    def problem(self) -> "WGRAPProblem":
+        return self._problem
+
+    def tracks(self, problem: "WGRAPProblem") -> bool:
+        return self._problem is problem
+
+    # -- candidate generation ------------------------------------------
+    def candidate_reviewers(self, paper_id: str) -> list[str]:
+        # The historical scan, verbatim: every reviewer id in problem
+        # order, minus the paper's conflict set.
+        problem = self._problem
+        forbidden = problem.conflicts.reviewers_conflicting_with(paper_id)
+        self.stats.index_hits += 1
+        return [rid for rid in problem.reviewer_ids if rid not in forbidden]
+
+    def topic_candidates(
+        self, vector: Any, limit: int, num_topics: int | None = None
+    ) -> list[tuple[str, float]]:
+        problem = self._problem
+        proxy = topic_proxy_scores(problem.reviewer_matrix, vector)
+        order = np.argsort(-proxy, kind="stable")[: max(0, int(limit))]
+        self.stats.index_hits += 1
+        reviewer_ids = problem.reviewer_ids
+        return [(reviewer_ids[int(row)], float(proxy[int(row)])) for row in order]
+
+    # -- adjacent state -------------------------------------------------
+    def record_bids(self, bids: Iterable[tuple[str, str, float]]) -> int:
+        triples = [(str(r), str(p), float(v)) for r, p, v in bids]
+        for reviewer_id, paper_id, value in triples:
+            self._bids[(reviewer_id, paper_id)] = value
+        return len(triples)
+
+    def load_bids(self) -> tuple[tuple[str, str, float], ...]:
+        return tuple(
+            (reviewer_id, paper_id, value)
+            for (reviewer_id, paper_id), value in sorted(self._bids.items())
+        )
+
+    # -- lifecycle ------------------------------------------------------
+    def describe(self) -> dict[str, Any]:
+        problem = self._problem
+        return {
+            **super().describe(),
+            "reviewer_rows": problem.num_reviewers,
+            "paper_rows": problem.num_papers,
+            "conflict_rows": len(problem.conflicts),
+            "bid_rows": len(self._bids),
+        }

@@ -285,7 +285,7 @@ class TestServeCommand:
         # start empty and be populated via create_tenant); plain stdio
         # serving still demands a source, as a runtime error.
         assert main(["serve"]) == 2
-        assert "--problem or --snapshot" in capsys.readouterr().err
+        assert "--problem, --snapshot or --store" in capsys.readouterr().err
 
     def test_sources_stay_mutually_exclusive(self):
         parser = build_parser()

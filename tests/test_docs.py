@@ -34,6 +34,7 @@ DOC_PAGES = (
     "performance.md",
     "observability.md",
     "durability.md",
+    "storage.md",
 )
 
 _LINK = re.compile(r"\[[^\]]+\]\(([^)\s]+)\)")

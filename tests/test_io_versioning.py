@@ -1,0 +1,87 @@
+"""Format-version gates: every loader rejects unknown versions loudly.
+
+A payload from a future release (or a corrupted one that is not even a
+mapping) must fail with :class:`repro.exceptions.UnsupportedFormatError`
+— a structured error carrying *what* was being parsed, the version
+*found* and the version *expected* — never with a ``KeyError`` three
+layers deeper.  The same contract covers the SQLite store's schema
+version and journal checkpoints.
+"""
+
+from __future__ import annotations
+
+import json
+import sqlite3
+
+import pytest
+
+from repro.data.io import (
+    assignment_from_dict,
+    assignment_to_dict,
+    engine_snapshot_from_dict,
+    problem_from_dict,
+    problem_to_dict,
+)
+from repro.data.synthetic import make_problem
+from repro.exceptions import ConfigurationError, UnsupportedFormatError
+from repro.service.engine import AssignmentEngine
+from repro.store import SCHEMA_VERSION, SqliteProblemStore
+
+
+def _problem():
+    return make_problem(4, 6, num_topics=4, reviewer_workload=3, seed=0)
+
+
+class TestLoaders:
+    def test_problem_rejects_future_version(self):
+        payload = problem_to_dict(_problem())
+        payload["format_version"] = 99
+        with pytest.raises(UnsupportedFormatError) as excinfo:
+            problem_from_dict(payload)
+        assert excinfo.value.what == "problem"
+        assert excinfo.value.found == 99
+        assert "99" in str(excinfo.value)
+
+    def test_assignment_rejects_future_version(self):
+        problem = _problem()
+        engine = AssignmentEngine(problem)
+        result = engine.solve("Greedy")
+        payload = assignment_to_dict(result.assignment)
+        payload["format_version"] = 99
+        with pytest.raises(UnsupportedFormatError) as excinfo:
+            assignment_from_dict(payload)
+        assert excinfo.value.what == "assignment"
+
+    def test_engine_snapshot_rejects_future_version(self):
+        engine = AssignmentEngine(_problem())
+        payload = engine.to_snapshot()
+        payload["format_version"] = 99
+        with pytest.raises(UnsupportedFormatError):
+            engine_snapshot_from_dict(payload)
+
+    @pytest.mark.parametrize("broken", [None, [], "problem", 7])
+    def test_non_mapping_payloads_fail_structurally(self, broken):
+        with pytest.raises(UnsupportedFormatError) as excinfo:
+            problem_from_dict(broken)
+        assert excinfo.value.found == type(broken).__name__
+
+    def test_error_is_a_configuration_error(self):
+        # callers that already catch ConfigurationError keep working
+        assert issubclass(UnsupportedFormatError, ConfigurationError)
+
+
+class TestStoreSchemaVersion:
+    def test_open_rejects_future_schema(self, tmp_path):
+        path = tmp_path / "future.db"
+        SqliteProblemStore.create(path, _problem()).close()
+        conn = sqlite3.connect(path)
+        conn.execute(
+            "UPDATE meta SET value = ? WHERE key = 'schema_version'",
+            (str(SCHEMA_VERSION + 1),),
+        )
+        conn.commit()
+        conn.close()
+        with pytest.raises(UnsupportedFormatError) as excinfo:
+            SqliteProblemStore.open(path)
+        assert excinfo.value.expected == SCHEMA_VERSION
+        assert excinfo.value.found == str(SCHEMA_VERSION + 1)

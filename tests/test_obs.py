@@ -439,3 +439,79 @@ class TestEngineMetricsIntegration:
         snap = engine.metrics_registry.get("engine.journal.seconds").snapshot()
         assert snap["count"] == 1
         assert snap["sum"] == pytest.approx(answer.elapsed_seconds, rel=1e-6)
+
+
+class TestStoreObservability:
+    """``store.*`` spans and gauges of the pluggable storage layer."""
+
+    def _store_engine(self, tmp_path):
+        from repro.service.engine import AssignmentEngine
+        from repro.store import SqliteProblemStore
+
+        problem = make_problem(
+            num_reviewers=12, num_papers=6, num_topics=4, reviewer_workload=4, seed=8
+        )
+        store = SqliteProblemStore.create(
+            tmp_path / "obs.db", problem, blocks=True, block_cols=2
+        )
+        return store, AssignmentEngine.from_store(store)
+
+    def test_store_spans_are_emitted_and_registered(self, tmp_path):
+        from repro.core.entities import Paper
+
+        import numpy as np
+
+        tracer = get_tracer()
+        previously = tracer.enabled
+        tracer.enabled = True
+        try:
+            store, engine = self._store_engine(tmp_path)
+            engine.solve("Greedy")
+            engine.add_paper(
+                Paper(id="obs-late", vector=np.full(4, 0.25, dtype=np.float64))
+            )
+            names = set()
+            for trace_id in tracer.trace_ids():
+                stack = [tracer.get_trace(trace_id)]
+                while stack:
+                    node = stack.pop()
+                    names.add(node.name)
+                    stack.extend(node.children)
+            store.close()
+        finally:
+            tracer.enabled = previously
+        for expected in ("store.open", "store.compile", "store.index_update"):
+            assert expected in names, f"missing span {expected!r} in {sorted(names)}"
+            assert matches_name(expected, kind="span")
+        assert any(name == "store.block_io" for name in names)
+
+    def test_store_gauges_are_absorbed_into_metrics(self, tmp_path):
+        store, engine = self._store_engine(tmp_path)
+        try:
+            engine.solve("Greedy")
+            names = list(engine.metrics_snapshot())
+            store_gauges = [name for name in names if name.startswith("store.")]
+            assert "store.reviewer_rows" in store_gauges
+            assert "store.index_rows" in store_gauges
+            assert any(name.startswith("store.blocks_") for name in store_gauges)
+            offenders = [name for name in store_gauges if not matches_name(name)]
+            assert not offenders, f"unregistered store metrics: {offenders}"
+        finally:
+            store.close()
+
+    def test_stats_exposes_the_store_block(self, tmp_path):
+        store, engine = self._store_engine(tmp_path)
+        try:
+            stats = engine.stats()
+            assert stats["store"]["kind"] == "sqlite"
+            assert stats["store"]["reviewer_rows"] == 12
+        finally:
+            store.close()
+
+    def test_memory_backend_also_reports(self):
+        from repro.service.engine import AssignmentEngine
+
+        problem = make_problem(num_reviewers=8, num_papers=4, num_topics=4, seed=9)
+        engine = AssignmentEngine(problem)
+        stats = engine.stats()
+        assert stats["store"]["kind"] == "memory"

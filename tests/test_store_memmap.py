@@ -1,0 +1,164 @@
+"""The memmap block score store vs a plain RAM ndarray — bitwise.
+
+:class:`repro.store.blocks.MemmapScoreStore` replaces the in-RAM score
+matrix for out-of-core engines, so it is held to an exact oracle: every
+mutation sequence (column appends, row drops, in-place column patches)
+applied to the blocks must leave the mapped file bitwise-identical to the
+same sequence applied to a ``numpy`` array — including after closing the
+store and reopening it from ``meta.json`` mid-sequence.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.store import MemmapScoreStore
+
+
+def _rng(seed=0):
+    return np.random.default_rng(seed)
+
+
+def _fresh(tmp_path, rows=6, cols=5, block_cols=2, seed=0):
+    oracle = _rng(seed).random((rows, cols))
+    store = MemmapScoreStore(tmp_path / "blocks", block_cols=block_cols)
+    store.write_all(oracle.copy())
+    return store, oracle
+
+
+class TestBasicOps:
+    def test_write_all_round_trips_bitwise(self, tmp_path):
+        store, oracle = _fresh(tmp_path)
+        np.testing.assert_array_equal(np.asarray(store.view()), oracle)
+        assert store.rows == 6 and store.cols == 5
+
+    def test_append_column_matches_concatenate(self, tmp_path):
+        store, oracle = _fresh(tmp_path)
+        for i in range(5):  # crosses the block_cols=2 capacity boundary twice
+            column = _rng(100 + i).random(store.rows)
+            view = store.append_column(column.copy())
+            oracle = np.concatenate([oracle, column[:, None]], axis=1)
+            np.testing.assert_array_equal(np.asarray(view), oracle)
+
+    def test_append_placeholder_is_zeros(self, tmp_path):
+        store, oracle = _fresh(tmp_path)
+        view = store.append_column(None)
+        oracle = np.concatenate([oracle, np.zeros((store.rows, 1))], axis=1)
+        np.testing.assert_array_equal(np.asarray(view), oracle)
+
+    def test_drop_row_matches_delete(self, tmp_path):
+        store, oracle = _fresh(tmp_path)
+        for pick in (3, 0, -1):
+            row = pick if pick >= 0 else store.rows - 1
+            view = store.drop_row(row)
+            oracle = np.delete(oracle, row, axis=0)
+            np.testing.assert_array_equal(np.asarray(view), oracle)
+
+    def test_patch_column_in_place(self, tmp_path):
+        store, oracle = _fresh(tmp_path)
+        view = store.view(writable=True)
+        patch = _rng(9).random(store.rows)
+        view[:, 2] = patch
+        oracle[:, 2] = patch
+        np.testing.assert_array_equal(np.asarray(store.view()), oracle)
+
+    def test_out_of_core_build_matches_scorer(self, tmp_path):
+        rows, cols = 7, 11
+        dense = _rng(3).random((rows, cols))
+        store = MemmapScoreStore(tmp_path / "b", block_cols=3)
+        view = store.build(rows, cols, lambda start, stop: dense[:, start:stop])
+        np.testing.assert_array_equal(np.asarray(view), dense)
+        # the build walked ceil(11/3) = 4 blocks
+        assert store.block_writes >= 4
+
+    def test_drop_row_rolls_the_generation_file(self, tmp_path):
+        store, _ = _fresh(tmp_path)
+        before = store.generation
+        store.drop_row(0)
+        assert store.generation > before
+
+    def test_appends_extend_in_place_within_capacity(self, tmp_path):
+        store, _ = _fresh(tmp_path, block_cols=8)
+        generation = store.generation
+        store.append_column(np.zeros(store.rows))
+        assert store.generation == generation  # reserved capacity, no copy
+
+
+class TestReopen:
+    def test_reopen_mid_sequence_is_bitwise(self, tmp_path):
+        directory = tmp_path / "blocks"
+        store, oracle = _fresh(tmp_path, block_cols=3)
+        column = _rng(50).random(store.rows)
+        store.append_column(column.copy())
+        oracle = np.concatenate([oracle, column[:, None]], axis=1)
+        store.flush()
+        store.close()
+
+        reopened = MemmapScoreStore(directory, block_cols=3)
+        assert (reopened.rows, reopened.cols) == oracle.shape
+        np.testing.assert_array_equal(np.asarray(reopened.view()), oracle)
+        # continue the sequence on the reopened store
+        reopened.drop_row(1)
+        oracle = np.delete(oracle, 1, axis=0)
+        column = _rng(51).random(reopened.rows)
+        view = reopened.append_column(column.copy())
+        oracle = np.concatenate([oracle, column[:, None]], axis=1)
+        np.testing.assert_array_equal(np.asarray(view), oracle)
+
+    def test_meta_survives_for_cold_readers(self, tmp_path):
+        store, oracle = _fresh(tmp_path)
+        store.flush()
+        description = store.describe()
+        assert description["rows"] == 6 and description["cols"] == 5
+        assert description["bytes_mapped"] == 6 * store.capacity * 8
+
+
+@st.composite
+def mutation_sequences(draw):
+    """Random op sequences; values come from a seeded rng, not Hypothesis,
+    so shrinking explores the *structure* (op order) rather than floats."""
+    return draw(
+        st.lists(
+            st.sampled_from(["append", "placeholder", "drop", "patch", "reopen"]),
+            min_size=1,
+            max_size=12,
+        )
+    )
+
+
+@settings(max_examples=60, deadline=None)
+@given(ops=mutation_sequences(), data=st.data())
+def test_random_mutation_sequences_match_ram(tmp_path_factory, ops, data):
+    tmp_path = tmp_path_factory.mktemp("memmap-prop")
+    oracle = _rng(7).random((5, 4))
+    store = MemmapScoreStore(tmp_path / "blocks", block_cols=2)
+    store.write_all(oracle.copy())
+    fill = _rng(8)
+    for op in ops:
+        if op == "append":
+            column = fill.random(store.rows)
+            store.append_column(column.copy())
+            oracle = np.concatenate([oracle, column[:, None]], axis=1)
+        elif op == "placeholder":
+            store.append_column(None)
+            oracle = np.concatenate([oracle, np.zeros((store.rows, 1))], axis=1)
+        elif op == "drop":
+            if store.rows <= 1:
+                continue
+            row = data.draw(st.integers(0, store.rows - 1), label="row")
+            store.drop_row(row)
+            oracle = np.delete(oracle, row, axis=0)
+        elif op == "patch":
+            column = data.draw(st.integers(0, store.cols - 1), label="col")
+            patch = fill.random(store.rows)
+            store.view(writable=True)[:, column] = patch
+            oracle[:, column] = patch
+        else:  # reopen from disk mid-sequence
+            store.flush()
+            store.close()
+            store = MemmapScoreStore(tmp_path / "blocks", block_cols=2)
+        np.testing.assert_array_equal(np.asarray(store.view()), oracle)
+    store.close()
